@@ -1,0 +1,675 @@
+// Benchmark harness: one benchmark per experiment of DESIGN.md's
+// per-figure index (E1–E18). Run with
+//
+//	go test -bench=. -benchmem
+//
+// EXPERIMENTS.md records representative output and compares the shapes
+// against the paper's qualitative claims.
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps/animation"
+	"repro/internal/apps/climate"
+	"repro/internal/apps/innerproduct"
+	"repro/internal/apps/polymult"
+	"repro/internal/apps/reactor"
+	"repro/internal/arraymgr"
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/darray"
+	"repro/internal/dcall"
+	"repro/internal/defval"
+	"repro/internal/experiments"
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/spmd"
+	"repro/internal/stencil"
+)
+
+// --- E1: coupled climate simulation (Fig 2.1) ---
+
+func BenchmarkE1_ClimateCoupled(b *testing.B) {
+	for _, p := range []int{2, 4} {
+		b.Run(fmt.Sprintf("distributed/P=%d", p), func(b *testing.B) {
+			m := core.New(p)
+			defer m.Close()
+			if err := climate.RegisterPrograms(m); err != nil {
+				b.Fatal(err)
+			}
+			cfg := climate.Config{Rows: 16, Cols: 16, Steps: 10, Alpha: 0.4}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := climate.Run(m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sequential", func(b *testing.B) {
+		cfg := climate.Config{Rows: 16, Cols: 16, Steps: 10, Alpha: 0.4}
+		for i := 0; i < b.N; i++ {
+			climate.RunSequential(cfg)
+		}
+	})
+}
+
+// --- E2: pipeline throughput (Fig 2.2) ---
+
+func benchPolymultPairs(b *testing.B, pipelined bool) {
+	m := core.New(4)
+	defer m.Close()
+	if err := polymult.RegisterPrograms(m); err != nil {
+		b.Fatal(err)
+	}
+	const n = 32
+	const pairs = 4
+	rng := rand.New(rand.NewSource(2))
+	input := make([][2][]float64, pairs)
+	for k := range input {
+		f, g := make([]float64, n), make([]float64, n)
+		for i := range f {
+			f[i] = rng.NormFloat64()
+			g[i] = rng.NormFloat64()
+		}
+		input[k] = [2][]float64{f, g}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pipelined {
+			if _, err := polymult.Run(m, n, input); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for k := 0; k < pairs; k++ {
+				if _, err := polymult.Run(m, n, input[k:k+1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkE2_FourierPipeline(b *testing.B) {
+	b.Run("pipelined", func(b *testing.B) { benchPolymultPairs(b, true) })
+	b.Run("unpipelined", func(b *testing.B) { benchPolymultPairs(b, false) })
+}
+
+// --- E3: reactor discrete-event simulation (Fig 2.3) ---
+
+func BenchmarkE3_ReactorSim(b *testing.B) {
+	for _, c := range []struct{ cells, p int }{{16, 2}, {64, 4}} {
+		b.Run(fmt.Sprintf("cells=%d/P=%d", c.cells, c.p), func(b *testing.B) {
+			m := core.New(c.p)
+			defer m.Close()
+			if err := reactor.RegisterPrograms(m); err != nil {
+				b.Fatal(err)
+			}
+			cfg := reactor.Config{Cells: c.cells, Dt: 0.25, Horizon: 5, Alpha: 0.25, ValveCut: 0.8}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reactor.Run(m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E4: animation frames (Fig 2.4) ---
+
+func BenchmarkE4_AnimationFrames(b *testing.B) {
+	cfg := animation.Config{Frames: 8, Height: 32, Width: 32}
+	for _, groups := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			c := cfg
+			c.Groups = groups
+			m := core.New(4)
+			defer m.Close()
+			if err := animation.RegisterPrograms(m); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := animation.Run(m, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sequential", func(b *testing.B) {
+		c := cfg
+		c.Groups = 1
+		for i := 0; i < b.N; i++ {
+			animation.RunSequential(c)
+		}
+	})
+}
+
+// --- E5: partition bijection (Fig 3.1) ---
+
+func BenchmarkE5_PartitionDistribute(b *testing.B) {
+	dims := []int{64, 64}
+	gridDims := []int{4, 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 64; r++ {
+			for c := 0; c < 64; c++ {
+				if _, _, err := grid.OwnerSlot([]int{r, c}, dims, gridDims, grid.RowMajor); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// --- E6: distributed-call overhead vs group size (Fig 3.2) ---
+
+func BenchmarkE6_CallControlFlow(b *testing.B) {
+	m := core.New(8)
+	defer m.Close()
+	noop := func(w *spmd.World, a *dcall.Args) {}
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("group=%d", g), func(b *testing.B) {
+			procs := m.Procs(0, 1, g)
+			for i := 0; i < b.N; i++ {
+				if err := m.CallFn(procs, noop); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E7: call data flow (Fig 3.3) ---
+
+func BenchmarkE7_CallDataFlow(b *testing.B) {
+	m := core.New(4)
+	defer m.Close()
+	a, err := m.NewArray(core.ArraySpec{Dims: []int{1 << 12}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := func(w *spmd.World, args *dcall.Args) {
+		sec := args.Section(0)
+		for i := range sec.F {
+			sec.F[i] += 1
+		}
+	}
+	b.SetBytes(int64(8 << 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.CallFn(m.AllProcs(), body, a.Param()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: concurrent vs serialized distributed calls (Fig 3.4) ---
+
+func benchTwoCalls(b *testing.B, concurrent bool) {
+	m := core.New(4)
+	defer m.Close()
+	groupA, groupB := m.Procs(0, 1, 2), m.Procs(2, 1, 2)
+	busy := func(w *spmd.World, a *dcall.Args) {
+		if _, err := w.Exchange(1-w.Rank(), 0, []float64{1}); err != nil {
+			panic(err)
+		}
+		s := 0.0
+		for i := 0; i < 50000; i++ {
+			s += math.Sqrt(float64(i))
+		}
+		_ = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if concurrent {
+			compose.Par(
+				func() {
+					if err := m.CallFn(groupA, busy); err != nil {
+						panic(err)
+					}
+				},
+				func() {
+					if err := m.CallFn(groupB, busy); err != nil {
+						panic(err)
+					}
+				},
+			)
+		} else {
+			if err := m.CallFn(groupA, busy); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.CallFn(groupB, busy); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE8_ConcurrentCalls(b *testing.B) {
+	b.Run("concurrent", func(b *testing.B) { benchTwoCalls(b, true) })
+	b.Run("serialized", func(b *testing.B) { benchTwoCalls(b, false) })
+}
+
+// --- E9: 2-D partition arithmetic (Fig 3.5) ---
+
+func BenchmarkE9_Partition2D(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		coord, lidx, err := grid.GlobalToLocal([]int{3, 2}, []int{4, 4}, []int{2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := grid.LocalToGlobal(coord, lidx, []int{4, 4}, []int{2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: decomposition computation (Fig 3.6) ---
+
+func BenchmarkE10_Decompositions(b *testing.B) {
+	specs := [][]grid.Decomp{
+		{grid.BlockDefault(), grid.BlockDefault()},
+		{grid.BlockOf(2), grid.BlockOf(8)},
+		{grid.BlockDefault(), grid.NoDecomp()},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, s := range specs {
+			g, err := grid.GridDims(16, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := grid.LocalDims([]int{400, 200}, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- E11: bordered sections (Fig 3.7) ---
+
+func BenchmarkE11_Borders(b *testing.B) {
+	localDims := []int{32, 32}
+	borders := []int{2, 2, 1, 1}
+	plus, err := darray.DimsPlus(localDims, borders)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := darray.NewSection(darray.Double, grid.Size(plus))
+	dst := darray.NewSection(darray.Double, grid.Size(localDims))
+	none := darray.NoBorders(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := darray.CopyInterior(dst, src, localDims, none, borders, grid.RowMajor); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E12: indexing order (Fig 3.8) ---
+
+func BenchmarkE12_IndexingOrder(b *testing.B) {
+	for _, ix := range []grid.Indexing{grid.RowMajor, grid.ColMajor} {
+		b.Run(ix.String(), func(b *testing.B) {
+			m := core.New(8)
+			defer m.Close()
+			a, err := m.NewArray(core.ArraySpec{
+				Dims: []int{2, 2}, Procs: []int{0, 2, 4, 6}, Indexing: ix,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.Write(float64(i), 1, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E13: array-manager op latency (Fig 3.9) ---
+
+func BenchmarkE13_ArrayManagerOps(b *testing.B) {
+	m := core.New(4)
+	defer m.Close()
+	a, err := m.NewArray(core.ArraySpec{Dims: []int{8}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("read/local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.ReadOn(0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read/remote", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.ReadOn(0, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write/local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := a.WriteOn(0, 1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write/remote", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := a.WriteOn(0, 1, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("create+free/P=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			arr, err := m.NewArray(core.ArraySpec{Dims: []int{32}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := arr.Free(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E14: wrapper combining (Fig 3.10) ---
+
+func BenchmarkE14_WrapperCombine(b *testing.B) {
+	m := core.New(8)
+	defer m.Close()
+	procs := m.AllProcs()
+	sum := func(x, y []float64) []float64 {
+		z := make([]float64, len(x))
+		for i := range x {
+			z[i] = x[i] + y[i]
+		}
+		return z
+	}
+	b.Run("status-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := m.CallFnStatus(procs, func(w *spmd.World, a *dcall.Args) {
+				a.SetStatus(0, w.Rank())
+			}, dcall.Status())
+			if st != 7 {
+				b.Fatalf("status %d", st)
+			}
+		}
+	})
+	b.Run("reduction-len64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := defval.New[[]float64]()
+			if err := m.CallFn(procs, func(w *spmd.World, a *dcall.Args) {
+				r := a.Reduction(0)
+				for k := range r {
+					r[k] = 1
+				}
+			}, dcall.Reduce(64, sum, out)); err != nil {
+				b.Fatal(err)
+			}
+			if out.Value()[0] != 8 {
+				b.Fatal("bad reduction")
+			}
+		}
+	})
+}
+
+// --- E15: polynomial multiplication (Fig 6.1) ---
+
+func BenchmarkE15_PolyMult(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("pipeline/n=%d", n), func(b *testing.B) {
+			m := core.New(4)
+			defer m.Close()
+			if err := polymult.RegisterPrograms(m); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(15))
+			input := make([][2][]float64, 2)
+			for k := range input {
+				f, g := make([]float64, n), make([]float64, n)
+				for i := range f {
+					f[i] = rng.NormFloat64()
+					g[i] = rng.NormFloat64()
+				}
+				input[k] = [2][]float64{f, g}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := polymult.Run(m, n, input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("schoolbook/n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(15))
+			f, g := make([]float64, n), make([]float64, n)
+			for i := range f {
+				f[i] = rng.NormFloat64()
+				g[i] = rng.NormFloat64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				polymult.Schoolbook(f, g)
+				polymult.Schoolbook(f, g)
+			}
+		})
+	}
+}
+
+// --- E16: inner product (§6.1) ---
+
+func BenchmarkE16_InnerProduct(b *testing.B) {
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("distributed/P=%d", p), func(b *testing.B) {
+			m := core.New(p)
+			defer m.Close()
+			if err := innerproduct.RegisterPrograms(m); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := innerproduct.Run(m, 256); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			innerproduct.RunSequential(1024)
+		}
+	})
+}
+
+// --- E17: border verification (§3.2.1.3) ---
+
+func BenchmarkE17_VerifyBorders(b *testing.B) {
+	for _, n := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("realloc/n=%d", n), func(b *testing.B) {
+			m := core.New(4)
+			defer m.Close()
+			a, err := m.NewArray(core.ArraySpec{
+				Dims: []int{n}, Borders: arraymgr.ExplicitBorders{1, 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			specs := []arraymgr.BorderSpec{
+				arraymgr.ExplicitBorders{2, 2},
+				arraymgr.ExplicitBorders{1, 1},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.Verify(1, specs[i%2], grid.RowMajor); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("match/n=4096", func(b *testing.B) {
+		m := core.New(4)
+		defer m.Close()
+		a, err := m.NewArray(core.ArraySpec{
+			Dims: []int{4096}, Borders: arraymgr.ExplicitBorders{1, 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := a.Verify(1, arraymgr.ExplicitBorders{1, 1}, grid.RowMajor); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E18: linear algebra (§D) ---
+
+func BenchmarkE18_LinAlg(b *testing.B) {
+	for _, c := range []struct{ n, p int }{{16, 1}, {16, 2}, {16, 4}} {
+		b.Run(fmt.Sprintf("lu+qr/n=%d/P=%d", c.n, c.p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lu, qr, ortho, err := experiments.LinalgResiduals(c.n, c.p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lu > 1e-9 || qr > 1e-9 || ortho > 1e-9 {
+					b.Fatal("residuals too large")
+				}
+			}
+		})
+	}
+}
+
+// --- E19: channel-coupled simulation (§7.2.1 extension) ---
+
+func BenchmarkE19_ChannelCoupling(b *testing.B) {
+	cfg := climate.Config{Rows: 16, Cols: 32, Steps: 10, Alpha: 0.4}
+	b.Run("task-level", func(b *testing.B) {
+		m := core.New(4)
+		defer m.Close()
+		if err := climate.RegisterPrograms(m); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := climate.Run(m, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("channels", func(b *testing.B) {
+		m := core.New(4)
+		defer m.Close()
+		if err := climate.RegisterPrograms(m); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := climate.RunChanneled(m, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E20: combine-tree ablation ---
+
+func BenchmarkE20_ReduceTreeVsLinear(b *testing.B) {
+	add := func(x, y any) any { return x.(float64) + y.(float64) }
+	for _, p := range []int{4, 16} {
+		m := core.New(p)
+		procs := m.AllProcs()
+		want := float64(p*(p-1)) / 2
+		b.Run(fmt.Sprintf("tree/P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := m.CallFn(procs, func(w *spmd.World, a *dcall.Args) {
+					got, err := w.AllReduce(float64(w.Rank()), add)
+					if err != nil || got.(float64) != want {
+						panic("tree reduce failed")
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("linear/P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := m.CallFn(procs, func(w *spmd.World, a *dcall.Args) {
+					got, err := w.AllReduceLinear(float64(w.Rank()), add)
+					if err != nil || got.(float64) != want {
+						panic("linear reduce failed")
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m.Close()
+	}
+}
+
+// --- overlap-area stencil (§3.2.1.3): borders as communication buffers ---
+
+func BenchmarkStencil_OverlapAreas(b *testing.B) {
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("distributed/P=%d", p), func(b *testing.B) {
+			m := core.New(p)
+			defer m.Close()
+			if err := stencil.RegisterPrograms(m); err != nil {
+				b.Fatal(err)
+			}
+			init := func(i, j int) float64 { return float64(i * j) }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := stencil.Run(m, 16, 16, 10, 1.0, init); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sequential", func(b *testing.B) {
+		init := func(i, j int) float64 { return float64(i * j) }
+		for i := 0; i < b.N; i++ {
+			stencil.RunSequential(16, 16, 10, 1.0, init)
+		}
+	})
+}
+
+// --- supporting micro-benchmarks: the FFT substrate itself ---
+
+func BenchmarkFFT_SeqVsDirect(b *testing.B) {
+	const n = 256
+	data := make([]float64, 2*n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	b.Run("seq-fft", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fft.SeqFFT(data, fft.Forward); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-dft", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fft.DFTDirect(data, fft.Forward)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+// Command tdplab runs the reproduction's experiment suite: one experiment
+// per figure of the paper (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	tdplab list           # list experiments
+//	tdplab all            # run everything
+//	tdplab E10 E12 ...    # run selected experiments
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 || args[0] == "help" || args[0] == "-h" || args[0] == "--help" {
+		usage()
+		return
+	}
+	if args[0] == "list" {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-9s %s\n", e.ID, e.Figure, e.Title)
+		}
+		return
+	}
+	var toRun []experiments.Experiment
+	if strings.EqualFold(args[0], "all") {
+		toRun = experiments.All()
+	} else {
+		for _, id := range args {
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tdplab: unknown experiment %q (try `tdplab list`)\n", id)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+	failed := 0
+	for i, e := range toRun {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s (%s) %s ===\n", e.ID, e.Figure, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.ID, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Println(`tdplab — experiment harness for the task/data-parallel integration reproduction
+
+usage:
+  tdplab list            list experiments (one per figure of the paper)
+  tdplab all             run the full suite
+  tdplab E10 E12 ...     run selected experiments`)
+}

@@ -1,0 +1,29 @@
+// Package repro is a Go reproduction of Berna Massingill, "Integrating
+// Task and Data Parallelism" (Caltech, M.S. thesis / CS-TR, 1993).
+//
+// The paper proposes a programming model in which task-parallel programs
+// gain exactly two new operations — creation/manipulation of distributed
+// data structures, and distributed calls to SPMD data-parallel programs —
+// and describes a prototype implementation on PCN with an array-manager
+// runtime, wrapper-program call machinery, and status/reduction combining.
+//
+// The library lives under internal/ (see DESIGN.md for the full system
+// inventory):
+//
+//	core         — the public facade: Machine, distributed arrays, calls
+//	defval       — single-assignment (definitional) variables
+//	stream       — PCN-style streams (definitional lists)
+//	compose      — sequential / parallel / choice composition
+//	msg, vp      — typed selective-receive messaging; virtual processors
+//	grid, darray — decomposition arithmetic; array representation
+//	arraymgr, am — the array manager and its §4 library procedures
+//	spmd, dcall  — the SPMD runtime and distributed-call machinery
+//	linalg, fft  — the data-parallel program libraries (App. D, §6.2)
+//	sim, trace   — discrete-event substrate; tracing
+//	apps/*       — the worked examples and problem-class applications
+//	experiments  — the per-figure experiment harness (EXPERIMENTS.md)
+//
+// Runnable programs are under examples/ and cmd/tdplab; the benchmark
+// harness regenerating every figure's measurement is bench_test.go in this
+// directory.
+package repro

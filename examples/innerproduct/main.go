@@ -1,0 +1,37 @@
+// Command innerproduct runs the paper's §6.1 worked example: a
+// task-parallel program creating two distributed vectors and making a
+// distributed call to a data-parallel program that initialises them and
+// computes their inner product, returned through a max-combined reduction
+// variable.
+//
+//	go run ./examples/innerproduct -p 4 -local 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps/innerproduct"
+	"repro/internal/core"
+)
+
+func main() {
+	p := flag.Int("p", 4, "virtual processors")
+	localM := flag.Int("local", 8, "local elements per processor (paper's Local_m)")
+	flag.Parse()
+
+	fmt.Println("starting test") // the paper's go() prints this line
+	m := core.New(*p)
+	defer m.Close()
+	if err := innerproduct.RegisterPrograms(m); err != nil {
+		log.Fatal(err)
+	}
+	res, err := innerproduct.Run(m, *localM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inner product %g\n", res.Product) // matches the paper's printf
+	fmt.Printf("expected      %g (n=%d)\n", res.Expected, res.N)
+	fmt.Println("ending test")
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestQuickstartRun(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		values, sum, err := run(p, 16)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(values) != 16 {
+			t.Fatalf("p=%d: %d values", p, len(values))
+		}
+		for i, v := range values {
+			if v != float64(2*(i+1)) {
+				t.Fatalf("p=%d: values[%d] = %v", p, i, v)
+			}
+		}
+		if sum != float64(16*17) {
+			t.Fatalf("p=%d: sum = %v, want %d", p, sum, 16*17)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package am provides the user-level library procedures of §4 and §C of the
+// paper, in their specified shapes: each procedure issues the appropriate
+// array-manager server request, waits for it to be serviced, and reports a
+// Status output (STATUS_OK / STATUS_INVALID / STATUS_NOT_FOUND /
+// STATUS_ERROR).
+//
+// The procedures correspond one-for-one to the paper's am_user_* library
+// (create_array, free_array, read_element, write_element, find_local,
+// find_info, verify_array, distributed_call lives in package dcall) and the
+// am_util_* helpers of §C (tuple_to_int_array, node_array, load_all,
+// atomic_print, max). Package core offers the same functionality behind an
+// idiomatic Go API; this package is the faithful rendering used by the
+// example programs transcribed from the paper.
+package am
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/arraymgr"
+	"repro/internal/darray"
+	"repro/internal/grid"
+	"repro/internal/vp"
+)
+
+// Re-exported status codes (§4.1.2).
+const (
+	StatusOK       = arraymgr.StatusOK
+	StatusInvalid  = arraymgr.StatusInvalid
+	StatusNotFound = arraymgr.StatusNotFound
+	StatusError    = arraymgr.StatusError
+)
+
+// Env bundles the machine and its array manager: what a PCN program sees
+// after `load("am")` has run on all processors.
+type Env struct {
+	Machine *vp.Machine
+	AM      *arraymgr.Manager
+}
+
+// LoadAll starts the array manager on all processors and returns the
+// environment, mirroring §C.3's am_util_load_all("am", Done): the returned
+// Env plays the role of the Done definitional variable (it is available
+// only once the manager is running everywhere).
+func LoadAll(machine *vp.Machine) *Env {
+	return &Env{Machine: machine, AM: arraymgr.New(machine)}
+}
+
+// CreateArray is am_user_create_array (§4.2.1): it creates a distributed
+// array of the given element type ("int" or "double"), dimensions,
+// processors, decomposition, borders and indexing type ("row"/"C" or
+// "column"/"Fortran"), returning its globally unique array ID.
+func (e *Env) CreateArray(onProc int, typ string, dims, procs []int, distrib []grid.Decomp,
+	borders arraymgr.BorderSpec, indexing string) (darray.ID, arraymgr.Status) {
+	et, err := darray.ParseElemType(typ)
+	if err != nil {
+		return darray.ID{}, StatusInvalid
+	}
+	ix, err := grid.ParseIndexing(indexing)
+	if err != nil {
+		return darray.ID{}, StatusInvalid
+	}
+	return e.AM.CreateArray(onProc, arraymgr.CreateSpec{
+		Type: et, Dims: dims, Procs: procs, Distrib: distrib,
+		Borders: borders, Indexing: ix,
+	})
+}
+
+// FreeArray is am_user_free_array (§4.2.2).
+func (e *Env) FreeArray(onProc int, id darray.ID) arraymgr.Status {
+	return e.AM.FreeArray(onProc, id)
+}
+
+// ReadElement is am_user_read_element (§4.2.3).
+func (e *Env) ReadElement(onProc int, id darray.ID, indices []int) (float64, arraymgr.Status) {
+	return e.AM.ReadElement(onProc, id, indices)
+}
+
+// WriteElement is am_user_write_element (§4.2.4).
+func (e *Env) WriteElement(onProc int, id darray.ID, indices []int, v float64) arraymgr.Status {
+	return e.AM.WriteElement(onProc, id, indices, v)
+}
+
+// FindLocal is am_user_find_local (§4.2.5). Users should rarely call it
+// directly; the distributed-call implementation invokes it automatically.
+func (e *Env) FindLocal(onProc int, id darray.ID) (*darray.Section, arraymgr.Status) {
+	return e.AM.FindLocal(onProc, id)
+}
+
+// FindInfo is am_user_find_info (§4.2.6).
+func (e *Env) FindInfo(onProc int, id darray.ID, which string) (any, arraymgr.Status) {
+	return e.AM.FindInfo(onProc, id, which)
+}
+
+// VerifyArray is am_user_verify_array (§4.2.7).
+func (e *Env) VerifyArray(onProc int, id darray.ID, ndims int, borders arraymgr.BorderSpec, indexing string) arraymgr.Status {
+	ix, err := grid.ParseIndexing(indexing)
+	if err != nil {
+		return StatusInvalid
+	}
+	return e.AM.VerifyArray(onProc, id, ndims, borders, ix)
+}
+
+// --- §C utilities ---
+
+// TupleToIntArray is am_util_tuple_to_int_array (§C.1): it creates a
+// definitional int array from a tuple of integers. In Go this is a copy,
+// preserving the call shape of the transcribed examples.
+func TupleToIntArray(tuple ...int) []int {
+	return append([]int(nil), tuple...)
+}
+
+// NodeArray is am_util_node_array (§C.2): a patterned array
+// {first, first+stride, first+2*stride, ...} of length count, intended for
+// building arrays of processor numbers.
+func NodeArray(first, stride, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = first + i*stride
+	}
+	return out
+}
+
+// Max is am_util_max (§C.5), the default reduction operator for status
+// variables.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// atomicPrintMu serialises AtomicPrint output.
+var atomicPrintMu sync.Mutex
+
+// AtomicPrintWriter is where AtomicPrint writes; tests may redirect it.
+var AtomicPrintWriter io.Writer = os.Stdout
+
+// AtomicPrint is am_util_atomic_print (§C.4): it writes one line to
+// standard output atomically — output produced by a single call is never
+// interleaved with other output.
+func AtomicPrint(items ...any) {
+	atomicPrintMu.Lock()
+	defer atomicPrintMu.Unlock()
+	for i, it := range items {
+		if i > 0 {
+			fmt.Fprint(AtomicPrintWriter, " ")
+		}
+		fmt.Fprint(AtomicPrintWriter, it)
+	}
+	fmt.Fprintln(AtomicPrintWriter)
+}

@@ -1,0 +1,129 @@
+package am
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/arraymgr"
+	"repro/internal/darray"
+	"repro/internal/grid"
+	"repro/internal/vp"
+)
+
+func newEnv(t *testing.T, p int) *Env {
+	t.Helper()
+	machine := vp.NewMachine(p)
+	t.Cleanup(machine.Shutdown)
+	return LoadAll(machine)
+}
+
+// The §4.1.3 usage example: create then free an array referenced by its ID.
+func TestCreateFreeViaSpecStrings(t *testing.T) {
+	e := newEnv(t, 4)
+	procs := NodeArray(0, 1, 4)
+	dims := TupleToIntArray(4, 4)
+	id, st := e.CreateArray(0, "double", dims, procs,
+		[]grid.Decomp{grid.BlockDefault(), grid.BlockDefault()},
+		arraymgr.NoBorderSpec{}, "row")
+	if st != StatusOK {
+		t.Fatalf("create: %v", st)
+	}
+	if st := e.FreeArray(0, id); st != StatusOK {
+		t.Fatalf("free: %v", st)
+	}
+}
+
+func TestBadTypeAndIndexingStrings(t *testing.T) {
+	e := newEnv(t, 2)
+	procs := NodeArray(0, 1, 2)
+	if _, st := e.CreateArray(0, "float", []int{2}, procs,
+		[]grid.Decomp{grid.BlockDefault()}, arraymgr.NoBorderSpec{}, "row"); st != StatusInvalid {
+		t.Fatalf("bad type: %v", st)
+	}
+	if _, st := e.CreateArray(0, "double", []int{2}, procs,
+		[]grid.Decomp{grid.BlockDefault()}, arraymgr.NoBorderSpec{}, "diagonal"); st != StatusInvalid {
+		t.Fatalf("bad indexing: %v", st)
+	}
+	if st := e.VerifyArray(0, darray.ID{}, 1, arraymgr.NoBorderSpec{}, "diagonal"); st != StatusInvalid {
+		t.Fatalf("verify bad indexing: %v", st)
+	}
+}
+
+func TestReadWriteFindInfoRoundTrip(t *testing.T) {
+	e := newEnv(t, 2)
+	procs := NodeArray(0, 1, 2)
+	id, st := e.CreateArray(0, "double", []int{6}, procs,
+		[]grid.Decomp{grid.BlockDefault()}, arraymgr.NoBorderSpec{}, "C")
+	if st != StatusOK {
+		t.Fatalf("create: %v", st)
+	}
+	if st := e.WriteElement(0, id, []int{5}, 2.5); st != StatusOK {
+		t.Fatalf("write: %v", st)
+	}
+	v, st := e.ReadElement(1, id, []int{5})
+	if st != StatusOK || v != 2.5 {
+		t.Fatalf("read = %v,%v", v, st)
+	}
+	info, st := e.FindInfo(0, id, "local_dimensions")
+	if st != StatusOK || !reflect.DeepEqual(info, []int{3}) {
+		t.Fatalf("find_info = %v,%v", info, st)
+	}
+	sec, st := e.FindLocal(1, id)
+	if st != StatusOK || sec.F[2] != 2.5 {
+		t.Fatalf("find_local = %v,%v", sec, st)
+	}
+}
+
+func TestNodeArray(t *testing.T) {
+	// §C.2: {first, first+stride, ...}.
+	if got := NodeArray(4, 2, 3); !reflect.DeepEqual(got, []int{4, 6, 8}) {
+		t.Fatalf("NodeArray = %v", got)
+	}
+	if got := NodeArray(0, 1, 0); len(got) != 0 {
+		t.Fatalf("empty NodeArray = %v", got)
+	}
+}
+
+func TestTupleToIntArrayCopies(t *testing.T) {
+	src := []int{1, 2, 3}
+	got := TupleToIntArray(src...)
+	got[0] = 99
+	if src[0] == 99 {
+		t.Fatal("TupleToIntArray aliases its input")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(1, 2) != 2 || Max(3, -1) != 3 || Max(5, 5) != 5 {
+		t.Fatal("Max broken")
+	}
+}
+
+func TestAtomicPrintIsAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	old := AtomicPrintWriter
+	AtomicPrintWriter = &buf
+	defer func() { AtomicPrintWriter = old }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			AtomicPrint("The value of X is", i)
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("%d lines, want 20", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "The value of X is ") {
+			t.Fatalf("interleaved line %q", l)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package animation reproduces the paper's inherently-parallel problem
+// class (§2.3.4, Fig 2.4): generation of frames for a computer animation,
+// where "two or more frames can be generated independently and
+// concurrently, each by a different data-parallel program".
+//
+// Each frame is an escape-time fractal rendering (a Mandelbrot-style
+// iteration with a per-frame viewport shift) into a distributed image
+// array; the machine's processors are split into independent groups, and
+// frames are dispatched round-robin to groups, with all groups rendering
+// concurrently. A reduction variable returns each frame's checksum to the
+// task level, so the top-level program needs no per-pixel reads.
+package animation
+
+import (
+	"fmt"
+
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/dcall"
+	"repro/internal/defval"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/spmd"
+)
+
+// ProgRender is the data-parallel frame renderer.
+const ProgRender = "animation:render"
+
+// MaxIter bounds the escape-time iteration.
+const MaxIter = 48
+
+// Pixel computes the escape count for pixel (i,j) of the given frame —
+// the shared definition used by both the distributed renderer and the
+// sequential reference.
+func Pixel(frame, height, width, i, j int) float64 {
+	// Viewport drifts with the frame index to animate.
+	cx := -2.0 + 3.0*float64(j)/float64(width) + 0.02*float64(frame)
+	cy := -1.5 + 3.0*float64(i)/float64(height) - 0.01*float64(frame)
+	x, y := 0.0, 0.0
+	for it := 0; it < MaxIter; it++ {
+		x2, y2 := x*x, y*y
+		if x2+y2 > 4 {
+			return float64(it)
+		}
+		x, y = x2-y2+cx, 2*x*y+cy
+	}
+	return float64(MaxIter)
+}
+
+// RegisterPrograms registers the renderer.
+//
+// Parameters: (frame, height, width, local(image), reduce(sum, checksum)).
+// The image is distributed by block rows over the rendering group.
+func RegisterPrograms(m *core.Machine) error {
+	return m.Register(ProgRender, func(w *spmd.World, a *dcall.Args) {
+		frame := a.Int(0)
+		height := a.Int(1)
+		width := a.Int(2)
+		img := a.Section(3).F
+		if err := linalg.MatFillIndex(w, img, height, width, func(i, j int) float64 {
+			return Pixel(frame, height, width, i, j)
+		}); err != nil {
+			panic(err)
+		}
+		sum := 0.0
+		for _, v := range img {
+			sum += v
+		}
+		a.Reduction(4)[0] = sum
+	})
+}
+
+// Config describes a rendering run.
+type Config struct {
+	Frames int
+	Height int // divisible by the group size
+	Width  int
+	Groups int // number of independent processor groups (divides P)
+}
+
+// Run renders all frames, returning per-frame checksums. Frames are
+// assigned to groups round-robin; each group renders its frames in
+// sequence, all groups concurrently — Fig 2.4 with more than two frames in
+// flight.
+func Run(m *core.Machine, cfg Config) ([]float64, error) {
+	p := m.P()
+	if cfg.Groups < 1 || p%cfg.Groups != 0 {
+		return nil, fmt.Errorf("animation: %d groups do not divide %d processors", cfg.Groups, p)
+	}
+	gsize := p / cfg.Groups
+	if cfg.Height%gsize != 0 {
+		return nil, fmt.Errorf("animation: height %d not divisible by group size %d", cfg.Height, gsize)
+	}
+
+	// One image array per group, reused across that group's frames.
+	images := make([]*core.Array, cfg.Groups)
+	groups := make([][]int, cfg.Groups)
+	for g := 0; g < cfg.Groups; g++ {
+		groups[g] = m.Procs(g*gsize, 1, gsize)
+		img, err := m.NewArray(core.ArraySpec{
+			Dims:    []int{cfg.Height, cfg.Width},
+			Procs:   groups[g],
+			Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer img.Free()
+		images[g] = img
+	}
+
+	sums := make([]float64, cfg.Frames)
+	errs := make([]error, cfg.Groups)
+	sumCombine := func(a, b []float64) []float64 { return []float64{a[0] + b[0]} }
+
+	compose.ParFor(cfg.Groups, func(g int) {
+		for frame := g; frame < cfg.Frames; frame += cfg.Groups {
+			out := defval.New[[]float64]()
+			err := m.CallOn(groups[g][0], groups[g], ProgRender,
+				dcall.Const(frame), dcall.Const(cfg.Height), dcall.Const(cfg.Width),
+				images[g].Param(),
+				dcall.Reduce(1, sumCombine, out))
+			if err != nil {
+				errs[g] = fmt.Errorf("frame %d: %w", frame, err)
+				return
+			}
+			sums[frame] = out.Value()[0]
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sums, nil
+}
+
+// RunSequential renders the same frames serially with no parallel
+// machinery: the E4 reference and baseline.
+func RunSequential(cfg Config) []float64 {
+	sums := make([]float64, cfg.Frames)
+	for f := 0; f < cfg.Frames; f++ {
+		s := 0.0
+		for i := 0; i < cfg.Height; i++ {
+			for j := 0; j < cfg.Width; j++ {
+				s += Pixel(f, cfg.Height, cfg.Width, i, j)
+			}
+		}
+		sums[f] = s
+	}
+	return sums
+}

@@ -1,0 +1,67 @@
+package animation
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+var testCfg = Config{Frames: 5, Height: 8, Width: 10, Groups: 2}
+
+func TestChecksumsMatchSequential(t *testing.T) {
+	want := RunSequential(testCfg)
+	for _, pg := range []struct{ p, groups int }{{2, 1}, {4, 2}, {4, 4}, {8, 2}} {
+		cfg := testCfg
+		cfg.Groups = pg.groups
+		m := core.New(pg.p)
+		if err := RegisterPrograms(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(m, cfg)
+		if err != nil {
+			t.Fatalf("P=%d G=%d: %v", pg.p, pg.groups, err)
+		}
+		for f := range want {
+			if got[f] != want[f] {
+				t.Fatalf("P=%d G=%d: frame %d checksum %v, want %v", pg.p, pg.groups, f, got[f], want[f])
+			}
+		}
+		m.Close()
+	}
+}
+
+func TestFramesDiffer(t *testing.T) {
+	// The animation animates: consecutive frames have different content.
+	sums := RunSequential(Config{Frames: 3, Height: 8, Width: 8, Groups: 1})
+	if sums[0] == sums[1] && sums[1] == sums[2] {
+		t.Fatal("all frames identical; viewport drift broken")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := core.New(4)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, Config{Frames: 1, Height: 8, Width: 8, Groups: 3}); err == nil {
+		t.Fatal("groups not dividing P must fail")
+	}
+	if _, err := Run(m, Config{Frames: 1, Height: 7, Width: 8, Groups: 2}); err == nil {
+		t.Fatal("height not divisible by group size must fail")
+	}
+	if _, err := Run(m, Config{Frames: 1, Height: 8, Width: 8, Groups: 0}); err == nil {
+		t.Fatal("zero groups must fail")
+	}
+}
+
+func TestPixelDeterministic(t *testing.T) {
+	a := Pixel(2, 16, 16, 3, 4)
+	b := Pixel(2, 16, 16, 3, 4)
+	if a != b {
+		t.Fatal("Pixel not deterministic")
+	}
+	if a < 0 || a > MaxIter {
+		t.Fatalf("Pixel out of range: %v", a)
+	}
+}

@@ -1,0 +1,517 @@
+// Package climate reproduces the paper's coupled-simulation problem class
+// (§2.3.1, Fig 2.1): a climate simulation consisting of an ocean
+// simulation and an atmosphere simulation, each a data-parallel program
+// performing a time-stepped computation, exchanging boundary data at each
+// time step through a task-parallel top level.
+//
+// Each simulation evolves a rows x cols field with a damped Jacobi
+// diffusion step. The two fields are coupled: the ocean's surface (its
+// "above" boundary) is the atmosphere's bottom edge row, and the
+// atmosphere's bottom boundary is the ocean's top edge row. The two
+// distributed calls of each time step execute concurrently on disjoint
+// processor groups; the boundary rows move between the two distributed
+// arrays only through the task level (read_element / global constants),
+// exactly the discipline Fig 3.4 demands.
+package climate
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/dcall"
+	"repro/internal/grid"
+	"repro/internal/spmd"
+)
+
+// ProgDiffuse is the registered name of the data-parallel time-step
+// program shared by both simulations.
+const ProgDiffuse = "climate:diffuse"
+
+// ProgDiffuseChan is the channel-coupled variant implementing the §7.2.1
+// extension: the two simulations exchange boundary rows directly over
+// channels defined by the task-parallel caller, instead of through
+// task-level element reads.
+const ProgDiffuseChan = "climate:diffuse_chan"
+
+// RegisterPrograms registers the diffusion steps with the machine.
+//
+// ProgDiffuse parameters: (rows, cols, alpha, above, below, local(field)).
+// above and below are the global boundary rows (the other simulation's
+// edge row); interior block boundaries are exchanged between the copies
+// directly.
+//
+// ProgDiffuseChan parameters: (rows, cols, alpha, coupleAtTop, fixed,
+// send, recv, local(field)). coupleAtTop selects which global edge is the
+// coupling edge; the copy owning it sends its pre-update edge row on
+// `send` and receives the partner simulation's edge row on `recv`; the
+// opposite global edge uses the constant row `fixed`.
+func RegisterPrograms(m *core.Machine) error {
+	if err := m.Register(ProgDiffuse, func(w *spmd.World, a *dcall.Args) {
+		rows := a.Int(0)
+		cols := a.Int(1)
+		alpha := a.Float(2)
+		above := a.Const(3).([]float64)
+		below := a.Const(4).([]float64)
+		field := a.Section(5).F
+		if err := diffuseStep(w, field, rows, cols, alpha, above, below); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		return err
+	}
+	return m.Register(ProgDiffuseChan, func(w *spmd.World, a *dcall.Args) {
+		rows := a.Int(0)
+		cols := a.Int(1)
+		alpha := a.Float(2)
+		coupleAtTop := a.Const(3).(bool)
+		fixed := a.Const(4).([]float64)
+		send := a.Const(5).(*channel.Channel)
+		recv := a.Const(6).(*channel.Channel)
+		field := a.Section(7).F
+		if err := diffuseStepChan(w, field, rows, cols, alpha, coupleAtTop, fixed, send, recv); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// haloKinds: messages to the upper/lower neighbour copy.
+const (
+	kindToAbove = 0
+	kindToBelow = 1
+)
+
+// diffuseStep performs one damped Jacobi sweep on this copy's block of
+// rows, using halo rows from neighbouring copies and the supplied global
+// boundary rows.
+func diffuseStep(w *spmd.World, field []float64, rows, cols int, alpha float64, above, below []float64) error {
+	p := w.Size()
+	if rows%p != 0 {
+		return fmt.Errorf("climate: %d rows not divisible by %d copies", rows, p)
+	}
+	l := rows / p
+	if len(field) < l*cols {
+		return fmt.Errorf("climate: local section %d < %d", len(field), l*cols)
+	}
+	if len(above) != cols || len(below) != cols {
+		return fmt.Errorf("climate: boundary rows must have %d columns", cols)
+	}
+	me := w.Rank()
+
+	// Halo exchange: send edge rows to neighbours (asynchronously), then
+	// receive theirs. Rows are copied before sending — messages between
+	// address spaces carry snapshots.
+	if me > 0 {
+		if err := w.Send(me-1, kindToAbove, append([]float64(nil), field[:cols]...)); err != nil {
+			return err
+		}
+	}
+	if me < p-1 {
+		if err := w.Send(me+1, kindToBelow, append([]float64(nil), field[(l-1)*cols:l*cols]...)); err != nil {
+			return err
+		}
+	}
+	rowAbove := above
+	rowBelow := below
+	if me > 0 {
+		r, err := w.RecvFloats(me-1, kindToBelow)
+		if err != nil {
+			return err
+		}
+		rowAbove = r
+	}
+	if me < p-1 {
+		r, err := w.RecvFloats(me+1, kindToAbove)
+		if err != nil {
+			return err
+		}
+		rowBelow = r
+	}
+
+	jacobiUpdate(field, l, cols, alpha, rowAbove, rowBelow)
+	return nil
+}
+
+// jacobiUpdate performs the damped Jacobi sweep on l rows of the field
+// given its above/below halo rows (reflecting side columns).
+func jacobiUpdate(field []float64, l, cols int, alpha float64, rowAbove, rowBelow []float64) {
+	next := make([]float64, l*cols)
+	get := func(i, j int) float64 {
+		// i in [-1, l]; j clamped to [0, cols-1] (reflecting sides).
+		if j < 0 {
+			j = 0
+		}
+		if j >= cols {
+			j = cols - 1
+		}
+		switch {
+		case i < 0:
+			return rowAbove[j]
+		case i >= l:
+			return rowBelow[j]
+		default:
+			return field[i*cols+j]
+		}
+	}
+	for i := 0; i < l; i++ {
+		for j := 0; j < cols; j++ {
+			avg := 0.25 * (get(i-1, j) + get(i+1, j) + get(i, j-1) + get(i, j+1))
+			next[i*cols+j] = (1-alpha)*field[i*cols+j] + alpha*avg
+		}
+	}
+	copy(field[:l*cols], next)
+}
+
+// diffuseStepChan is the §7.2.1 variant: the coupling edge row is
+// exchanged directly with the partner simulation over channels; the send
+// precedes the receive, so the two concurrently executing distributed
+// calls never deadlock.
+func diffuseStepChan(w *spmd.World, field []float64, rows, cols int, alpha float64,
+	coupleAtTop bool, fixed []float64, send, recv *channel.Channel) error {
+	p := w.Size()
+	if rows%p != 0 {
+		return fmt.Errorf("climate: %d rows not divisible by %d copies", rows, p)
+	}
+	l := rows / p
+	if len(field) < l*cols {
+		return fmt.Errorf("climate: local section %d < %d", len(field), l*cols)
+	}
+	if len(fixed) != cols {
+		return fmt.Errorf("climate: fixed boundary must have %d columns", cols)
+	}
+	me := w.Rank()
+
+	// The copy owning the coupling edge ships it before anything blocks.
+	if coupleAtTop && me == 0 {
+		if err := send.Send(field[:cols]); err != nil {
+			return err
+		}
+	}
+	if !coupleAtTop && me == p-1 {
+		if err := send.Send(field[(l-1)*cols : l*cols]); err != nil {
+			return err
+		}
+	}
+
+	// Interior halo exchange, as in the base program.
+	if me > 0 {
+		if err := w.Send(me-1, kindToAbove, append([]float64(nil), field[:cols]...)); err != nil {
+			return err
+		}
+	}
+	if me < p-1 {
+		if err := w.Send(me+1, kindToBelow, append([]float64(nil), field[(l-1)*cols:l*cols]...)); err != nil {
+			return err
+		}
+	}
+
+	var rowAbove, rowBelow []float64
+	switch {
+	case me == 0 && coupleAtTop:
+		r, ok := recv.Recv()
+		if !ok {
+			return fmt.Errorf("climate: coupling channel closed")
+		}
+		rowAbove = r
+	case me == 0:
+		rowAbove = fixed
+	default:
+		r, err := w.RecvFloats(me-1, kindToBelow)
+		if err != nil {
+			return err
+		}
+		rowAbove = r
+	}
+	switch {
+	case me == p-1 && !coupleAtTop:
+		r, ok := recv.Recv()
+		if !ok {
+			return fmt.Errorf("climate: coupling channel closed")
+		}
+		rowBelow = r
+	case me == p-1:
+		rowBelow = fixed
+	default:
+		r, err := w.RecvFloats(me+1, kindToAbove)
+		if err != nil {
+			return err
+		}
+		rowBelow = r
+	}
+
+	jacobiUpdate(field, l, cols, alpha, rowAbove, rowBelow)
+	return nil
+}
+
+// Config describes a coupled run.
+type Config struct {
+	Rows, Cols int
+	Steps      int
+	Alpha      float64
+}
+
+// Result carries the final fields (dense row-major copies read back
+// through the global view).
+type Result struct {
+	Ocean      []float64
+	Atmosphere []float64
+}
+
+// Run executes the coupled simulation on the machine: the ocean group is
+// the first half of the processors, the atmosphere group the second half.
+func Run(m *core.Machine, cfg Config) (Result, error) {
+	p := m.P()
+	if p < 2 || p%2 != 0 {
+		return Result{}, fmt.Errorf("climate: need an even machine size, got %d", p)
+	}
+	half := p / 2
+	oceanProcs := m.Procs(0, 1, half)
+	atmosProcs := m.Procs(half, 1, half)
+	if cfg.Rows%half != 0 {
+		return Result{}, fmt.Errorf("climate: %d rows not divisible by group size %d", cfg.Rows, half)
+	}
+
+	spec := func(procs []int) core.ArraySpec {
+		return core.ArraySpec{
+			Dims:    []int{cfg.Rows, cfg.Cols},
+			Procs:   procs,
+			Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()}, // block rows
+		}
+	}
+	ocean, err := m.NewArray(spec(oceanProcs))
+	if err != nil {
+		return Result{}, err
+	}
+	defer ocean.Free()
+	atmos, err := m.NewArray(spec(atmosProcs))
+	if err != nil {
+		return Result{}, err
+	}
+	defer atmos.Free()
+
+	// Initial conditions: warm ocean band, cold atmosphere gradient.
+	if err := ocean.Fill(func(idx []int) float64 {
+		return InitialOcean(idx[0], idx[1])
+	}); err != nil {
+		return Result{}, err
+	}
+	if err := atmos.Fill(func(idx []int) float64 {
+		return InitialAtmosphere(idx[0], idx[1])
+	}); err != nil {
+		return Result{}, err
+	}
+
+	readRow := func(a *core.Array, row int) ([]float64, error) {
+		out := make([]float64, cfg.Cols)
+		for j := 0; j < cfg.Cols; j++ {
+			v, err := a.Read(row, j)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = v
+		}
+		return out, nil
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		// Exchange of boundary data through the task-parallel top level:
+		// read each simulation's coupling edge, then run both time steps
+		// concurrently with the other's edge as boundary.
+		oceanTop, err := readRow(ocean, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		atmosBottom, err := readRow(atmos, cfg.Rows-1)
+		if err != nil {
+			return Result{}, err
+		}
+		var errO, errA error
+		compose.Par(
+			func() {
+				errO = m.Call(oceanProcs, ProgDiffuse,
+					dcall.Const(cfg.Rows), dcall.Const(cfg.Cols), dcall.Const(cfg.Alpha),
+					dcall.Const(atmosBottom),       // above the ocean: the atmosphere's bottom edge
+					dcall.Const(oceanDeepRow(cfg)), // below the ocean: fixed deep water
+					ocean.Param())
+			},
+			func() {
+				errA = m.CallOn(half, atmosProcs, ProgDiffuse,
+					dcall.Const(cfg.Rows), dcall.Const(cfg.Cols), dcall.Const(cfg.Alpha),
+					dcall.Const(atmosTopRow(cfg)), // above the atmosphere: fixed stratosphere
+					dcall.Const(oceanTop),         // below the atmosphere: the ocean's surface
+					atmos.Param())
+			},
+		)
+		if errO != nil {
+			return Result{}, fmt.Errorf("ocean step %d: %w", step, errO)
+		}
+		if errA != nil {
+			return Result{}, fmt.Errorf("atmosphere step %d: %w", step, errA)
+		}
+	}
+
+	oSnap, err := ocean.Snapshot()
+	if err != nil {
+		return Result{}, err
+	}
+	aSnap, err := atmos.Snapshot()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Ocean: oSnap, Atmosphere: aSnap}, nil
+}
+
+// RunChanneled executes the coupled simulation using the §7.2.1 extension:
+// per-step boundary exchange happens directly between the two
+// data-parallel programs over a channel pair created here, removing the
+// task-level read/forward bottleneck. The numerical evolution is identical
+// to Run and RunSequential.
+func RunChanneled(m *core.Machine, cfg Config) (Result, error) {
+	p := m.P()
+	if p < 2 || p%2 != 0 {
+		return Result{}, fmt.Errorf("climate: need an even machine size, got %d", p)
+	}
+	half := p / 2
+	oceanProcs := m.Procs(0, 1, half)
+	atmosProcs := m.Procs(half, 1, half)
+	if cfg.Rows%half != 0 {
+		return Result{}, fmt.Errorf("climate: %d rows not divisible by group size %d", cfg.Rows, half)
+	}
+
+	spec := func(procs []int) core.ArraySpec {
+		return core.ArraySpec{
+			Dims:    []int{cfg.Rows, cfg.Cols},
+			Procs:   procs,
+			Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+		}
+	}
+	ocean, err := m.NewArray(spec(oceanProcs))
+	if err != nil {
+		return Result{}, err
+	}
+	defer ocean.Free()
+	atmos, err := m.NewArray(spec(atmosProcs))
+	if err != nil {
+		return Result{}, err
+	}
+	defer atmos.Free()
+	if err := ocean.Fill(func(idx []int) float64 { return InitialOcean(idx[0], idx[1]) }); err != nil {
+		return Result{}, err
+	}
+	if err := atmos.Fill(func(idx []int) float64 { return InitialAtmosphere(idx[0], idx[1]) }); err != nil {
+		return Result{}, err
+	}
+
+	link := channel.NewPair() // AtoB: ocean->atmosphere, BtoA: atmosphere->ocean
+	defer link.Close()
+
+	for step := 0; step < cfg.Steps; step++ {
+		var errO, errA error
+		compose.Par(
+			func() {
+				errO = m.Call(oceanProcs, ProgDiffuseChan,
+					dcall.Const(cfg.Rows), dcall.Const(cfg.Cols), dcall.Const(cfg.Alpha),
+					dcall.Const(true), // coupling edge at the ocean's top
+					dcall.Const(oceanDeepRow(cfg)),
+					dcall.Const(link.AtoB), dcall.Const(link.BtoA),
+					ocean.Param())
+			},
+			func() {
+				errA = m.CallOn(half, atmosProcs, ProgDiffuseChan,
+					dcall.Const(cfg.Rows), dcall.Const(cfg.Cols), dcall.Const(cfg.Alpha),
+					dcall.Const(false), // coupling edge at the atmosphere's bottom
+					dcall.Const(atmosTopRow(cfg)),
+					dcall.Const(link.BtoA), dcall.Const(link.AtoB),
+					atmos.Param())
+			},
+		)
+		if errO != nil {
+			return Result{}, fmt.Errorf("ocean step %d: %w", step, errO)
+		}
+		if errA != nil {
+			return Result{}, fmt.Errorf("atmosphere step %d: %w", step, errA)
+		}
+	}
+
+	oSnap, err := ocean.Snapshot()
+	if err != nil {
+		return Result{}, err
+	}
+	aSnap, err := atmos.Snapshot()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Ocean: oSnap, Atmosphere: aSnap}, nil
+}
+
+// InitialOcean and InitialAtmosphere define the deterministic initial
+// fields (shared with the sequential reference).
+func InitialOcean(i, j int) float64      { return 15 + 0.1*float64(i) + 0.05*float64(j) }
+func InitialAtmosphere(i, j int) float64 { return 5 - 0.05*float64(i) + 0.02*float64(j) }
+
+func oceanDeepRow(cfg Config) []float64 {
+	row := make([]float64, cfg.Cols)
+	for j := range row {
+		row[j] = 4 // deep-water reference temperature
+	}
+	return row
+}
+
+func atmosTopRow(cfg Config) []float64 {
+	row := make([]float64, cfg.Cols)
+	for j := range row {
+		row[j] = -30 // stratosphere reference temperature
+	}
+	return row
+}
+
+// RunSequential computes the identical coupled evolution on dense arrays
+// with no parallel machinery: the reference for E1 and the baseline for
+// the benchmark.
+func RunSequential(cfg Config) Result {
+	o := make([]float64, cfg.Rows*cfg.Cols)
+	a := make([]float64, cfg.Rows*cfg.Cols)
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			o[i*cfg.Cols+j] = InitialOcean(i, j)
+			a[i*cfg.Cols+j] = InitialAtmosphere(i, j)
+		}
+	}
+	deep := oceanDeepRow(cfg)
+	strato := atmosTopRow(cfg)
+	step := func(f []float64, above, below []float64) []float64 {
+		next := make([]float64, len(f))
+		get := func(i, j int) float64 {
+			if j < 0 {
+				j = 0
+			}
+			if j >= cfg.Cols {
+				j = cfg.Cols - 1
+			}
+			switch {
+			case i < 0:
+				return above[j]
+			case i >= cfg.Rows:
+				return below[j]
+			default:
+				return f[i*cfg.Cols+j]
+			}
+		}
+		for i := 0; i < cfg.Rows; i++ {
+			for j := 0; j < cfg.Cols; j++ {
+				avg := 0.25 * (get(i-1, j) + get(i+1, j) + get(i, j-1) + get(i, j+1))
+				next[i*cfg.Cols+j] = (1-cfg.Alpha)*f[i*cfg.Cols+j] + cfg.Alpha*avg
+			}
+		}
+		return next
+	}
+	for s := 0; s < cfg.Steps; s++ {
+		oceanTop := append([]float64(nil), o[:cfg.Cols]...)
+		atmosBottom := append([]float64(nil), a[(cfg.Rows-1)*cfg.Cols:]...)
+		o2 := step(o, atmosBottom, deep)
+		a2 := step(a, strato, oceanTop)
+		o, a = o2, a2
+	}
+	return Result{Ocean: o, Atmosphere: a}
+}

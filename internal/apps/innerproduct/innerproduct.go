@@ -1,0 +1,108 @@
+// Package innerproduct reproduces the paper's first worked example (§6.1):
+// a task-parallel program that creates two distributed vectors, makes a
+// distributed call to a data-parallel program test_iprdv that initialises
+// them (element i of each vector set to i+1) and computes their inner
+// product, and returns the result through a reduction variable combined
+// with am_util_max.
+package innerproduct
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dcall"
+	"repro/internal/defval"
+	"repro/internal/linalg"
+	"repro/internal/spmd"
+)
+
+// ProgramName is the registered name of the data-parallel program.
+const ProgramName = "test:iprdv"
+
+// RegisterPrograms registers test_iprdv with the machine. Its parameter
+// list mirrors the paper's: (Processors, P, Index, M, Local_m, local(V1),
+// local(V2), reduce(max, InProd)).
+func RegisterPrograms(m *core.Machine) error {
+	return m.Register(ProgramName, func(w *spmd.World, a *dcall.Args) {
+		mGlobal := a.Int(3)
+		v1 := a.Section(5).F
+		v2 := a.Section(6).F
+		// Initialise: V[i] = i+1 for all i (global indexing).
+		if err := linalg.VecFillIndex(w, v1, mGlobal, func(g int) float64 { return float64(g + 1) }); err != nil {
+			panic(err)
+		}
+		if err := linalg.VecFillIndex(w, v2, mGlobal, func(g int) float64 { return float64(g + 1) }); err != nil {
+			panic(err)
+		}
+		// Compute the global inner product (all-reduce); every copy holds
+		// the same value, so max-combining the reduction variables returns
+		// it to the caller unchanged.
+		dot, err := linalg.Dot(w, v1[:len(v1)], v2[:len(v2)])
+		if err != nil {
+			panic(err)
+		}
+		a.Reduction(7)[0] = dot
+	})
+}
+
+// Result reports one run.
+type Result struct {
+	N        int     // global vector length
+	Product  float64 // computed inner product
+	Expected float64 // closed form: sum of squares 1..N
+}
+
+// Run executes the example on the machine with vectors of length
+// localM*P, returning the inner product. It is the go() procedure of the
+// paper's PCN program.
+func Run(m *core.Machine, localM int) (Result, error) {
+	p := m.P()
+	procs := m.Procs(0, 1, p) // am_util_node_array(0, 1, P)
+	n := localM * p
+
+	v1, err := m.NewArray(core.ArraySpec{Dims: []int{n}, Procs: procs})
+	if err != nil {
+		return Result{}, fmt.Errorf("create V1: %w", err)
+	}
+	defer v1.Free()
+	v2, err := m.NewArray(core.ArraySpec{Dims: []int{n}, Procs: procs})
+	if err != nil {
+		return Result{}, fmt.Errorf("create V2: %w", err)
+	}
+	defer v2.Free()
+
+	inProd := defval.New[[]float64]()
+	maxCombine := func(a, b []float64) []float64 {
+		c := make([]float64, len(a))
+		for i := range a {
+			c[i] = math.Max(a[i], b[i])
+		}
+		return c
+	}
+	if err := m.Call(procs, ProgramName,
+		dcall.Const(procs), dcall.Const(p), dcall.Index(),
+		dcall.Const(n), dcall.Const(localM),
+		v1.Param(), v2.Param(),
+		dcall.Reduce(1, maxCombine, inProd),
+	); err != nil {
+		return Result{}, fmt.Errorf("distributed call: %w", err)
+	}
+
+	nn := float64(n)
+	return Result{
+		N:        n,
+		Product:  inProd.Value()[0],
+		Expected: nn * (nn + 1) * (2*nn + 1) / 6,
+	}, nil
+}
+
+// RunSequential computes the same inner product sequentially (the
+// baseline for E16).
+func RunSequential(n int) float64 {
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += float64(i) * float64(i)
+	}
+	return s
+}

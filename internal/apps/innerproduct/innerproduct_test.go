@@ -1,0 +1,35 @@
+package innerproduct
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestInnerProductMatchesClosedForm(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		m := core.New(p)
+		if err := RegisterPrograms(m); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(m, 8)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if res.Product != res.Expected {
+			t.Fatalf("p=%d: product %v != expected %v", p, res.Product, res.Expected)
+		}
+		if res.Product != RunSequential(res.N) {
+			t.Fatalf("p=%d: product %v != sequential %v", p, res.Product, RunSequential(res.N))
+		}
+		m.Close()
+	}
+}
+
+func TestRunFailsWithoutRegistration(t *testing.T) {
+	m := core.New(2)
+	defer m.Close()
+	if _, err := Run(m, 4); err == nil {
+		t.Fatal("unregistered program must fail")
+	}
+}

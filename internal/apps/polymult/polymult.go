@@ -1,0 +1,444 @@
+// Package polymult reproduces the paper's second worked example (§6.2,
+// Fig 6.1): pipelined polynomial multiplication using distributed FFTs.
+//
+// Input is a sequence of polynomial pairs (F_j, G_j), each of degree N-1
+// given by N real coefficients. Each product H_j = F_j * G_j is computed
+// by the three-stage pipeline of Fig 2.2/6.1:
+//
+//	phase1 (x2, concurrent): pad to NN = 2N, evaluate at the NN-th roots
+//	        of unity with an inverse FFT (input loaded in bit-reversed
+//	        order, output natural);
+//	combine: multiply the two value sequences elementwise;
+//	phase3: interpolate with a forward FFT (natural order in,
+//	        bit-reversed out) and emit coefficients.
+//
+// The machine's processors are split into four groups exactly as the
+// paper's go() procedure does: groups a and b run the two inverse FFTs,
+// group C runs the combine, and the final group runs the forward FFT. Data
+// moves between stages over PCN-style streams; each stage processes one
+// pair while downstream stages process earlier pairs, so all stages
+// operate concurrently after pipeline fill.
+package polymult
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dcall"
+	"repro/internal/fft"
+	"repro/internal/grid"
+	"repro/internal/spmd"
+	"repro/internal/stream"
+)
+
+// Program names registered by RegisterPrograms.
+const (
+	ProgComputeRoots = "fft:compute_roots"
+	ProgFFTReverse   = "fft:reverse"
+	ProgFFTNatural   = "fft:natural"
+)
+
+// RegisterPrograms registers the three data-parallel FFT programs
+// (compute_roots, fft_reverse, fft_natural) with the machine.
+func RegisterPrograms(m *core.Machine) error {
+	if err := m.Register(ProgComputeRoots, func(w *spmd.World, a *dcall.Args) {
+		// Parameters: (NN, local(Eps)). Each copy computes the full table
+		// of NN NN-th roots of unity into its local section, exactly as
+		// the paper's distributed call to compute_roots does.
+		nn := a.Int(0)
+		if err := fft.ComputeRoots(nn, a.Section(1).F); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := m.Register(ProgFFTReverse, func(w *spmd.World, a *dcall.Args) {
+		// Parameters: (Procs, P, Index, NN, Flag, local(Eps), local(BB)) —
+		// the paper's fft_reverse signature. Procs/P/Index arrive through
+		// both the explicit parameters (for fidelity) and the World.
+		nn := a.Int(3)
+		flag := fft.Flag(a.Int(4))
+		if err := fft.TransformReverse(w, a.Section(6).F, nn, flag, a.Section(5).F); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		return err
+	}
+	return m.Register(ProgFFTNatural, func(w *spmd.World, a *dcall.Args) {
+		nn := a.Int(3)
+		flag := fft.Flag(a.Int(4))
+		if err := fft.TransformNatural(w, a.Section(6).F, nn, flag, a.Section(5).F); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// Groups is the paper's four-way processor split.
+type Groups struct {
+	A, B, C, D []int
+}
+
+// SplitGroups divides P processors into the four pipeline groups. P must
+// be divisible by 4 with a power-of-two quarter size (the FFT's
+// requirement: "the number of available processors P is an even power of
+// 2, with P >= 4").
+func SplitGroups(m *core.Machine) (Groups, error) {
+	p := m.P()
+	if p%4 != 0 {
+		return Groups{}, fmt.Errorf("polymult: machine size %d not divisible by 4", p)
+	}
+	q := p / 4
+	if _, ok := fft.Log2(q); !ok {
+		return Groups{}, fmt.Errorf("polymult: group size %d not a power of two", q)
+	}
+	return Groups{
+		A: m.Procs(0, 1, q),
+		B: m.Procs(q, 1, q),
+		C: m.Procs(2*q, 1, q),
+		D: m.Procs(3*q, 1, q),
+	}, nil
+}
+
+// stage holds the per-group arrays of one FFT stage.
+type stage struct {
+	data *core.Array // {2*NN} doubles = NN interleaved complex
+	eps  *core.Array // {2*NN, q}: each local section is the full table
+}
+
+func newStage(m *core.Machine, nn int, procs []int) (*stage, error) {
+	data, err := m.NewArray(core.ArraySpec{Dims: []int{2 * nn}, Procs: procs})
+	if err != nil {
+		return nil, err
+	}
+	eps, err := m.NewArray(core.ArraySpec{
+		Dims:  []int{2 * nn, len(procs)},
+		Procs: procs,
+		Distrib: []grid.Decomp{
+			grid.NoDecomp(),     // * : every copy holds the full table
+			grid.BlockDefault(), // one column per processor
+		},
+	})
+	if err != nil {
+		data.Free()
+		return nil, err
+	}
+	return &stage{data: data, eps: eps}, nil
+}
+
+func (s *stage) free() {
+	s.data.Free()
+	s.eps.Free()
+}
+
+// initRoots makes the distributed call to compute_roots on the stage's
+// group.
+func (s *stage) initRoots(m *core.Machine, nn int, procs []int) error {
+	return m.Call(procs, ProgComputeRoots, dcall.Const(nn), s.eps.Param())
+}
+
+// getInput loads one polynomial (n real coefficients from the input
+// stream) into the stage's array in bit-reversed order and pads the upper
+// half with zeros — the paper's get_input + pad_input, performed at the
+// task level with write_element.
+func (s *stage) getInput(coeffs []float64, n, nn, ll int) error {
+	for j := 0; j < nn; j++ {
+		var re float64
+		if j < n {
+			re = coeffs[j]
+		}
+		pj := fft.BitReverse(ll, j)
+		if err := s.data.Write(re, 2*pj); err != nil {
+			return err
+		}
+		if err := s.data.Write(0, 2*pj+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// arrayToStreams empties the stage's array into one stream per group
+// member: a distributed call whose program is task-level code, like the
+// paper's dbl_array_to_stream PCN program.
+func (s *stage) arrayToStreams(m *core.Machine, procs []int, writers []*stream.Writer[float64]) error {
+	return m.CallFn(procs, func(w *spmd.World, a *dcall.Args) {
+		sec := a.Section(0)
+		wr := writers[w.Rank()]
+		for _, v := range sec.F {
+			wr.Put(v)
+		}
+	}, s.data.Param())
+}
+
+// streamsToArray fills the stage's array from one stream per group member
+// (the paper's stream_to_dbl_array).
+func (s *stage) streamsToArray(m *core.Machine, procs []int, readers []*stream.Reader[float64]) error {
+	return m.CallFn(procs, func(w *spmd.World, a *dcall.Args) {
+		sec := a.Section(0)
+		rd := readers[w.Rank()]
+		for i := range sec.F {
+			v, ok := rd.Next()
+			if !ok {
+				panic("polymult: input stream ended early")
+			}
+			sec.F[i] = v
+		}
+	}, s.data.Param())
+}
+
+// putOutput reads the transformed array (bit-reversed order) back to
+// natural order, emitting 2*nn doubles (nn complex values) — the paper's
+// put_output.
+func (s *stage) putOutput(nn, ll int, out *stream.Writer[float64]) error {
+	for j := 0; j < nn; j++ {
+		pj := fft.BitReverse(ll, j)
+		re, err := s.data.Read(2 * pj)
+		if err != nil {
+			return err
+		}
+		im, err := s.data.Read(2*pj + 1)
+		if err != nil {
+			return err
+		}
+		out.Put(re)
+		out.Put(im)
+	}
+	return nil
+}
+
+// fftCall makes the distributed transform call with the paper's parameter
+// list.
+func (s *stage) fftCall(m *core.Machine, procs []int, program string, nn int, flag fft.Flag) error {
+	return m.Call(procs, program,
+		dcall.Const(procs), dcall.Const(len(procs)), dcall.Index(),
+		dcall.Const(nn), dcall.Const(int(flag)),
+		s.eps.Param(), s.data.Param(),
+	)
+}
+
+// phase1 is the inverse-FFT pipeline stage: for each polynomial arriving
+// on in (n coefficients at a time), load bit-reversed, transform, and
+// stream the value representation to the combine stage.
+func phase1(m *core.Machine, procs []int, st *stage, n, nn, ll, pairs int,
+	in stream.Stream[float64], outs []*stream.Writer[float64], errs chan<- error) {
+	rd := stream.NewReader(in)
+	for k := 0; k < pairs; k++ {
+		coeffs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v, ok := rd.Next()
+			if !ok {
+				errs <- fmt.Errorf("polymult: phase1 input ended at pair %d", k)
+				return
+			}
+			coeffs[i] = v
+		}
+		if err := st.getInput(coeffs, n, nn, ll); err != nil {
+			errs <- err
+			return
+		}
+		if err := st.fftCall(m, procs, ProgFFTReverse, nn, fft.Inverse); err != nil {
+			errs <- err
+			return
+		}
+		if err := st.arrayToStreams(m, procs, outs); err != nil {
+			errs <- err
+			return
+		}
+	}
+	errs <- nil
+}
+
+// combine is the middle pipeline stage: one task-parallel process per
+// group-C processor, each multiplying the complex values of its pair of
+// input streams elementwise (the paper's combine/combine_sub programs).
+func combine(m *core.Machine, procs []int,
+	inA, inB []stream.Stream[float64], out []*stream.Writer[float64], done chan<- error) {
+	for i := range procs {
+		i := i
+		m.Go(procs[i], func(int) {
+			ra, rb := stream.NewReader(inA[i]), stream.NewReader(inB[i])
+			w := out[i]
+			for {
+				ar, okA := ra.Next()
+				if !okA {
+					done <- nil
+					return
+				}
+				ai, _ := ra.Next()
+				br, okB := rb.Next()
+				if !okB {
+					done <- fmt.Errorf("polymult: combine stream B ended early")
+					return
+				}
+				bi, _ := rb.Next()
+				w.Put(ar*br - ai*bi)
+				w.Put(ar*bi + ai*br)
+			}
+		})
+	}
+}
+
+// phase3 is the forward-FFT stage: read value representation from the
+// combine stage, transform, and emit coefficients.
+func phase3(m *core.Machine, procs []int, st *stage, nn, ll, pairs int,
+	ins []*stream.Reader[float64], out *stream.Writer[float64], errs chan<- error) {
+	for k := 0; k < pairs; k++ {
+		if err := st.streamsToArray(m, procs, ins); err != nil {
+			errs <- err
+			return
+		}
+		if err := st.fftCall(m, procs, ProgFFTNatural, nn, fft.Forward); err != nil {
+			errs <- err
+			return
+		}
+		if err := st.putOutput(nn, ll, out); err != nil {
+			errs <- err
+			return
+		}
+	}
+	errs <- nil
+}
+
+// Run multiplies the given polynomial pairs through the pipeline. Each
+// input polynomial must have exactly n coefficients with n a power of two;
+// the result for each pair is its 2n product coefficients (real parts; the
+// imaginary parts, which are zero up to rounding, are discarded).
+func Run(m *core.Machine, n int, pairs [][2][]float64) ([][]float64, error) {
+	if _, ok := fft.Log2(n); !ok {
+		return nil, fmt.Errorf("polymult: n=%d is not a power of two", n)
+	}
+	nn := 2 * n
+	ll, _ := fft.Log2(nn)
+	groups, err := SplitGroups(m)
+	if err != nil {
+		return nil, err
+	}
+	q := len(groups.A)
+	if nn < q {
+		return nil, fmt.Errorf("polymult: transform size %d smaller than group size %d", nn, q)
+	}
+	for i, pr := range pairs {
+		if len(pr[0]) != n || len(pr[1]) != n {
+			return nil, fmt.Errorf("polymult: pair %d has wrong coefficient counts", i)
+		}
+	}
+
+	stA, err := newStage(m, nn, groups.A)
+	if err != nil {
+		return nil, err
+	}
+	defer stA.free()
+	stB, err := newStage(m, nn, groups.B)
+	if err != nil {
+		return nil, err
+	}
+	defer stB.free()
+	stD, err := newStage(m, nn, groups.D)
+	if err != nil {
+		return nil, err
+	}
+	defer stD.free()
+
+	// Initialise the roots of unity on all three FFT groups concurrently
+	// (three independent distributed calls, as in the paper's go()).
+	rootErrs := make(chan error, 3)
+	go func() { rootErrs <- stA.initRoots(m, nn, groups.A) }()
+	go func() { rootErrs <- stB.initRoots(m, nn, groups.B) }()
+	go func() { rootErrs <- stD.initRoots(m, nn, groups.D) }()
+	for i := 0; i < 3; i++ {
+		if err := <-rootErrs; err != nil {
+			return nil, err
+		}
+	}
+
+	// Streams: input coefficient streams for the two phase-1 instances;
+	// per-processor value streams A->C, B->C, C->D; output stream.
+	inA, inB := stream.New[float64](), stream.New[float64]()
+	mkStreams := func() ([]stream.Stream[float64], []*stream.Writer[float64], []*stream.Reader[float64]) {
+		ss := make([]stream.Stream[float64], q)
+		ws := make([]*stream.Writer[float64], q)
+		rs := make([]*stream.Reader[float64], q)
+		for i := 0; i < q; i++ {
+			ss[i] = stream.New[float64]()
+			ws[i] = stream.NewWriter(ss[i])
+			rs[i] = stream.NewReader(ss[i])
+		}
+		return ss, ws, rs
+	}
+	sAC, wAC, _ := mkStreams()
+	sBC, wBC, _ := mkStreams()
+	_, wCD, rCD := mkStreams()
+	outStream := stream.New[float64]()
+	outWriter := stream.NewWriter(outStream)
+
+	// Feed the input streams (the paper's read_infile).
+	go func() {
+		wa, wb := stream.NewWriter(inA), stream.NewWriter(inB)
+		for _, pr := range pairs {
+			for _, c := range pr[0] {
+				wa.Put(c)
+			}
+			for _, c := range pr[1] {
+				wb.Put(c)
+			}
+		}
+		wa.End()
+		wb.End()
+	}()
+
+	// Launch the pipeline stages.
+	errs := make(chan error, 3)
+	combineDone := make(chan error, q)
+	go phase1(m, groups.A, stA, n, nn, ll, len(pairs), inA, wAC, errs)
+	go phase1(m, groups.B, stB, n, nn, ll, len(pairs), inB, wBC, errs)
+	combine(m, groups.C, sAC, sBC, wCD, combineDone)
+	go phase3(m, groups.D, stD, nn, ll, len(pairs), rCD, outWriter, errs)
+
+	// Collect the output: 2*nn doubles (nn complex values) per pair.
+	results := make([][]float64, len(pairs))
+	outReader := stream.NewReader(outStream)
+	for k := range pairs {
+		coeffs := make([]float64, nn)
+		for j := 0; j < nn; j++ {
+			re, ok := outReader.Next()
+			if !ok {
+				return nil, fmt.Errorf("polymult: output ended early at pair %d", k)
+			}
+			if _, ok := outReader.Next(); !ok { // imaginary part (≈0)
+				return nil, fmt.Errorf("polymult: output ended mid-complex at pair %d", k)
+			}
+			coeffs[j] = re
+		}
+		results[k] = coeffs
+	}
+
+	// Join the FFT stages, then release the combine processes by closing
+	// the A->C and B->C streams.
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < q; i++ {
+		wAC[i].End()
+		wBC[i].End()
+	}
+	for i := 0; i < q; i++ {
+		if err := <-combineDone; err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Schoolbook multiplies two polynomials directly in O(n²): the baseline
+// for E15. The result has 2n coefficients (the last is zero).
+func Schoolbook(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b))
+	for i, av := range a {
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package polymult
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func randPoly(n int, rng *rand.Rand) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = float64(rng.Intn(11) - 5)
+	}
+	return p
+}
+
+func TestPipelineMatchesSchoolbook(t *testing.T) {
+	for _, pcount := range []int{4, 8} {
+		m := core.New(pcount)
+		if err := RegisterPrograms(m); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(pcount)))
+		const n = 8
+		const pairs = 3
+		input := make([][2][]float64, pairs)
+		for k := range input {
+			input[k] = [2][]float64{randPoly(n, rng), randPoly(n, rng)}
+		}
+		got, err := Run(m, n, input)
+		if err != nil {
+			t.Fatalf("P=%d: %v", pcount, err)
+		}
+		for k := range input {
+			want := Schoolbook(input[k][0], input[k][1])
+			if len(got[k]) != 2*n {
+				t.Fatalf("P=%d pair %d: %d coefficients", pcount, k, len(got[k]))
+			}
+			for j := range want {
+				if math.Abs(got[k][j]-want[j]) > 1e-6 {
+					t.Fatalf("P=%d pair %d coeff %d: %v want %v", pcount, k, j, got[k][j], want[j])
+				}
+			}
+		}
+		m.Close()
+	}
+}
+
+// The paper's concrete illustration: multiplying (1+x) by (1-x) gives
+// 1 - x^2.
+func TestSimpleProduct(t *testing.T) {
+	m := core.New(4)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(m, 2, [][2][]float64{{{1, 1}, {1, -1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, -1, 0}
+	for j := range want {
+		if math.Abs(got[0][j]-want[j]) > 1e-9 {
+			t.Fatalf("coeff %d = %v, want %v", j, got[0][j], want[j])
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	m := core.New(4)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, 3, nil); err == nil {
+		t.Fatal("non-power-of-two n must fail")
+	}
+	if _, err := Run(m, 4, [][2][]float64{{{1}, {1, 2, 3, 4}}}); err == nil {
+		t.Fatal("wrong coefficient count must fail")
+	}
+}
+
+func TestSplitGroupsValidation(t *testing.T) {
+	m := core.New(6)
+	defer m.Close()
+	if _, err := SplitGroups(m); err == nil {
+		t.Fatal("P=6 must fail (not divisible by 4)")
+	}
+	m4 := core.New(4)
+	defer m4.Close()
+	g, err := SplitGroups(m4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.A) != 1 || g.A[0] != 0 || g.D[0] != 3 {
+		t.Fatalf("groups = %+v", g)
+	}
+}
+
+func TestSchoolbook(t *testing.T) {
+	got := Schoolbook([]float64{1, 2}, []float64{3, 4})
+	// (1+2x)(3+4x) = 3 + 10x + 8x².
+	want := []float64{3, 10, 8, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Schoolbook = %v", got)
+		}
+	}
+}
+
+// Multiple pairs streamed through: the pipeline keeps per-pair outputs in
+// order even with many pairs in flight.
+func TestManyPairsOrdering(t *testing.T) {
+	m := core.New(4)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	const pairs = 6
+	input := make([][2][]float64, pairs)
+	for k := range input {
+		// pair k: F = x^0 * (k+1), G = 1 -> product = (k+1).
+		f := make([]float64, n)
+		g := make([]float64, n)
+		f[0] = float64(k + 1)
+		g[0] = 1
+		input[k] = [2][]float64{f, g}
+	}
+	got, err := Run(m, n, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range input {
+		if math.Abs(got[k][0]-float64(k+1)) > 1e-9 {
+			t.Fatalf("pair %d: constant = %v, want %d", k, got[k][0], k+1)
+		}
+	}
+}

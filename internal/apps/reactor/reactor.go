@@ -1,0 +1,237 @@
+// Package reactor reproduces the paper's reactive-computation problem
+// class (§2.3.3, Fig 2.3): a discrete-event simulation of a reactor
+// system whose components — a pump, a valve, and the reactor itself — form
+// a graph of communicating processes. The reactor's mathematical model is
+// "fairly complicated" in the paper's terms, so its event handling is a
+// data-parallel program invoked by distributed call; the pump and valve
+// have scalar models handled at the task level, and all communication
+// among components goes through the task-parallel top layer (the event
+// queue).
+//
+// Physics of the toy model: the pump emits coolant pulses (flow varying
+// deterministically with time); the valve passes a fixed fraction through;
+// each pulse reaching the reactor injects heat at the inlet cell of the
+// reactor's 1-dimensional temperature field, which then diffuses with a
+// conservative (zero-flux) stencil. Total injected heat is conserved by
+// the field, which the tests verify.
+package reactor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dcall"
+	"repro/internal/sim"
+	"repro/internal/spmd"
+)
+
+// ProgInjectDiffuse is the reactor component's data-parallel program.
+const ProgInjectDiffuse = "reactor:inject_diffuse"
+
+// RegisterPrograms registers the reactor's data-parallel model.
+//
+// Parameters: (n, amount, alpha, local(field)): inject `amount` of heat at
+// global cell 0, then perform one conservative diffusion step.
+func RegisterPrograms(m *core.Machine) error {
+	return m.Register(ProgInjectDiffuse, func(w *spmd.World, a *dcall.Args) {
+		n := a.Int(0)
+		amount := a.Float(1)
+		alpha := a.Float(2)
+		field := a.Section(3).F
+		if err := injectDiffuse(w, field, n, amount, alpha); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func injectDiffuse(w *spmd.World, field []float64, n int, amount, alpha float64) error {
+	p := w.Size()
+	if n%p != 0 {
+		return fmt.Errorf("reactor: %d cells not divisible by %d copies", n, p)
+	}
+	l := n / p
+	if len(field) < l {
+		return fmt.Errorf("reactor: local section %d < %d", len(field), l)
+	}
+	me := w.Rank()
+	if me == 0 {
+		field[0] += amount // inlet cell
+	}
+	// Halo exchange of edge cells.
+	const (
+		kindLeft  = 0
+		kindRight = 1
+	)
+	if me > 0 {
+		if err := w.Send(me-1, kindLeft, []float64{field[0]}); err != nil {
+			return err
+		}
+	}
+	if me < p-1 {
+		if err := w.Send(me+1, kindRight, []float64{field[l-1]}); err != nil {
+			return err
+		}
+	}
+	left := math.NaN()
+	right := math.NaN()
+	if me > 0 {
+		v, err := w.RecvFloats(me-1, kindRight)
+		if err != nil {
+			return err
+		}
+		left = v[0]
+	}
+	if me < p-1 {
+		v, err := w.RecvFloats(me+1, kindLeft)
+		if err != nil {
+			return err
+		}
+		right = v[0]
+	}
+	next := make([]float64, l)
+	for i := 0; i < l; i++ {
+		li := field[i] // reflecting (zero-flux) boundaries conserve heat
+		ri := field[i]
+		switch {
+		case i > 0:
+			li = field[i-1]
+		case me > 0:
+			li = left
+		}
+		switch {
+		case i < l-1:
+			ri = field[i+1]
+		case me < p-1:
+			ri = right
+		}
+		next[i] = field[i] + alpha*(li-2*field[i]+ri)
+	}
+	copy(field[:l], next)
+	return nil
+}
+
+// Config describes a run.
+type Config struct {
+	Cells    int     // reactor field size (divisible by the reactor group)
+	Dt       float64 // pump tick interval
+	Horizon  float64 // simulation end time
+	Alpha    float64 // diffusion coefficient (0 < alpha <= 0.5 for stability)
+	ValveCut float64 // fraction the valve passes through (e.g. 0.8)
+}
+
+// PumpFlow is the pump's deterministic flow model.
+func PumpFlow(t float64) float64 { return 1 + 0.5*math.Sin(t) }
+
+// Result reports a completed run.
+type Result struct {
+	Events        int     // discrete events processed
+	PulsesEmitted int     // pump ticks
+	TotalInjected float64 // heat delivered to the reactor
+	FieldTotal    float64 // Σ field (must equal TotalInjected)
+	Field         []float64
+}
+
+// Run builds the component graph and executes it. The reactor's group is
+// the whole machine (each event's distributed call runs on all
+// processors).
+func Run(m *core.Machine, cfg Config) (Result, error) {
+	procs := m.AllProcs()
+	if cfg.Cells%len(procs) != 0 {
+		return Result{}, fmt.Errorf("reactor: %d cells not divisible by machine size %d", cfg.Cells, len(procs))
+	}
+	field, err := m.NewArray(core.ArraySpec{Dims: []int{cfg.Cells}, Procs: procs})
+	if err != nil {
+		return Result{}, err
+	}
+	defer field.Free()
+
+	s := sim.New()
+	res := Result{}
+
+	if err := s.AddComponent("pump", func(ctx *sim.Context, ev sim.Event) error {
+		res.PulsesEmitted++
+		pulse := PumpFlow(ctx.Now()) * cfg.Dt
+		if err := ctx.Schedule(cfg.Dt/4, "valve", "flow", pulse); err != nil {
+			return err
+		}
+		if ctx.Now()+cfg.Dt <= cfg.Horizon {
+			return ctx.Schedule(cfg.Dt, "pump", "tick", nil)
+		}
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+
+	if err := s.AddComponent("valve", func(ctx *sim.Context, ev sim.Event) error {
+		passed := ev.Payload.(float64) * cfg.ValveCut
+		return ctx.Schedule(cfg.Dt/4, "reactor", "flow", passed)
+	}); err != nil {
+		return Result{}, err
+	}
+
+	if err := s.AddComponent("reactor", func(ctx *sim.Context, ev sim.Event) error {
+		amount := ev.Payload.(float64)
+		res.TotalInjected += amount
+		// The component's model: a distributed call on the reactor group.
+		return m.Call(procs, ProgInjectDiffuse,
+			dcall.Const(cfg.Cells), dcall.Const(amount), dcall.Const(cfg.Alpha),
+			field.Param())
+	}); err != nil {
+		return Result{}, err
+	}
+
+	if err := s.Schedule(0, "pump", "tick", nil); err != nil {
+		return Result{}, err
+	}
+	n, err := s.Run(cfg.Horizon + 1)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Events = n
+
+	snap, err := field.Snapshot()
+	if err != nil {
+		return Result{}, err
+	}
+	res.Field = snap
+	for _, v := range snap {
+		res.FieldTotal += v
+	}
+	return res, nil
+}
+
+// RunSequential executes the identical event schedule with a dense field
+// and no parallel machinery: the E3 reference.
+func RunSequential(cfg Config) Result {
+	field := make([]float64, cfg.Cells)
+	res := Result{}
+	diffuse := func(amount float64) {
+		field[0] += amount
+		next := make([]float64, len(field))
+		for i := range field {
+			li := field[i]
+			ri := field[i]
+			if i > 0 {
+				li = field[i-1]
+			}
+			if i < len(field)-1 {
+				ri = field[i+1]
+			}
+			next[i] = field[i] + cfg.Alpha*(li-2*field[i]+ri)
+		}
+		copy(field, next)
+	}
+	for t := 0.0; t <= cfg.Horizon; t += cfg.Dt {
+		res.PulsesEmitted++
+		pulse := PumpFlow(t) * cfg.Dt * cfg.ValveCut
+		res.TotalInjected += pulse
+		diffuse(pulse)
+		res.Events += 3 // pump, valve, reactor
+	}
+	res.Field = field
+	for _, v := range field {
+		res.FieldTotal += v
+	}
+	return res
+}

@@ -1,0 +1,87 @@
+package reactor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var testCfg = Config{Cells: 8, Dt: 0.5, Horizon: 3, Alpha: 0.25, ValveCut: 0.8}
+
+func TestConservation(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		m := core.New(p)
+		if err := RegisterPrograms(m); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(m, testCfg)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if math.Abs(res.FieldTotal-res.TotalInjected) > 1e-9 {
+			t.Fatalf("P=%d: heat not conserved: field %v, injected %v", p, res.FieldTotal, res.TotalInjected)
+		}
+		if res.TotalInjected <= 0 {
+			t.Fatalf("P=%d: nothing injected", p)
+		}
+		m.Close()
+	}
+}
+
+func TestMatchesSequential(t *testing.T) {
+	want := RunSequential(testCfg)
+	for _, p := range []int{1, 2, 4} {
+		m := core.New(p)
+		if err := RegisterPrograms(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(m, testCfg)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if got.Events != want.Events || got.PulsesEmitted != want.PulsesEmitted {
+			t.Fatalf("P=%d: events %d/%d pulses %d/%d", p,
+				got.Events, want.Events, got.PulsesEmitted, want.PulsesEmitted)
+		}
+		if math.Abs(got.TotalInjected-want.TotalInjected) > 1e-12 {
+			t.Fatalf("P=%d: injected %v, want %v", p, got.TotalInjected, want.TotalInjected)
+		}
+		for i := range want.Field {
+			if math.Abs(got.Field[i]-want.Field[i]) > 1e-9 {
+				t.Fatalf("P=%d: field[%d] = %v, want %v", p, i, got.Field[i], want.Field[i])
+			}
+		}
+		m.Close()
+	}
+}
+
+func TestEventCountStructure(t *testing.T) {
+	// Each pump tick spawns exactly a valve and a reactor event: total
+	// events = 3 * pulses.
+	m := core.New(2)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 3*res.PulsesEmitted {
+		t.Fatalf("events %d != 3 * pulses %d", res.Events, res.PulsesEmitted)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := core.New(4)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCfg
+	bad.Cells = 6 // not divisible by 4
+	if _, err := Run(m, bad); err == nil {
+		t.Fatal("indivisible cells must fail")
+	}
+}

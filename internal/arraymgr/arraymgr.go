@@ -1,0 +1,684 @@
+// Package arraymgr implements the array manager of §3.2.2 and §5.1: the
+// runtime support for distributed arrays.
+//
+// The array manager consists of one array-manager server per virtual
+// processor. All requests by task-parallel programs to create or manipulate
+// distributed arrays are handled by the *local* array-manager server, which
+// communicates with the array-manager servers on other processors as needed
+// to fulfil the request (e.g. array creation touches every processor over
+// which the array is distributed; reading an element touches the processor
+// owning it). Requests travel over the machine's message router using
+// task-parallel-class tags, keeping array-manager traffic disjoint from
+// data-parallel program traffic per §3.4.1.
+//
+// Each server keeps a list of array entries. An entry is added on every
+// processor over which an array is distributed as well as on the creating
+// processor; freeing an array invalidates the entries so that subsequent
+// references fail with STATUS_NOT_FOUND (§5.1.3).
+package arraymgr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/darray"
+	"repro/internal/grid"
+	"repro/internal/msg"
+	"repro/internal/trace"
+	"repro/internal/vp"
+)
+
+// Status is the result code of an array-manager operation (§4.1.2).
+type Status int
+
+const (
+	// StatusOK — no errors.
+	StatusOK Status = 0
+	// StatusInvalid — invalid parameter.
+	StatusInvalid Status = 1
+	// StatusNotFound — array not found.
+	StatusNotFound Status = 2
+	// StatusError — system error.
+	StatusError Status = 3
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "STATUS_OK"
+	case StatusInvalid:
+		return "STATUS_INVALID"
+	case StatusNotFound:
+		return "STATUS_NOT_FOUND"
+	case StatusError:
+		return "STATUS_ERROR"
+	default:
+		return fmt.Sprintf("STATUS(%d)", int(s))
+	}
+}
+
+// BorderSpec is the Border_info parameter of create_array/verify_array
+// (§4.2.1): no borders, explicit sizes, or sizes supplied at runtime by the
+// data-parallel program that will receive the array (the foreign_borders
+// option supporting Fortran D-style overlap areas).
+type BorderSpec interface{ isBorderSpec() }
+
+// NoBorderSpec is Border_info = 0: local sections have no borders.
+type NoBorderSpec struct{}
+
+func (NoBorderSpec) isBorderSpec() {}
+
+// ExplicitBorders directly specifies border sizes: length 2*ndims, elements
+// 2i and 2i+1 give the border on either side of dimension i.
+type ExplicitBorders []int
+
+func (ExplicitBorders) isBorderSpec() {}
+
+// ForeignBorders defers border sizes to the data-parallel program Program,
+// which will receive the array as parameter ParmNum. The program's
+// registered border callback (the paper's Program_ routine) is consulted at
+// creation/verification time.
+type ForeignBorders struct {
+	Program string
+	ParmNum int
+}
+
+func (ForeignBorders) isBorderSpec() {}
+
+// BorderResolver resolves a ForeignBorders spec: given the program name,
+// parameter number and dimensionality, it returns the 2*ndims border
+// sizes. The distributed-call registry provides one.
+type BorderResolver func(program string, parmNum, ndims int) ([]int, error)
+
+// CreateSpec collects the parameters of create_array (§4.2.1).
+type CreateSpec struct {
+	Type     darray.ElemType
+	Dims     []int
+	Procs    []int
+	Distrib  []grid.Decomp
+	Borders  BorderSpec
+	Indexing grid.Indexing
+}
+
+// entry is one array's record at one server. Metadata is cloned per
+// processor — distinct virtual address spaces hold distinct copies.
+type entry struct {
+	meta    *darray.Meta
+	section *darray.Section // nil when this processor holds no local section
+	freed   bool
+}
+
+// server is the per-processor array-manager state.
+type server struct {
+	mu      sync.Mutex
+	entries map[darray.ID]*entry
+	nextSeq int
+}
+
+// Manager is the whole array manager: one server per virtual processor plus
+// the request-routing fabric.
+type Manager struct {
+	machine  *vp.Machine
+	servers  []*server
+	resolver BorderResolver
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// kindAMRequest is the reserved task-class message kind carrying
+// array-manager requests.
+const kindAMRequest = -100
+
+// request is one array-manager request in flight. Reply delivery uses a
+// definitional-style one-shot channel.
+type request struct {
+	op    string
+	id    darray.ID
+	spec  *CreateSpec
+	meta  *darray.Meta // for create_local / update_meta
+	gidx  []int        // read/write element
+	off   int          // read/write local
+	val   float64
+	which string // find_info
+	// verify parameters
+	ndims    int
+	borders  BorderSpec
+	indexing grid.Indexing
+
+	reply chan response
+}
+
+type response struct {
+	status  Status
+	val     float64
+	section *darray.Section
+	info    any
+}
+
+// New starts an array manager on every processor of the machine (the
+// equivalent of the paper's `load("am")` on all processors, §B.3).
+func New(machine *vp.Machine) *Manager {
+	m := &Manager{machine: machine, servers: make([]*server, machine.P())}
+	for p := 0; p < machine.P(); p++ {
+		m.servers[p] = &server{entries: make(map[darray.ID]*entry)}
+		p := p
+		go m.serve(p)
+	}
+	return m
+}
+
+// SetBorderResolver installs the resolver used for ForeignBorders specs.
+func (m *Manager) SetBorderResolver(r BorderResolver) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resolver = r
+}
+
+func (m *Manager) borderResolver() BorderResolver {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resolver
+}
+
+// serve is one array-manager server loop: it receives requests addressed to
+// this processor and services each in its own goroutine (the PCN server
+// spawns a process per request, so concurrent requests never deadlock the
+// server).
+func (m *Manager) serve(proc int) {
+	router := m.machine.Router()
+	for {
+		message, err := router.Recv(proc, func(mm msg.Message) bool {
+			return mm.Tag.Class == msg.ClassTask && mm.Tag.Kind == kindAMRequest
+		})
+		if err != nil {
+			return // router closed: machine shutdown
+		}
+		req := message.Data.(*request)
+		go m.handle(proc, req)
+	}
+}
+
+// send routes a request to the server on processor dst and returns its
+// response.
+func (m *Manager) send(src, dst int, req *request) response {
+	req.reply = make(chan response, 1)
+	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMRequest}
+	if err := m.machine.Router().Send(src, dst, tag, req); err != nil {
+		return response{status: StatusError}
+	}
+	return <-req.reply
+}
+
+// handle dispatches one request at the server on proc. With tracing at
+// Ops level the manager behaves like the paper's am_debug build, emitting
+// one trace message per operation (§B.3).
+func (m *Manager) handle(proc int, req *request) {
+	if trace.Enabled(trace.Ops) {
+		trace.Logf(trace.Ops, proc, "am: %s %v", req.op, req.id)
+	}
+	var resp response
+	switch req.op {
+	case "create_array":
+		resp = m.doCreate(proc, req)
+	case "create_local":
+		resp = m.doCreateLocal(proc, req)
+	case "free_array":
+		resp = m.doFree(proc, req)
+	case "free_local":
+		resp = m.doFreeLocal(proc, req)
+	case "read_element":
+		resp = m.doRead(proc, req)
+	case "read_element_local":
+		resp = m.doReadLocal(proc, req)
+	case "write_element":
+		resp = m.doWrite(proc, req)
+	case "write_element_local":
+		resp = m.doWriteLocal(proc, req)
+	case "find_local":
+		resp = m.doFindLocal(proc, req)
+	case "find_info":
+		resp = m.doFindInfo(proc, req)
+	case "verify_array":
+		resp = m.doVerify(proc, req)
+	case "copy_local":
+		resp = m.doCopyLocal(proc, req)
+	case "update_meta":
+		resp = m.doUpdateMeta(proc, req)
+	default:
+		resp = response{status: StatusError}
+	}
+	req.reply <- resp
+}
+
+// --- coordinator operations ---
+
+// resolveBorders turns a BorderSpec into concrete border sizes.
+func (m *Manager) resolveBorders(spec BorderSpec, ndims int) ([]int, Status) {
+	switch b := spec.(type) {
+	case nil, NoBorderSpec:
+		return darray.NoBorders(ndims), StatusOK
+	case ExplicitBorders:
+		if err := darray.CheckBorders([]int(b), ndims); err != nil {
+			return nil, StatusInvalid
+		}
+		return append([]int(nil), b...), StatusOK
+	case ForeignBorders:
+		r := m.borderResolver()
+		if r == nil {
+			return nil, StatusInvalid
+		}
+		borders, err := r(b.Program, b.ParmNum, ndims)
+		if err != nil {
+			return nil, StatusInvalid
+		}
+		if err := darray.CheckBorders(borders, ndims); err != nil {
+			return nil, StatusInvalid
+		}
+		return borders, StatusOK
+	default:
+		return nil, StatusInvalid
+	}
+}
+
+func (m *Manager) doCreate(proc int, req *request) response {
+	spec := req.spec
+	if spec == nil || len(spec.Dims) == 0 || len(spec.Procs) == 0 {
+		return response{status: StatusInvalid}
+	}
+	for _, d := range spec.Dims {
+		if d < 1 {
+			return response{status: StatusInvalid}
+		}
+	}
+	seen := make(map[int]bool, len(spec.Procs))
+	for _, p := range spec.Procs {
+		if m.machine.CheckProc(p) != nil || seen[p] {
+			return response{status: StatusInvalid}
+		}
+		seen[p] = true
+	}
+	if len(spec.Distrib) != len(spec.Dims) {
+		return response{status: StatusInvalid}
+	}
+	gridDims, err := grid.GridDims(len(spec.Procs), spec.Distrib)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	localDims, err := grid.LocalDims(spec.Dims, gridDims)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	borders, st := m.resolveBorders(spec.Borders, len(spec.Dims))
+	if st != StatusOK {
+		return response{status: st}
+	}
+	plus, err := darray.DimsPlus(localDims, borders)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	id := darray.ID{Proc: proc, Seq: srv.nextSeq}
+	srv.nextSeq++
+	srv.mu.Unlock()
+
+	meta := &darray.Meta{
+		ID:            id,
+		Type:          spec.Type,
+		Dims:          append([]int(nil), spec.Dims...),
+		Procs:         append([]int(nil), spec.Procs...),
+		GridDims:      gridDims,
+		LocalDims:     localDims,
+		Borders:       borders,
+		LocalDimsPlus: plus,
+		Indexing:      spec.Indexing,
+		GridIndexing:  spec.Indexing, // the paper ties grid indexing to array indexing
+	}
+
+	// An entry is created on every processor holding a local section, and
+	// on the creating processor (§5.1.3).
+	targets := map[int]bool{proc: true}
+	for _, p := range meta.SectionProcs() {
+		targets[p] = true
+	}
+	for p := range targets {
+		sub := &request{op: "create_local", id: id, meta: meta}
+		r := m.send(proc, p, sub)
+		if r.status != StatusOK {
+			return response{status: r.status}
+		}
+	}
+	return response{status: StatusOK, info: id}
+}
+
+func (m *Manager) doCreateLocal(proc int, req *request) response {
+	srv := m.servers[proc]
+	meta := req.meta.Clone() // each address space keeps its own copy
+	var section *darray.Section
+	if _, holds := meta.HoldsSection(proc); holds {
+		section = darray.NewSection(meta.Type, meta.LocalStorageSize())
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if _, dup := srv.entries[req.id]; dup {
+		return response{status: StatusError}
+	}
+	srv.entries[req.id] = &entry{meta: meta, section: section}
+	return response{status: StatusOK}
+}
+
+// lookup returns the live entry for id at proc, or a failure status.
+func (m *Manager) lookup(proc int, id darray.ID) (*entry, Status) {
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	e, ok := srv.entries[id]
+	if !ok || e.freed {
+		return nil, StatusNotFound
+	}
+	return e, StatusOK
+}
+
+func (m *Manager) doFree(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	targets := map[int]bool{proc: true, req.id.Proc: true}
+	for _, p := range e.meta.SectionProcs() {
+		targets[p] = true
+	}
+	for p := range targets {
+		r := m.send(proc, p, &request{op: "free_local", id: req.id})
+		if r.status != StatusOK && r.status != StatusNotFound {
+			return response{status: r.status}
+		}
+	}
+	return response{status: StatusOK}
+}
+
+func (m *Manager) doFreeLocal(proc int, req *request) response {
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	e, ok := srv.entries[req.id]
+	if !ok || e.freed {
+		return response{status: StatusNotFound}
+	}
+	e.freed = true
+	e.section = nil // release the storage (the paper's explicit free)
+	return response{status: StatusOK}
+}
+
+func (m *Manager) doRead(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	owner, off, err := e.meta.Owner(req.gidx)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	if owner == proc {
+		return m.doReadLocal(proc, &request{id: req.id, off: off})
+	}
+	return m.send(proc, owner, &request{op: "read_element_local", id: req.id, off: off})
+}
+
+func (m *Manager) doReadLocal(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if e.section == nil || req.off < 0 || req.off >= e.section.Len() {
+		return response{status: StatusError}
+	}
+	return response{status: StatusOK, val: e.section.GetFloat(req.off)}
+}
+
+func (m *Manager) doWrite(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	owner, off, err := e.meta.Owner(req.gidx)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	if owner == proc {
+		return m.doWriteLocal(proc, &request{id: req.id, off: off, val: req.val})
+	}
+	return m.send(proc, owner, &request{op: "write_element_local", id: req.id, off: off, val: req.val})
+}
+
+func (m *Manager) doWriteLocal(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if e.section == nil || req.off < 0 || req.off >= e.section.Len() {
+		return response{status: StatusError}
+	}
+	e.section.SetFloat(req.off, req.val)
+	return response{status: StatusOK}
+}
+
+func (m *Manager) doFindLocal(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if e.section == nil {
+		// find_local requires a local view: only processors holding a
+		// section may ask (§5.1.4).
+		return response{status: StatusNotFound}
+	}
+	return response{status: StatusOK, section: e.section}
+}
+
+func (m *Manager) doFindInfo(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	meta := e.meta
+	var out any
+	switch req.which {
+	case "type":
+		out = meta.Type.String()
+	case "dimensions":
+		out = append([]int(nil), meta.Dims...)
+	case "processors":
+		out = append([]int(nil), meta.Procs...)
+	case "grid_dimensions":
+		out = append([]int(nil), meta.GridDims...)
+	case "local_dimensions":
+		out = append([]int(nil), meta.LocalDims...)
+	case "borders":
+		out = append([]int(nil), meta.Borders...)
+	case "local_dimensions_plus":
+		out = append([]int(nil), meta.LocalDimsPlus...)
+	case "indexing_type":
+		out = meta.Indexing.String()
+	case "grid_indexing_type":
+		out = meta.GridIndexing.String()
+	case "meta":
+		out = meta.Clone() // full metadata, a convenience beyond the paper
+	default:
+		return response{status: StatusInvalid}
+	}
+	return response{status: StatusOK, info: out}
+}
+
+func (m *Manager) doVerify(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	meta := e.meta
+	if req.ndims != meta.NDims() {
+		return response{status: StatusInvalid}
+	}
+	if req.indexing != meta.Indexing {
+		// The indexing type cannot be corrected by reallocation; a
+		// mismatch is an invalid request (§4.2.7's third example).
+		return response{status: StatusInvalid}
+	}
+	expected, bst := m.resolveBorders(req.borders, meta.NDims())
+	if bst != StatusOK {
+		return response{status: bst}
+	}
+	if darray.EqualInts(expected, meta.Borders) {
+		return response{status: StatusOK}
+	}
+	// Mismatch: reallocate every local section with the expected borders,
+	// copying interior data, and update metadata everywhere an entry
+	// exists (section holders + creator + this coordinator).
+	targets := map[int]bool{proc: true, req.id.Proc: true}
+	for _, p := range meta.SectionProcs() {
+		targets[p] = true
+	}
+	for p := range targets {
+		r := m.send(proc, p, &request{op: "copy_local", id: req.id, meta: nil, gidx: expected})
+		if r.status != StatusOK {
+			return response{status: r.status}
+		}
+	}
+	return response{status: StatusOK}
+}
+
+// doCopyLocal reallocates this processor's local section with new borders
+// (carried in req.gidx), copies interior data, and updates the local
+// metadata copy.
+func (m *Manager) doCopyLocal(proc int, req *request) response {
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	e, ok := srv.entries[req.id]
+	if !ok || e.freed {
+		return response{status: StatusNotFound}
+	}
+	newBorders := req.gidx
+	plus, err := darray.DimsPlus(e.meta.LocalDims, newBorders)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	if e.section != nil {
+		fresh := darray.NewSection(e.meta.Type, grid.Size(plus))
+		if err := darray.CopyInterior(fresh, e.section, e.meta.LocalDims, newBorders, e.meta.Borders, e.meta.Indexing); err != nil {
+			return response{status: StatusError}
+		}
+		e.section = fresh
+	}
+	e.meta.Borders = append([]int(nil), newBorders...)
+	e.meta.LocalDimsPlus = plus
+	return response{status: StatusOK}
+}
+
+func (m *Manager) doUpdateMeta(proc int, req *request) response {
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	e, ok := srv.entries[req.id]
+	if !ok || e.freed {
+		return response{status: StatusNotFound}
+	}
+	e.meta = req.meta.Clone()
+	return response{status: StatusOK}
+}
+
+// --- public API (the operations of §3.2.1.5, invoked on a processor) ---
+
+// CreateArray services a create_array request made on processor onProc and
+// returns the new array's globally unique ID.
+func (m *Manager) CreateArray(onProc int, spec CreateSpec) (darray.ID, Status) {
+	if m.machine.CheckProc(onProc) != nil {
+		return darray.ID{}, StatusInvalid
+	}
+	r := m.send(onProc, onProc, &request{op: "create_array", spec: &spec})
+	if r.status != StatusOK {
+		return darray.ID{}, r.status
+	}
+	return r.info.(darray.ID), StatusOK
+}
+
+// FreeArray deletes the array and frees all its local sections.
+func (m *Manager) FreeArray(onProc int, id darray.ID) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	return m.send(onProc, onProc, &request{op: "free_array", id: id}).status
+}
+
+// ReadElement reads one element by its global indices.
+func (m *Manager) ReadElement(onProc int, id darray.ID, indices []int) (float64, Status) {
+	if m.machine.CheckProc(onProc) != nil {
+		return 0, StatusInvalid
+	}
+	r := m.send(onProc, onProc, &request{op: "read_element", id: id, gidx: indices})
+	return r.val, r.status
+}
+
+// WriteElement writes one element by its global indices.
+func (m *Manager) WriteElement(onProc int, id darray.ID, indices []int, v float64) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	return m.send(onProc, onProc, &request{op: "write_element", id: id, gidx: indices, val: v}).status
+}
+
+// FindLocal returns the local section of the array on onProc in a form
+// suitable for passing to a data-parallel program. Only processors holding
+// a section may call it.
+func (m *Manager) FindLocal(onProc int, id darray.ID) (*darray.Section, Status) {
+	if m.machine.CheckProc(onProc) != nil {
+		return nil, StatusInvalid
+	}
+	r := m.send(onProc, onProc, &request{op: "find_local", id: id})
+	return r.section, r.status
+}
+
+// FindInfo returns information about the array; which is one of the §4.2.6
+// selector strings ("type", "dimensions", "processors", "grid_dimensions",
+// "local_dimensions", "borders", "local_dimensions_plus", "indexing_type",
+// "grid_indexing_type") or "meta" for the full metadata.
+func (m *Manager) FindInfo(onProc int, id darray.ID, which string) (any, Status) {
+	if m.machine.CheckProc(onProc) != nil {
+		return nil, StatusInvalid
+	}
+	r := m.send(onProc, onProc, &request{op: "find_info", id: id, which: which})
+	return r.info, r.status
+}
+
+// Meta returns the full metadata of an array (convenience wrapper over
+// FindInfo("meta")).
+func (m *Manager) Meta(onProc int, id darray.ID) (*darray.Meta, Status) {
+	info, st := m.FindInfo(onProc, id, "meta")
+	if st != StatusOK {
+		return nil, st
+	}
+	return info.(*darray.Meta), StatusOK
+}
+
+// VerifyArray verifies that the array has the given indexing type and
+// borders, reallocating and copying local sections if the borders differ
+// (§4.2.7).
+func (m *Manager) VerifyArray(onProc int, id darray.ID, ndims int, borders BorderSpec, indexing grid.Indexing) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	return m.send(onProc, onProc, &request{
+		op: "verify_array", id: id, ndims: ndims, borders: borders, indexing: indexing,
+	}).status
+}

@@ -1,0 +1,125 @@
+// Package channel implements the extension proposed in the paper's
+// conclusions (§7.2.1): direct communication between concurrently
+// executing data-parallel programs.
+//
+// The base model requires all communication between different
+// data-parallel programs to pass through the common task-parallel caller,
+// which "creates a bottleneck for problems in which there is a significant
+// amount of data to be exchanged". The proposed remedy — modelled on
+// Fortran M — is "to allow the data-parallel programs to communicate using
+// channels defined by the task-parallel calling program and passed to the
+// data-parallel programs as parameters".
+//
+// A Channel is a typed, directed, order-preserving conduit for []float64
+// messages. The task-parallel program creates it and passes it (as a
+// global-constant parameter) to two concurrently executing distributed
+// calls; inside the calls, the copy holding the sending end Sends and the
+// copy holding the receiving end Recvs. Sends copy their payload, so the
+// distinct-address-space discipline is preserved: a received message is a
+// snapshot, never a live alias of the sender's storage.
+package channel
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("channel: closed")
+
+// Channel is an unbounded FIFO of []float64 messages. Like PCN streams
+// (and Fortran M channels), sends never block; receives block until a
+// message or close arrives.
+type Channel struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]float64
+	closed bool
+	sent   int
+	recvd  int
+}
+
+// New creates an open channel.
+func New() *Channel {
+	c := &Channel{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Send appends a snapshot of data to the channel.
+func (c *Channel) Send(data []float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.queue = append(c.queue, append([]float64(nil), data...))
+	c.sent++
+	c.cond.Broadcast()
+	return nil
+}
+
+// Recv removes and returns the oldest message, blocking until one is
+// available. ok is false when the channel is closed and drained.
+func (c *Channel) Recv() (data []float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if len(c.queue) == 0 {
+		return nil, false
+	}
+	data = c.queue[0]
+	c.queue = c.queue[1:]
+	c.recvd++
+	return data, true
+}
+
+// TryRecv is Recv without blocking; ok reports whether a message was
+// available.
+func (c *Channel) TryRecv() (data []float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return nil, false
+	}
+	data = c.queue[0]
+	c.queue = c.queue[1:]
+	c.recvd++
+	return data, true
+}
+
+// Close ends the channel: subsequent Sends fail; Recv drains the queue
+// then reports !ok. Safe to call more than once.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.cond.Broadcast()
+}
+
+// Stats reports messages sent and received (diagnostics).
+func (c *Channel) Stats() (sent, received, pending int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent, c.recvd, len(c.queue)
+}
+
+// Pair creates a bidirectional link: two directed channels, one per
+// direction — the common pattern for coupled simulations.
+type Pair struct {
+	AtoB *Channel
+	BtoA *Channel
+}
+
+// NewPair creates both directions.
+func NewPair() Pair {
+	return Pair{AtoB: New(), BtoA: New()}
+}
+
+// Close closes both directions.
+func (p Pair) Close() {
+	p.AtoB.Close()
+	p.BtoA.Close()
+}

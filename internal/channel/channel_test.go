@@ -1,0 +1,167 @@
+package channel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecvFIFO(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		if err := c.Send([]float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := c.Recv()
+		if !ok || v[0] != float64(i) {
+			t.Fatalf("message %d = %v,%v", i, v, ok)
+		}
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	c := New()
+	got := make(chan []float64, 1)
+	go func() {
+		v, _ := c.Recv()
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("Recv returned %v before Send", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Send([]float64{9})
+	select {
+	case v := <-got:
+		if v[0] != 9 {
+			t.Fatalf("got %v", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("receiver never woke")
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	c := New()
+	buf := []float64{1, 2, 3}
+	c.Send(buf)
+	buf[0] = 99 // sender reuses its buffer
+	v, _ := c.Recv()
+	if v[0] != 1 {
+		t.Fatalf("message aliased sender storage: %v", v)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	c := New()
+	c.Send([]float64{1})
+	c.Close()
+	c.Close() // idempotent
+	if err := c.Send([]float64{2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after close: %v", err)
+	}
+	// Drain then end.
+	if v, ok := c.Recv(); !ok || v[0] != 1 {
+		t.Fatalf("drain = %v,%v", v, ok)
+	}
+	if _, ok := c.Recv(); ok {
+		t.Fatal("Recv after drain should report !ok")
+	}
+}
+
+func TestCloseWakesBlockedReceiver(t *testing.T) {
+	c := New()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := c.Recv()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv on closed empty channel reported ok")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked receiver not woken by Close")
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	c := New()
+	if _, ok := c.TryRecv(); ok {
+		t.Fatal("TryRecv on empty channel")
+	}
+	c.Send([]float64{5})
+	v, ok := c.TryRecv()
+	if !ok || v[0] != 5 {
+		t.Fatalf("TryRecv = %v,%v", v, ok)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	c.Send([]float64{1})
+	c.Send([]float64{2})
+	c.Recv()
+	sent, recvd, pending := c.Stats()
+	if sent != 2 || recvd != 1 || pending != 1 {
+		t.Fatalf("stats = %d,%d,%d", sent, recvd, pending)
+	}
+}
+
+func TestPair(t *testing.T) {
+	p := NewPair()
+	p.AtoB.Send([]float64{1})
+	p.BtoA.Send([]float64{2})
+	if v, _ := p.AtoB.Recv(); v[0] != 1 {
+		t.Fatal("AtoB broken")
+	}
+	if v, _ := p.BtoA.Recv(); v[0] != 2 {
+		t.Fatal("BtoA broken")
+	}
+	p.Close()
+	if err := p.AtoB.Send(nil); !errors.Is(err, ErrClosed) {
+		t.Fatal("Pair.Close did not close AtoB")
+	}
+}
+
+// Concurrent producers/consumers: every message delivered exactly once.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	c := New()
+	const producers = 4
+	const perProducer = 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				c.Send([]float64{float64(p*perProducer + i)})
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		c.Close()
+	}()
+	seen := map[float64]bool{}
+	for {
+		v, ok := c.Recv()
+		if !ok {
+			break
+		}
+		if seen[v[0]] {
+			t.Fatalf("duplicate message %v", v[0])
+		}
+		seen[v[0]] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d of %d", len(seen), producers*perProducer)
+	}
+}

@@ -1,0 +1,94 @@
+// Package compose provides PCN-style program composition (§A.1 of the
+// paper): sequential composition, parallel composition, and choice
+// composition with guards.
+//
+// In PCN a program is a composition of statements; executing a parallel
+// composition "is equivalent to creating a number of concurrently-executing
+// processes, one for each statement in the composition, and waiting for them
+// to terminate". Choice composition executes at most one of its guarded
+// elements. These combinators let the example programs in this repository
+// read like their PCN originals.
+package compose
+
+import "sync"
+
+// Seq executes fs in order ({ ; ... } in PCN). It exists for symmetry and
+// so composed program structure is explicit in example code.
+func Seq(fs ...func()) {
+	for _, f := range fs {
+		f()
+	}
+}
+
+// Par executes fs concurrently and waits for all of them to terminate
+// ({ || ... } in PCN).
+func Par(fs ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fs))
+	for _, f := range fs {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+// ParFor runs f(i) for i in [0,n) concurrently and waits for all; it is the
+// idiomatic form of a parallel composition over an index range (the paper's
+// quantified parallel composition).
+func ParFor(n int, f func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Guarded is one arm of a choice composition: Body runs only if Guard
+// evaluates true.
+type Guarded struct {
+	Guard func() bool
+	Body  func()
+}
+
+// When builds a Guarded arm.
+func When(guard func() bool, body func()) Guarded {
+	return Guarded{Guard: guard, Body: body}
+}
+
+// Default builds an always-true arm (PCN's "default ->").
+func Default(body func()) Guarded {
+	return Guarded{Guard: func() bool { return true }, Body: body}
+}
+
+// Choice evaluates the guards in order and executes the body of the first
+// arm whose guard is true ({ ? g1 -> s1, g2 -> s2, ... } in PCN). It
+// returns whether any arm ran. Like PCN, at most one arm executes; if no
+// guard is true, Choice does nothing.
+func Choice(arms ...Guarded) bool {
+	for _, a := range arms {
+		if a.Guard == nil || a.Guard() {
+			if a.Body != nil {
+				a.Body()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Loop repeatedly executes a choice composition until no guard fires,
+// mirroring the tail-recursive loops PCN programs use (e.g. the stream
+// pumps in §6.2). It returns the number of iterations performed.
+func Loop(arms ...Guarded) int {
+	n := 0
+	for Choice(arms...) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package compose
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqOrder(t *testing.T) {
+	var got []int
+	Seq(
+		func() { got = append(got, 1) },
+		func() { got = append(got, 2) },
+		func() { got = append(got, 3) },
+	)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Seq order = %v", got)
+	}
+}
+
+func TestParWaitsForAll(t *testing.T) {
+	var n atomic.Int64
+	fs := make([]func(), 50)
+	for i := range fs {
+		fs[i] = func() { n.Add(1) }
+	}
+	Par(fs...)
+	if n.Load() != 50 {
+		t.Fatalf("Par completed %d of 50", n.Load())
+	}
+}
+
+func TestParForCoversRange(t *testing.T) {
+	const n = 64
+	seen := make([]atomic.Bool, n)
+	ParFor(n, func(i int) { seen[i].Store(true) })
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("index %d not executed", i)
+		}
+	}
+}
+
+func TestParForZero(t *testing.T) {
+	ParFor(0, func(i int) { t.Fatal("body must not run") })
+}
+
+func TestChoiceFirstTrueGuardWins(t *testing.T) {
+	ran := ""
+	ok := Choice(
+		When(func() bool { return false }, func() { ran = "a" }),
+		When(func() bool { return true }, func() { ran = "b" }),
+		When(func() bool { return true }, func() { ran = "c" }),
+	)
+	if !ok || ran != "b" {
+		t.Fatalf("Choice ran %q, ok=%v", ran, ok)
+	}
+}
+
+func TestChoiceNoGuardTrue(t *testing.T) {
+	ok := Choice(
+		When(func() bool { return false }, func() { t.Fatal("must not run") }),
+	)
+	if ok {
+		t.Fatal("Choice reported an arm ran")
+	}
+}
+
+func TestDefaultArm(t *testing.T) {
+	ran := false
+	Choice(
+		When(func() bool { return false }, func() {}),
+		Default(func() { ran = true }),
+	)
+	if !ran {
+		t.Fatal("default arm did not run")
+	}
+}
+
+func TestLoopCountsIterations(t *testing.T) {
+	i := 0
+	n := Loop(
+		When(func() bool { return i < 5 }, func() { i++ }),
+	)
+	if n != 5 || i != 5 {
+		t.Fatalf("Loop ran %d times, i=%d", n, i)
+	}
+}
+
+// Property: Par over n increments always yields exactly n, for arbitrary n
+// in a small range.
+func TestQuickParCount(t *testing.T) {
+	f := func(k uint8) bool {
+		n := int(k % 64)
+		var c atomic.Int64
+		ParFor(n, func(int) { c.Add(1) })
+		return c.Load() == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Nested composition: two parallel blocks each containing a sequence, the
+// paper's §A.1 nesting example.
+func TestNestedComposition(t *testing.T) {
+	var a, b []int
+	Par(
+		func() { Seq(func() { a = append(a, 1) }, func() { a = append(a, 2) }) },
+		func() { Seq(func() { b = append(b, 3) }, func() { b = append(b, 4) }) },
+	)
+	if len(a) != 2 || a[0] != 1 || a[1] != 2 {
+		t.Fatalf("block A = %v", a)
+	}
+	if len(b) != 2 || b[0] != 3 || b[1] != 4 {
+		t.Fatalf("block B = %v", b)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+)
+
+// ElemTask is a task-parallel program invoked once per element of a
+// distributed array under the alternative integration model (§2.2). It
+// receives the machine (so it may spawn further processes, create arrays,
+// or make distributed calls), the element's global index, and accessors
+// for the element's value. The accessors operate through the array manager
+// on the processor owning the element.
+type ElemTask func(m *Machine, idx []int, get func() (float64, error), set func(float64) error) error
+
+// ForEachElement implements the paper's alternative model of integration
+// (§2.2): "calling a task-parallel program on a distributed data structure
+// is equivalent to calling it concurrently once for each element of the
+// distributed data structure, and each copy of the task-parallel program
+// can consist of multiple processes."
+//
+// One task-parallel process is created per element, placed on the
+// processor owning that element; ForEachElement returns when all copies
+// have terminated (so, like a distributed call, it is semantically a
+// sequential step of the enclosing data-parallel sequence). The first
+// error any copy reports is returned.
+func (m *Machine) ForEachElement(a *Array, task ElemTask) error {
+	meta, err := a.Meta()
+	if err != nil {
+		return err
+	}
+	n := grid.Size(meta.Dims)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for lin := 0; lin < n; lin++ {
+		idx, err := grid.Unflatten(lin, meta.Dims, grid.RowMajor)
+		if err != nil {
+			return err
+		}
+		owner, _, err := meta.Owner(idx)
+		if err != nil {
+			return err
+		}
+		lin, idx, owner := lin, idx, owner
+		wg.Add(1)
+		m.Go(owner, func(proc int) {
+			defer wg.Done()
+			get := func() (float64, error) { return a.ReadOn(proc, idx...) }
+			set := func(v float64) error { return a.WriteOn(proc, v, idx...) }
+			if err := task(m, idx, get, set); err != nil {
+				errs[lin] = fmt.Errorf("element %v: %w", idx, err)
+			}
+		})
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/compose"
+	"repro/internal/dcall"
+	"repro/internal/defval"
+	"repro/internal/spmd"
+)
+
+func TestForEachElementVisitsAllOnce(t *testing.T) {
+	m := newMachine(t, 4)
+	a, err := m.NewArray(ArraySpec{Dims: []int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visits atomic.Int64
+	if err := m.ForEachElement(a, func(m *Machine, idx []int, get func() (float64, error), set func(float64) error) error {
+		visits.Add(1)
+		return set(float64(10*idx[0] + idx[1]))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visits.Load() != 16 {
+		t.Fatalf("visited %d of 16 elements", visits.Load())
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if snap[i*4+j] != float64(10*i+j) {
+				t.Fatalf("element (%d,%d) = %v", i, j, snap[i*4+j])
+			}
+		}
+	}
+}
+
+// Each element task may itself be a multi-process task-parallel program:
+// here each spawns two processes synchronising through a definitional
+// variable, the §2.2 "each copy ... can consist of multiple processes".
+func TestElementTasksAreTaskParallel(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := m.NewArray(ArraySpec{Dims: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fill(func(idx []int) float64 { return float64(idx[0]) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ForEachElement(a, func(m *Machine, idx []int, get func() (float64, error), set func(float64) error) error {
+		doubled := defval.New[float64]()
+		var setErr error
+		compose.Par(
+			func() { // producer process
+				v, err := get()
+				if err != nil {
+					doubled.MustDefine(0)
+					setErr = err
+					return
+				}
+				doubled.MustDefine(2 * v)
+			},
+			func() { // consumer process
+				setErr = set(doubled.Value() + 1)
+			},
+		)
+		return setErr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := a.Snapshot()
+	for i, v := range snap {
+		if v != float64(2*i+1) {
+			t.Fatalf("element %d = %v, want %d", i, v, 2*i+1)
+		}
+	}
+}
+
+func TestForEachElementPropagatesErrors(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := m.NewArray(ArraySpec{Dims: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err = m.ForEachElement(a, func(m *Machine, idx []int, get func() (float64, error), set func(float64) error) error {
+		if idx[0] == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForEachElementFreedArray(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := m.NewArray(ArraySpec{Dims: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ForEachElement(a, func(*Machine, []int, func() (float64, error), func(float64) error) error {
+		return nil
+	}); err == nil {
+		t.Fatal("freed array must fail")
+	}
+}
+
+// Element tasks may make distributed calls — full recursion of the two
+// models: data-parallel array -> per-element task-parallel program ->
+// distributed call.
+func TestElementTaskMakesDistributedCall(t *testing.T) {
+	m := newMachine(t, 2)
+	outer, err := m.NewArray(ArraySpec{Dims: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := m.NewArray(ArraySpec{Dims: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Fill(func(idx []int) float64 { return float64(idx[0] + 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ForEachElement(outer, func(m *Machine, idx []int, get func() (float64, error), set func(float64) error) error {
+		// Sum the inner array via a distributed call with a reduction.
+		out := defval.New[[]float64]()
+		add := func(a, b []float64) []float64 { return []float64{a[0] + b[0]} }
+		if err := m.CallFn(m.AllProcs(), func(w *spmd.World, args *dcall.Args) {
+			s := 0.0
+			for _, v := range args.Section(0).F {
+				s += v
+			}
+			args.Reduction(1)[0] = s
+		}, inner.Param(), dcall.Reduce(1, add, out)); err != nil {
+			return err
+		}
+		return set(out.Value()[0] * float64(idx[0]+1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := outer.Snapshot()
+	if snap[0] != 3 || snap[1] != 6 {
+		t.Fatalf("outer = %v", snap)
+	}
+}

@@ -1,0 +1,309 @@
+// Package core is the public face of the library: it ties together the
+// virtual-processor machine, the array manager, and the distributed-call
+// runtime into the integrated task/data-parallel programming model of the
+// paper (§2–§3).
+//
+// A core.Machine gives a task-parallel Go program exactly the two
+// operations the model adds to a task-parallel notation's repertoire
+// (§2.1):
+//
+//   - creation and manipulation of distributed arrays, viewed globally
+//     (NewArray, Array.Read/Write/Verify/Free, ...);
+//   - distributed calls to SPMD data-parallel programs, semantically
+//     equivalent to sequential subprogram calls (Register, Call, CallFn).
+//
+// Task-parallel structure itself is expressed with ordinary goroutines or
+// the compose package; synchronisation uses defval/stream, the Go rendering
+// of PCN's definitional variables.
+//
+// Package am exposes the same functionality in the paper's §4 library-
+// procedure shapes (status codes instead of errors); this package is the
+// API a Go user would actually program against.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arraymgr"
+	"repro/internal/darray"
+	"repro/internal/dcall"
+	"repro/internal/grid"
+	"repro/internal/vp"
+)
+
+// StatusError wraps a non-OK array-manager or distributed-call status.
+type StatusError struct {
+	Op     string
+	Status arraymgr.Status
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("core: %s: %v", e.Op, e.Status)
+}
+
+// Is makes errors.Is(err, ErrNotFound)-style checks work.
+func (e *StatusError) Is(target error) bool {
+	t, ok := target.(*StatusError)
+	return ok && t.Status == e.Status && (t.Op == "" || t.Op == e.Op)
+}
+
+// Sentinel errors for the three failure statuses.
+var (
+	ErrInvalid  = &StatusError{Status: arraymgr.StatusInvalid}
+	ErrNotFound = &StatusError{Status: arraymgr.StatusNotFound}
+	ErrSystem   = &StatusError{Status: arraymgr.StatusError}
+)
+
+func statusErr(op string, st arraymgr.Status) error {
+	if st == arraymgr.StatusOK {
+		return nil
+	}
+	return &StatusError{Op: op, Status: st}
+}
+
+// Machine is an integrated task/data-parallel machine of P virtual
+// processors with a running array manager and distributed-call runtime.
+type Machine struct {
+	VM *vp.Machine
+	AM *arraymgr.Manager
+	RT *dcall.Runtime
+}
+
+// New boots a machine with p virtual processors: the equivalent of starting
+// PCN with the array manager loaded on every processor (§B.3).
+func New(p int) *Machine {
+	vm := vp.NewMachine(p)
+	am := arraymgr.New(vm)
+	rt := dcall.NewRuntime(vm, am)
+	return &Machine{VM: vm, AM: am, RT: rt}
+}
+
+// Close shuts the machine down, releasing all blocked processes.
+func (m *Machine) Close() { m.VM.Shutdown() }
+
+// P returns the number of virtual processors.
+func (m *Machine) P() int { return m.VM.P() }
+
+// AllProcs returns processor numbers 0..P-1.
+func (m *Machine) AllProcs() []int { return m.VM.AllProcs() }
+
+// Procs returns the patterned processor array {first, first+stride, ...}
+// of length count (am_util_node_array, §C.2).
+func (m *Machine) Procs(first, stride, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = first + i*stride
+	}
+	return out
+}
+
+// Go spawns a task-parallel process on a processor; Wait joins all such
+// processes.
+func (m *Machine) Go(proc int, f func(proc int)) { m.VM.Go(proc, f) }
+
+// Wait blocks until all processes started with Go have terminated.
+func (m *Machine) Wait() { m.VM.Wait() }
+
+// ArraySpec describes a distributed array to create. Zero values choose
+// the defaults noted on each field.
+type ArraySpec struct {
+	Type     darray.ElemType     // default Double
+	Dims     []int               // required
+	Procs    []int               // default: all processors
+	Distrib  []grid.Decomp       // default: block in every dimension
+	Borders  arraymgr.BorderSpec // default: no borders
+	Indexing grid.Indexing       // default: row-major
+	OnProc   int                 // processor making the request; default 0
+}
+
+// Array is a handle to a distributed array, carrying its globally unique
+// ID. All methods operate through the array manager, preserving the
+// global view of §3.2.1.5.
+type Array struct {
+	m  *Machine
+	id darray.ID
+	// onProc is the processor used for global operations (the creator).
+	onProc int
+}
+
+// NewArray creates a distributed array (am_user_create_array).
+func (m *Machine) NewArray(spec ArraySpec) (*Array, error) {
+	procs := spec.Procs
+	if procs == nil {
+		procs = m.AllProcs()
+	}
+	distrib := spec.Distrib
+	if distrib == nil {
+		distrib = make([]grid.Decomp, len(spec.Dims))
+		for i := range distrib {
+			distrib[i] = grid.BlockDefault()
+		}
+	}
+	borders := spec.Borders
+	if borders == nil {
+		borders = arraymgr.NoBorderSpec{}
+	}
+	id, st := m.AM.CreateArray(spec.OnProc, arraymgr.CreateSpec{
+		Type: spec.Type, Dims: spec.Dims, Procs: procs,
+		Distrib: distrib, Borders: borders, Indexing: spec.Indexing,
+	})
+	if st != arraymgr.StatusOK {
+		return nil, statusErr("create_array", st)
+	}
+	return &Array{m: m, id: id, onProc: spec.OnProc}, nil
+}
+
+// ID returns the array's globally unique identifier.
+func (a *Array) ID() darray.ID { return a.id }
+
+// Param returns the distributed-call parameter passing this array's local
+// sections ({"local", ArrayID} in the paper's syntax).
+func (a *Array) Param() dcall.Param { return dcall.Local(a.id) }
+
+// Read reads one element by global indices (am_user_read_element).
+func (a *Array) Read(idx ...int) (float64, error) {
+	v, st := a.m.AM.ReadElement(a.onProc, a.id, idx)
+	return v, statusErr("read_element", st)
+}
+
+// Write writes one element by global indices (am_user_write_element).
+func (a *Array) Write(v float64, idx ...int) error {
+	return statusErr("write_element", a.m.AM.WriteElement(a.onProc, a.id, idx, v))
+}
+
+// ReadOn / WriteOn perform the operation from a specific processor
+// (identical results on any processor holding a section or the creator).
+func (a *Array) ReadOn(proc int, idx ...int) (float64, error) {
+	v, st := a.m.AM.ReadElement(proc, a.id, idx)
+	return v, statusErr("read_element", st)
+}
+
+// WriteOn writes one element from a specific processor.
+func (a *Array) WriteOn(proc int, v float64, idx ...int) error {
+	return statusErr("write_element", a.m.AM.WriteElement(proc, a.id, idx, v))
+}
+
+// Free deletes the array (am_user_free_array); subsequent operations fail
+// with ErrNotFound.
+func (a *Array) Free() error {
+	return statusErr("free_array", a.m.AM.FreeArray(a.onProc, a.id))
+}
+
+// Meta returns the array's full metadata.
+func (a *Array) Meta() (*darray.Meta, error) {
+	meta, st := a.m.AM.Meta(a.onProc, a.id)
+	return meta, statusErr("find_info", st)
+}
+
+// Verify checks indexing and borders, reallocating local sections with the
+// expected borders if they differ (am_user_verify_array).
+func (a *Array) Verify(ndims int, borders arraymgr.BorderSpec, ix grid.Indexing) error {
+	return statusErr("verify_array", a.m.AM.VerifyArray(a.onProc, a.id, ndims, borders, ix))
+}
+
+// Fill writes f(idx) to every element, iterating the global index space in
+// row-major order. A task-level convenience built on write_element.
+func (a *Array) Fill(f func(idx []int) float64) error {
+	meta, err := a.Meta()
+	if err != nil {
+		return err
+	}
+	n := grid.Size(meta.Dims)
+	for lin := 0; lin < n; lin++ {
+		idx, err := grid.Unflatten(lin, meta.Dims, grid.RowMajor)
+		if err != nil {
+			return err
+		}
+		if err := a.Write(f(idx), idx...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot reads the whole array into a dense row-major []float64. A
+// task-level convenience built on read_element.
+func (a *Array) Snapshot() ([]float64, error) {
+	meta, err := a.Meta()
+	if err != nil {
+		return nil, err
+	}
+	n := grid.Size(meta.Dims)
+	out := make([]float64, n)
+	for lin := 0; lin < n; lin++ {
+		idx, err := grid.Unflatten(lin, meta.Dims, grid.RowMajor)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.Read(idx...)
+		if err != nil {
+			return nil, err
+		}
+		out[lin] = v
+	}
+	return out, nil
+}
+
+// Register adds a named data-parallel program to the machine's registry
+// (the analogue of linking data-parallel object code, §B.2).
+func (m *Machine) Register(name string, body dcall.Program) error {
+	return m.RT.Register(dcall.Registered{Name: name, Body: body})
+}
+
+// RegisterWithBorders registers a program together with its border
+// callback (the Program_ routine of the foreign_borders protocol).
+func (m *Machine) RegisterWithBorders(name string, body dcall.Program, borders dcall.BorderFn) error {
+	return m.RT.Register(dcall.Registered{Name: name, Body: body, Borders: borders})
+}
+
+// Call makes a distributed call to a registered program on the given
+// processors from processor 0 and converts the merged status to an error.
+func (m *Machine) Call(procs []int, program string, params ...dcall.Param) error {
+	return callStatusErr(program, m.RT.Call(0, procs, program, params))
+}
+
+// CallOn is Call from an explicit calling processor.
+func (m *Machine) CallOn(caller int, procs []int, program string, params ...dcall.Param) error {
+	return callStatusErr(program, m.RT.Call(caller, procs, program, params))
+}
+
+// CallFn makes a distributed call to an anonymous program body.
+func (m *Machine) CallFn(procs []int, body dcall.Program, params ...dcall.Param) error {
+	return callStatusErr("(fn)", m.RT.CallFn(0, procs, body, params))
+}
+
+// CallStatus is Call returning the raw merged status (needed when the
+// called program uses the status variable to return a value rather than to
+// signal failure).
+func (m *Machine) CallStatus(procs []int, program string, params ...dcall.Param) int {
+	return m.RT.Call(0, procs, program, params)
+}
+
+// CallFnStatus is CallFn returning the raw merged status.
+func (m *Machine) CallFnStatus(procs []int, body dcall.Program, params ...dcall.Param) int {
+	return m.RT.CallFn(0, procs, body, params)
+}
+
+func callStatusErr(program string, st int) error {
+	if st == dcall.StatusOK {
+		return nil
+	}
+	if st == dcall.StatusInvalid || st == dcall.StatusNotFound || st == dcall.StatusError {
+		return fmt.Errorf("core: distributed call %s: %w", program, statusErr("distributed_call", arraymgr.Status(st)))
+	}
+	return fmt.Errorf("core: distributed call %s: status %d", program, st)
+}
+
+// IsStatus reports whether err carries the given status code.
+func IsStatus(err error, st arraymgr.Status) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == st
+}
+
+// ForeignBordersOf returns the BorderSpec that defers border sizes to the
+// named registered program's border callback for the given parameter
+// number — the paper's {"foreign_borders", Program, Parm_num} option.
+func ForeignBordersOf(program string, parmNum int) arraymgr.BorderSpec {
+	return arraymgr.ForeignBorders{Program: program, ParmNum: parmNum}
+}

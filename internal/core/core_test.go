@@ -1,0 +1,253 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arraymgr"
+	"repro/internal/darray"
+	"repro/internal/dcall"
+	"repro/internal/defval"
+	"repro/internal/grid"
+	"repro/internal/spmd"
+)
+
+func newMachine(t *testing.T, p int) *Machine {
+	t.Helper()
+	m := New(p)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestMachineBasics(t *testing.T) {
+	m := newMachine(t, 4)
+	if m.P() != 4 {
+		t.Fatalf("P = %d", m.P())
+	}
+	if got := m.Procs(1, 2, 3); !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Fatalf("Procs = %v", got)
+	}
+	if got := m.AllProcs(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("AllProcs = %v", got)
+	}
+}
+
+func TestArrayLifecycle(t *testing.T) {
+	m := newMachine(t, 4)
+	a, err := m.NewArray(ArraySpec{Dims: []int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Write(3.5, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Read(1, 2)
+	if err != nil || v != 3.5 {
+		t.Fatalf("Read = %v, %v", v, err)
+	}
+	meta, err := a.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(meta.GridDims, []int{2, 2}) {
+		t.Fatalf("grid = %v", meta.GridDims)
+	}
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Read(0, 0); !IsStatus(err, arraymgr.StatusNotFound) {
+		t.Fatalf("read after free: %v", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := newMachine(t, 4)
+	a, err := m.NewArray(ArraySpec{Dims: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := a.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Type != darray.Double || meta.Indexing != grid.RowMajor {
+		t.Fatalf("defaults: %+v", meta)
+	}
+	if !reflect.DeepEqual(meta.Procs, []int{0, 1, 2, 3}) {
+		t.Fatalf("default procs = %v", meta.Procs)
+	}
+	if !reflect.DeepEqual(meta.Borders, []int{0, 0}) {
+		t.Fatalf("default borders = %v", meta.Borders)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	m := newMachine(t, 4)
+	if _, err := m.NewArray(ArraySpec{Dims: []int{5}, Procs: []int{0, 1}}); !IsStatus(err, arraymgr.StatusInvalid) {
+		t.Fatalf("indivisible dims: %v", err)
+	}
+	if _, err := m.NewArray(ArraySpec{}); !IsStatus(err, arraymgr.StatusInvalid) {
+		t.Fatalf("missing dims: %v", err)
+	}
+}
+
+func TestFillAndSnapshot(t *testing.T) {
+	m := newMachine(t, 4)
+	a, err := m.NewArray(ArraySpec{Dims: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fill(func(idx []int) float64 { return float64(10*idx[0] + idx[1]) }); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 2, 3, 10, 11, 12, 13}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRegisterAndCall(t *testing.T) {
+	m := newMachine(t, 4)
+	if err := m.Register("scale2", func(w *spmd.World, a *dcall.Args) {
+		sec := a.Section(0)
+		for i := range sec.F {
+			sec.F[i] *= 2
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.NewArray(ArraySpec{Dims: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fill(func(idx []int) float64 { return float64(idx[0]) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Call(m.AllProcs(), "scale2", a.Param()); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := a.Snapshot()
+	for i, v := range snap {
+		if v != float64(2*i) {
+			t.Fatalf("element %d = %v", i, v)
+		}
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	m := newMachine(t, 2)
+	if err := m.Call(m.AllProcs(), "unknown"); err == nil {
+		t.Fatal("unknown program must error")
+	}
+	if err := m.CallFn(nil, func(w *spmd.World, a *dcall.Args) {}); err == nil {
+		t.Fatal("empty group must error")
+	}
+	// Program panic surfaces as system error.
+	err := m.CallFn(m.AllProcs(), func(w *spmd.World, a *dcall.Args) { panic("x") })
+	if !IsStatus(err, arraymgr.StatusError) {
+		t.Fatalf("panic: %v", err)
+	}
+}
+
+func TestCallStatusRaw(t *testing.T) {
+	m := newMachine(t, 3)
+	st := m.CallFnStatus(m.AllProcs(), func(w *spmd.World, a *dcall.Args) {
+		a.SetStatus(0, 100+w.Rank())
+	}, dcall.Status())
+	if st != 102 {
+		t.Fatalf("raw status = %d", st)
+	}
+}
+
+func TestCallWithReduction(t *testing.T) {
+	m := newMachine(t, 4)
+	out := defval.New[[]float64]()
+	sum := func(a, b []float64) []float64 { return []float64{a[0] + b[0]} }
+	if err := m.CallFn(m.AllProcs(), func(w *spmd.World, a *dcall.Args) {
+		a.Reduction(0)[0] = float64(w.Rank() + 1)
+	}, dcall.Reduce(1, sum, out)); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Value()[0]; got != 10 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestVerifyThroughFacade(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := m.NewArray(ArraySpec{Dims: []int{4}, Borders: arraymgr.ExplicitBorders{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Write(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(1, arraymgr.ExplicitBorders{2, 2}, grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Read(2)
+	if err != nil || v != 5 {
+		t.Fatalf("after verify: %v, %v", v, err)
+	}
+	if err := a.Verify(1, arraymgr.ExplicitBorders{2, 2}, grid.ColMajor); !IsStatus(err, arraymgr.StatusInvalid) {
+		t.Fatalf("wrong indexing: %v", err)
+	}
+}
+
+func TestTaskParallelProcessesWithGoWait(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := m.NewArray(ArraySpec{Dims: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := defval.NewSignal()
+	m.Go(0, func(proc int) {
+		if err := a.WriteOn(proc, 1, 0); err != nil {
+			t.Error(err)
+		}
+		defval.Fire(done)
+	})
+	m.Go(1, func(proc int) {
+		defval.Wait(done) // task-level synchronisation via definitional var
+		v, err := a.ReadOn(proc, 0)
+		if err != nil || v != 1 {
+			t.Errorf("read = %v, %v", v, err)
+		}
+	})
+	m.Wait()
+}
+
+func TestStatusErrorFormatting(t *testing.T) {
+	err := &StatusError{Op: "read_element", Status: arraymgr.StatusNotFound}
+	if err.Error() != "core: read_element: STATUS_NOT_FOUND" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+	if !IsStatus(err, arraymgr.StatusNotFound) || IsStatus(err, arraymgr.StatusInvalid) {
+		t.Fatal("IsStatus broken")
+	}
+	if IsStatus(nil, arraymgr.StatusOK) {
+		t.Fatal("IsStatus(nil) should be false")
+	}
+}
+
+func TestArrayParamHelper(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := m.NewArray(ArraySpec{Dims: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CallFn(m.AllProcs(), func(w *spmd.World, args *dcall.Args) {
+		args.Section(0).F[0] = float64(w.Rank() + 1)
+	}, a.Param()); err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := a.Read(0)
+	v2, _ := a.Read(2)
+	if v0 != 1 || v2 != 2 {
+		t.Fatalf("sections = %v, %v", v0, v2)
+	}
+}

@@ -1,0 +1,286 @@
+// Package darray defines the representation of distributed arrays
+// (§3.2.1, §5.1.3 of the paper): global metadata, local sections, and
+// border (overlap-area) bookkeeping.
+//
+// A distributed N-dimensional array is partitioned into N-dimensional
+// contiguous subarrays called local sections, one per cell of a processor
+// grid. Each local section is a flat piece of contiguous storage; it may be
+// surrounded by borders used internally by data-parallel notations (the
+// paper supports Fortran D's overlap areas this way). Programs in the
+// task-parallel notation can access only the interior (non-border)
+// elements; border locations are accessible only to the called
+// data-parallel program.
+package darray
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// ElemType is the element type of a distributed array. The prototype (and
+// this reproduction) supports the paper's two types, int and double.
+type ElemType uint8
+
+const (
+	// Double is the paper's "double" element type.
+	Double ElemType = iota
+	// Int is the paper's "int" element type.
+	Int
+)
+
+func (t ElemType) String() string {
+	if t == Int {
+		return "int"
+	}
+	return "double"
+}
+
+// ParseElemType accepts the paper's spellings "int" and "double".
+func ParseElemType(s string) (ElemType, error) {
+	switch s {
+	case "int":
+		return Int, nil
+	case "double":
+		return Double, nil
+	default:
+		return Double, fmt.Errorf("darray: unknown element type %q (want \"int\" or \"double\")", s)
+	}
+}
+
+// ID is the globally unique identifier of a distributed array: "a tuple of
+// integers (the processor number on which the original array-creation
+// request was made, plus an integer that distinguishes this array from
+// others created on the same processor)" (§4.1.3). It is analogous to a
+// file pointer in C.
+type ID struct {
+	Proc int
+	Seq  int
+}
+
+func (id ID) String() string { return fmt.Sprintf("{%d,%d}", id.Proc, id.Seq) }
+
+// Meta is the internal representation of a distributed array (§5.1.3's
+// array-representation tuple). The representation deliberately stores
+// derivable quantities (local dimensions etc.): "we choose to compute the
+// information once and store it rather than computing it repeatedly".
+type Meta struct {
+	ID            ID
+	Type          ElemType
+	Dims          []int // global array dimensions
+	Procs         []int // processor numbers over which the array is distributed
+	GridDims      []int // processor-grid dimensions
+	LocalDims     []int // local-section dimensions, excluding borders
+	Borders       []int // length 2*N: leading/trailing border per dimension
+	LocalDimsPlus []int // local-section dimensions including borders
+	Indexing      grid.Indexing
+	GridIndexing  grid.Indexing
+}
+
+// NDims returns the number of dimensions.
+func (m *Meta) NDims() int { return len(m.Dims) }
+
+// GridSize returns the number of local sections (grid cells).
+func (m *Meta) GridSize() int { return grid.Size(m.GridDims) }
+
+// LocalInteriorSize returns the element count of a local section's
+// interior.
+func (m *Meta) LocalInteriorSize() int { return grid.Size(m.LocalDims) }
+
+// LocalStorageSize returns the element count of a local section including
+// borders.
+func (m *Meta) LocalStorageSize() int { return grid.Size(m.LocalDimsPlus) }
+
+// SectionProcs returns the processor numbers that actually hold local
+// sections: the first GridSize entries of Procs (a grid may use fewer
+// processors than were supplied, since the product of grid dimensions need
+// only be <= P).
+func (m *Meta) SectionProcs() []int { return m.Procs[:m.GridSize()] }
+
+// HoldsSection reports whether processor proc owns a local section of the
+// array, and if so its slot in the processor array.
+func (m *Meta) HoldsSection(proc int) (slot int, ok bool) {
+	for i, p := range m.SectionProcs() {
+		if p == proc {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Clone returns a deep copy of the metadata.
+func (m *Meta) Clone() *Meta {
+	c := *m
+	c.Dims = append([]int(nil), m.Dims...)
+	c.Procs = append([]int(nil), m.Procs...)
+	c.GridDims = append([]int(nil), m.GridDims...)
+	c.LocalDims = append([]int(nil), m.LocalDims...)
+	c.Borders = append([]int(nil), m.Borders...)
+	c.LocalDimsPlus = append([]int(nil), m.LocalDimsPlus...)
+	return &c
+}
+
+// ErrBadBorders reports malformed border specifications.
+var ErrBadBorders = errors.New("darray: invalid borders")
+
+// CheckBorders validates a border array for an ndims-dimensional array:
+// length 2*ndims, entries >= 0. Elements 2i and 2i+1 specify the border on
+// either side of dimension i (§4.2.1).
+func CheckBorders(borders []int, ndims int) error {
+	if len(borders) != 2*ndims {
+		return fmt.Errorf("%w: %d entries for %d dimensions (want %d)", ErrBadBorders, len(borders), ndims, 2*ndims)
+	}
+	for i, b := range borders {
+		if b < 0 {
+			return fmt.Errorf("%w: negative border %d at position %d", ErrBadBorders, b, i)
+		}
+	}
+	return nil
+}
+
+// DimsPlus returns localDims widened by the borders.
+func DimsPlus(localDims, borders []int) ([]int, error) {
+	if err := CheckBorders(borders, len(localDims)); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(localDims))
+	for i := range localDims {
+		out[i] = localDims[i] + borders[2*i] + borders[2*i+1]
+	}
+	return out, nil
+}
+
+// StorageOffset maps an interior local index tuple to its flat offset
+// within the bordered local-section storage.
+func StorageOffset(lidx, localDims, borders []int, ix grid.Indexing) (int, error) {
+	if err := grid.CheckIndex(lidx, localDims); err != nil {
+		return 0, err
+	}
+	plus, err := DimsPlus(localDims, borders)
+	if err != nil {
+		return 0, err
+	}
+	shifted := make([]int, len(lidx))
+	for i := range lidx {
+		shifted[i] = lidx[i] + borders[2*i]
+	}
+	return grid.Flatten(shifted, plus, ix)
+}
+
+// Owner resolves a global index tuple to the owning processor number and
+// the flat storage offset of the element within that processor's (bordered)
+// local section — the {processor-reference, local-indices} pair of
+// §3.2.1.1, composed with border displacement.
+func (m *Meta) Owner(gidx []int) (proc, storageOff int, err error) {
+	coord, lidx, err := grid.GlobalToLocal(gidx, m.Dims, m.GridDims)
+	if err != nil {
+		return 0, 0, err
+	}
+	slot, err := grid.ProcSlot(coord, m.GridDims, m.GridIndexing)
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := StorageOffset(lidx, m.LocalDims, m.Borders, m.Indexing)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.Procs[slot], off, nil
+}
+
+// Section is the storage for one local section, including borders. Exactly
+// one of F and I is non-nil, matching the element type. A Section plays the
+// role of the paper's pseudo-definitional array: it is created by the array
+// manager, handed to data-parallel programs as a mutable flat array, and
+// invalidated when the distributed array is freed.
+type Section struct {
+	Type ElemType
+	F    []float64
+	I    []int64
+}
+
+// NewSection allocates zeroed storage for n elements of type t.
+func NewSection(t ElemType, n int) *Section {
+	s := &Section{Type: t}
+	if t == Int {
+		s.I = make([]int64, n)
+	} else {
+		s.F = make([]float64, n)
+	}
+	return s
+}
+
+// Len returns the number of elements, including borders.
+func (s *Section) Len() int {
+	if s.Type == Int {
+		return len(s.I)
+	}
+	return len(s.F)
+}
+
+// GetFloat reads element off as a float64, converting for Int arrays.
+func (s *Section) GetFloat(off int) float64 {
+	if s.Type == Int {
+		return float64(s.I[off])
+	}
+	return s.F[off]
+}
+
+// SetFloat writes element off from a float64, truncating for Int arrays.
+func (s *Section) SetFloat(off int, v float64) {
+	if s.Type == Int {
+		s.I[off] = int64(v)
+	} else {
+		s.F[off] = v
+	}
+}
+
+// CopyInterior copies the interior (non-border) data of src into dst, where
+// the two sections belong to local sections of the same interior dimensions
+// but possibly different borders. It implements the data movement of the
+// copy_local request used by verify_array (§5.1.1): reallocating local
+// sections with new borders preserves interior data, while border contents
+// are not preserved.
+func CopyInterior(dst, src *Section, localDims, dstBorders, srcBorders []int, ix grid.Indexing) error {
+	if dst.Type != src.Type {
+		return fmt.Errorf("darray: copy between element types %v and %v", dst.Type, src.Type)
+	}
+	n := grid.Size(localDims)
+	for lin := 0; lin < n; lin++ {
+		lidx, err := grid.Unflatten(lin, localDims, ix)
+		if err != nil {
+			return err
+		}
+		so, err := StorageOffset(lidx, localDims, srcBorders, ix)
+		if err != nil {
+			return err
+		}
+		do, err := StorageOffset(lidx, localDims, dstBorders, ix)
+		if err != nil {
+			return err
+		}
+		if dst.Type == Int {
+			dst.I[do] = src.I[so]
+		} else {
+			dst.F[do] = src.F[so]
+		}
+	}
+	return nil
+}
+
+// NoBorders returns an all-zero border array for ndims dimensions,
+// equivalent to the paper's Border_info = 0.
+func NoBorders(ndims int) []int { return make([]int, 2*ndims) }
+
+// EqualInts reports element-wise equality of two int slices.
+func EqualInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,300 @@
+package darray
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func testMeta(t *testing.T) *Meta {
+	t.Helper()
+	// 4x6 double array over 4 procs as a 2x2 grid, borders {1,1,2,2}.
+	localDims := []int{2, 3}
+	borders := []int{1, 1, 2, 2}
+	plus, err := DimsPlus(localDims, borders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Meta{
+		ID:            ID{Proc: 0, Seq: 1},
+		Type:          Double,
+		Dims:          []int{4, 6},
+		Procs:         []int{0, 1, 2, 3},
+		GridDims:      []int{2, 2},
+		LocalDims:     localDims,
+		Borders:       borders,
+		LocalDimsPlus: plus,
+		Indexing:      grid.RowMajor,
+		GridIndexing:  grid.RowMajor,
+	}
+}
+
+func TestMetaSizes(t *testing.T) {
+	m := testMeta(t)
+	if m.NDims() != 2 {
+		t.Fatalf("NDims = %d", m.NDims())
+	}
+	if m.GridSize() != 4 {
+		t.Fatalf("GridSize = %d", m.GridSize())
+	}
+	if m.LocalInteriorSize() != 6 {
+		t.Fatalf("interior = %d", m.LocalInteriorSize())
+	}
+	// Fig 3.7 arithmetic: (2+1+1) x (3+2+2) = 4x7 = 28.
+	if m.LocalStorageSize() != 28 {
+		t.Fatalf("storage = %d", m.LocalStorageSize())
+	}
+}
+
+// Figure 3.7: a local section of dims {3,4} with borders 1 (rows) and 2
+// (columns) has bordered dims {5, 8}.
+func TestFig37BorderedDims(t *testing.T) {
+	plus, err := DimsPlus([]int{3, 4}, []int{1, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plus, []int{5, 8}) {
+		t.Fatalf("plus = %v, want [5 8]", plus)
+	}
+}
+
+func TestCheckBorders(t *testing.T) {
+	if err := CheckBorders([]int{0, 0, 0, 0}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBorders([]int{1, 2}, 2); err == nil {
+		t.Fatal("short borders must fail")
+	}
+	if err := CheckBorders([]int{1, -1}, 1); err == nil {
+		t.Fatal("negative border must fail")
+	}
+}
+
+func TestStorageOffsetWithBorders(t *testing.T) {
+	// Local section 2x3 with borders {1,1,2,2}: storage is 4x7 row-major.
+	// Interior (0,0) lives at storage (1,2) = 1*7+2 = 9.
+	off, err := StorageOffset([]int{0, 0}, []int{2, 3}, []int{1, 1, 2, 2}, grid.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 9 {
+		t.Fatalf("offset = %d, want 9", off)
+	}
+	// Interior (1,2) -> storage (2,4) = 2*7+4 = 18.
+	off, err = StorageOffset([]int{1, 2}, []int{2, 3}, []int{1, 1, 2, 2}, grid.RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 18 {
+		t.Fatalf("offset = %d, want 18", off)
+	}
+	if _, err := StorageOffset([]int{2, 0}, []int{2, 3}, []int{1, 1, 2, 2}, grid.RowMajor); err == nil {
+		t.Fatal("out-of-interior index must fail")
+	}
+}
+
+func TestOwnerMapping(t *testing.T) {
+	m := testMeta(t)
+	// Global (2,3): grid coord (1,1) -> slot 3 -> proc 3; local (0,0) ->
+	// storage offset 9 (borders {1,1,2,2}, storage 4x7).
+	proc, off, err := m.Owner([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc != 3 || off != 9 {
+		t.Fatalf("Owner = (proc %d, off %d), want (3, 9)", proc, off)
+	}
+	if _, _, err := m.Owner([]int{4, 0}); err == nil {
+		t.Fatal("out-of-range global index must fail")
+	}
+}
+
+// Every global element maps to exactly one (proc, offset) pair and all
+// offsets are interior (Fig 3.1 partitioning invariant, with borders).
+func TestOwnerBijectionWithBorders(t *testing.T) {
+	m := testMeta(t)
+	type key struct{ proc, off int }
+	seen := map[key]bool{}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			proc, off, err := m.Owner([]int{i, j})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := key{proc, off}
+			if seen[k] {
+				t.Fatalf("duplicate mapping for (%d,%d): %v", i, j, k)
+			}
+			seen[k] = true
+			if off < 0 || off >= m.LocalStorageSize() {
+				t.Fatalf("offset %d outside storage", off)
+			}
+		}
+	}
+	if len(seen) != 24 {
+		t.Fatalf("%d mappings, want 24", len(seen))
+	}
+}
+
+func TestSectionTypes(t *testing.T) {
+	f := NewSection(Double, 5)
+	if f.Len() != 5 || f.F == nil || f.I != nil {
+		t.Fatalf("double section malformed: %+v", f)
+	}
+	f.SetFloat(2, 3.5)
+	if f.GetFloat(2) != 3.5 {
+		t.Fatal("double round trip failed")
+	}
+
+	i := NewSection(Int, 4)
+	if i.Len() != 4 || i.I == nil || i.F != nil {
+		t.Fatalf("int section malformed: %+v", i)
+	}
+	i.SetFloat(1, 7.9) // truncates
+	if i.GetFloat(1) != 7 {
+		t.Fatalf("int conversion: got %v", i.GetFloat(1))
+	}
+}
+
+func TestCopyInteriorPreservesData(t *testing.T) {
+	localDims := []int{2, 3}
+	srcBorders := []int{0, 0, 0, 0}
+	dstBorders := []int{1, 1, 2, 2}
+	srcPlus, _ := DimsPlus(localDims, srcBorders)
+	dstPlus, _ := DimsPlus(localDims, dstBorders)
+
+	src := NewSection(Double, grid.Size(srcPlus))
+	dst := NewSection(Double, grid.Size(dstPlus))
+	for k := range src.F {
+		src.F[k] = float64(k + 1)
+	}
+	if err := CopyInterior(dst, src, localDims, dstBorders, srcBorders, grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	// Check all interior elements survived.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			so, _ := StorageOffset([]int{i, j}, localDims, srcBorders, grid.RowMajor)
+			do, _ := StorageOffset([]int{i, j}, localDims, dstBorders, grid.RowMajor)
+			if dst.F[do] != src.F[so] {
+				t.Fatalf("interior (%d,%d) lost: %v != %v", i, j, dst.F[do], src.F[so])
+			}
+		}
+	}
+}
+
+// Property: CopyInterior is lossless for random shapes/borders/orderings in
+// both directions (adding and removing borders).
+func TestQuickCopyInteriorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 300; iter++ {
+		nd := rng.Intn(3) + 1
+		localDims := make([]int, nd)
+		bA := make([]int, 2*nd)
+		bB := make([]int, 2*nd)
+		for i := 0; i < nd; i++ {
+			localDims[i] = rng.Intn(4) + 1
+			bA[2*i], bA[2*i+1] = rng.Intn(3), rng.Intn(3)
+			bB[2*i], bB[2*i+1] = rng.Intn(3), rng.Intn(3)
+		}
+		ix := grid.Indexing(rng.Intn(2))
+		plusA, _ := DimsPlus(localDims, bA)
+		plusB, _ := DimsPlus(localDims, bB)
+		a := NewSection(Double, grid.Size(plusA))
+		b := NewSection(Double, grid.Size(plusB))
+		c := NewSection(Double, grid.Size(plusA))
+		for k := range a.F {
+			a.F[k] = rng.Float64()
+		}
+		if err := CopyInterior(b, a, localDims, bB, bA, ix); err != nil {
+			t.Fatal(err)
+		}
+		if err := CopyInterior(c, b, localDims, bA, bB, ix); err != nil {
+			t.Fatal(err)
+		}
+		n := grid.Size(localDims)
+		for lin := 0; lin < n; lin++ {
+			lidx, _ := grid.Unflatten(lin, localDims, ix)
+			off, _ := StorageOffset(lidx, localDims, bA, ix)
+			if a.F[off] != c.F[off] {
+				t.Fatalf("iter %d: interior %v not preserved", iter, lidx)
+			}
+		}
+	}
+}
+
+func TestCopyInteriorTypeMismatch(t *testing.T) {
+	a := NewSection(Double, 1)
+	b := NewSection(Int, 1)
+	if err := CopyInterior(a, b, []int{1}, []int{0, 0}, []int{0, 0}, grid.RowMajor); err == nil {
+		t.Fatal("type mismatch must fail")
+	}
+}
+
+func TestHoldsSection(t *testing.T) {
+	m := testMeta(t)
+	if slot, ok := m.HoldsSection(2); !ok || slot != 2 {
+		t.Fatalf("HoldsSection(2) = (%d,%v)", slot, ok)
+	}
+	if _, ok := m.HoldsSection(9); ok {
+		t.Fatal("processor 9 should not hold a section")
+	}
+}
+
+func TestSectionProcsSubset(t *testing.T) {
+	// Grid smaller than the processor list: only the first GridSize
+	// processors hold sections.
+	m := testMeta(t)
+	m.Procs = []int{5, 6, 7, 8, 9}
+	if got := m.SectionProcs(); !reflect.DeepEqual(got, []int{5, 6, 7, 8}) {
+		t.Fatalf("SectionProcs = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := testMeta(t)
+	c := m.Clone()
+	c.Dims[0] = 99
+	c.Procs[0] = 99
+	if m.Dims[0] == 99 || m.Procs[0] == 99 {
+		t.Fatal("Clone shares slices with original")
+	}
+}
+
+func TestElemTypeParseAndString(t *testing.T) {
+	for _, c := range []struct {
+		s    string
+		want ElemType
+	}{{"int", Int}, {"double", Double}} {
+		got, err := ParseElemType(c.s)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseElemType(%q) = %v, %v", c.s, got, err)
+		}
+		if got.String() != c.s {
+			t.Fatalf("String round trip for %q", c.s)
+		}
+	}
+	if _, err := ParseElemType("float"); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+}
+
+func TestNoBorders(t *testing.T) {
+	if got := NoBorders(3); !reflect.DeepEqual(got, []int{0, 0, 0, 0, 0, 0}) {
+		t.Fatalf("NoBorders(3) = %v", got)
+	}
+}
+
+func TestEqualInts(t *testing.T) {
+	if !EqualInts([]int{1, 2}, []int{1, 2}) || EqualInts([]int{1}, []int{1, 2}) || EqualInts([]int{1, 3}, []int{1, 2}) {
+		t.Fatal("EqualInts broken")
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if (ID{Proc: 2, Seq: 5}).String() != "{2,5}" {
+		t.Fatal("ID.String broken")
+	}
+}

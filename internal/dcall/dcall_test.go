@@ -1,0 +1,529 @@
+package dcall
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arraymgr"
+	"repro/internal/darray"
+	"repro/internal/defval"
+	"repro/internal/grid"
+	"repro/internal/spmd"
+	"repro/internal/vp"
+)
+
+func newRuntime(t *testing.T, p int) *Runtime {
+	t.Helper()
+	machine := vp.NewMachine(p)
+	t.Cleanup(machine.Shutdown)
+	return NewRuntime(machine, arraymgr.New(machine))
+}
+
+func createVector(t *testing.T, r *Runtime, n int, procs []int) darray.ID {
+	t.Helper()
+	id, st := r.AM.CreateArray(0, arraymgr.CreateSpec{
+		Type: darray.Double, Dims: []int{n}, Procs: procs,
+		Distrib:  []grid.Decomp{grid.BlockDefault()},
+		Borders:  arraymgr.NoBorderSpec{},
+		Indexing: grid.RowMajor,
+	})
+	if st != arraymgr.StatusOK {
+		t.Fatalf("create: %v", st)
+	}
+	return id
+}
+
+func TestConstAndIndexParams(t *testing.T) {
+	r := newRuntime(t, 4)
+	procs := []int{0, 1, 2, 3}
+	var mu sync.Mutex
+	got := map[int][2]any{}
+	st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+		mu.Lock()
+		defer mu.Unlock()
+		got[w.Rank()] = [2]any{a.Int(0), a.Index(1)}
+	}, []Param{Const(7), Index()})
+	if st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+	for i := 0; i < 4; i++ {
+		v := got[i]
+		if v[0].(int) != 7 || v[1].(int) != i {
+			t.Fatalf("rank %d saw %v", i, v)
+		}
+	}
+}
+
+// Fig 3.3 data flow: each copy receives its own local section; writes are
+// visible to the task level after the call returns.
+func TestLocalSectionDataFlow(t *testing.T) {
+	r := newRuntime(t, 4)
+	procs := []int{0, 1, 2, 3}
+	id := createVector(t, r, 8, procs)
+	st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+		sec := a.Section(0)
+		for k := range sec.F {
+			sec.F[k] = float64(w.Rank()*100 + k)
+		}
+	}, []Param{Local(id)})
+	if st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+	for g := 0; g < 8; g++ {
+		want := float64((g/2)*100 + g%2)
+		v, ast := r.AM.ReadElement(0, id, []int{g})
+		if ast != arraymgr.StatusOK || v != want {
+			t.Fatalf("element %d = %v,%v want %v", g, v, ast, want)
+		}
+	}
+}
+
+func TestStatusDefaultMax(t *testing.T) {
+	r := newRuntime(t, 4)
+	procs := []int{0, 1, 2, 3}
+	st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+		a.SetStatus(0, w.Rank()) // statuses 0..3
+	}, []Param{Status()})
+	if st != 3 {
+		t.Fatalf("status = %d, want max = 3", st)
+	}
+}
+
+func TestStatusCustomCombine(t *testing.T) {
+	r := newRuntime(t, 4)
+	procs := []int{0, 1, 2, 3}
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+		a.SetStatus(0, w.Rank()+10)
+	}, []Param{Status()}, Options{StatusCombine: min})
+	if st != 10 {
+		t.Fatalf("status = %d, want min = 10", st)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	r := newRuntime(t, 4)
+	procs := []int{0, 1, 2, 3}
+	out := defval.New[[]float64]()
+	sum := func(a, b []float64) []float64 {
+		c := make([]float64, len(a))
+		for i := range a {
+			c[i] = a[i] + b[i]
+		}
+		return c
+	}
+	st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+		red := a.Reduction(0)
+		red[0] = float64(w.Rank())
+		red[1] = 1
+	}, []Param{Reduce(2, sum, out)})
+	if st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+	got := out.Value()
+	if !reflect.DeepEqual(got, []float64{6, 4}) {
+		t.Fatalf("reduction = %v", got)
+	}
+}
+
+// Non-commutative but associative combine (composition of affine maps
+// x -> a*x + b, represented as [a, b]): the pairwise merge must preserve
+// rank order for the result to equal the sequential left fold (§4.3.1: any
+// binary associative operator is allowed, commutativity is not required).
+func TestReduceRankOrder(t *testing.T) {
+	affine := func(a, b []float64) []float64 {
+		// (a ∘ b)(x) = a0*(b0*x + b1) + a1
+		return []float64{a[0] * b[0], a[0]*b[1] + a[1]}
+	}
+	local := func(rank int) []float64 {
+		return []float64{float64(rank + 2), float64(rank + 1)}
+	}
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		r := newRuntime(t, p)
+		procs := make([]int, p)
+		for i := range procs {
+			procs[i] = i
+		}
+		out := defval.New[[]float64]()
+		st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+			copy(a.Reduction(0), local(w.Rank()))
+		}, []Param{Reduce(2, affine, out)})
+		if st != StatusOK {
+			t.Fatalf("p=%d: status = %d", p, st)
+		}
+		want := local(0)
+		for i := 1; i < p; i++ {
+			want = affine(want, local(i))
+		}
+		if got := out.Value(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("p=%d: %v want %v", p, got, want)
+		}
+	}
+}
+
+// The paper's third §4.3.1 example: a call with status, reduction and
+// local-section parameters, min status combine and custom reduction
+// combine.
+func TestStatusReduceLocalCombined(t *testing.T) {
+	r := newRuntime(t, 4)
+	procs := []int{0, 1, 2, 3}
+	id := createVector(t, r, 8, procs)
+	out := defval.New[[]float64]()
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	vecMin := func(a, b []float64) []float64 {
+		c := make([]float64, len(a))
+		for i := range a {
+			c[i] = a[i]
+			if b[i] < c[i] {
+				c[i] = b[i]
+			}
+		}
+		return c
+	}
+	st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+		sec := a.Section(2)
+		for k := range sec.F {
+			sec.F[k] = float64(w.Rank() + 1)
+		}
+		a.SetStatus(3, 40+w.Rank())
+		red := a.Reduction(4)
+		red[0] = float64(w.Rank())
+		red[1] = float64(-w.Rank())
+	}, []Param{
+		Const(procs), Const(len(procs)), Local(id), Status(),
+		Reduce(2, vecMin, out),
+	}, Options{StatusCombine: min})
+	if st != 40 {
+		t.Fatalf("status = %d, want 40", st)
+	}
+	if got := out.Value(); !reflect.DeepEqual(got, []float64{0, -3}) {
+		t.Fatalf("reduction = %v", got)
+	}
+}
+
+// find_local failure: calling with a local-section parameter of an array
+// not distributed over the call's processors sets the wrapper status and
+// skips the program (§5.2.4).
+func TestFindLocalFailureSkipsProgram(t *testing.T) {
+	r := newRuntime(t, 4)
+	id := createVector(t, r, 4, []int{0, 1}) // only procs 0,1 hold sections
+	var ran atomic.Int64
+	st := r.CallFn(0, []int{2, 3}, func(w *spmd.World, a *Args) {
+		ran.Add(1)
+	}, []Param{Local(id)})
+	if st != StatusNotFound {
+		t.Fatalf("status = %d, want STATUS_NOT_FOUND", st)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("program ran %d times despite find_local failure", ran.Load())
+	}
+}
+
+func TestProgramPanicBecomesStatusError(t *testing.T) {
+	r := newRuntime(t, 2)
+	st := r.CallFn(0, []int{0, 1}, func(w *spmd.World, a *Args) {
+		if w.Rank() == 1 {
+			panic("kernel blew up")
+		}
+	}, nil)
+	if st != StatusError {
+		t.Fatalf("status = %d, want STATUS_ERROR", st)
+	}
+}
+
+func TestInvalidCalls(t *testing.T) {
+	r := newRuntime(t, 4)
+	noop := func(w *spmd.World, a *Args) {}
+	if st := r.CallFn(0, nil, noop, nil); st != StatusInvalid {
+		t.Fatalf("empty procs: %d", st)
+	}
+	if st := r.CallFn(0, []int{0, 0}, noop, nil); st != StatusInvalid {
+		t.Fatalf("duplicate procs: %d", st)
+	}
+	if st := r.CallFn(0, []int{0, 9}, noop, nil); st != StatusInvalid {
+		t.Fatalf("bad proc: %d", st)
+	}
+	if st := r.CallFn(9, []int{0}, noop, nil); st != StatusInvalid {
+		t.Fatalf("bad caller: %d", st)
+	}
+	if st := r.CallFn(0, []int{0}, nil, nil); st != StatusInvalid {
+		t.Fatalf("nil body: %d", st)
+	}
+	if st := r.CallFn(0, []int{0}, noop, []Param{Status(), Status()}); st != StatusInvalid {
+		t.Fatalf("two status params: %d", st)
+	}
+	out := defval.New[[]float64]()
+	if st := r.CallFn(0, []int{0}, noop, []Param{Reduce(0, func(a, b []float64) []float64 { return a }, out)}); st != StatusInvalid {
+		t.Fatalf("zero-length reduce: %d", st)
+	}
+	if st := r.CallFn(0, []int{0}, noop, []Param{Reduce(1, nil, out)}); st != StatusInvalid {
+		t.Fatalf("nil combine: %d", st)
+	}
+	if st := r.CallFn(0, []int{0}, noop, []Param{Reduce(1, func(a, b []float64) []float64 { return a }, nil)}); st != StatusInvalid {
+		t.Fatalf("nil out: %d", st)
+	}
+	if st := r.Call(0, []int{0}, "not_registered", nil); st != StatusInvalid {
+		t.Fatalf("unknown program: %d", st)
+	}
+}
+
+// Fig 3.2 control flow: the caller suspends until every copy terminates.
+func TestCallerSuspendsUntilAllCopiesDone(t *testing.T) {
+	r := newRuntime(t, 4)
+	procs := []int{0, 1, 2, 3}
+	var done atomic.Int64
+	st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+		// Copies synchronise so none can finish before all have started.
+		if err := w.Barrier(); err != nil {
+			panic(err)
+		}
+		done.Add(1)
+	}, nil)
+	if st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+	if done.Load() != 4 {
+		t.Fatalf("call returned with %d of 4 copies complete", done.Load())
+	}
+}
+
+// Copies of a called program communicate with each other (Fig 3.3's dashed
+// line): a ring shift within the call's group.
+func TestCopiesCommunicateWithinCall(t *testing.T) {
+	r := newRuntime(t, 3)
+	procs := []int{0, 1, 2}
+	id := createVector(t, r, 3, procs)
+	st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+		p := w.Size()
+		next := (w.Rank() + 1) % p
+		prev := (w.Rank() - 1 + p) % p
+		if err := w.Send(next, 0, []float64{float64(w.Rank())}); err != nil {
+			panic(err)
+		}
+		got, err := w.RecvFloats(prev, 0)
+		if err != nil {
+			panic(err)
+		}
+		a.Section(0).F[0] = got[0]
+	}, []Param{Local(id)})
+	if st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+	for g := 0; g < 3; g++ {
+		want := float64((g + 2) % 3)
+		v, _ := r.AM.ReadElement(0, id, []int{g})
+		if v != want {
+			t.Fatalf("element %d = %v, want %v", g, v, want)
+		}
+	}
+}
+
+// Fig 3.4: two concurrent distributed calls on disjoint processor groups,
+// each internally communicating, never interfere; transfers between their
+// arrays go through the task level.
+func TestConcurrentDistributedCalls(t *testing.T) {
+	r := newRuntime(t, 4)
+	groupA, groupB := []int{0, 1}, []int{2, 3}
+	idA := createVector(t, r, 2, groupA)
+	idB := createVector(t, r, 2, groupB)
+
+	prog := func(base float64) Program {
+		return func(w *spmd.World, a *Args) {
+			// Exchange ranks with the peer copy, store base+peer.
+			got, err := w.Exchange(1-w.Rank(), 0, []float64{float64(w.Rank())})
+			if err != nil {
+				panic(err)
+			}
+			a.Section(0).F[0] = base + got[0]
+		}
+	}
+
+	var wg sync.WaitGroup
+	statuses := make([]int, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); statuses[0] = r.CallFn(0, groupA, prog(100), []Param{Local(idA)}) }()
+	go func() { defer wg.Done(); statuses[1] = r.CallFn(2, groupB, prog(200), []Param{Local(idB)}) }()
+	wg.Wait()
+	if statuses[0] != StatusOK || statuses[1] != StatusOK {
+		t.Fatalf("statuses = %v", statuses)
+	}
+	for g := 0; g < 2; g++ {
+		va, _ := r.AM.ReadElement(0, idA, []int{g})
+		vb, _ := r.AM.ReadElement(2, idB, []int{g})
+		if va != 100+float64(1-g) || vb != 200+float64(1-g) {
+			t.Fatalf("cross-talk: A[%d]=%v B[%d]=%v", g, va, g, vb)
+		}
+	}
+
+	// Inter-array transfer through the task level (the only allowed path).
+	v, _ := r.AM.ReadElement(0, idA, []int{0})
+	if st := r.AM.WriteElement(2, idB, []int{0}, v); st != arraymgr.StatusOK {
+		t.Fatalf("task-level transfer: %v", st)
+	}
+	got, _ := r.AM.ReadElement(2, idB, []int{0})
+	if got != v {
+		t.Fatalf("transfer lost: %v != %v", got, v)
+	}
+}
+
+func TestRegistryAndNamedCall(t *testing.T) {
+	r := newRuntime(t, 2)
+	err := r.Register(Registered{
+		Name: "test:double_it",
+		Body: func(w *spmd.World, a *Args) {
+			sec := a.Section(0)
+			for k := range sec.F {
+				sec.F[k] *= 2
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Registered{Name: "test:double_it", Body: func(*spmd.World, *Args) {}}); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if err := r.Register(Registered{Name: "", Body: func(*spmd.World, *Args) {}}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := r.Register(Registered{Name: "x"}); err == nil {
+		t.Fatal("nil body must fail")
+	}
+	if got := r.Programs(); !reflect.DeepEqual(got, []string{"test:double_it"}) {
+		t.Fatalf("Programs = %v", got)
+	}
+
+	procs := []int{0, 1}
+	id := createVector(t, r, 4, procs)
+	for g := 0; g < 4; g++ {
+		r.AM.WriteElement(0, id, []int{g}, float64(g))
+	}
+	if st := r.Call(0, procs, "test:double_it", []Param{Local(id)}); st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+	for g := 0; g < 4; g++ {
+		v, _ := r.AM.ReadElement(0, id, []int{g})
+		if v != float64(2*g) {
+			t.Fatalf("element %d = %v", g, v)
+		}
+	}
+}
+
+// foreign_borders integration: creating an array whose borders are dictated
+// by a registered program's border callback (§3.2.1.3, §5.1.7).
+func TestForeignBordersThroughRegistry(t *testing.T) {
+	r := newRuntime(t, 2)
+	err := r.Register(Registered{
+		Name: "fortranD:stencil",
+		Body: func(w *spmd.World, a *Args) {},
+		Borders: func(parmNum, ndims int) ([]int, error) {
+			b := make([]int, 2*ndims)
+			if parmNum == 1 {
+				for i := range b {
+					b[i] = 1
+				}
+			}
+			return b, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, st := r.AM.CreateArray(0, arraymgr.CreateSpec{
+		Type: darray.Double, Dims: []int{4}, Procs: []int{0, 1},
+		Distrib:  []grid.Decomp{grid.BlockDefault()},
+		Borders:  arraymgr.ForeignBorders{Program: "fortranD:stencil", ParmNum: 1},
+		Indexing: grid.RowMajor,
+	})
+	if st != arraymgr.StatusOK {
+		t.Fatalf("create: %v", st)
+	}
+	b, _ := r.AM.FindInfo(0, id, "borders")
+	if !reflect.DeepEqual(b, []int{1, 1}) {
+		t.Fatalf("borders = %v", b)
+	}
+	// A program with no border callback is rejected.
+	if err := r.Register(Registered{Name: "plain", Body: func(*spmd.World, *Args) {}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := r.AM.CreateArray(0, arraymgr.CreateSpec{
+		Type: darray.Double, Dims: []int{4}, Procs: []int{0, 1},
+		Distrib:  []grid.Decomp{grid.BlockDefault()},
+		Borders:  arraymgr.ForeignBorders{Program: "plain", ParmNum: 1},
+		Indexing: grid.RowMajor,
+	}); st != arraymgr.StatusInvalid {
+		t.Fatalf("no-borders program: %v", st)
+	}
+}
+
+// A call on a subset of processors leaves the rest of the machine free: the
+// group is exactly the processor array (relocatability, §3.5).
+func TestSubsetGroupRelocatability(t *testing.T) {
+	r := newRuntime(t, 6)
+	procs := []int{5, 1, 3} // arbitrary order, non-contiguous
+	var mu sync.Mutex
+	seen := map[int]int{} // physical proc -> rank
+	st := r.CallFn(0, procs, func(w *spmd.World, a *Args) {
+		mu.Lock()
+		seen[w.ProcNum()] = w.Rank()
+		mu.Unlock()
+	}, nil)
+	if st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+	want := map[int]int{5: 0, 1: 1, 3: 2}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("placement = %v", seen)
+	}
+}
+
+func TestSingleProcessorCall(t *testing.T) {
+	r := newRuntime(t, 1)
+	out := defval.New[[]float64]()
+	st := r.CallFn(0, []int{0}, func(w *spmd.World, a *Args) {
+		a.Reduction(0)[0] = 9
+		a.SetStatus(1, 5)
+	}, []Param{Reduce(1, func(a, b []float64) []float64 { return a }, out), Status()})
+	if st != 5 {
+		t.Fatalf("status = %d", st)
+	}
+	if out.Value()[0] != 9 {
+		t.Fatalf("reduction = %v", out.Value())
+	}
+}
+
+func TestArgsAccessors(t *testing.T) {
+	r := newRuntime(t, 1)
+	st := r.CallFn(0, []int{0}, func(w *spmd.World, a *Args) {
+		if a.Len() != 4 {
+			panic("len")
+		}
+		if a.Float(0) != 2.5 {
+			panic("float")
+		}
+		if !reflect.DeepEqual(a.IntArray(1), []int{4, 5}) {
+			panic("intarray")
+		}
+		if a.Const(2).(string) != "s" {
+			panic("const")
+		}
+		if a.Index(3) != 0 {
+			panic("index")
+		}
+	}, []Param{Const(2.5), Const([]int{4, 5}), Const("s"), Index()})
+	if st != StatusOK {
+		t.Fatalf("status = %d", st)
+	}
+}

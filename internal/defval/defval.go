@@ -1,0 +1,117 @@
+// Package defval implements PCN-style definitional (single-assignment)
+// variables, the synchronisation primitive of the task-parallel notation in
+// Massingill's "Integrating Task and Data Parallelism" (Caltech, 1993).
+//
+// A definitional variable starts undefined. It may be defined (assigned a
+// value) at most once; a second definition is an error. A reader that needs
+// the value of an undefined variable suspends until the variable has been
+// defined, after which every reader observes the same value. This gives the
+// conflict-freedom property the paper relies on (§3.1.1.4): a shared
+// single-assignment variable can change state at most once, so concurrent
+// readers can never observe conflicting values.
+package defval
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrAlreadyDefined is returned by Define when the variable already has a
+// value. PCN treats a second definition of a definition variable as a
+// program error; we surface it as an error so callers can decide whether to
+// treat it as fatal.
+var ErrAlreadyDefined = errors.New("defval: variable already defined")
+
+// Var is a single-assignment variable holding a value of type T.
+// The zero value is ready to use (undefined).
+type Var[T any] struct {
+	mu      sync.Mutex
+	done    chan struct{}
+	val     T
+	defined bool
+}
+
+// New returns a fresh undefined variable. Equivalent to &Var[T]{}; provided
+// for symmetry with the paper's implicit declaration of definition variables.
+func New[T any]() *Var[T] { return &Var[T]{} }
+
+// lazily allocate the broadcast channel.
+func (v *Var[T]) doneLocked() chan struct{} {
+	if v.done == nil {
+		v.done = make(chan struct{})
+	}
+	return v.done
+}
+
+// Define assigns a value to the variable. It returns ErrAlreadyDefined if
+// the variable has already been defined (even with an equal value: PCN's
+// single-assignment rule is about assignment, not value identity).
+func (v *Var[T]) Define(x T) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.defined {
+		return ErrAlreadyDefined
+	}
+	v.val = x
+	v.defined = true
+	close(v.doneLocked())
+	return nil
+}
+
+// MustDefine is Define but panics on double definition. Use in program text
+// where a second definition indicates a bug in the calling program, matching
+// PCN's runtime behaviour.
+func (v *Var[T]) MustDefine(x T) {
+	if err := v.Define(x); err != nil {
+		panic(err)
+	}
+}
+
+// Value suspends the calling goroutine until the variable is defined and
+// then returns its value. Every caller observes the same value.
+func (v *Var[T]) Value() T {
+	<-v.Defined()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.val
+}
+
+// Try reports the value without suspending: ok is false while the variable
+// is undefined.
+func (v *Var[T]) Try() (x T, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.val, v.defined
+}
+
+// Defined returns a channel that is closed once the variable is defined,
+// suitable for use in select statements (the Go analogue of a PCN data
+// guard).
+func (v *Var[T]) Defined() <-chan struct{} {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.doneLocked()
+}
+
+// IsDefined reports whether the variable currently has a value.
+func (v *Var[T]) IsDefined() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.defined
+}
+
+// Signal is a valueless definitional variable used purely for
+// synchronisation, like the paper's Done variables that are "assigned a
+// value for synchronization purposes but the particular value is not of
+// interest" (the empty list [] in PCN).
+type Signal = Var[struct{}]
+
+// NewSignal returns a fresh undefined Signal.
+func NewSignal() *Signal { return &Signal{} }
+
+// Fire defines the signal. Firing twice panics, as with any definitional
+// variable.
+func Fire(s *Signal) { s.MustDefine(struct{}{}) }
+
+// Wait suspends until the signal has been fired.
+func Wait(s *Signal) { s.Value() }

@@ -1,0 +1,351 @@
+// Package fft implements the data-parallel fast-Fourier-transform programs
+// of §6.2 of the paper: compute_roots, the bit-reversal map rho, and the
+// two in-place distributed transforms fft_reverse (input in bit-reversed
+// order, output in natural order) and fft_natural (input in natural order,
+// output in bit-reversed order), plus the elementwise complex
+// multiplication used by the polynomial-multiplication pipeline.
+//
+// Complex data is represented as interleaved pairs of float64 ("each
+// complex number represented by two doubles"), exactly as the thesis passes
+// complex arrays between PCN and C. A length-n complex transform therefore
+// operates on 2n doubles; distributed over p processors, each local section
+// holds 2n/p doubles.
+//
+// Following the paper's conventions (§6.2.1):
+//
+//   - the INVERSE transform evaluates at the roots of unity,
+//     out[j] = Σ_k in[k] e^{+2πi jk/n}, with no scaling;
+//   - the FORWARD transform interpolates,
+//     out[j] = (1/n) Σ_k in[k] e^{-2πi jk/n}.
+//
+// The distributed algorithm is binary exchange: with block distribution,
+// butterfly stages with half-span smaller than the local length are purely
+// local; each remaining stage pairs each processor with the one differing
+// in a single bit of its block index, and the partners exchange whole local
+// sections.
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/spmd"
+)
+
+// Flag selects the transform direction, using the paper's names.
+type Flag int
+
+const (
+	// Inverse evaluates at the n-th roots of unity (positive exponent, no
+	// scaling) — the first pipeline stage of §6.2.
+	Inverse Flag = iota
+	// Forward interpolates (negative exponent, scaled by 1/n) — the third
+	// pipeline stage.
+	Forward
+)
+
+func (f Flag) String() string {
+	if f == Inverse {
+		return "INVERSE"
+	}
+	return "FORWARD"
+}
+
+// Log2 returns log2(n) when n is a positive power of two.
+func Log2(n int) (int, bool) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	l := 0
+	for m := n; m > 1; m >>= 1 {
+		l++
+	}
+	return l, true
+}
+
+// BitReverse is the paper's rho_proc: the rightmost bits of x reversed,
+// right-justified.
+func BitReverse(bits, x int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// ComputeRoots fills eps (length 2n doubles) with the n n-th complex roots
+// of unity: eps[2j], eps[2j+1] = cos(2πj/n), sin(2πj/n), i.e. the j-th
+// power of the primitive root e^{2πi/n} (the paper's compute_roots).
+func ComputeRoots(n int, eps []float64) error {
+	if _, ok := Log2(n); !ok {
+		return fmt.Errorf("fft: size %d is not a power of two", n)
+	}
+	if len(eps) < 2*n {
+		return fmt.Errorf("fft: roots buffer %d < %d", len(eps), 2*n)
+	}
+	for j := 0; j < n; j++ {
+		theta := 2 * math.Pi * float64(j) / float64(n)
+		eps[2*j] = math.Cos(theta)
+		eps[2*j+1] = math.Sin(theta)
+	}
+	return nil
+}
+
+// root returns the eps-table root for exponent t under the flag's sign:
+// e^{+2πi t/n} for Inverse, e^{-2πi t/n} for Forward.
+func root(eps []float64, n, t int, flag Flag) (re, im float64) {
+	t %= n
+	if flag == Forward && t != 0 {
+		t = n - t
+	}
+	return eps[2*t], eps[2*t+1]
+}
+
+// checkDistributed validates the distributed-transform inputs and returns
+// (logN, localComplexLen).
+func checkDistributed(w *spmd.World, local []float64, n int, eps []float64) (int, int, error) {
+	ln, ok := Log2(n)
+	if !ok {
+		return 0, 0, fmt.Errorf("fft: size %d is not a power of two", n)
+	}
+	p := w.Size()
+	if _, ok := Log2(p); !ok {
+		return 0, 0, fmt.Errorf("fft: group size %d is not a power of two", p)
+	}
+	if n < p {
+		return 0, 0, fmt.Errorf("fft: size %d smaller than group %d", n, p)
+	}
+	l := n / p
+	if len(local) < 2*l {
+		return 0, 0, fmt.Errorf("fft: local section %d doubles < %d", len(local), 2*l)
+	}
+	if len(eps) < 2*n {
+		return 0, 0, fmt.Errorf("fft: roots table %d doubles < %d", len(eps), 2*n)
+	}
+	return ln, l, nil
+}
+
+// TransformReverse is the paper's fft_reverse: an in-place transform whose
+// input (in local, block-distributed, interleaved complex) is in
+// bit-reversed order and whose output is in natural order. A
+// decimation-in-time iteration: local butterfly stages first, then one
+// whole-section exchange per cross-processor stage.
+func TransformReverse(w *spmd.World, local []float64, n int, flag Flag, eps []float64) error {
+	ln, l, err := checkDistributed(w, local, n, eps)
+	if err != nil {
+		return err
+	}
+	base := w.Rank() * l // global complex index of local element 0
+	for s := 1; s <= ln; s++ {
+		m := 1 << s
+		h := m / 2
+		if h < l {
+			ditLocalStage(local, l, base, n, h, flag, eps)
+		} else {
+			if err := exchangeStage(w, local, l, base, n, h, flag, eps, true); err != nil {
+				return err
+			}
+		}
+	}
+	if flag == Forward {
+		scale := 1 / float64(n)
+		for i := range local[:2*l] {
+			local[i] *= scale
+		}
+	}
+	return nil
+}
+
+// TransformNatural is the paper's fft_natural: input in natural order,
+// output in bit-reversed order. A decimation-in-frequency iteration:
+// cross-processor stages first (large spans), then local stages.
+func TransformNatural(w *spmd.World, local []float64, n int, flag Flag, eps []float64) error {
+	ln, l, err := checkDistributed(w, local, n, eps)
+	if err != nil {
+		return err
+	}
+	base := w.Rank() * l
+	for s := ln; s >= 1; s-- {
+		m := 1 << s
+		h := m / 2
+		if h < l {
+			difLocalStage(local, l, base, n, h, flag, eps)
+		} else {
+			if err := exchangeStage(w, local, l, base, n, h, flag, eps, false); err != nil {
+				return err
+			}
+		}
+	}
+	if flag == Forward {
+		scale := 1 / float64(n)
+		for i := range local[:2*l] {
+			local[i] *= scale
+		}
+	}
+	return nil
+}
+
+// ditLocalStage performs the decimation-in-time butterflies of half-span h
+// entirely within the local section (h < l).
+func ditLocalStage(local []float64, l, base, n, h int, flag Flag, eps []float64) {
+	m := 2 * h
+	stride := n / m // twiddle exponent step per position within the half-group
+	for j := 0; j < l; j++ {
+		g := base + j
+		if g%m >= h {
+			continue // upper element; handled with its lower partner
+		}
+		wr, wi := root(eps, n, (g%h)*stride, flag)
+		lo, hi := 2*j, 2*(j+h)
+		ur, ui := local[lo], local[lo+1]
+		xr, xi := local[hi], local[hi+1]
+		vr := wr*xr - wi*xi
+		vi := wr*xi + wi*xr
+		local[lo], local[lo+1] = ur+vr, ui+vi
+		local[hi], local[hi+1] = ur-vr, ui-vi
+	}
+}
+
+// difLocalStage performs the decimation-in-frequency butterflies of
+// half-span h within the local section (h < l).
+func difLocalStage(local []float64, l, base, n, h int, flag Flag, eps []float64) {
+	m := 2 * h
+	stride := n / m
+	for j := 0; j < l; j++ {
+		g := base + j
+		if g%m >= h {
+			continue
+		}
+		wr, wi := root(eps, n, (g%h)*stride, flag)
+		lo, hi := 2*j, 2*(j+h)
+		ur, ui := local[lo], local[lo+1]
+		xr, xi := local[hi], local[hi+1]
+		dr, di := ur-xr, ui-xi
+		local[lo], local[lo+1] = ur+xr, ui+xi
+		local[hi], local[hi+1] = wr*dr-wi*di, wr*di+wi*dr
+	}
+}
+
+// exchangeStage performs one cross-processor butterfly stage of half-span
+// h >= l: each processor exchanges its whole local section with the
+// partner differing in bit h/l of the block index, then computes its
+// retained half of each butterfly. dit selects decimation-in-time
+// (fft_reverse) vs decimation-in-frequency (fft_natural) arithmetic.
+func exchangeStage(w *spmd.World, local []float64, l, base, n, h int, flag Flag, eps []float64, dit bool) error {
+	m := 2 * h
+	stride := n / m
+	blockBit := h / l
+	partner := w.Rank() ^ blockBit
+	lower := w.Rank()&blockBit == 0
+	theirs, err := w.Exchange(partner, 0, local[:2*l])
+	if err != nil {
+		return err
+	}
+	for j := 0; j < l; j++ {
+		g := base + j
+		wr, wi := root(eps, n, (g%h)*stride, flag)
+		re, im := 2*j, 2*j+1
+		if dit {
+			if lower {
+				// mine = u at i; theirs = x at i+h: result u + w*x.
+				vr := wr*theirs[re] - wi*theirs[im]
+				vi := wr*theirs[im] + wi*theirs[re]
+				local[re] += vr
+				local[im] += vi
+			} else {
+				// mine = x at i+h; theirs = u at i: result u - w*x.
+				vr := wr*local[re] - wi*local[im]
+				vi := wr*local[im] + wi*local[re]
+				local[re] = theirs[re] - vr
+				local[im] = theirs[im] - vi
+			}
+		} else {
+			if lower {
+				// result at i: u + x.
+				local[re] += theirs[re]
+				local[im] += theirs[im]
+			} else {
+				// result at i+h: (u - x) * w with u = theirs, x = mine.
+				dr := theirs[re] - local[re]
+				di := theirs[im] - local[im]
+				local[re] = wr*dr - wi*di
+				local[im] = wr*di + wi*dr
+			}
+		}
+	}
+	return nil
+}
+
+// DFTDirect is the O(n²) reference transform on a dense interleaved
+// complex slice (natural order in, natural order out), used by tests and
+// as the sequential baseline in benchmarks.
+func DFTDirect(data []float64, flag Flag) []float64 {
+	n := len(data) / 2
+	out := make([]float64, 2*n)
+	sign := 1.0
+	if flag == Forward {
+		sign = -1
+	}
+	for j := 0; j < n; j++ {
+		var sr, si float64
+		for k := 0; k < n; k++ {
+			theta := sign * 2 * math.Pi * float64(j) * float64(k) / float64(n)
+			c, s := math.Cos(theta), math.Sin(theta)
+			sr += data[2*k]*c - data[2*k+1]*s
+			si += data[2*k]*s + data[2*k+1]*c
+		}
+		out[2*j], out[2*j+1] = sr, si
+	}
+	if flag == Forward {
+		for i := range out {
+			out[i] /= float64(n)
+		}
+	}
+	return out
+}
+
+// SeqFFT is an O(n log n) sequential transform (natural in, natural out)
+// used as the single-processor baseline in benchmarks.
+func SeqFFT(data []float64, flag Flag) ([]float64, error) {
+	n := len(data) / 2
+	ln, ok := Log2(n)
+	if !ok {
+		return nil, fmt.Errorf("fft: size %d is not a power of two", n)
+	}
+	eps := make([]float64, 2*n)
+	if err := ComputeRoots(n, eps); err != nil {
+		return nil, err
+	}
+	// Bit-reverse copy, then an in-place DIT sweep.
+	out := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		r := BitReverse(ln, i)
+		out[2*i], out[2*i+1] = data[2*r], data[2*r+1]
+	}
+	for s := 1; s <= ln; s++ {
+		h := 1 << (s - 1)
+		ditLocalStage(out, n, 0, n, h, flag, eps)
+	}
+	if flag == Forward {
+		for i := range out {
+			out[i] /= float64(n)
+		}
+	}
+	return out, nil
+}
+
+// MultiplyPointwise computes dst[j] *= src[j] elementwise on interleaved
+// complex slices — the pipeline's combine stage.
+func MultiplyPointwise(dst, src []float64) error {
+	if len(dst) != len(src) || len(dst)%2 != 0 {
+		return fmt.Errorf("fft: pointwise multiply of %d vs %d doubles", len(dst), len(src))
+	}
+	for j := 0; j+1 < len(dst); j += 2 {
+		ar, ai := dst[j], dst[j+1]
+		br, bi := src[j], src[j+1]
+		dst[j] = ar*br - ai*bi
+		dst[j+1] = ar*bi + ai*br
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/msg"
+	"repro/internal/spmd"
+)
+
+func runGroup(t *testing.T, p int, body func(w *spmd.World) error) {
+	t.Helper()
+	r := msg.NewRouter(p)
+	defer r.Close()
+	procs := make([]int, p)
+	for i := range procs {
+		procs[i] = i
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = body(spmd.NewWorld(r, procs, i, 1))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want int
+		ok   bool
+	}{{1, 0, true}, {2, 1, true}, {8, 3, true}, {1024, 10, true}, {0, 0, false}, {3, 0, false}, {-4, 0, false}, {12, 0, false}} {
+		got, ok := Log2(c.n)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Fatalf("Log2(%d) = %d,%v", c.n, got, ok)
+		}
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	// The paper's rho: rightmost bits reversed, right-justified.
+	cases := []struct{ bits, x, want int }{
+		{3, 0b001, 0b100}, {3, 0b110, 0b011}, {3, 0b111, 0b111},
+		{4, 0b0001, 0b1000}, {1, 1, 1}, {0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := BitReverse(c.bits, c.x); got != c.want {
+			t.Fatalf("BitReverse(%d,%b) = %b, want %b", c.bits, c.x, got, c.want)
+		}
+	}
+}
+
+// Property: rho is an involution on [0, 2^bits).
+func TestQuickBitReverseInvolution(t *testing.T) {
+	f := func(bitsRaw, xRaw uint8) bool {
+		bits := int(bitsRaw%16) + 1
+		x := int(xRaw) % (1 << bits)
+		return BitReverse(bits, BitReverse(bits, x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeRoots(t *testing.T) {
+	const n = 8
+	eps := make([]float64, 2*n)
+	if err := ComputeRoots(n, eps); err != nil {
+		t.Fatal(err)
+	}
+	// eps[0] = 1; eps[n/4] = i; eps[n/2] = -1.
+	if math.Abs(eps[0]-1) > 1e-15 || math.Abs(eps[1]) > 1e-15 {
+		t.Fatalf("root 0 = (%v,%v)", eps[0], eps[1])
+	}
+	if math.Abs(eps[2*2]) > 1e-15 || math.Abs(eps[2*2+1]-1) > 1e-15 {
+		t.Fatalf("root n/4 = (%v,%v)", eps[4], eps[5])
+	}
+	if math.Abs(eps[2*4]+1) > 1e-15 || math.Abs(eps[2*4+1]) > 1e-12 {
+		t.Fatalf("root n/2 = (%v,%v)", eps[8], eps[9])
+	}
+	if err := ComputeRoots(3, eps); err == nil {
+		t.Fatal("non-power-of-two size must fail")
+	}
+	if err := ComputeRoots(16, eps); err == nil {
+		t.Fatal("short buffer must fail")
+	}
+}
+
+func randComplex(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	d := make([]float64, 2*n)
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+func maxDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSeqFFTMatchesDirect(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 32} {
+		for _, flag := range []Flag{Inverse, Forward} {
+			in := randComplex(n, int64(n)+int64(flag))
+			want := DFTDirect(in, flag)
+			got, err := SeqFFT(in, flag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := maxDiff(got, want); d > 1e-9 {
+				t.Fatalf("n=%d %v: max diff %v", n, flag, d)
+			}
+		}
+	}
+}
+
+// scatterComplex splits interleaved complex data into p blocks.
+func scatterComplex(full []float64, p int) [][]float64 {
+	l := len(full) / p
+	out := make([][]float64, p)
+	for i := 0; i < p; i++ {
+		out[i] = append([]float64(nil), full[i*l:(i+1)*l]...)
+	}
+	return out
+}
+
+// TransformReverse on bit-reverse-permuted input must equal the direct DFT
+// of the natural-order input, for all group sizes and both directions.
+func TestTransformReverseMatchesDirect(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		ln, _ := Log2(n)
+		for _, p := range []int{1, 2, 4} {
+			if n < p {
+				continue
+			}
+			for _, flag := range []Flag{Inverse, Forward} {
+				natural := randComplex(n, int64(42*n+p))
+				want := DFTDirect(natural, flag)
+				// Permute input into bit-reversed order.
+				rev := make([]float64, 2*n)
+				for i := 0; i < n; i++ {
+					r := BitReverse(ln, i)
+					rev[2*i], rev[2*i+1] = natural[2*r], natural[2*r+1]
+				}
+				blocks := scatterComplex(rev, p)
+				eps := make([]float64, 2*n)
+				if err := ComputeRoots(n, eps); err != nil {
+					t.Fatal(err)
+				}
+				runGroup(t, p, func(w *spmd.World) error {
+					return TransformReverse(w, blocks[w.Rank()], n, flag, eps)
+				})
+				var got []float64
+				for i := 0; i < p; i++ {
+					got = append(got, blocks[i]...)
+				}
+				if d := maxDiff(got, want); d > 1e-9 {
+					t.Fatalf("n=%d p=%d %v: max diff %v", n, p, flag, d)
+				}
+			}
+		}
+	}
+}
+
+// TransformNatural produces the DFT in bit-reversed order.
+func TestTransformNaturalMatchesDirect(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		ln, _ := Log2(n)
+		for _, p := range []int{1, 2, 4} {
+			if n < p {
+				continue
+			}
+			for _, flag := range []Flag{Inverse, Forward} {
+				natural := randComplex(n, int64(7*n+p))
+				direct := DFTDirect(natural, flag)
+				// Expected output: direct DFT permuted to bit-reversed
+				// positions: out[i] = direct[rev(i)].
+				want := make([]float64, 2*n)
+				for i := 0; i < n; i++ {
+					r := BitReverse(ln, i)
+					want[2*i], want[2*i+1] = direct[2*r], direct[2*r+1]
+				}
+				blocks := scatterComplex(natural, p)
+				eps := make([]float64, 2*n)
+				if err := ComputeRoots(n, eps); err != nil {
+					t.Fatal(err)
+				}
+				runGroup(t, p, func(w *spmd.World) error {
+					return TransformNatural(w, blocks[w.Rank()], n, flag, eps)
+				})
+				var got []float64
+				for i := 0; i < p; i++ {
+					got = append(got, blocks[i]...)
+				}
+				if d := maxDiff(got, want); d > 1e-9 {
+					t.Fatalf("n=%d p=%d %v: max diff %v", n, p, flag, d)
+				}
+			}
+		}
+	}
+}
+
+// The §6.2 pipeline round trip: inverse fft_reverse (bit-reversed in,
+// natural out) followed by forward fft_natural (natural in, bit-reversed
+// out) recovers the input exactly (up to rounding), including the 1/n
+// scaling of the forward transform.
+func TestRoundTripReverseThenNatural(t *testing.T) {
+	for _, n := range []int{8, 16, 64} {
+		for _, p := range []int{1, 2, 4} {
+			orig := randComplex(n, int64(n*p))
+			blocks := scatterComplex(orig, p)
+			eps := make([]float64, 2*n)
+			if err := ComputeRoots(n, eps); err != nil {
+				t.Fatal(err)
+			}
+			runGroup(t, p, func(w *spmd.World) error {
+				if err := TransformReverse(w, blocks[w.Rank()], n, Inverse, eps); err != nil {
+					return err
+				}
+				return TransformNatural(w, blocks[w.Rank()], n, Forward, eps)
+			})
+			var got []float64
+			for i := 0; i < p; i++ {
+				got = append(got, blocks[i]...)
+			}
+			if d := maxDiff(got, orig); d > 1e-9 {
+				t.Fatalf("n=%d p=%d: round-trip max diff %v", n, p, d)
+			}
+		}
+	}
+}
+
+// Property (testing/quick): polynomial multiplication via the FFT pipeline
+// equals schoolbook convolution — the core correctness property of the
+// §6.2 example.
+func TestQuickConvolutionTheorem(t *testing.T) {
+	f := func(aRaw, bRaw [4]int8) bool {
+		const n = 4  // polynomial degree bound
+		const nn = 8 // transform size 2n
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = float64(aRaw[i] % 8)
+			b[i] = float64(bRaw[i] % 8)
+		}
+		// Schoolbook convolution.
+		want := make([]float64, 2*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want[i+j] += a[i] * b[j]
+			}
+		}
+		// FFT path (sequential transforms; the distributed path is
+		// validated against these elsewhere).
+		fa := make([]float64, 2*nn)
+		fb := make([]float64, 2*nn)
+		for i := 0; i < n; i++ {
+			fa[2*i] = a[i]
+			fb[2*i] = b[i]
+		}
+		va, err := SeqFFT(fa, Inverse)
+		if err != nil {
+			return false
+		}
+		vb, err := SeqFFT(fb, Inverse)
+		if err != nil {
+			return false
+		}
+		if err := MultiplyPointwise(va, vb); err != nil {
+			return false
+		}
+		coef, err := SeqFFT(va, Forward)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2*n; i++ {
+			if math.Abs(coef[2*i]-want[i]) > 1e-9 || math.Abs(coef[2*i+1]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplyPointwise(t *testing.T) {
+	// (1+2i)(3+4i) = 3+4i+6i-8 = -5+10i.
+	dst := []float64{1, 2}
+	src := []float64{3, 4}
+	if err := MultiplyPointwise(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != -5 || dst[1] != 10 {
+		t.Fatalf("product = %v", dst)
+	}
+	if err := MultiplyPointwise([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestDistributedErrors(t *testing.T) {
+	runGroup(t, 2, func(w *spmd.World) error {
+		eps := make([]float64, 32)
+		if err := TransformReverse(w, make([]float64, 16), 12, Inverse, eps); err == nil {
+			return fmt.Errorf("non-power-of-two n must fail")
+		}
+		if err := TransformReverse(w, make([]float64, 2), 16, Inverse, eps); err == nil {
+			return fmt.Errorf("short local section must fail")
+		}
+		if err := TransformReverse(w, make([]float64, 16), 16, Inverse, make([]float64, 4)); err == nil {
+			return fmt.Errorf("short roots table must fail")
+		}
+		if err := TransformNatural(w, make([]float64, 2), 1, Inverse, eps); err == nil {
+			return fmt.Errorf("n < p must fail")
+		}
+		return nil
+	})
+}
+
+func TestSeqFFTErrors(t *testing.T) {
+	if _, err := SeqFFT(make([]float64, 6), Inverse); err == nil {
+		t.Fatal("non-power-of-two SeqFFT must fail")
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	if Inverse.String() != "INVERSE" || Forward.String() != "FORWARD" {
+		t.Fatal("Flag.String broken")
+	}
+}

@@ -1,0 +1,333 @@
+// Package grid implements the block-decomposition and processor-grid
+// arithmetic of §3.2.1 of the paper: computing processor-grid dimensions
+// from decomposition specifications (block, block(N), *), local-section
+// dimensions, row-major/column-major flattening, and the bijection between
+// global indices and {processor-grid coordinate, local indices} pairs.
+//
+// All functions here are pure; they are the single source of truth for
+// index mapping used by the array manager and by distributed calls.
+package grid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Indexing selects row-major (C-style) or column-major (Fortran-style)
+// linearisation of multidimensional indices. The paper lets the user choose
+// per array (§3.2.1.3); the choice applies to both the array and its
+// processor grid.
+type Indexing uint8
+
+const (
+	// RowMajor is C-style indexing: the last dimension varies fastest.
+	RowMajor Indexing = iota
+	// ColMajor is Fortran-style indexing: the first dimension varies
+	// fastest.
+	ColMajor
+)
+
+func (ix Indexing) String() string {
+	if ix == RowMajor {
+		return "row"
+	}
+	return "column"
+}
+
+// ParseIndexing accepts the paper's spellings: "row" or "C" for row-major,
+// "column" or "Fortran" for column-major.
+func ParseIndexing(s string) (Indexing, error) {
+	switch s {
+	case "row", "C", "c":
+		return RowMajor, nil
+	case "column", "col", "Fortran", "fortran":
+		return ColMajor, nil
+	default:
+		return RowMajor, fmt.Errorf("grid: unknown indexing type %q", s)
+	}
+}
+
+// DecompKind is the decomposition option for one array dimension.
+type DecompKind uint8
+
+const (
+	// Block lets the corresponding processor-grid dimension assume its
+	// default value (the paper's "block").
+	Block DecompKind = iota
+	// BlockN fixes the corresponding processor-grid dimension to N
+	// (the paper's "block(N)").
+	BlockN
+	// Star specifies that the array is not decomposed along this dimension
+	// (processor-grid dimension 1; the paper's "*").
+	Star
+)
+
+// Decomp is a per-dimension decomposition specification.
+type Decomp struct {
+	Kind DecompKind
+	N    int // used only when Kind == BlockN
+}
+
+// BlockDefault returns the "block" specification.
+func BlockDefault() Decomp { return Decomp{Kind: Block} }
+
+// BlockOf returns the "block(n)" specification.
+func BlockOf(n int) Decomp { return Decomp{Kind: BlockN, N: n} }
+
+// NoDecomp returns the "*" specification.
+func NoDecomp() Decomp { return Decomp{Kind: Star} }
+
+func (d Decomp) String() string {
+	switch d.Kind {
+	case Block:
+		return "block"
+	case BlockN:
+		return fmt.Sprintf("block(%d)", d.N)
+	case Star:
+		return "*"
+	default:
+		return "?"
+	}
+}
+
+// ErrBadDecomp reports an invalid decomposition request.
+var ErrBadDecomp = errors.New("grid: invalid decomposition")
+
+// IntRoot returns the largest r >= 1 with r^n <= x, for x >= 1, n >= 1.
+func IntRoot(x, n int) int {
+	if x < 1 || n < 1 {
+		return 0
+	}
+	if n == 1 {
+		return x
+	}
+	r := 1
+	for pow(r+1, n) <= x {
+		r++
+	}
+	return r
+}
+
+func pow(b, e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		if b != 0 && p > (1<<62)/b {
+			return 1 << 62 // saturate; only used for comparisons
+		}
+		p *= b
+	}
+	return p
+}
+
+// GridDims computes the processor-grid dimensions for an N-dimensional
+// array distributed over p processors with the given per-dimension
+// specifications, following §3.2.1.2 exactly:
+//
+//   - by default all dimensions are P^(1/N) (integer root);
+//   - block(N) fixes a dimension to N; * fixes a dimension to 1;
+//   - with M specified dimensions of product Q, each unspecified dimension
+//     becomes floor((P/Q)^(1/(N-M)));
+//   - the product of the grid dimensions must be >= 1 and <= p.
+func GridDims(p int, specs []Decomp) ([]int, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("%w: %d processors", ErrBadDecomp, p)
+	}
+	n := len(specs)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-dimensional decomposition", ErrBadDecomp)
+	}
+	dims := make([]int, n)
+	q := 1
+	unspecified := 0
+	for i, s := range specs {
+		switch s.Kind {
+		case Block:
+			dims[i] = 0 // filled below
+			unspecified++
+		case BlockN:
+			if s.N < 1 {
+				return nil, fmt.Errorf("%w: block(%d)", ErrBadDecomp, s.N)
+			}
+			dims[i] = s.N
+			q *= s.N
+		case Star:
+			dims[i] = 1
+			q *= 1
+		default:
+			return nil, fmt.Errorf("%w: unknown kind %d", ErrBadDecomp, s.Kind)
+		}
+	}
+	if q > p {
+		return nil, fmt.Errorf("%w: specified grid dimensions use %d processors, only %d available", ErrBadDecomp, q, p)
+	}
+	if unspecified > 0 {
+		r := IntRoot(p/q, unspecified)
+		if r < 1 {
+			return nil, fmt.Errorf("%w: no processors left for unspecified dimensions", ErrBadDecomp)
+		}
+		for i := range dims {
+			if dims[i] == 0 {
+				dims[i] = r
+			}
+		}
+	}
+	return dims, nil
+}
+
+// Size returns the product of dims (the number of elements, or of grid
+// cells).
+func Size(dims []int) int {
+	s := 1
+	for _, d := range dims {
+		s *= d
+	}
+	return s
+}
+
+// LocalDims returns the dimensions of one local section: dims[i]/grid[i]
+// per dimension. Per §3.2.1.1 each grid dimension must divide the
+// corresponding array dimension; otherwise an error is returned (the array
+// manager reports STATUS_INVALID).
+func LocalDims(dims, gridDims []int) ([]int, error) {
+	if len(dims) != len(gridDims) {
+		return nil, fmt.Errorf("%w: %d array dims vs %d grid dims", ErrBadDecomp, len(dims), len(gridDims))
+	}
+	out := make([]int, len(dims))
+	for i := range dims {
+		if gridDims[i] < 1 || dims[i] < 1 {
+			return nil, fmt.Errorf("%w: dim %d: array %d, grid %d", ErrBadDecomp, i, dims[i], gridDims[i])
+		}
+		if dims[i]%gridDims[i] != 0 {
+			return nil, fmt.Errorf("%w: grid dimension %d (=%d) does not divide array dimension (=%d)", ErrBadDecomp, i, gridDims[i], dims[i])
+		}
+		out[i] = dims[i] / gridDims[i]
+	}
+	return out, nil
+}
+
+// ErrBadIndex reports an out-of-range or malformed index tuple.
+var ErrBadIndex = errors.New("grid: index out of range")
+
+// CheckIndex validates idx against dims.
+func CheckIndex(idx, dims []int) error {
+	if len(idx) != len(dims) {
+		return fmt.Errorf("%w: %d indices for %d dimensions", ErrBadIndex, len(idx), len(dims))
+	}
+	for i := range idx {
+		if idx[i] < 0 || idx[i] >= dims[i] {
+			return fmt.Errorf("%w: index %d = %d, dimension size %d", ErrBadIndex, i, idx[i], dims[i])
+		}
+	}
+	return nil
+}
+
+// Flatten maps a multidimensional index to a linear offset under the given
+// indexing order.
+func Flatten(idx, dims []int, ix Indexing) (int, error) {
+	if err := CheckIndex(idx, dims); err != nil {
+		return 0, err
+	}
+	lin := 0
+	if ix == RowMajor {
+		for i := 0; i < len(dims); i++ {
+			lin = lin*dims[i] + idx[i]
+		}
+	} else {
+		for i := len(dims) - 1; i >= 0; i-- {
+			lin = lin*dims[i] + idx[i]
+		}
+	}
+	return lin, nil
+}
+
+// Unflatten is the inverse of Flatten. lin must be in [0, Size(dims)).
+func Unflatten(lin int, dims []int, ix Indexing) ([]int, error) {
+	if lin < 0 || lin >= Size(dims) {
+		return nil, fmt.Errorf("%w: linear index %d, size %d", ErrBadIndex, lin, Size(dims))
+	}
+	idx := make([]int, len(dims))
+	if ix == RowMajor {
+		for i := len(dims) - 1; i >= 0; i-- {
+			idx[i] = lin % dims[i]
+			lin /= dims[i]
+		}
+	} else {
+		for i := 0; i < len(dims); i++ {
+			idx[i] = lin % dims[i]
+			lin /= dims[i]
+		}
+	}
+	return idx, nil
+}
+
+// GlobalToLocal maps a global index tuple to the processor-grid coordinate
+// owning it and the index tuple within that local section (§3.2.1.1: each
+// N-tuple of global indices corresponds to exactly one
+// {processor-reference-tuple, local-indices-tuple} pair).
+func GlobalToLocal(gidx, dims, gridDims []int) (gridCoord, lidx []int, err error) {
+	if err := CheckIndex(gidx, dims); err != nil {
+		return nil, nil, err
+	}
+	local, err := LocalDims(dims, gridDims)
+	if err != nil {
+		return nil, nil, err
+	}
+	gridCoord = make([]int, len(dims))
+	lidx = make([]int, len(dims))
+	for i := range dims {
+		gridCoord[i] = gidx[i] / local[i]
+		lidx[i] = gidx[i] % local[i]
+	}
+	return gridCoord, lidx, nil
+}
+
+// LocalToGlobal is the inverse of GlobalToLocal.
+func LocalToGlobal(gridCoord, lidx, dims, gridDims []int) ([]int, error) {
+	local, err := LocalDims(dims, gridDims)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckIndex(gridCoord, gridDims); err != nil {
+		return nil, fmt.Errorf("grid coordinate: %w", err)
+	}
+	if err := CheckIndex(lidx, local); err != nil {
+		return nil, fmt.Errorf("local index: %w", err)
+	}
+	gidx := make([]int, len(dims))
+	for i := range dims {
+		gidx[i] = gridCoord[i]*local[i] + lidx[i]
+	}
+	return gidx, nil
+}
+
+// ProcSlot maps a processor-grid coordinate to its slot in the
+// 1-dimensional processor array the user supplied, using the array's
+// indexing order (§3.2.1.4: "the mapping from N-dimensional processor grid
+// into 1-dimensional array [is] either row-major or column-major depending
+// on the type of indexing the user selects").
+func ProcSlot(gridCoord, gridDims []int, ix Indexing) (int, error) {
+	return Flatten(gridCoord, gridDims, ix)
+}
+
+// OwnerSlot composes GlobalToLocal and ProcSlot: it returns the slot (index
+// into the processor array) owning gidx and the flattened offset of the
+// element within the interior of the local section.
+func OwnerSlot(gidx, dims, gridDims []int, ix Indexing) (slot, localOff int, err error) {
+	coord, lidx, err := GlobalToLocal(gidx, dims, gridDims)
+	if err != nil {
+		return 0, 0, err
+	}
+	slot, err = ProcSlot(coord, gridDims, ix)
+	if err != nil {
+		return 0, 0, err
+	}
+	local, err := LocalDims(dims, gridDims)
+	if err != nil {
+		return 0, 0, err
+	}
+	localOff, err = Flatten(lidx, local, ix)
+	if err != nil {
+		return 0, 0, err
+	}
+	return slot, localOff, nil
+}

@@ -1,0 +1,348 @@
+package grid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// --- GridDims: the paper's worked examples ---
+
+// §3.2.1.2: a 2-dimensional array over 16 processors defaults to a 4x4
+// grid.
+func TestGridDimsDefaultSquare(t *testing.T) {
+	g, err := GridDims(16, []Decomp{BlockDefault(), BlockDefault()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, []int{4, 4}) {
+		t.Fatalf("grid = %v, want [4 4]", g)
+	}
+}
+
+// §3.2.1.2: 3-dimensional array over 16 processors with the second grid
+// dimension specified as 2: unspecified dims get floor((16/2)^(1/2)) = 2,
+// giving a 2x2x2 grid.
+func TestGridDimsPartiallySpecified(t *testing.T) {
+	g, err := GridDims(16, []Decomp{BlockDefault(), BlockOf(2), BlockDefault()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, []int{2, 2, 2}) {
+		t.Fatalf("grid = %v, want [2 2 2]", g)
+	}
+}
+
+// Figure 3.6: 400x200 array, 16 processors, the paper's three cases.
+func TestFig36Decompositions(t *testing.T) {
+	dims := []int{400, 200}
+	cases := []struct {
+		specs     []Decomp
+		wantGrid  []int
+		wantLocal []int
+	}{
+		{[]Decomp{BlockDefault(), BlockDefault()}, []int{4, 4}, []int{100, 50}},
+		{[]Decomp{BlockOf(2), BlockOf(8)}, []int{2, 8}, []int{200, 25}},
+		{[]Decomp{BlockDefault(), NoDecomp()}, []int{16, 1}, []int{25, 200}},
+	}
+	for _, c := range cases {
+		g, err := GridDims(16, c.specs)
+		if err != nil {
+			t.Fatalf("%v: %v", c.specs, err)
+		}
+		if !reflect.DeepEqual(g, c.wantGrid) {
+			t.Fatalf("%v: grid = %v, want %v", c.specs, g, c.wantGrid)
+		}
+		l, err := LocalDims(dims, g)
+		if err != nil {
+			t.Fatalf("%v: %v", c.specs, err)
+		}
+		if !reflect.DeepEqual(l, c.wantLocal) {
+			t.Fatalf("%v: local = %v, want %v", c.specs, l, c.wantLocal)
+		}
+	}
+}
+
+func TestGridDimsErrors(t *testing.T) {
+	if _, err := GridDims(4, []Decomp{BlockOf(8)}); err == nil {
+		t.Fatal("block(8) over 4 processors must fail")
+	}
+	if _, err := GridDims(0, []Decomp{BlockDefault()}); err == nil {
+		t.Fatal("0 processors must fail")
+	}
+	if _, err := GridDims(4, nil); err == nil {
+		t.Fatal("0-dimensional decomposition must fail")
+	}
+	if _, err := GridDims(4, []Decomp{BlockOf(0)}); err == nil {
+		t.Fatal("block(0) must fail")
+	}
+}
+
+// Property: grid product is always within [1, P] and specified dims are
+// honoured exactly.
+func TestQuickGridDimsProduct(t *testing.T) {
+	f := func(pRaw uint8, kinds []uint8) bool {
+		p := int(pRaw)%64 + 1
+		if len(kinds) == 0 || len(kinds) > 4 {
+			return true
+		}
+		specs := make([]Decomp, len(kinds))
+		q := 1
+		for i, k := range kinds {
+			switch k % 3 {
+			case 0:
+				specs[i] = BlockDefault()
+			case 1:
+				n := int(k)%3 + 1
+				specs[i] = BlockOf(n)
+				q *= n
+			case 2:
+				specs[i] = NoDecomp()
+			}
+		}
+		g, err := GridDims(p, specs)
+		if err != nil {
+			return q > p // only failure mode for these inputs
+		}
+		if Size(g) < 1 || Size(g) > p {
+			return false
+		}
+		for i, s := range specs {
+			if s.Kind == BlockN && g[i] != s.N {
+				return false
+			}
+			if s.Kind == Star && g[i] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntRoot(t *testing.T) {
+	cases := []struct{ x, n, want int }{
+		{16, 2, 4}, {16, 4, 2}, {15, 2, 3}, {1, 3, 1}, {8, 3, 2},
+		{9, 2, 3}, {10, 2, 3}, {64, 3, 4}, {63, 3, 3}, {5, 1, 5},
+	}
+	for _, c := range cases {
+		if got := IntRoot(c.x, c.n); got != c.want {
+			t.Fatalf("IntRoot(%d,%d) = %d, want %d", c.x, c.n, got, c.want)
+		}
+	}
+}
+
+// --- Flatten / Unflatten ---
+
+func TestFlattenRowVsColMajor(t *testing.T) {
+	dims := []int{2, 3}
+	// Row-major: (1,2) -> 1*3+2 = 5. Column-major: 2*2+1 = 5? No:
+	// col-major strides: dim0 stride 1, dim1 stride 2 -> 1 + 2*2 = 5.
+	// Use an asymmetric case instead: (1,0).
+	r, err := Flatten([]int{1, 0}, dims, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Flatten([]int{1, 0}, dims, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 3 || c != 1 {
+		t.Fatalf("row=%d (want 3), col=%d (want 1)", r, c)
+	}
+}
+
+func TestFlattenOutOfRange(t *testing.T) {
+	if _, err := Flatten([]int{2, 0}, []int{2, 3}, RowMajor); err == nil {
+		t.Fatal("index 2 in dim of size 2 must fail")
+	}
+	if _, err := Flatten([]int{0}, []int{2, 3}, RowMajor); err == nil {
+		t.Fatal("wrong arity must fail")
+	}
+	if _, err := Unflatten(6, []int{2, 3}, RowMajor); err == nil {
+		t.Fatal("linear index == size must fail")
+	}
+}
+
+// Property: Unflatten inverts Flatten for random dims/indices/orderings.
+func TestQuickFlattenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		nd := rng.Intn(4) + 1
+		dims := make([]int, nd)
+		for i := range dims {
+			dims[i] = rng.Intn(5) + 1
+		}
+		idx := make([]int, nd)
+		for i := range idx {
+			idx[i] = rng.Intn(dims[i])
+		}
+		ix := Indexing(rng.Intn(2))
+		lin, err := Flatten(idx, dims, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lin < 0 || lin >= Size(dims) {
+			t.Fatalf("lin %d out of range for %v", lin, dims)
+		}
+		back, err := Unflatten(lin, dims, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, idx) {
+			t.Fatalf("round trip %v -> %d -> %v (dims %v, %v)", idx, lin, back, dims, ix)
+		}
+	}
+}
+
+// Property: Flatten is a bijection [0,Size) for both orderings.
+func TestFlattenBijection(t *testing.T) {
+	dims := []int{3, 4, 2}
+	for _, ix := range []Indexing{RowMajor, ColMajor} {
+		seen := make([]bool, Size(dims))
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				for k := 0; k < 2; k++ {
+					lin, err := Flatten([]int{i, j, k}, dims, ix)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if seen[lin] {
+						t.Fatalf("collision at %d (%v)", lin, ix)
+					}
+					seen[lin] = true
+				}
+			}
+		}
+	}
+}
+
+// --- Global/local maps ---
+
+// Figure 3.5's described relationship: global indices identify exactly one
+// {grid coordinate, local index} pair and vice versa.
+func TestQuickGlobalLocalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 2000; iter++ {
+		nd := rng.Intn(3) + 1
+		dims := make([]int, nd)
+		gridDims := make([]int, nd)
+		for i := range dims {
+			gridDims[i] = rng.Intn(3) + 1
+			dims[i] = gridDims[i] * (rng.Intn(4) + 1)
+		}
+		gidx := make([]int, nd)
+		for i := range gidx {
+			gidx[i] = rng.Intn(dims[i])
+		}
+		coord, lidx, err := GlobalToLocal(gidx, dims, gridDims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := LocalToGlobal(coord, lidx, dims, gridDims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, gidx) {
+			t.Fatalf("round trip %v -> (%v,%v) -> %v", gidx, coord, lidx, back)
+		}
+	}
+}
+
+// Each element belongs to exactly one local section, and each local section
+// slot holds exactly one element (Fig 3.1 / Fig 3.5 invariant).
+func TestPartitionIsExact(t *testing.T) {
+	dims := []int{4, 4}
+	gridDims := []int{2, 4}
+	type key struct{ slot, off int }
+	seen := map[key][]int{}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			slot, off, err := OwnerSlot([]int{i, j}, dims, gridDims, RowMajor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := key{slot, off}
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("(%d,%d) and %v map to same slot/offset %v", i, j, prev, k)
+			}
+			seen[k] = []int{i, j}
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("covered %d slots, want 16", len(seen))
+	}
+}
+
+// §3.2.1.1's worked example: global (1,2) in a 4x4 array over a 2x4 grid
+// (from Figure 3.5's style of decomposition) — check a concrete mapping by
+// hand: local dims 2x1, so (1,2) -> grid coord (0,2), local (1,0).
+func TestConcreteMapping(t *testing.T) {
+	coord, lidx, err := GlobalToLocal([]int{1, 2}, []int{4, 4}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coord, []int{0, 2}) || !reflect.DeepEqual(lidx, []int{1, 0}) {
+		t.Fatalf("coord=%v lidx=%v", coord, lidx)
+	}
+}
+
+// Figure 3.8: a 2x2 array distributed over processors (0,2,4,6). Under
+// row-major ordering the figure places x(1,0) on processor 4; under
+// column-major ordering it places x(1,0) on processor 2. ProcSlot gives the
+// slot in the grid; the caller maps slots through the processor array.
+func TestFig38RowVsColumnDistribution(t *testing.T) {
+	procs := []int{0, 2, 4, 6}
+	gridDims := []int{2, 2}
+	dims := []int{2, 2}
+
+	slotRow, _, err := OwnerSlot([]int{1, 0}, dims, gridDims, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotCol, _, err := OwnerSlot([]int{1, 0}, dims, gridDims, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs[slotRow] != 4 || procs[slotCol] != 2 {
+		t.Fatalf("row-major -> proc %d (want 4), col-major -> proc %d (want 2)",
+			procs[slotRow], procs[slotCol])
+	}
+}
+
+func TestLocalDimsDivisibility(t *testing.T) {
+	if _, err := LocalDims([]int{10, 10}, []int{3, 2}); err == nil {
+		t.Fatal("non-dividing grid must fail")
+	}
+	l, err := LocalDims([]int{10, 10}, []int{5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l, []int{2, 5}) {
+		t.Fatalf("local = %v", l)
+	}
+}
+
+func TestParseIndexing(t *testing.T) {
+	for _, s := range []string{"row", "C", "c"} {
+		ix, err := ParseIndexing(s)
+		if err != nil || ix != RowMajor {
+			t.Fatalf("ParseIndexing(%q) = %v,%v", s, ix, err)
+		}
+	}
+	for _, s := range []string{"column", "col", "Fortran", "fortran"} {
+		ix, err := ParseIndexing(s)
+		if err != nil || ix != ColMajor {
+			t.Fatalf("ParseIndexing(%q) = %v,%v", s, ix, err)
+		}
+	}
+	if _, err := ParseIndexing("diagonal"); err == nil {
+		t.Fatal("unknown indexing must fail")
+	}
+	if RowMajor.String() != "row" || ColMajor.String() != "column" {
+		t.Fatal("Indexing.String broken")
+	}
+}

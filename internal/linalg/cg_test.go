@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/spmd"
+)
+
+// spdMatrix builds a symmetric positive-definite matrix A = MᵀM + n*I.
+func spdMatrix(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += m[k*n+i] * m[k*n+j]
+			}
+			a[i*n+j] = s
+		}
+		a[i*n+i] += float64(n)
+	}
+	return a
+}
+
+func TestConjugateGradientSolves(t *testing.T) {
+	const n = 16
+	a := spdMatrix(n, 41)
+	rng := rand.New(rand.NewSource(42))
+	bvec := make([]float64, n)
+	for i := range bvec {
+		bvec[i] = rng.NormFloat64()
+	}
+	for _, p := range []int{1, 2, 4} {
+		aBlocks := scatter(a, p)
+		bBlocks := scatter(bvec, p)
+		xBlocks := make([][]float64, p)
+		iters := make([]int, p)
+		runGroup(t, p, func(w *spmd.World) error {
+			x, res, err := ConjugateGradient(w, aBlocks[w.Rank()], n, bBlocks[w.Rank()], 1e-12, 200)
+			if err != nil {
+				return err
+			}
+			if res.Residual > 1e-8 {
+				return fmt.Errorf("residual %g", res.Residual)
+			}
+			xBlocks[w.Rank()] = x
+			iters[w.Rank()] = res.Iterations
+			return nil
+		})
+		// All copies agree on the iteration count (lock-step collectives).
+		for _, it := range iters {
+			if it != iters[0] {
+				t.Fatalf("p=%d: divergent iteration counts %v", p, iters)
+			}
+		}
+		var x []float64
+		for i := 0; i < p; i++ {
+			x = append(x, xBlocks[i]...)
+		}
+		// Residual against the dense system.
+		for i := 0; i < n; i++ {
+			s := -bvec[i]
+			for j := 0; j < n; j++ {
+				s += a[i*n+j] * x[j]
+			}
+			if math.Abs(s) > 1e-7 {
+				t.Fatalf("p=%d: residual[%d] = %v", p, i, s)
+			}
+		}
+	}
+}
+
+// CG across group sizes produces the same solution (collectives are
+// deterministic in rank order up to floating-point reassociation across
+// trees; compare loosely).
+func TestConjugateGradientConsistentAcrossP(t *testing.T) {
+	const n = 8
+	a := spdMatrix(n, 7)
+	bvec := make([]float64, n)
+	for i := range bvec {
+		bvec[i] = float64(i + 1)
+	}
+	solutions := map[int][]float64{}
+	for _, p := range []int{1, 2, 4} {
+		aBlocks := scatter(a, p)
+		bBlocks := scatter(bvec, p)
+		xBlocks := make([][]float64, p)
+		runGroup(t, p, func(w *spmd.World) error {
+			x, _, err := ConjugateGradient(w, aBlocks[w.Rank()], n, bBlocks[w.Rank()], 1e-12, 100)
+			if err != nil {
+				return err
+			}
+			xBlocks[w.Rank()] = x
+			return nil
+		})
+		var x []float64
+		for i := 0; i < p; i++ {
+			x = append(x, xBlocks[i]...)
+		}
+		solutions[p] = x
+	}
+	for _, p := range []int{2, 4} {
+		for i := range solutions[1] {
+			if math.Abs(solutions[p][i]-solutions[1][i]) > 1e-6 {
+				t.Fatalf("P=%d solution diverges at %d: %v vs %v", p, i, solutions[p][i], solutions[1][i])
+			}
+		}
+	}
+}
+
+func TestConjugateGradientRejectsNonSPD(t *testing.T) {
+	// Negative-definite matrix: pᵀAp < 0 on the first step.
+	a := []float64{
+		-4, 0,
+		0, -4,
+	}
+	runGroup(t, 2, func(w *spmd.World) error {
+		aLocal := a[w.Rank()*2 : (w.Rank()+1)*2]
+		bLocal := []float64{1}
+		if _, _, err := ConjugateGradient(w, aLocal, 2, bLocal, 1e-10, 10); err == nil {
+			return fmt.Errorf("non-SPD matrix must fail")
+		}
+		return nil
+	})
+}
+
+func TestConjugateGradientShapeErrors(t *testing.T) {
+	runGroup(t, 2, func(w *spmd.World) error {
+		if _, _, err := ConjugateGradient(w, make([]float64, 1), 4, make([]float64, 2), 1e-10, 10); err == nil {
+			return fmt.Errorf("short matrix must fail")
+		}
+		if _, _, err := ConjugateGradient(w, make([]float64, 8), 3, make([]float64, 2), 1e-10, 10); err == nil {
+			return fmt.Errorf("indivisible n must fail")
+		}
+		return nil
+	})
+}
+
+// Zero right-hand side: converges immediately with x = 0.
+func TestConjugateGradientZeroRHS(t *testing.T) {
+	a := spdMatrix(4, 3)
+	runGroup(t, 2, func(w *spmd.World) error {
+		aBlocks := scatter(a, 2)
+		x, res, err := ConjugateGradient(w, aBlocks[w.Rank()], 4, make([]float64, 2), 1e-12, 10)
+		if err != nil {
+			return err
+		}
+		if res.Iterations != 0 || x[0] != 0 || x[1] != 0 {
+			return fmt.Errorf("zero rhs: iters=%d x=%v", res.Iterations, x)
+		}
+		return nil
+	})
+}

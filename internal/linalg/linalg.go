@@ -1,0 +1,440 @@
+// Package linalg is the SPMD linear-algebra library of Appendix D of the
+// paper: the library of data-parallel programs (originally Eric Van de
+// Velde's hand-written SPMD message-passing C library) that the prototype
+// implementation was tested against. It provides:
+//
+//   - creation and initialisation of distributed vectors and matrices,
+//   - basic vector/matrix operations (scale, axpy, inner product, norms,
+//     matrix-vector and matrix-matrix products),
+//   - LU decomposition with partial pivoting and the solution of an
+//     LU-decomposed system, and
+//   - QR decomposition (modified Gram-Schmidt).
+//
+// Data layout follows the reproduction's distributed-array conventions:
+// a length-n vector is block-distributed (local slice of n/P elements);
+// an n x m matrix is distributed by block rows (local slice of (n/P) x m
+// elements, row-major). Every routine is an SPMD program body: all copies
+// execute it with their own local section and communicate only through the
+// spmd.World of the enclosing distributed call, satisfying the §3.5
+// requirements (relocatability, flat local sections, typed communication).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/spmd"
+)
+
+// ErrShape reports malformed distributed shapes.
+var ErrShape = errors.New("linalg: shape mismatch")
+
+// BlockInfo describes this copy's share of a block-distributed dimension of
+// global size n over a group of size p.
+type BlockInfo struct {
+	N      int // global size
+	Local  int // local size (n/p)
+	Offset int // global index of local element 0
+}
+
+// Block computes the block decomposition of n elements for the calling
+// rank. n must be divisible by the group size, matching the array
+// manager's divisibility rule.
+func Block(w *spmd.World, n int) (BlockInfo, error) {
+	p := w.Size()
+	if n <= 0 || n%p != 0 {
+		return BlockInfo{}, fmt.Errorf("%w: global size %d not divisible by group size %d", ErrShape, n, p)
+	}
+	l := n / p
+	return BlockInfo{N: n, Local: l, Offset: w.Rank() * l}, nil
+}
+
+// --- vector operations ---
+
+// VecFillIndex sets local[i] = f(globalIndex) for every local element.
+func VecFillIndex(w *spmd.World, local []float64, n int, f func(global int) float64) error {
+	b, err := Block(w, n)
+	if err != nil {
+		return err
+	}
+	if len(local) < b.Local {
+		return fmt.Errorf("%w: local section %d < %d", ErrShape, len(local), b.Local)
+	}
+	for i := 0; i < b.Local; i++ {
+		local[i] = f(b.Offset + i)
+	}
+	return nil
+}
+
+// VecScale multiplies a local section elementwise: purely local work.
+func VecScale(local []float64, alpha float64) {
+	for i := range local {
+		local[i] *= alpha
+	}
+}
+
+// VecAXPY computes y += alpha*x on local sections.
+func VecAXPY(y, x []float64, alpha float64) error {
+	if len(y) != len(x) {
+		return fmt.Errorf("%w: axpy %d vs %d", ErrShape, len(y), len(x))
+	}
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+	return nil
+}
+
+// Dot computes the global inner product of two block-distributed vectors:
+// local partial sums merged with an all-reduce, the classic SPMD kernel
+// the paper's §6.1 example exercises.
+func Dot(w *spmd.World, x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: dot %d vs %d", ErrShape, len(x), len(y))
+	}
+	partial := 0.0
+	for i := range x {
+		partial += x[i] * y[i]
+	}
+	return w.AllReduceSum(partial)
+}
+
+// Norm2 computes the global Euclidean norm of a block-distributed vector.
+func Norm2(w *spmd.World, x []float64) (float64, error) {
+	partial := 0.0
+	for _, v := range x {
+		partial += v * v
+	}
+	s, err := w.AllReduceSum(partial)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(s), nil
+}
+
+// MaxAbs computes the global infinity norm of a block-distributed vector.
+func MaxAbs(w *spmd.World, x []float64) (float64, error) {
+	partial := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > partial {
+			partial = a
+		}
+	}
+	return w.AllReduceMax(partial)
+}
+
+// --- matrix operations (block-row distribution) ---
+
+// MatFillIndex sets the local block rows of an n x m matrix:
+// element (i,j) = f(i,j) with i the global row index.
+func MatFillIndex(w *spmd.World, local []float64, n, m int, f func(i, j int) float64) error {
+	b, err := Block(w, n)
+	if err != nil {
+		return err
+	}
+	if len(local) < b.Local*m {
+		return fmt.Errorf("%w: local block %d < %d", ErrShape, len(local), b.Local*m)
+	}
+	for r := 0; r < b.Local; r++ {
+		for c := 0; c < m; c++ {
+			local[r*m+c] = f(b.Offset+r, c)
+		}
+	}
+	return nil
+}
+
+// MatVec computes y = A*x for a block-row-distributed n x m matrix A and a
+// block-distributed length-m vector x, producing the block-distributed
+// length-n vector y. x is all-gathered so each copy can form its rows of
+// the product.
+func MatVec(w *spmd.World, aLocal []float64, n, m int, xLocal []float64) ([]float64, error) {
+	bRows, err := Block(w, n)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := Block(w, m); err != nil {
+		return nil, err
+	}
+	if len(aLocal) < bRows.Local*m {
+		return nil, fmt.Errorf("%w: matrix block %d < %d", ErrShape, len(aLocal), bRows.Local*m)
+	}
+	xFull, err := w.AllGather(xLocal)
+	if err != nil {
+		return nil, err
+	}
+	if len(xFull) != m {
+		return nil, fmt.Errorf("%w: gathered x has %d elements, want %d", ErrShape, len(xFull), m)
+	}
+	y := make([]float64, bRows.Local)
+	for r := 0; r < bRows.Local; r++ {
+		s := 0.0
+		row := aLocal[r*m : (r+1)*m]
+		for c := 0; c < m; c++ {
+			s += row[c] * xFull[c]
+		}
+		y[r] = s
+	}
+	return y, nil
+}
+
+// MatMul computes C = A*B where A is block-row n x k, B is block-row
+// k x m; the result C is block-row n x m. B is all-gathered.
+func MatMul(w *spmd.World, aLocal []float64, n, k int, bLocal []float64, m int) ([]float64, error) {
+	bRows, err := Block(w, n)
+	if err != nil {
+		return nil, err
+	}
+	bFull, err := w.AllGather(bLocal)
+	if err != nil {
+		return nil, err
+	}
+	if len(bFull) != k*m {
+		return nil, fmt.Errorf("%w: gathered B has %d elements, want %d", ErrShape, len(bFull), k*m)
+	}
+	c := make([]float64, bRows.Local*m)
+	for r := 0; r < bRows.Local; r++ {
+		aRow := aLocal[r*k : (r+1)*k]
+		cRow := c[r*m : (r+1)*m]
+		for kk := 0; kk < k; kk++ {
+			av := aRow[kk]
+			if av == 0 {
+				continue
+			}
+			bRow := bFull[kk*m : (kk+1)*m]
+			for j := 0; j < m; j++ {
+				cRow[j] += av * bRow[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// --- LU decomposition with partial pivoting ---
+
+// pivot carries the per-step argmax reduction.
+type pivot struct {
+	val float64
+	row int
+}
+
+// LUFactor performs in-place LU decomposition with partial pivoting of a
+// block-row-distributed n x n matrix. On return aLocal holds this copy's
+// rows of the combined L\U factors (unit lower-triangular L below the
+// diagonal), and the returned slice is the pivot permutation: at step k the
+// factorisation swapped rows k and piv[k]. All copies return identical piv.
+func LUFactor(w *spmd.World, aLocal []float64, n int) ([]int, error) {
+	b, err := Block(w, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(aLocal) < b.Local*n {
+		return nil, fmt.Errorf("%w: matrix block %d < %d", ErrShape, len(aLocal), b.Local*n)
+	}
+	l := b.Local
+	ownerOf := func(row int) int { return row / l }
+	localRow := func(row int) int { return row % l }
+
+	piv := make([]int, n)
+	for k := 0; k < n; k++ {
+		// 1. Local pivot search over owned rows >= k.
+		best := pivot{val: -1, row: -1}
+		for g := k; g < n; g++ {
+			if ownerOf(g) != w.Rank() {
+				continue
+			}
+			v := math.Abs(aLocal[localRow(g)*n+k])
+			if v > best.val {
+				best = pivot{val: v, row: g}
+			}
+		}
+		// 2. Global argmax (ties resolved to the lower row for
+		// determinism).
+		winner, err := w.AllReduce(best, func(a, bb any) any {
+			av, bv := a.(pivot), bb.(pivot)
+			if bv.val > av.val || (bv.val == av.val && bv.row != -1 && (av.row == -1 || bv.row < av.row)) {
+				return bv
+			}
+			return av
+		})
+		if err != nil {
+			return nil, err
+		}
+		pv := winner.(pivot)
+		if pv.row < 0 || pv.val == 0 {
+			return nil, fmt.Errorf("linalg: matrix is singular at step %d", k)
+		}
+		piv[k] = pv.row
+
+		// 3. Swap rows k and pv.row.
+		if pv.row != k {
+			ok, or := ownerOf(k), ownerOf(pv.row)
+			switch {
+			case ok == w.Rank() && or == w.Rank():
+				rk, rr := localRow(k)*n, localRow(pv.row)*n
+				for j := 0; j < n; j++ {
+					aLocal[rk+j], aLocal[rr+j] = aLocal[rr+j], aLocal[rk+j]
+				}
+			case ok == w.Rank():
+				rk := localRow(k) * n
+				got, err := w.Exchange(or, 1, aLocal[rk:rk+n])
+				if err != nil {
+					return nil, err
+				}
+				copy(aLocal[rk:rk+n], got)
+			case or == w.Rank():
+				rr := localRow(pv.row) * n
+				got, err := w.Exchange(ok, 1, aLocal[rr:rr+n])
+				if err != nil {
+					return nil, err
+				}
+				copy(aLocal[rr:rr+n], got)
+			}
+		}
+
+		// 4. Owner of row k broadcasts the pivot row.
+		var pivotRow []float64
+		if ownerOf(k) == w.Rank() {
+			rk := localRow(k) * n
+			pivotRow = append([]float64(nil), aLocal[rk:rk+n]...)
+		}
+		bc, err := w.Bcast(ownerOf(k), pivotRow)
+		if err != nil {
+			return nil, err
+		}
+		pivotRow = bc.([]float64)
+
+		// 5. Eliminate below the pivot in owned rows.
+		for g := k + 1; g < n; g++ {
+			if ownerOf(g) != w.Rank() {
+				continue
+			}
+			r := localRow(g) * n
+			f := aLocal[r+k] / pivotRow[k]
+			aLocal[r+k] = f
+			for j := k + 1; j < n; j++ {
+				aLocal[r+j] -= f * pivotRow[j]
+			}
+		}
+	}
+	return piv, nil
+}
+
+// LUSolve solves A x = b given the factorisation produced by LUFactor.
+// bLocal is the block-distributed right-hand side; the returned slice is
+// this copy's block of the solution. The triangular solves proceed with a
+// scalar broadcast per row, each copy maintaining a full copy of the
+// evolving solution vector.
+func LUSolve(w *spmd.World, luLocal []float64, piv []int, n int, bLocal []float64) ([]float64, error) {
+	b, err := Block(w, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(piv) != n || len(bLocal) < b.Local {
+		return nil, fmt.Errorf("%w: solve inputs", ErrShape)
+	}
+	l := b.Local
+	ownerOf := func(row int) int { return row / l }
+	localRow := func(row int) int { return row % l }
+
+	// Gather the right-hand side everywhere, then apply the pivot
+	// permutation identically on all copies.
+	y, err := w.AllGather(bLocal[:l])
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < n; k++ {
+		y[k], y[piv[k]] = y[piv[k]], y[k]
+	}
+
+	// Forward substitution with unit lower-triangular L: the owner of row
+	// k completes y[k] and broadcasts it.
+	for k := 0; k < n; k++ {
+		var v float64
+		if ownerOf(k) == w.Rank() {
+			r := localRow(k) * n
+			s := y[k]
+			for j := 0; j < k; j++ {
+				s -= luLocal[r+j] * y[j]
+			}
+			v = s
+		}
+		bc, err := w.Bcast(ownerOf(k), v)
+		if err != nil {
+			return nil, err
+		}
+		y[k] = bc.(float64)
+	}
+
+	// Back substitution with U.
+	for k := n - 1; k >= 0; k-- {
+		var v float64
+		if ownerOf(k) == w.Rank() {
+			r := localRow(k) * n
+			s := y[k]
+			for j := k + 1; j < n; j++ {
+				s -= luLocal[r+j] * y[j]
+			}
+			v = s / luLocal[r+k]
+		}
+		bc, err := w.Bcast(ownerOf(k), v)
+		if err != nil {
+			return nil, err
+		}
+		y[k] = bc.(float64)
+	}
+	return append([]float64(nil), y[b.Offset:b.Offset+l]...), nil
+}
+
+// QRFactor performs modified Gram-Schmidt QR decomposition of a block-row
+// n x m matrix (n >= m): on return aLocal holds this copy's rows of Q
+// (orthonormal columns) and the returned slice is the full m x m upper
+// triangular R, identical on every copy.
+func QRFactor(w *spmd.World, aLocal []float64, n, m int) ([]float64, error) {
+	b, err := Block(w, n)
+	if err != nil {
+		return nil, err
+	}
+	if m > n || len(aLocal) < b.Local*m {
+		return nil, fmt.Errorf("%w: qr inputs", ErrShape)
+	}
+	l := b.Local
+	r := make([]float64, m*m)
+	col := func(j int) []float64 {
+		c := make([]float64, l)
+		for i := 0; i < l; i++ {
+			c[i] = aLocal[i*m+j]
+		}
+		return c
+	}
+	setCol := func(j int, c []float64) {
+		for i := 0; i < l; i++ {
+			aLocal[i*m+j] = c[i]
+		}
+	}
+	for j := 0; j < m; j++ {
+		qj := col(j)
+		nrm, err := Norm2(w, qj)
+		if err != nil {
+			return nil, err
+		}
+		if nrm == 0 {
+			return nil, fmt.Errorf("linalg: rank-deficient matrix at column %d", j)
+		}
+		r[j*m+j] = nrm
+		VecScale(qj, 1/nrm)
+		setCol(j, qj)
+		for k := j + 1; k < m; k++ {
+			ak := col(k)
+			d, err := Dot(w, qj, ak)
+			if err != nil {
+				return nil, err
+			}
+			r[j*m+k] = d
+			if err := VecAXPY(ak, qj, -d); err != nil {
+				return nil, err
+			}
+			setCol(k, ak)
+		}
+	}
+	return r, nil
+}

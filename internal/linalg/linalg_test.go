@@ -1,0 +1,459 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/spmd"
+)
+
+// runGroup executes body once per rank over p processors.
+func runGroup(t *testing.T, p int, body func(w *spmd.World) error) {
+	t.Helper()
+	r := msg.NewRouter(p)
+	defer r.Close()
+	procs := make([]int, p)
+	for i := range procs {
+		procs[i] = i
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = body(spmd.NewWorld(r, procs, i, 1))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+// scatter splits a dense slice into per-rank blocks.
+func scatter(full []float64, p int) [][]float64 {
+	l := len(full) / p
+	out := make([][]float64, p)
+	for i := 0; i < p; i++ {
+		out[i] = append([]float64(nil), full[i*l:(i+1)*l]...)
+	}
+	return out
+}
+
+func TestBlock(t *testing.T) {
+	runGroup(t, 4, func(w *spmd.World) error {
+		b, err := Block(w, 12)
+		if err != nil {
+			return err
+		}
+		if b.Local != 3 || b.Offset != w.Rank()*3 || b.N != 12 {
+			return fmt.Errorf("block = %+v", b)
+		}
+		if _, err := Block(w, 13); err == nil {
+			return fmt.Errorf("indivisible size should fail")
+		}
+		if _, err := Block(w, 0); err == nil {
+			return fmt.Errorf("zero size should fail")
+		}
+		return nil
+	})
+}
+
+func TestVecFillAndDot(t *testing.T) {
+	// The §6.1 inner product: V1[i] = V2[i] = i+1; sum of squares
+	// 1^2..n^2 = n(n+1)(2n+1)/6.
+	const n = 24
+	want := float64(n * (n + 1) * (2*n + 1) / 6)
+	for _, p := range []int{1, 2, 3, 4, 6} {
+		runGroup(t, p, func(w *spmd.World) error {
+			x := make([]float64, n/p)
+			y := make([]float64, n/p)
+			if err := VecFillIndex(w, x, n, func(g int) float64 { return float64(g + 1) }); err != nil {
+				return err
+			}
+			if err := VecFillIndex(w, y, n, func(g int) float64 { return float64(g + 1) }); err != nil {
+				return err
+			}
+			got, err := Dot(w, x, y)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("p=%d: dot = %v, want %v", p, got, want)
+			}
+			return nil
+		})
+	}
+}
+
+func TestVecOpsLocal(t *testing.T) {
+	x := []float64{1, 2, 3}
+	VecScale(x, 2)
+	if x[2] != 6 {
+		t.Fatalf("scale: %v", x)
+	}
+	y := []float64{1, 1, 1}
+	if err := VecAXPY(y, x, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 2 || y[2] != 4 {
+		t.Fatalf("axpy: %v", y)
+	}
+	if err := VecAXPY(y, []float64{1}, 1); err == nil {
+		t.Fatal("axpy shape mismatch must fail")
+	}
+}
+
+func TestNormsAndMax(t *testing.T) {
+	runGroup(t, 2, func(w *spmd.World) error {
+		// Global vector (3,4,0,0): norm 5, maxabs 4.
+		local := []float64{3, 4}
+		if w.Rank() == 1 {
+			local = []float64{0, 0}
+		}
+		nrm, err := Norm2(w, local)
+		if err != nil {
+			return err
+		}
+		if nrm != 5 {
+			return fmt.Errorf("norm = %v", nrm)
+		}
+		mx, err := MaxAbs(w, local)
+		if err != nil {
+			return err
+		}
+		if mx != 4 {
+			return fmt.Errorf("maxabs = %v", mx)
+		}
+		return nil
+	})
+}
+
+func TestDotShapeMismatch(t *testing.T) {
+	runGroup(t, 1, func(w *spmd.World) error {
+		if _, err := Dot(w, []float64{1}, []float64{1, 2}); err == nil {
+			return fmt.Errorf("shape mismatch must fail")
+		}
+		return nil
+	})
+}
+
+func seqMatVec(a []float64, n, m int, x []float64) []float64 {
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			y[i] += a[i*m+j] * x[j]
+		}
+	}
+	return y
+}
+
+func TestMatVecAgainstSequential(t *testing.T) {
+	const n, m = 8, 8
+	rng := rand.New(rand.NewSource(11))
+	a := make([]float64, n*m)
+	x := make([]float64, m)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := seqMatVec(a, n, m, x)
+	for _, p := range []int{1, 2, 4} {
+		aBlocks := scatter(a, p)
+		xBlocks := scatter(x, p)
+		got := make([][]float64, p)
+		runGroup(t, p, func(w *spmd.World) error {
+			y, err := MatVec(w, aBlocks[w.Rank()], n, m, xBlocks[w.Rank()])
+			if err != nil {
+				return err
+			}
+			got[w.Rank()] = y
+			return nil
+		})
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i/(n/p)][i%(n/p)]-want[i]) > 1e-12 {
+				t.Fatalf("p=%d: y[%d] = %v, want %v", p, i, got[i/(n/p)][i%(n/p)], want[i])
+			}
+		}
+	}
+}
+
+func seqMatMul(a []float64, n, k int, b []float64, m int) []float64 {
+	c := make([]float64, n*m)
+	for i := 0; i < n; i++ {
+		for kk := 0; kk < k; kk++ {
+			for j := 0; j < m; j++ {
+				c[i*m+j] += a[i*k+kk] * b[kk*m+j]
+			}
+		}
+	}
+	return c
+}
+
+func TestMatMulAgainstSequential(t *testing.T) {
+	const n, k, m = 4, 8, 6
+	rng := rand.New(rand.NewSource(12))
+	a := make([]float64, n*k)
+	b := make([]float64, k*m)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := seqMatMul(a, n, k, b, m)
+	for _, p := range []int{1, 2, 4} {
+		aBlocks := scatter(a, p)
+		bBlocks := scatter(b, p)
+		got := make([][]float64, p)
+		runGroup(t, p, func(w *spmd.World) error {
+			c, err := MatMul(w, aBlocks[w.Rank()], n, k, bBlocks[w.Rank()], m)
+			if err != nil {
+				return err
+			}
+			got[w.Rank()] = c
+			return nil
+		})
+		lr := n / p
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if math.Abs(got[i/lr][(i%lr)*m+j]-want[i*m+j]) > 1e-12 {
+					t.Fatalf("p=%d: C[%d][%d] wrong", p, i, j)
+				}
+			}
+		}
+	}
+}
+
+// randMatrix produces a well-conditioned random matrix (diagonally
+// dominated) for stable factorisation tests.
+func randMatrix(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = rng.NormFloat64()
+		}
+		a[i*n+i] += float64(n)
+	}
+	return a
+}
+
+func TestLUSolveResidual(t *testing.T) {
+	const n = 12
+	a := randMatrix(n, 21)
+	rng := rand.New(rand.NewSource(22))
+	bvec := make([]float64, n)
+	for i := range bvec {
+		bvec[i] = rng.NormFloat64()
+	}
+	for _, p := range []int{1, 2, 3, 4, 6} {
+		aBlocks := scatter(a, p) // n*n over p: each (n/p)*n
+		bBlocks := scatter(bvec, p)
+		xBlocks := make([][]float64, p)
+		runGroup(t, p, func(w *spmd.World) error {
+			lu := append([]float64(nil), aBlocks[w.Rank()]...)
+			piv, err := LUFactor(w, lu, n)
+			if err != nil {
+				return err
+			}
+			x, err := LUSolve(w, lu, piv, n, bBlocks[w.Rank()])
+			if err != nil {
+				return err
+			}
+			xBlocks[w.Rank()] = x
+			return nil
+		})
+		// Assemble x and check the residual against the original A.
+		var x []float64
+		for i := 0; i < p; i++ {
+			x = append(x, xBlocks[i]...)
+		}
+		res := seqMatVec(a, n, n, x)
+		for i := range res {
+			if math.Abs(res[i]-bvec[i]) > 1e-9 {
+				t.Fatalf("p=%d: residual[%d] = %v", p, i, res[i]-bvec[i])
+			}
+		}
+	}
+}
+
+// A matrix that forces pivoting (zero on the first diagonal element).
+func TestLUPivotingRequired(t *testing.T) {
+	a := []float64{
+		0, 1, 2, 3,
+		4, 0, 1, 2,
+		1, 3, 0, 1,
+		2, 1, 3, 0,
+	}
+	bvec := []float64{1, 2, 3, 4}
+	const n = 4
+	for _, p := range []int{1, 2, 4} {
+		aBlocks := scatter(a, p)
+		bBlocks := scatter(bvec, p)
+		xBlocks := make([][]float64, p)
+		runGroup(t, p, func(w *spmd.World) error {
+			lu := append([]float64(nil), aBlocks[w.Rank()]...)
+			piv, err := LUFactor(w, lu, n)
+			if err != nil {
+				return err
+			}
+			x, err := LUSolve(w, lu, piv, n, bBlocks[w.Rank()])
+			if err != nil {
+				return err
+			}
+			xBlocks[w.Rank()] = x
+			return nil
+		})
+		var x []float64
+		for i := 0; i < p; i++ {
+			x = append(x, xBlocks[i]...)
+		}
+		res := seqMatVec(a, n, n, x)
+		for i := range res {
+			if math.Abs(res[i]-bvec[i]) > 1e-9 {
+				t.Fatalf("p=%d: residual[%d] = %v", p, i, res[i]-bvec[i])
+			}
+		}
+	}
+}
+
+func TestLUSingularDetected(t *testing.T) {
+	a := []float64{
+		1, 2,
+		2, 4, // linearly dependent
+	}
+	runGroup(t, 2, func(w *spmd.World) error {
+		lu := append([]float64(nil), a[w.Rank()*2:(w.Rank()+1)*2]...)
+		if _, err := LUFactor(w, lu, 2); err == nil {
+			return fmt.Errorf("singular matrix must fail")
+		}
+		return nil
+	})
+}
+
+func TestQRFactor(t *testing.T) {
+	const n, m = 8, 4
+	rng := rand.New(rand.NewSource(31))
+	a := make([]float64, n*m)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for _, p := range []int{1, 2, 4} {
+		aBlocks := scatter(a, p)
+		qBlocks := make([][]float64, p)
+		var rMat []float64
+		var mu sync.Mutex
+		runGroup(t, p, func(w *spmd.World) error {
+			q := append([]float64(nil), aBlocks[w.Rank()]...)
+			r, err := QRFactor(w, q, n, m)
+			if err != nil {
+				return err
+			}
+			qBlocks[w.Rank()] = q
+			mu.Lock()
+			rMat = r
+			mu.Unlock()
+			return nil
+		})
+		// Assemble Q.
+		var q []float64
+		for i := 0; i < p; i++ {
+			q = append(q, qBlocks[i]...)
+		}
+		// R upper triangular.
+		for i := 0; i < m; i++ {
+			for j := 0; j < i; j++ {
+				if rMat[i*m+j] != 0 {
+					t.Fatalf("p=%d: R not upper triangular at (%d,%d)", p, i, j)
+				}
+			}
+		}
+		// Q^T Q = I.
+		for c1 := 0; c1 < m; c1++ {
+			for c2 := 0; c2 < m; c2++ {
+				d := 0.0
+				for r := 0; r < n; r++ {
+					d += q[r*m+c1] * q[r*m+c2]
+				}
+				want := 0.0
+				if c1 == c2 {
+					want = 1
+				}
+				if math.Abs(d-want) > 1e-10 {
+					t.Fatalf("p=%d: Q^TQ[%d][%d] = %v", p, c1, c2, d)
+				}
+			}
+		}
+		// QR = A.
+		qr := seqMatMul(q, n, m, rMat, m)
+		for i := range qr {
+			if math.Abs(qr[i]-a[i]) > 1e-10 {
+				t.Fatalf("p=%d: QR != A at %d (%v vs %v)", p, i, qr[i], a[i])
+			}
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	a := []float64{
+		1, 0,
+		0, 0,
+		0, 0,
+		0, 0,
+	} // second column zero
+	runGroup(t, 2, func(w *spmd.World) error {
+		q := append([]float64(nil), a[w.Rank()*4:(w.Rank()+1)*4]...)
+		if _, err := QRFactor(w, q, 4, 2); err == nil {
+			return fmt.Errorf("rank-deficient matrix must fail")
+		}
+		return nil
+	})
+}
+
+func TestShapeErrors(t *testing.T) {
+	runGroup(t, 2, func(w *spmd.World) error {
+		if err := VecFillIndex(w, make([]float64, 1), 4, func(int) float64 { return 0 }); err == nil {
+			return fmt.Errorf("short local section must fail")
+		}
+		if err := MatFillIndex(w, make([]float64, 1), 4, 4, func(int, int) float64 { return 0 }); err == nil {
+			return fmt.Errorf("short matrix block must fail")
+		}
+		if _, err := MatVec(w, make([]float64, 1), 4, 4, make([]float64, 2)); err == nil {
+			return fmt.Errorf("short matvec block must fail")
+		}
+		if _, err := LUFactor(w, make([]float64, 1), 4); err == nil {
+			return fmt.Errorf("short lu block must fail")
+		}
+		if _, err := LUSolve(w, make([]float64, 8), []int{0}, 4, make([]float64, 2)); err == nil {
+			return fmt.Errorf("bad piv length must fail")
+		}
+		if _, err := QRFactor(w, make([]float64, 1), 2, 4); err == nil {
+			return fmt.Errorf("m>n qr must fail")
+		}
+		return nil
+	})
+}
+
+func TestMatFillIndex(t *testing.T) {
+	runGroup(t, 2, func(w *spmd.World) error {
+		local := make([]float64, 2*3)
+		if err := MatFillIndex(w, local, 4, 3, func(i, j int) float64 { return float64(10*i + j) }); err != nil {
+			return err
+		}
+		wantFirst := float64(10 * (w.Rank() * 2))
+		if local[0] != wantFirst {
+			return fmt.Errorf("rank %d: local[0] = %v, want %v", w.Rank(), local[0], wantFirst)
+		}
+		return nil
+	})
+}

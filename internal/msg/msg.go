@@ -1,0 +1,202 @@
+// Package msg implements the point-to-point message-passing substrate the
+// prototype runs on: typed messages with selective receive.
+//
+// The paper (§3.4.1, §5.3) requires that when the task-parallel notation and
+// called data-parallel programs share a message-passing fabric, "both ... use
+// communication primitives based on typed messages and selective receives",
+// with the sets of types used by each kept disjoint. The original prototype
+// retrofitted this onto the untyped Cosmic Environment primitives of the
+// Symult s2010; here we build it directly.
+//
+// Every message carries a Tag consisting of a Class (task-parallel traffic
+// vs data-parallel traffic), a Call instance identifier (so concurrently
+// executing distributed calls can never intercept each other's messages),
+// and a user Kind. Receivers select messages by predicate; non-matching
+// messages remain queued. Delivery between a fixed (source, destination,
+// tag) pair is FIFO.
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Class partitions the message-type space between the task-parallel runtime
+// and called data-parallel programs, per §3.4.1.
+type Class uint8
+
+const (
+	// ClassTask tags messages belonging to the task-parallel notation
+	// (array-manager traffic, wrapper/combine coordination).
+	ClassTask Class = iota + 1
+	// ClassData tags messages exchanged between the concurrently executing
+	// copies of a called data-parallel program.
+	ClassData
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassTask:
+		return "task"
+	case ClassData:
+		return "data"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Tag is the full message type. Two subsystems never conflict if any field
+// of their tag spaces differ.
+type Tag struct {
+	Class Class
+	// Call identifies the distributed-call instance (0 for task-level
+	// traffic). Distinct concurrent calls use distinct Call values, which
+	// is how Fig 3.4's "no communication between DPA and DPB" is enforced.
+	Call uint64
+	// Kind is the within-subsystem message type. By convention,
+	// non-negative kinds are available to user programs and negative kinds
+	// are reserved for runtime-internal protocols (collectives, combines).
+	Kind int
+}
+
+// Message is a delivered message.
+type Message struct {
+	Src  int
+	Dst  int
+	Tag  Tag
+	Data any
+}
+
+// ErrClosed is returned by Send/Recv after the router has been shut down.
+var ErrClosed = errors.New("msg: router closed")
+
+// ErrBadProcessor is returned for out-of-range processor numbers.
+var ErrBadProcessor = errors.New("msg: processor number out of range")
+
+// Router connects P virtual processors, each with one mailbox. It is the
+// only channel through which distinct (virtual) address spaces interact.
+type Router struct {
+	boxes []*mailbox
+}
+
+// NewRouter creates a router for p virtual processors numbered 0..p-1.
+func NewRouter(p int) *Router {
+	if p <= 0 {
+		panic("msg: router needs at least one processor")
+	}
+	r := &Router{boxes: make([]*mailbox, p)}
+	for i := range r.boxes {
+		r.boxes[i] = newMailbox()
+	}
+	return r
+}
+
+// P returns the number of processors the router connects.
+func (r *Router) P() int { return len(r.boxes) }
+
+// Send delivers a message from src to dst. It never blocks (mailboxes are
+// unbounded, like the asynchronous point-to-point sends of the Cosmic
+// Environment).
+func (r *Router) Send(src, dst int, tag Tag, data any) error {
+	if dst < 0 || dst >= len(r.boxes) || src < 0 || src >= len(r.boxes) {
+		return fmt.Errorf("%w: send %d -> %d (P=%d)", ErrBadProcessor, src, dst, len(r.boxes))
+	}
+	return r.boxes[dst].put(Message{Src: src, Dst: dst, Tag: tag, Data: data})
+}
+
+// Recv performs a selective receive at processor dst: it suspends until a
+// message matching the predicate is available and removes and returns the
+// oldest such message. Messages not matching remain queued for other
+// receivers.
+func (r *Router) Recv(dst int, match func(Message) bool) (Message, error) {
+	if dst < 0 || dst >= len(r.boxes) {
+		return Message{}, fmt.Errorf("%w: recv at %d (P=%d)", ErrBadProcessor, dst, len(r.boxes))
+	}
+	return r.boxes[dst].get(match)
+}
+
+// RecvFrom receives the oldest message at dst with exactly the given source
+// and tag — the common selective-receive pattern of SPMD programs. Pass
+// src = AnySource to match any sender.
+func (r *Router) RecvFrom(dst, src int, tag Tag) (Message, error) {
+	return r.Recv(dst, func(m Message) bool {
+		return m.Tag == tag && (src == AnySource || m.Src == src)
+	})
+}
+
+// AnySource matches any sending processor in RecvFrom.
+const AnySource = -1
+
+// Pending reports the number of undelivered messages queued at dst
+// (diagnostics and tests only).
+func (r *Router) Pending(dst int) int {
+	if dst < 0 || dst >= len(r.boxes) {
+		return 0
+	}
+	return r.boxes[dst].pending()
+}
+
+// Close shuts the router down: queued messages are discarded and all
+// blocked and future Recv/Send calls return ErrClosed.
+func (r *Router) Close() {
+	for _, b := range r.boxes {
+		b.close()
+	}
+}
+
+// mailbox is an unbounded queue with predicate-based removal.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.queue = append(b.queue, m)
+	b.cond.Broadcast()
+	return nil
+}
+
+func (b *mailbox) get(match func(Message) bool) (Message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed {
+			return Message{}, ErrClosed
+		}
+		for i, m := range b.queue {
+			if match(m) {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.queue = nil
+	b.cond.Broadcast()
+}

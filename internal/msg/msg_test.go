@@ -1,0 +1,252 @@
+package msg
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	r := NewRouter(2)
+	defer r.Close()
+	tag := Tag{Class: ClassTask, Kind: 1}
+	if err := r.Send(0, 1, tag, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.RecvFrom(1, 0, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Data.(string) != "hello" || m.Src != 0 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestSelectiveReceiveLeavesOthersQueued(t *testing.T) {
+	r := NewRouter(2)
+	defer r.Close()
+	a := Tag{Class: ClassTask, Kind: 1}
+	b := Tag{Class: ClassData, Call: 7, Kind: 1}
+	// Send a data-class message first, then a task-class one.
+	if err := r.Send(0, 1, b, "data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send(0, 1, a, "task"); err != nil {
+		t.Fatal(err)
+	}
+	// Selectively receive the task message even though it arrived second.
+	m, err := r.RecvFrom(1, 0, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Data.(string) != "task" {
+		t.Fatalf("selective receive picked %v", m.Data)
+	}
+	// The data message is still pending.
+	if n := r.Pending(1); n != 1 {
+		t.Fatalf("pending = %d, want 1", n)
+	}
+	m, err = r.RecvFrom(1, 0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Data.(string) != "data" {
+		t.Fatalf("second receive picked %v", m.Data)
+	}
+}
+
+func TestFIFOPerSenderAndTag(t *testing.T) {
+	r := NewRouter(2)
+	defer r.Close()
+	tag := Tag{Class: ClassData, Call: 1, Kind: 3}
+	for i := 0; i < 100; i++ {
+		if err := r.Send(0, 1, tag, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := r.RecvFrom(1, 0, tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Data.(int) != i {
+			t.Fatalf("message %d out of order: got %v", i, m.Data)
+		}
+	}
+}
+
+func TestRecvBlocksUntilMatchArrives(t *testing.T) {
+	r := NewRouter(2)
+	defer r.Close()
+	want := Tag{Class: ClassData, Call: 2, Kind: 5}
+	got := make(chan Message, 1)
+	go func() {
+		m, err := r.RecvFrom(1, AnySource, want)
+		if err == nil {
+			got <- m
+		}
+	}()
+	// A non-matching message must not wake the receiver with a result.
+	if err := r.Send(0, 1, Tag{Class: ClassTask, Kind: 5}, "noise"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		t.Fatalf("receiver matched wrong message %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := r.Send(0, 1, want, "signal"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Data.(string) != "signal" {
+			t.Fatalf("got %v", m.Data)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("receiver never matched")
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	r := NewRouter(3)
+	defer r.Close()
+	tag := Tag{Class: ClassData, Call: 1, Kind: 0}
+	if err := r.Send(2, 0, tag, "from2"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.RecvFrom(0, AnySource, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Src != 2 {
+		t.Fatalf("src = %d", m.Src)
+	}
+}
+
+func TestBadProcessorNumbers(t *testing.T) {
+	r := NewRouter(2)
+	defer r.Close()
+	if err := r.Send(0, 5, Tag{Class: ClassTask}, nil); !errors.Is(err, ErrBadProcessor) {
+		t.Fatalf("Send to bad dst: %v", err)
+	}
+	if err := r.Send(-1, 0, Tag{Class: ClassTask}, nil); !errors.Is(err, ErrBadProcessor) {
+		t.Fatalf("Send from bad src: %v", err)
+	}
+	if _, err := r.Recv(9, func(Message) bool { return true }); !errors.Is(err, ErrBadProcessor) {
+		t.Fatalf("Recv at bad dst: %v", err)
+	}
+}
+
+func TestCloseWakesBlockedReceivers(t *testing.T) {
+	r := NewRouter(1)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := r.Recv(0, func(Message) bool { return true })
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked receiver not woken by Close")
+	}
+	if err := r.Send(0, 0, Tag{Class: ClassTask}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close: %v", err)
+	}
+}
+
+// Disjoint call IDs never cross: two "concurrent distributed calls" (paper
+// Fig 3.4) exchanging on the same processors with the same kinds but
+// different Call values each receive exactly their own traffic.
+func TestCallIsolation(t *testing.T) {
+	r := NewRouter(2)
+	defer r.Close()
+	const n = 50
+	var wg sync.WaitGroup
+	for _, call := range []uint64{1, 2} {
+		wg.Add(2)
+		go func(call uint64) { // sender on proc 0
+			defer wg.Done()
+			tag := Tag{Class: ClassData, Call: call, Kind: 9}
+			for i := 0; i < n; i++ {
+				if err := r.Send(0, 1, tag, [2]uint64{call, uint64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(call)
+		go func(call uint64) { // receiver on proc 1
+			defer wg.Done()
+			tag := Tag{Class: ClassData, Call: call, Kind: 9}
+			for i := 0; i < n; i++ {
+				m, err := r.RecvFrom(1, 0, tag)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				v := m.Data.([2]uint64)
+				if v[0] != call || v[1] != uint64(i) {
+					t.Errorf("call %d received %v at position %d", call, v, i)
+					return
+				}
+			}
+		}(call)
+	}
+	wg.Wait()
+	if n := r.Pending(1); n != 0 {
+		t.Fatalf("%d stray messages", n)
+	}
+}
+
+// Property: with random interleavings of kinds, each receiver drains
+// exactly the messages of its kind, in order.
+func TestQuickSelectiveByKind(t *testing.T) {
+	f := func(kinds []uint8) bool {
+		r := NewRouter(2)
+		defer r.Close()
+		counts := map[int]int{}
+		for i, k := range kinds {
+			kind := int(k % 4)
+			tag := Tag{Class: ClassData, Call: 1, Kind: kind}
+			if err := r.Send(0, 1, tag, i); err != nil {
+				return false
+			}
+			counts[kind]++
+		}
+		for kind, want := range counts {
+			prev := -1
+			tag := Tag{Class: ClassData, Call: 1, Kind: kind}
+			for i := 0; i < want; i++ {
+				m, err := r.RecvFrom(1, 0, tag)
+				if err != nil {
+					return false
+				}
+				idx := m.Data.(int)
+				if idx <= prev || int(kinds[idx]%4) != kind {
+					return false
+				}
+				prev = idx
+			}
+		}
+		return r.Pending(1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassTask.String() != "task" || ClassData.String() != "data" {
+		t.Fatal("Class.String broken")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class should still print")
+	}
+}

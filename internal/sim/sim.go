@@ -1,0 +1,162 @@
+// Package sim is a discrete-event simulation substrate for the paper's
+// reactive-computation problem class (§2.3.3): a not-necessarily-regular
+// graph of communicating components in which each component's event
+// handling may be a data-parallel computation (a distributed call), with
+// the interaction between components handled at the task-parallel level.
+//
+// The simulator owns a global event queue ordered by timestamp (ties broken
+// by insertion order, so runs are deterministic). Each event is delivered
+// to its target component's handler, which may schedule further events —
+// including events for other components, which is how the component graph
+// communicates. Handlers typically make distributed calls for their
+// numerical work, mirroring Fig 2.3's pump/valve/reactor system where "the
+// behavior of each component may require a fairly complicated mathematical
+// model best expressed by a data-parallel program".
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is one scheduled occurrence.
+type Event struct {
+	Time    float64
+	Target  string
+	Kind    string
+	Payload any
+	seq     int64 // tie-break: FIFO among equal timestamps
+}
+
+// Handler reacts to an event. It may call ctx.Schedule to create follow-on
+// events and performs its component's computation (often a distributed
+// call on the machine captured in its closure).
+type Handler func(ctx *Context, ev Event) error
+
+// Context is the scheduling interface handed to handlers.
+type Context struct {
+	sim *Simulator
+	now float64
+}
+
+// Now returns the current simulation time.
+func (c *Context) Now() float64 { return c.now }
+
+// Schedule enqueues an event for target after the given delay (>= 0).
+func (c *Context) Schedule(delay float64, target, kind string, payload any) error {
+	if delay < 0 {
+		return fmt.Errorf("sim: negative delay %v", delay)
+	}
+	return c.sim.post(c.now+delay, target, kind, payload)
+}
+
+// Simulator is a deterministic sequential discrete-event scheduler.
+type Simulator struct {
+	handlers map[string]Handler
+	queue    eventQueue
+	nextSeq  int64
+	now      float64
+	executed int
+}
+
+// New creates an empty simulator.
+func New() *Simulator {
+	return &Simulator{handlers: make(map[string]Handler)}
+}
+
+// AddComponent registers a component by name. Re-registration is an error.
+func (s *Simulator) AddComponent(name string, h Handler) error {
+	if name == "" || h == nil {
+		return errors.New("sim: component needs a name and a handler")
+	}
+	if _, dup := s.handlers[name]; dup {
+		return fmt.Errorf("sim: component %q already registered", name)
+	}
+	s.handlers[name] = h
+	return nil
+}
+
+// Schedule enqueues an initial event at absolute time t.
+func (s *Simulator) Schedule(t float64, target, kind string, payload any) error {
+	if t < s.now {
+		return fmt.Errorf("sim: cannot schedule at %v before current time %v", t, s.now)
+	}
+	return s.post(t, target, kind, payload)
+}
+
+func (s *Simulator) post(t float64, target, kind string, payload any) error {
+	if _, ok := s.handlers[target]; !ok {
+		return fmt.Errorf("sim: unknown component %q", target)
+	}
+	s.nextSeq++
+	heap.Push(&s.queue, Event{Time: t, Target: target, Kind: kind, Payload: payload, seq: s.nextSeq})
+	return nil
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Executed returns the number of events processed so far.
+func (s *Simulator) Executed() int { return s.executed }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Run processes events in timestamp order until the queue empties or the
+// next event is after `until`. It returns the number of events processed.
+func (s *Simulator) Run(until float64) (int, error) {
+	n := 0
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if ev.Time > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.Time
+		h := s.handlers[ev.Target]
+		ctx := &Context{sim: s, now: ev.Time}
+		if err := h(ctx, ev); err != nil {
+			return n, fmt.Errorf("sim: %s/%s at t=%v: %w", ev.Target, ev.Kind, ev.Time, err)
+		}
+		s.executed++
+		n++
+	}
+	return n, nil
+}
+
+// Step processes exactly one event if any is queued; it reports whether an
+// event was processed.
+func (s *Simulator) Step() (bool, error) {
+	if s.queue.Len() == 0 {
+		return false, nil
+	}
+	ev := heap.Pop(&s.queue).(Event)
+	s.now = ev.Time
+	ctx := &Context{sim: s, now: ev.Time}
+	if err := s.handlers[ev.Target](ctx, ev); err != nil {
+		return false, err
+	}
+	s.executed++
+	return true, nil
+}
+
+// eventQueue is a min-heap on (Time, seq).
+type eventQueue []Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(Event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}

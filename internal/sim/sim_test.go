@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []string
+	rec := func(name string) Handler {
+		return func(ctx *Context, ev Event) error {
+			order = append(order, name)
+			return nil
+		}
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if err := s.AddComponent(n, rec(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Schedule out of order.
+	s.Schedule(3, "c", "x", nil)
+	s.Schedule(1, "a", "x", nil)
+	s.Schedule(2, "b", "x", nil)
+	n, err := s.Run(10)
+	if err != nil || n != 3 {
+		t.Fatalf("Run = %d, %v", n, err)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	s.AddComponent("x", func(ctx *Context, ev Event) error {
+		order = append(order, ev.Payload.(int))
+		return nil
+	})
+	for i := 0; i < 5; i++ {
+		s.Schedule(1, "x", "k", i)
+	}
+	s.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestHandlersScheduleFollowOns(t *testing.T) {
+	s := New()
+	count := 0
+	s.AddComponent("clock", func(ctx *Context, ev Event) error {
+		count++
+		if count < 5 {
+			return ctx.Schedule(1, "clock", "tick", nil)
+		}
+		return nil
+	})
+	s.Schedule(0, "clock", "tick", nil)
+	n, err := s.Run(100)
+	if err != nil || n != 5 || count != 5 {
+		t.Fatalf("n=%d count=%d err=%v", n, count, err)
+	}
+	if s.Now() != 4 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	s := New()
+	s.AddComponent("x", func(ctx *Context, ev Event) error { return nil })
+	s.Schedule(1, "x", "k", nil)
+	s.Schedule(5, "x", "k", nil)
+	n, err := s.Run(2)
+	if err != nil || n != 1 {
+		t.Fatalf("Run(2) = %d, %v", n, err)
+	}
+	if s.Pending() != 1 || s.Executed() != 1 {
+		t.Fatalf("pending=%d executed=%d", s.Pending(), s.Executed())
+	}
+	// The rest runs later.
+	n, err = s.Run(10)
+	if err != nil || n != 1 {
+		t.Fatalf("second Run = %d, %v", n, err)
+	}
+}
+
+func TestComponentGraphCommunication(t *testing.T) {
+	// pump -> valve -> reactor chain: each event triggers the next
+	// component, Fig 2.3's interaction pattern.
+	s := New()
+	var path []string
+	s.AddComponent("pump", func(ctx *Context, ev Event) error {
+		path = append(path, "pump")
+		return ctx.Schedule(0.5, "valve", "flow", nil)
+	})
+	s.AddComponent("valve", func(ctx *Context, ev Event) error {
+		path = append(path, "valve")
+		return ctx.Schedule(0.5, "reactor", "flow", nil)
+	})
+	s.AddComponent("reactor", func(ctx *Context, ev Event) error {
+		path = append(path, "reactor")
+		return nil
+	})
+	s.Schedule(0, "pump", "start", nil)
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[0] != "pump" || path[1] != "valve" || path[2] != "reactor" {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New()
+	if err := s.AddComponent("", nil); err == nil {
+		t.Fatal("empty component must fail")
+	}
+	s.AddComponent("x", func(ctx *Context, ev Event) error { return nil })
+	if err := s.AddComponent("x", func(ctx *Context, ev Event) error { return nil }); err == nil {
+		t.Fatal("duplicate component must fail")
+	}
+	if err := s.Schedule(0, "nope", "k", nil); err == nil {
+		t.Fatal("unknown target must fail")
+	}
+	s.AddComponent("bad", func(ctx *Context, ev Event) error {
+		return ctx.Schedule(-1, "x", "k", nil)
+	})
+	s.Schedule(0, "bad", "k", nil)
+	if _, err := s.Run(10); err == nil {
+		t.Fatal("negative delay must surface")
+	}
+}
+
+func TestScheduleInPastFails(t *testing.T) {
+	s := New()
+	s.AddComponent("x", func(ctx *Context, ev Event) error { return nil })
+	s.Schedule(5, "x", "k", nil)
+	s.Run(10)
+	if err := s.Schedule(1, "x", "k", nil); err == nil {
+		t.Fatal("scheduling before Now must fail")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	hits := 0
+	s.AddComponent("x", func(ctx *Context, ev Event) error { hits++; return nil })
+	if ok, _ := s.Step(); ok {
+		t.Fatal("Step on empty queue should be false")
+	}
+	s.Schedule(1, "x", "k", nil)
+	if ok, err := s.Step(); !ok || err != nil || hits != 1 {
+		t.Fatalf("Step = %v,%v hits=%d", ok, err, hits)
+	}
+}

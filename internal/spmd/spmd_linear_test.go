@@ -1,0 +1,56 @@
+package spmd
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+// The linear (ablation) collectives must agree with the tree collectives
+// for every group size, root, and a non-commutative operator.
+func TestReduceLinearMatchesTree(t *testing.T) {
+	concat := func(a, b any) any { return a.(string) + b.(string) }
+	for p := 1; p <= 6; p++ {
+		for root := 0; root < p; root++ {
+			r := msg.NewRouter(p)
+			procs := make([]int, p)
+			for i := range procs {
+				procs[i] = i
+			}
+			want := ""
+			for i := 0; i < p; i++ {
+				want += fmt.Sprintf("%d.", i)
+			}
+			runGroup(t, r, procs, 1, func(w *World) error {
+				mine := fmt.Sprintf("%d.", w.Rank())
+				lin, err := w.ReduceLinear(root, mine, concat)
+				if err != nil {
+					return err
+				}
+				if w.Rank() == root && lin.(string) != want {
+					return fmt.Errorf("p=%d root=%d: linear %q want %q", p, root, lin, want)
+				}
+				all, err := w.AllReduceLinear(mine, concat)
+				if err != nil {
+					return err
+				}
+				if all.(string) != want {
+					return fmt.Errorf("p=%d root=%d rank=%d: allreduce-linear %q want %q",
+						p, root, w.Rank(), all, want)
+				}
+				return nil
+			})
+			r.Close()
+		}
+	}
+}
+
+func TestReduceLinearBadRoot(t *testing.T) {
+	r := msg.NewRouter(2)
+	defer r.Close()
+	w := NewWorld(r, []int{0, 1}, 0, 1)
+	if _, err := w.ReduceLinear(5, nil, nil); err == nil {
+		t.Fatal("bad root must fail")
+	}
+}

@@ -1,0 +1,394 @@
+package spmd
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+// runGroup executes body once per group member concurrently, as the copies
+// of a called SPMD program would run, and waits for all to finish.
+func runGroup(t *testing.T, router *msg.Router, procs []int, callID uint64, body func(w *World) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(procs))
+	for i := range procs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = body(NewWorld(router, procs, i, callID))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+func TestWorldIdentity(t *testing.T) {
+	r := msg.NewRouter(8)
+	defer r.Close()
+	procs := []int{1, 3, 5, 7}
+	w := NewWorld(r, procs, 2, 42)
+	if w.Size() != 4 || w.Rank() != 2 || w.ProcNum() != 5 || w.CallID() != 42 {
+		t.Fatalf("identity: size=%d rank=%d proc=%d call=%d", w.Size(), w.Rank(), w.ProcNum(), w.CallID())
+	}
+	if !reflect.DeepEqual(w.Procs(), procs) {
+		t.Fatalf("Procs = %v", w.Procs())
+	}
+}
+
+func TestNewWorldBadIndexPanics(t *testing.T) {
+	r := msg.NewRouter(2)
+	defer r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWorld(r, []int{0, 1}, 5, 1)
+}
+
+func TestSendRecvRelativeRanks(t *testing.T) {
+	r := msg.NewRouter(8)
+	defer r.Close()
+	// Non-contiguous processors: relocatability — ranks address the group,
+	// not the machine.
+	procs := []int{6, 2, 4}
+	runGroup(t, r, procs, 1, func(w *World) error {
+		switch w.Rank() {
+		case 0:
+			return w.Send(2, 0, []float64{3.14})
+		case 2:
+			v, err := w.RecvFloats(0, 0)
+			if err != nil {
+				return err
+			}
+			if v[0] != 3.14 {
+				return fmt.Errorf("got %v", v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestNegativeKindsRejected(t *testing.T) {
+	r := msg.NewRouter(2)
+	defer r.Close()
+	w := NewWorld(r, []int{0, 1}, 0, 1)
+	if err := w.Send(1, -1, nil); err == nil {
+		t.Fatal("negative kind Send must fail")
+	}
+	if _, err := w.Recv(1, -2); err == nil {
+		t.Fatal("negative kind Recv must fail")
+	}
+}
+
+func TestSendBadRank(t *testing.T) {
+	r := msg.NewRouter(2)
+	defer r.Close()
+	w := NewWorld(r, []int{0, 1}, 0, 1)
+	if err := w.Send(5, 0, nil); err == nil {
+		t.Fatal("rank out of group must fail")
+	}
+	if _, err := w.Recv(5, 0); err == nil {
+		t.Fatal("recv rank out of group must fail")
+	}
+	if _, err := w.Exchange(9, 0, nil); err == nil {
+		t.Fatal("exchange rank out of group must fail")
+	}
+}
+
+func TestExchange(t *testing.T) {
+	r := msg.NewRouter(2)
+	defer r.Close()
+	runGroup(t, r, []int{0, 1}, 3, func(w *World) error {
+		mine := []float64{float64(w.Rank())}
+		got, err := w.Exchange(1-w.Rank(), 0, mine)
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(1-w.Rank()) {
+			return fmt.Errorf("rank %d exchanged %v", w.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestExchangeSelf(t *testing.T) {
+	r := msg.NewRouter(1)
+	defer r.Close()
+	w := NewWorld(r, []int{0}, 0, 1)
+	got, err := w.Exchange(0, 0, []float64{1, 2})
+	if err != nil || !reflect.DeepEqual(got, []float64{1, 2}) {
+		t.Fatalf("self exchange = %v, %v", got, err)
+	}
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for p := 1; p <= 9; p++ {
+		r := msg.NewRouter(p)
+		procs := make([]int, p)
+		for i := range procs {
+			procs[i] = i
+		}
+		var before, after sync.WaitGroup
+		before.Add(p)
+		arrived := make([]bool, p)
+		runGroup(t, r, procs, 1, func(w *World) error {
+			arrived[w.Rank()] = true
+			before.Done()
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			// After the barrier, every member must have arrived.
+			for i, a := range arrived {
+				if !a {
+					return fmt.Errorf("p=%d: rank %d passed barrier before rank %d arrived", p, w.Rank(), i)
+				}
+			}
+			return nil
+		})
+		after.Wait()
+		r.Close()
+	}
+}
+
+func TestRepeatedBarriersDontCross(t *testing.T) {
+	const p = 5
+	r := msg.NewRouter(p)
+	defer r.Close()
+	procs := []int{0, 1, 2, 3, 4}
+	var round [3]sync.WaitGroup
+	for i := range round {
+		round[i].Add(p)
+	}
+	runGroup(t, r, procs, 1, func(w *World) error {
+		for k := 0; k < 3; k++ {
+			round[k].Done()
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for _, msgs := range []int{0, 1, 2, 3, 4} {
+		if n := r.Pending(msgs); n != 0 {
+			t.Fatalf("stray messages at %d: %d", msgs, n)
+		}
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	for p := 1; p <= 7; p++ {
+		for root := 0; root < p; root++ {
+			r := msg.NewRouter(p)
+			procs := make([]int, p)
+			for i := range procs {
+				procs[i] = i
+			}
+			runGroup(t, r, procs, 1, func(w *World) error {
+				var val any
+				if w.Rank() == root {
+					val = fmt.Sprintf("payload-from-%d", root)
+				}
+				got, err := w.Bcast(root, val)
+				if err != nil {
+					return err
+				}
+				want := fmt.Sprintf("payload-from-%d", root)
+				if got.(string) != want {
+					return fmt.Errorf("p=%d root=%d rank=%d got %v", p, root, w.Rank(), got)
+				}
+				return nil
+			})
+			r.Close()
+		}
+	}
+}
+
+func TestReduceSumEveryRootEverySize(t *testing.T) {
+	for p := 1; p <= 7; p++ {
+		for root := 0; root < p; root++ {
+			r := msg.NewRouter(p)
+			procs := make([]int, p)
+			for i := range procs {
+				procs[i] = i
+			}
+			want := float64(p * (p + 1) / 2)
+			runGroup(t, r, procs, 1, func(w *World) error {
+				out, err := w.Reduce(root, float64(w.Rank()+1), func(a, b any) any {
+					return a.(float64) + b.(float64)
+				})
+				if err != nil {
+					return err
+				}
+				if w.Rank() == root {
+					if out.(float64) != want {
+						return fmt.Errorf("p=%d root=%d: sum=%v want %v", p, root, out, want)
+					}
+				} else if out != nil {
+					return fmt.Errorf("non-root rank %d got %v", w.Rank(), out)
+				}
+				return nil
+			})
+			r.Close()
+		}
+	}
+}
+
+// Non-commutative but associative operator (string concatenation): tree
+// reduction must preserve rank order.
+func TestReducePreservesRankOrder(t *testing.T) {
+	for p := 1; p <= 8; p++ {
+		r := msg.NewRouter(p)
+		procs := make([]int, p)
+		for i := range procs {
+			procs[i] = i
+		}
+		want := ""
+		for i := 0; i < p; i++ {
+			want += fmt.Sprintf("%d", i)
+		}
+		runGroup(t, r, procs, 1, func(w *World) error {
+			out, err := w.Reduce(0, fmt.Sprintf("%d", w.Rank()), func(a, b any) any {
+				return a.(string) + b.(string)
+			})
+			if err != nil {
+				return err
+			}
+			if w.Rank() == 0 && out.(string) != want {
+				return fmt.Errorf("p=%d: %q want %q", p, out, want)
+			}
+			return nil
+		})
+		r.Close()
+	}
+}
+
+func TestAllReduceVariants(t *testing.T) {
+	const p = 6
+	r := msg.NewRouter(p)
+	defer r.Close()
+	procs := []int{0, 1, 2, 3, 4, 5}
+	runGroup(t, r, procs, 1, func(w *World) error {
+		sum, err := w.AllReduceSum(float64(w.Rank()))
+		if err != nil {
+			return err
+		}
+		if sum != 15 {
+			return fmt.Errorf("sum=%v", sum)
+		}
+		max, err := w.AllReduceMax(float64(w.Rank() * w.Rank()))
+		if err != nil {
+			return err
+		}
+		if max != 25 {
+			return fmt.Errorf("max=%v", max)
+		}
+		min, err := w.AllReduceFloat(float64(w.Rank()+3), math.Min)
+		if err != nil {
+			return err
+		}
+		if min != 3 {
+			return fmt.Errorf("min=%v", min)
+		}
+		return nil
+	})
+}
+
+func TestAllGatherUnevenLengths(t *testing.T) {
+	const p = 4
+	r := msg.NewRouter(p)
+	defer r.Close()
+	procs := []int{0, 1, 2, 3}
+	// Rank i contributes i+1 copies of float64(i).
+	want := []float64{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}
+	runGroup(t, r, procs, 1, func(w *World) error {
+		local := make([]float64, w.Rank()+1)
+		for k := range local {
+			local[k] = float64(w.Rank())
+		}
+		got, err := w.AllGather(local)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("rank %d: %v", w.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestGatherAtRoot(t *testing.T) {
+	const p = 3
+	r := msg.NewRouter(p)
+	defer r.Close()
+	runGroup(t, r, []int{0, 1, 2}, 1, func(w *World) error {
+		parts, err := w.Gather(1, []float64{float64(w.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		if w.Rank() == 1 {
+			want := [][]float64{{0}, {10}, {20}}
+			if !reflect.DeepEqual(parts, want) {
+				return fmt.Errorf("parts=%v", parts)
+			}
+		} else if parts != nil {
+			return fmt.Errorf("non-root got %v", parts)
+		}
+		return nil
+	})
+}
+
+// Two concurrent calls on overlapping processors never cross-talk: the
+// Fig 3.4 isolation property at the SPMD level.
+func TestConcurrentCallIsolation(t *testing.T) {
+	r := msg.NewRouter(4)
+	defer r.Close()
+	procs := []int{0, 1, 2, 3}
+	var wg sync.WaitGroup
+	for _, call := range []uint64{10, 20} {
+		wg.Add(1)
+		go func(call uint64) {
+			defer wg.Done()
+			var inner sync.WaitGroup
+			for i := range procs {
+				inner.Add(1)
+				go func(i int) {
+					defer inner.Done()
+					w := NewWorld(r, procs, i, call)
+					sum, err := w.AllReduceSum(float64(call) + float64(w.Rank()))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					want := 4*float64(call) + 6
+					if sum != want {
+						t.Errorf("call %d rank %d: sum=%v want %v", call, i, sum, want)
+					}
+				}(i)
+			}
+			inner.Wait()
+		}(call)
+	}
+	wg.Wait()
+}
+
+func TestBcastBadRoot(t *testing.T) {
+	r := msg.NewRouter(2)
+	defer r.Close()
+	w := NewWorld(r, []int{0, 1}, 0, 1)
+	if _, err := w.Bcast(7, nil); err == nil {
+		t.Fatal("bad root must fail")
+	}
+	if _, err := w.Reduce(-1, nil, nil); err == nil {
+		t.Fatal("bad reduce root must fail")
+	}
+}

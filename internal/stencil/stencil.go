@@ -1,0 +1,217 @@
+// Package stencil implements a data-parallel five-point Jacobi solver that
+// uses local-section borders the way Fortran D uses overlap areas
+// (§3.2.1.3): "some data-parallel notations add to each local section
+// borders to be used internally by the data-parallel program ... which it
+// uses as communication buffers".
+//
+// The temperature field is an rows x cols distributed array created with
+// one-cell borders on every side (either explicitly or through the
+// foreign_borders protocol, with this package's border callback standing
+// in for the paper's Program_ routine). Each time step, every copy:
+//
+//  1. fills its border rows with the neighbouring copies' interior edge
+//     rows (received directly into the overlap area), or with the fixed
+//     global boundary value at the field's physical edges, and then
+//  2. updates its interior with purely local reads — the stencil never
+//     indexes outside its own (bordered) storage.
+//
+// Because the borders really are part of the local section's storage, this
+// exercises the representation the array manager maintains: interior
+// elements remain the only ones visible to the task level, while the
+// data-parallel program reads and writes the full bordered block.
+package stencil
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/darray"
+	"repro/internal/dcall"
+	"repro/internal/grid"
+	"repro/internal/spmd"
+)
+
+// ProgJacobi is the registered name of the stencil step program.
+const ProgJacobi = "stencil:jacobi"
+
+// BorderWidth is the overlap-area width the program requires on every
+// side of every local section.
+const BorderWidth = 1
+
+// Borders is the program's border callback (the paper's Program_ routine):
+// parameter number 4 — the field — needs a one-cell border in every
+// dimension; other parameters carry no borders.
+func Borders(parmNum, ndims int) ([]int, error) {
+	b := make([]int, 2*ndims)
+	if parmNum == 4 {
+		for i := range b {
+			b[i] = BorderWidth
+		}
+	}
+	return b, nil
+}
+
+// RegisterPrograms registers the stencil with its border callback, so
+// arrays created with ForeignBorders{Program: ProgJacobi, ParmNum: 4} get
+// the right overlap areas automatically.
+//
+// Parameters: (rows, cols, steps, boundary, local(field)).
+func RegisterPrograms(m *core.Machine) error {
+	return m.RegisterWithBorders(ProgJacobi, func(w *spmd.World, a *dcall.Args) {
+		rows := a.Int(0)
+		cols := a.Int(1)
+		steps := a.Int(2)
+		boundary := a.Float(3)
+		field := a.Section(4)
+		if err := JacobiSteps(w, field, rows, cols, steps, boundary); err != nil {
+			panic(err)
+		}
+	}, Borders)
+}
+
+// halo message kinds.
+const (
+	kindUp   = 0
+	kindDown = 1
+)
+
+// JacobiSteps runs `steps` five-point Jacobi sweeps on this copy's block
+// of rows. The section must carry BorderWidth borders in both dimensions;
+// the field is distributed by block rows ({block, *}).
+func JacobiSteps(w *spmd.World, sec *darray.Section, rows, cols, steps int, boundary float64) error {
+	p := w.Size()
+	if rows%p != 0 {
+		return fmt.Errorf("stencil: %d rows not divisible by %d copies", rows, p)
+	}
+	l := rows / p
+	stride := cols + 2*BorderWidth // bordered row length
+	if sec.Len() < (l+2*BorderWidth)*stride {
+		return fmt.Errorf("stencil: section %d elements, want %d (did you create the array with the program's borders?)",
+			sec.Len(), (l+2*BorderWidth)*stride)
+	}
+	f := sec.F
+	me := w.Rank()
+	// at(i, j): storage offset of interior cell (i, j), i in [-1, l],
+	// j in [-1, cols] — borders included.
+	at := func(i, j int) int { return (i+BorderWidth)*stride + (j + BorderWidth) }
+
+	scratch := make([]float64, l*cols)
+	for s := 0; s < steps; s++ {
+		// 1. Fill the overlap areas. Interior edge rows travel to the
+		// neighbouring copies; the physical edges take the fixed boundary.
+		if me > 0 {
+			row := make([]float64, cols)
+			for j := 0; j < cols; j++ {
+				row[j] = f[at(0, j)]
+			}
+			if err := w.Send(me-1, kindUp, row); err != nil {
+				return err
+			}
+		}
+		if me < p-1 {
+			row := make([]float64, cols)
+			for j := 0; j < cols; j++ {
+				row[j] = f[at(l-1, j)]
+			}
+			if err := w.Send(me+1, kindDown, row); err != nil {
+				return err
+			}
+		}
+		if me > 0 {
+			row, err := w.RecvFloats(me-1, kindDown)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < cols; j++ {
+				f[at(-1, j)] = row[j] // received straight into the border
+			}
+		} else {
+			for j := 0; j < cols; j++ {
+				f[at(-1, j)] = boundary
+			}
+		}
+		if me < p-1 {
+			row, err := w.RecvFloats(me+1, kindUp)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < cols; j++ {
+				f[at(l, j)] = row[j]
+			}
+		} else {
+			for j := 0; j < cols; j++ {
+				f[at(l, j)] = boundary
+			}
+		}
+		// Side borders: fixed boundary (no decomposition along columns).
+		for i := -1; i <= l; i++ {
+			f[at(i, -1)] = boundary
+			f[at(i, cols)] = boundary
+		}
+
+		// 2. Pure local update: every read is within this copy's storage.
+		for i := 0; i < l; i++ {
+			for j := 0; j < cols; j++ {
+				scratch[i*cols+j] = 0.25 * (f[at(i-1, j)] + f[at(i+1, j)] + f[at(i, j-1)] + f[at(i, j+1)])
+			}
+		}
+		for i := 0; i < l; i++ {
+			for j := 0; j < cols; j++ {
+				f[at(i, j)] = scratch[i*cols+j]
+			}
+		}
+	}
+	return nil
+}
+
+// Run creates the field with the program-supplied borders (the
+// foreign_borders protocol), initialises it, runs the distributed call,
+// and returns the final field.
+func Run(m *core.Machine, rows, cols, steps int, boundary float64, init func(i, j int) float64) ([]float64, error) {
+	procs := m.AllProcs()
+	field, err := m.NewArray(core.ArraySpec{
+		Dims:    []int{rows, cols},
+		Procs:   procs,
+		Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+		Borders: core.ForeignBordersOf(ProgJacobi, 4),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer field.Free()
+	if err := field.Fill(func(idx []int) float64 { return init(idx[0], idx[1]) }); err != nil {
+		return nil, err
+	}
+	if err := m.Call(procs, ProgJacobi,
+		dcall.Const(rows), dcall.Const(cols), dcall.Const(steps), dcall.Const(boundary),
+		field.Param()); err != nil {
+		return nil, err
+	}
+	return field.Snapshot()
+}
+
+// RunSequential computes the identical evolution on a dense array.
+func RunSequential(rows, cols, steps int, boundary float64, init func(i, j int) float64) []float64 {
+	f := make([]float64, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			f[i*cols+j] = init(i, j)
+		}
+	}
+	get := func(i, j int) float64 {
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			return boundary
+		}
+		return f[i*cols+j]
+	}
+	for s := 0; s < steps; s++ {
+		next := make([]float64, rows*cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				next[i*cols+j] = 0.25 * (get(i-1, j) + get(i+1, j) + get(i, j-1) + get(i, j+1))
+			}
+		}
+		f = next
+	}
+	return f
+}

@@ -1,0 +1,64 @@
+// Package trace provides the debugging/trace facility of the prototype
+// (§B.3's am_debug array manager, which "produces a trace message for each
+// operation it performs", and §C.4's atomic printing): leveled, atomically
+// emitted trace lines, switchable at runtime.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level selects how much tracing is emitted.
+type Level int32
+
+const (
+	// Off emits nothing (the default, like loading plain "am").
+	Off Level = iota
+	// Ops traces array-manager-level operations (like loading "am_debug").
+	Ops
+	// Debug traces everything, including internal routing.
+	Debug
+)
+
+var (
+	level atomic.Int32
+
+	mu  sync.Mutex
+	out io.Writer = os.Stderr
+
+	start = time.Now()
+)
+
+// SetLevel switches the global trace level.
+func SetLevel(l Level) { level.Store(int32(l)) }
+
+// GetLevel returns the current trace level.
+func GetLevel() Level { return Level(level.Load()) }
+
+// SetOutput redirects trace output (default os.Stderr).
+func SetOutput(w io.Writer) {
+	mu.Lock()
+	defer mu.Unlock()
+	out = w
+}
+
+// Enabled reports whether messages at level l are currently emitted,
+// letting hot paths skip argument construction.
+func Enabled(l Level) bool { return GetLevel() >= l }
+
+// Logf emits one atomically written trace line if the level is enabled.
+// The line is prefixed with elapsed time and the emitting processor.
+func Logf(l Level, proc int, format string, args ...any) {
+	if !Enabled(l) {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Fprintf(out, "[%8.3fms p%d] %s\n",
+		float64(time.Since(start).Microseconds())/1000, proc, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLevelsGateOutput(t *testing.T) {
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	defer SetOutput(os.Stderr)
+	defer SetLevel(Off)
+
+	SetLevel(Off)
+	Logf(Ops, 0, "hidden")
+	if buf.Len() != 0 {
+		t.Fatalf("Off level emitted %q", buf.String())
+	}
+
+	SetLevel(Ops)
+	Logf(Ops, 1, "visible %d", 42)
+	Logf(Debug, 1, "still hidden")
+	s := buf.String()
+	if !strings.Contains(s, "visible 42") || strings.Contains(s, "still hidden") {
+		t.Fatalf("output = %q", s)
+	}
+	if !strings.Contains(s, "p1") {
+		t.Fatalf("missing processor prefix: %q", s)
+	}
+
+	SetLevel(Debug)
+	if !Enabled(Ops) || !Enabled(Debug) {
+		t.Fatal("Enabled broken at Debug")
+	}
+}
+
+func TestConcurrentLogfLinesIntact(t *testing.T) {
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	defer SetOutput(os.Stderr)
+	SetLevel(Ops)
+	defer SetLevel(Off)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			Logf(Ops, i, "message-from-%d", i)
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "message-from-") {
+			t.Fatalf("mangled line %q", l)
+		}
+	}
+}

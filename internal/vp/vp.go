@@ -1,0 +1,110 @@
+// Package vp models the machine of virtual processors the paper's programs
+// run on.
+//
+// The paper (Preface, "Terminology") maps processes and data to *virtual
+// processors*: persistent entities with distinct address spaces, each
+// identified by a unique processor number, onto which physical processors
+// are multiplexed. Here the machine is a set of P logical ranks sharing one
+// Go process; distinct address spaces are modelled by ownership discipline
+// (a rank's data is reachable only through its array manager or through a
+// distributed call executing on that rank) and all cross-rank interaction
+// goes through the msg.Router.
+package vp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/msg"
+)
+
+// Machine is a set of P virtual processors and their interconnect.
+type Machine struct {
+	p      int
+	router *msg.Router
+
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	stopped bool
+	panics  []any
+}
+
+// NewMachine creates a machine of p virtual processors numbered 0..p-1.
+func NewMachine(p int) *Machine {
+	if p <= 0 {
+		panic("vp: machine needs at least one processor")
+	}
+	return &Machine{p: p, router: msg.NewRouter(p)}
+}
+
+// P returns the number of virtual processors.
+func (m *Machine) P() int { return m.p }
+
+// Router returns the machine's message-passing fabric.
+func (m *Machine) Router() *msg.Router { return m.router }
+
+// CheckProc validates a processor number.
+func (m *Machine) CheckProc(proc int) error {
+	if proc < 0 || proc >= m.p {
+		return fmt.Errorf("vp: processor %d out of range [0,%d)", proc, m.p)
+	}
+	return nil
+}
+
+// Go spawns f as a process on virtual processor proc. The processor number
+// is purely logical — it determines which mailbox and which array-manager
+// instance the process talks to. Panics in f are captured and re-raised by
+// Wait, so a crashed process cannot be silently lost.
+func (m *Machine) Go(proc int, f func(proc int)) {
+	if err := m.CheckProc(proc); err != nil {
+		panic(err)
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				m.mu.Lock()
+				m.panics = append(m.panics, r)
+				m.mu.Unlock()
+			}
+		}()
+		f(proc)
+	}()
+}
+
+// Wait blocks until every process started with Go has terminated. If any
+// process panicked, Wait panics with the first captured value.
+func (m *Machine) Wait() {
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.panics) > 0 {
+		p := m.panics[0]
+		m.panics = nil
+		panic(p)
+	}
+}
+
+// Shutdown closes the interconnect, releasing any processes blocked in
+// receives. Safe to call more than once.
+func (m *Machine) Shutdown() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	m.router.Close()
+}
+
+// AllProcs returns the processor numbers 0..P-1, the default "all available
+// processors" group.
+func (m *Machine) AllProcs() []int {
+	procs := make([]int, m.p)
+	for i := range procs {
+		procs[i] = i
+	}
+	return procs
+}

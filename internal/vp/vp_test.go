@@ -1,0 +1,107 @@
+package vp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/msg"
+)
+
+func TestMachineBasics(t *testing.T) {
+	m := NewMachine(4)
+	defer m.Shutdown()
+	if m.P() != 4 {
+		t.Fatalf("P = %d", m.P())
+	}
+	if m.Router().P() != 4 {
+		t.Fatalf("router P = %d", m.Router().P())
+	}
+	procs := m.AllProcs()
+	for i, p := range procs {
+		if p != i {
+			t.Fatalf("AllProcs[%d] = %d", i, p)
+		}
+	}
+}
+
+func TestGoRunsOnEachProcessor(t *testing.T) {
+	m := NewMachine(8)
+	defer m.Shutdown()
+	var mask atomic.Int64
+	for p := 0; p < 8; p++ {
+		m.Go(p, func(proc int) {
+			mask.Add(1 << proc)
+		})
+	}
+	m.Wait()
+	if mask.Load() != 255 {
+		t.Fatalf("mask = %b", mask.Load())
+	}
+}
+
+func TestProcessesCommunicateViaRouter(t *testing.T) {
+	m := NewMachine(2)
+	defer m.Shutdown()
+	tag := msg.Tag{Class: msg.ClassTask, Kind: 1}
+	var got atomic.Int64
+	m.Go(0, func(proc int) {
+		if err := m.Router().Send(proc, 1, tag, 41); err != nil {
+			t.Error(err)
+		}
+	})
+	m.Go(1, func(proc int) {
+		mm, err := m.Router().RecvFrom(proc, 0, tag)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got.Store(int64(mm.Data.(int)) + 1)
+	})
+	m.Wait()
+	if got.Load() != 42 {
+		t.Fatalf("got = %d", got.Load())
+	}
+}
+
+func TestWaitPropagatesPanics(t *testing.T) {
+	m := NewMachine(2)
+	defer m.Shutdown()
+	m.Go(0, func(int) { panic("boom") })
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	m.Wait()
+}
+
+func TestBadProcPanics(t *testing.T) {
+	m := NewMachine(1)
+	defer m.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Go on out-of-range proc must panic")
+		}
+	}()
+	m.Go(3, func(int) {})
+}
+
+func TestCheckProc(t *testing.T) {
+	m := NewMachine(2)
+	defer m.Shutdown()
+	if err := m.CheckProc(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckProc(2); err == nil {
+		t.Fatal("CheckProc(2) on P=2 machine should fail")
+	}
+	if err := m.CheckProc(-1); err == nil {
+		t.Fatal("CheckProc(-1) should fail")
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	m := NewMachine(2)
+	m.Shutdown()
+	m.Shutdown() // must not panic
+}
