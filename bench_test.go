@@ -624,6 +624,81 @@ func BenchmarkE20_ReduceTreeVsLinear(b *testing.B) {
 	}
 }
 
+// --- E21: bulk vs per-element data plane ---
+
+// BenchmarkE21_BulkDataPlane compares moving a whole distributed vector
+// through the per-element path (one array-manager message per element)
+// against the bulk block path (one message per owning processor). The
+// ratio is the payoff of the section-level data plane.
+func BenchmarkE21_BulkDataPlane(b *testing.B) {
+	const n = 4096
+	m := core.New(4)
+	defer m.Close()
+	a, err := m.NewArray(core.ArraySpec{Dims: []int{n}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	lo, hi := []int{0}, []int{n}
+
+	b.Run("write/per-element", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				if err := a.Write(vals[j], j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("write/bulk", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			if err := a.WriteBlock(lo, hi, vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read/per-element", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				if _, err := a.Read(j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("read/bulk", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			if _, err := a.ReadBlock(lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The task-level conveniences now ride the bulk path.
+	b.Run("fill", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			if err := a.Fill(func(idx []int) float64 { return float64(idx[0]) }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- overlap-area stencil (§3.2.1.3): borders as communication buffers ---
 
 func BenchmarkStencil_OverlapAreas(b *testing.B) {

@@ -15,8 +15,10 @@
 //	stream       — PCN-style streams (definitional lists)
 //	compose      — sequential / parallel / choice composition
 //	msg, vp      — typed selective-receive messaging; virtual processors
-//	grid, darray — decomposition arithmetic; array representation
-//	arraymgr, am — the array manager and its §4 library procedures
+//	grid, darray — decomposition and rectangle arithmetic; array
+//	               representation and section-level block copy
+//	arraymgr, am — the array manager (element and bulk block data
+//	               planes) and its §4 library procedures
 //	spmd, dcall  — the SPMD runtime and distributed-call machinery
 //	linalg, fft  — the data-parallel program libraries (App. D, §6.2)
 //	sim, trace   — discrete-event substrate; tracing

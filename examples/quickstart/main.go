@@ -57,9 +57,23 @@ func run(p, n int) ([]float64, float64, error) {
 		return nil, 0, err
 	}
 
+	// Read the results back through the global view. Snapshot moves the
+	// whole vector with one bulk transfer per owning processor; ReadBlock
+	// does the same for an arbitrary sub-rectangle.
 	snap, err := vec.Snapshot()
 	if err != nil {
 		return nil, 0, err
+	}
+	if n >= 2 {
+		half, err := vec.ReadBlock([]int{0}, []int{n / 2})
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, v := range half {
+			if v != snap[i] {
+				return nil, 0, fmt.Errorf("quickstart: block read mismatch at %d: %v vs %v", i, v, snap[i])
+			}
+		}
 	}
 	return snap, total.Value()[0], nil
 }

@@ -83,6 +83,22 @@ func (e *Env) WriteElement(onProc int, id darray.ID, indices []int, v float64) a
 	return e.AM.WriteElement(onProc, id, indices, v)
 }
 
+// ReadBlock is am_user_read_block, the bulk companion of ReadElement: it
+// reads the global rectangle [lo, hi) (half-open per dimension) into a
+// dense buffer linearized row-major over the rectangle, touching each
+// owning processor once. It extends the §4 library beyond the paper, which
+// moves task-level data one element per request.
+func (e *Env) ReadBlock(onProc int, id darray.ID, lo, hi []int) ([]float64, arraymgr.Status) {
+	return e.AM.ReadBlock(onProc, id, lo, hi)
+}
+
+// WriteBlock is am_user_write_block, the bulk companion of WriteElement: it
+// writes a dense row-major buffer into the global rectangle [lo, hi),
+// touching each owning processor once.
+func (e *Env) WriteBlock(onProc int, id darray.ID, lo, hi []int, vals []float64) arraymgr.Status {
+	return e.AM.WriteBlock(onProc, id, lo, hi, vals)
+}
+
 // FindLocal is am_user_find_local (§4.2.5). Users should rarely call it
 // directly; the distributed-call implementation invokes it automatically.
 func (e *Env) FindLocal(onProc int, id darray.ID) (*darray.Section, arraymgr.Status) {

@@ -1,0 +1,56 @@
+package am
+
+import (
+	"testing"
+
+	"repro/internal/arraymgr"
+	"repro/internal/grid"
+	"repro/internal/vp"
+)
+
+// TestUserBlockProcedures drives the §4-style bulk library procedures
+// (am_user_read_block / am_user_write_block) end to end with status codes.
+func TestUserBlockProcedures(t *testing.T) {
+	machine := vp.NewMachine(4)
+	t.Cleanup(machine.Shutdown)
+	e := LoadAll(machine)
+
+	id, st := e.CreateArray(0, "double", []int{4, 4}, NodeArray(0, 1, 4),
+		[]grid.Decomp{grid.BlockDefault(), grid.BlockDefault()}, arraymgr.NoBorderSpec{}, "row")
+	if st != StatusOK {
+		t.Fatalf("CreateArray: %v", st)
+	}
+
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	if st := e.WriteBlock(0, id, []int{0, 0}, []int{4, 4}, vals); st != StatusOK {
+		t.Fatalf("WriteBlock: %v", st)
+	}
+	// The bulk write is visible through the per-element procedure.
+	v, st := e.ReadElement(0, id, []int{2, 3})
+	if st != StatusOK || v != vals[2*4+3] {
+		t.Fatalf("ReadElement(2,3) = %v, %v", v, st)
+	}
+	got, st := e.ReadBlock(0, id, []int{1, 0}, []int{3, 4})
+	if st != StatusOK {
+		t.Fatalf("ReadBlock: %v", st)
+	}
+	for k, want := range vals[4:12] {
+		if got[k] != want {
+			t.Fatalf("ReadBlock[%d] = %v, want %v", k, got[k], want)
+		}
+	}
+
+	// Status codes, not errors: invalid rectangle and freed array.
+	if _, st := e.ReadBlock(0, id, []int{0, 0}, []int{5, 4}); st != StatusInvalid {
+		t.Fatalf("out-of-range ReadBlock: %v", st)
+	}
+	if st := e.FreeArray(0, id); st != StatusOK {
+		t.Fatalf("FreeArray: %v", st)
+	}
+	if st := e.WriteBlock(0, id, []int{0, 0}, []int{4, 4}, vals); st != StatusNotFound {
+		t.Fatalf("freed WriteBlock: %v", st)
+	}
+}

@@ -302,16 +302,10 @@ func Run(m *core.Machine, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	// One bulk transfer fetches the whole coupling row (one message per
+	// owning processor; with row-block distribution, exactly one).
 	readRow := func(a *core.Array, row int) ([]float64, error) {
-		out := make([]float64, cfg.Cols)
-		for j := 0; j < cfg.Cols; j++ {
-			v, err := a.Read(row, j)
-			if err != nil {
-				return nil, err
-			}
-			out[j] = v
-		}
-		return out, nil
+		return a.ReadBlock([]int{row, 0}, []int{row + 1, cfg.Cols})
 	}
 
 	for step := 0; step < cfg.Steps; step++ {

@@ -139,22 +139,17 @@ func (s *stage) initRoots(m *core.Machine, nn int, procs []int) error {
 // getInput loads one polynomial (n real coefficients from the input
 // stream) into the stage's array in bit-reversed order and pads the upper
 // half with zeros — the paper's get_input + pad_input, performed at the
-// task level with write_element.
+// task level. The permuted vector is assembled densely and shipped with
+// one bulk write per owning processor instead of 2*NN write_element
+// round-trips.
 func (s *stage) getInput(coeffs []float64, n, nn, ll int) error {
+	vals := make([]float64, 2*nn)
 	for j := 0; j < nn; j++ {
-		var re float64
 		if j < n {
-			re = coeffs[j]
-		}
-		pj := fft.BitReverse(ll, j)
-		if err := s.data.Write(re, 2*pj); err != nil {
-			return err
-		}
-		if err := s.data.Write(0, 2*pj+1); err != nil {
-			return err
+			vals[2*fft.BitReverse(ll, j)] = coeffs[j]
 		}
 	}
-	return nil
+	return s.data.WriteBlock([]int{0}, []int{2 * nn}, vals)
 }
 
 // arrayToStreams empties the stage's array into one stream per group
@@ -188,20 +183,17 @@ func (s *stage) streamsToArray(m *core.Machine, procs []int, readers []*stream.R
 
 // putOutput reads the transformed array (bit-reversed order) back to
 // natural order, emitting 2*nn doubles (nn complex values) — the paper's
-// put_output.
+// put_output, fetching the whole vector with one bulk read per owning
+// processor and un-permuting locally.
 func (s *stage) putOutput(nn, ll int, out *stream.Writer[float64]) error {
+	vals, err := s.data.ReadBlock([]int{0}, []int{2 * nn})
+	if err != nil {
+		return err
+	}
 	for j := 0; j < nn; j++ {
 		pj := fft.BitReverse(ll, j)
-		re, err := s.data.Read(2 * pj)
-		if err != nil {
-			return err
-		}
-		im, err := s.data.Read(2*pj + 1)
-		if err != nil {
-			return err
-		}
-		out.Put(re)
-		out.Put(im)
+		out.Put(vals[2*pj])
+		out.Put(vals[2*pj+1])
 	}
 	return nil
 }

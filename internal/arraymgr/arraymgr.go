@@ -140,7 +140,10 @@ type request struct {
 	gidx  []int        // read/write element
 	off   int          // read/write local
 	val   float64
-	which string // find_info
+	lo    []int     // read/write block: rectangle bounds (global at the
+	hi    []int     // coordinator, interior-local at the owner)
+	vals  []float64 // write block: dense row-major block data
+	which string    // find_info
 	// verify parameters
 	ndims    int
 	borders  BorderSpec
@@ -152,6 +155,7 @@ type request struct {
 type response struct {
 	status  Status
 	val     float64
+	vals    []float64
 	section *darray.Section
 	info    any
 }
@@ -235,6 +239,14 @@ func (m *Manager) handle(proc int, req *request) {
 		resp = m.doWrite(proc, req)
 	case "write_element_local":
 		resp = m.doWriteLocal(proc, req)
+	case "read_block":
+		resp = m.doReadBlock(proc, req)
+	case "read_block_local":
+		resp = m.doReadBlockLocal(proc, req)
+	case "write_block":
+		resp = m.doWriteBlock(proc, req)
+	case "write_block_local":
+		resp = m.doWriteBlockLocal(proc, req)
 	case "find_local":
 		resp = m.doFindLocal(proc, req)
 	case "find_info":
@@ -471,6 +483,128 @@ func (m *Manager) doWriteLocal(proc int, req *request) response {
 	return response{status: StatusOK}
 }
 
+// copyRuns moves the dense data of owner block b between full (the buffer
+// covering the whole request rectangle [lo, lo+rectDims)) and sub (the
+// buffer covering just b), in the direction selected by toFull. Both
+// buffers are row-major, so runs along the last dimension are contiguous
+// in each and move with copy.
+func copyRuns(toFull bool, full, sub []float64, b darray.OwnerBlock, lo, rectDims []int) {
+	last := len(rectDims) - 1
+	run := b.GlobalHi[last] - b.GlobalLo[last]
+	_ = grid.ForEachRect(b.GlobalLo[:last], b.GlobalHi[:last], func(outer []int, k int) error {
+		pos := 0
+		for i, x := range outer {
+			pos = pos*rectDims[i] + (x - lo[i])
+		}
+		pos = pos*rectDims[last] + (b.GlobalLo[last] - lo[last])
+		if toFull {
+			copy(full[pos:pos+run], sub[k*run:(k+1)*run])
+		} else {
+			copy(sub[k*run:(k+1)*run], full[pos:pos+run])
+		}
+		return nil
+	})
+}
+
+// doReadBlock is the bulk-read coordinator: it splits the global rectangle
+// [lo, hi) by owning processor and issues one read_block_local request per
+// owner (serviced in place when the owner is this processor), assembling
+// the returned sub-blocks into one dense row-major buffer.
+func (m *Manager) doReadBlock(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	blocks, err := e.meta.OwnerBlocks(req.lo, req.hi)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	rectDims := grid.RectDims(req.lo, req.hi)
+	out := make([]float64, grid.RectSize(req.lo, req.hi))
+	for _, b := range blocks {
+		sub := &request{op: "read_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi}
+		var r response
+		if b.Proc == proc {
+			r = m.doReadBlockLocal(proc, sub)
+		} else {
+			r = m.send(proc, b.Proc, sub)
+		}
+		if r.status != StatusOK {
+			return response{status: r.status}
+		}
+		copyRuns(true, out, r.vals, b, req.lo, rectDims)
+	}
+	return response{status: StatusOK, vals: out}
+}
+
+func (m *Manager) doReadBlockLocal(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if e.section == nil {
+		return response{status: StatusError}
+	}
+	vals, err := e.section.ReadBlock(req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	return response{status: StatusOK, vals: vals}
+}
+
+// doWriteBlock is the bulk-write coordinator: it scatters the dense
+// row-major buffer into per-owner sub-blocks and issues one
+// write_block_local request per owner.
+func (m *Manager) doWriteBlock(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	blocks, err := e.meta.OwnerBlocks(req.lo, req.hi)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	rectDims := grid.RectDims(req.lo, req.hi)
+	if len(req.vals) != grid.RectSize(req.lo, req.hi) {
+		return response{status: StatusInvalid}
+	}
+	for _, b := range blocks {
+		vals := make([]float64, grid.RectSize(b.GlobalLo, b.GlobalHi))
+		copyRuns(false, req.vals, vals, b, req.lo, rectDims)
+		sub := &request{op: "write_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, vals: vals}
+		var r response
+		if b.Proc == proc {
+			r = m.doWriteBlockLocal(proc, sub)
+		} else {
+			r = m.send(proc, b.Proc, sub)
+		}
+		if r.status != StatusOK {
+			return response{status: r.status}
+		}
+	}
+	return response{status: StatusOK}
+}
+
+func (m *Manager) doWriteBlockLocal(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if e.section == nil {
+		return response{status: StatusError}
+	}
+	if err := e.section.WriteBlock(req.vals, req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
+		return response{status: StatusInvalid}
+	}
+	return response{status: StatusOK}
+}
+
 func (m *Manager) doFindLocal(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
@@ -636,6 +770,27 @@ func (m *Manager) WriteElement(onProc int, id darray.ID, indices []int, v float6
 		return StatusInvalid
 	}
 	return m.send(onProc, onProc, &request{op: "write_element", id: id, gidx: indices, val: v}).status
+}
+
+// ReadBlock reads the global rectangle [lo, hi) (half-open per dimension)
+// into a dense buffer linearized row-major over the rectangle. The
+// transfer is split by owning processor: one message per remote owner,
+// regardless of the rectangle's element count.
+func (m *Manager) ReadBlock(onProc int, id darray.ID, lo, hi []int) ([]float64, Status) {
+	if m.machine.CheckProc(onProc) != nil {
+		return nil, StatusInvalid
+	}
+	r := m.send(onProc, onProc, &request{op: "read_block", id: id, lo: lo, hi: hi})
+	return r.vals, r.status
+}
+
+// WriteBlock writes a dense row-major buffer into the global rectangle
+// [lo, hi), issuing one message per remote owning processor.
+func (m *Manager) WriteBlock(onProc int, id darray.ID, lo, hi []int, vals []float64) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	return m.send(onProc, onProc, &request{op: "write_block", id: id, lo: lo, hi: hi, vals: vals}).status
 }
 
 // FindLocal returns the local section of the array on onProc in a form

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arraymgr"
+	"repro/internal/darray"
+	"repro/internal/grid"
+)
+
+// bulkCase is one point in the configuration space the bulk data plane
+// must agree with the per-element path on.
+type bulkCase struct {
+	name  string
+	p     int
+	spec  ArraySpec
+	subLo []int
+	subHi []int
+}
+
+func bulkCases() []bulkCase {
+	return []bulkCase{
+		{
+			name: "1d/block", p: 4,
+			spec:  ArraySpec{Dims: []int{24}},
+			subLo: []int{5}, subHi: []int{19},
+		},
+		{
+			name: "1d/bordered", p: 3,
+			spec:  ArraySpec{Dims: []int{12}, Borders: arraymgr.ExplicitBorders{2, 1}},
+			subLo: []int{1}, subHi: []int{12},
+		},
+		{
+			name: "1d/int", p: 4,
+			spec:  ArraySpec{Dims: []int{16}, Type: darray.Int},
+			subLo: []int{3}, subHi: []int{13},
+		},
+		{
+			name: "2d/block-block", p: 4,
+			spec:  ArraySpec{Dims: []int{8, 6}, Distrib: []grid.Decomp{grid.BlockOf(2), grid.BlockOf(2)}},
+			subLo: []int{1, 1}, subHi: []int{7, 5},
+		},
+		{
+			name: "2d/block-star", p: 4,
+			spec:  ArraySpec{Dims: []int{8, 6}, Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()}},
+			subLo: []int{2, 0}, subHi: []int{6, 6},
+		},
+		{
+			name: "2d/colmajor", p: 4,
+			spec:  ArraySpec{Dims: []int{8, 6}, Indexing: grid.ColMajor},
+			subLo: []int{0, 2}, subHi: []int{8, 4},
+		},
+		{
+			name: "2d/colmajor/bordered", p: 4,
+			spec: ArraySpec{
+				Dims: []int{8, 8}, Indexing: grid.ColMajor,
+				Borders: arraymgr.ExplicitBorders{1, 1, 2, 0},
+			},
+			subLo: []int{3, 3}, subHi: []int{8, 8},
+		},
+		{
+			name: "2d/subset-procs", p: 6,
+			spec:  ArraySpec{Dims: []int{4, 4}, Procs: []int{5, 1, 3, 0}},
+			subLo: []int{0, 1}, subHi: []int{4, 3},
+		},
+		{
+			name: "3d/mixed", p: 8,
+			spec: ArraySpec{
+				Dims:    []int{4, 6, 2},
+				Distrib: []grid.Decomp{grid.BlockOf(2), grid.BlockOf(3), grid.NoDecomp()},
+				Borders: arraymgr.ExplicitBorders{1, 0, 0, 1, 1, 1},
+			},
+			subLo: []int{1, 2, 0}, subHi: []int{3, 6, 2},
+		},
+	}
+}
+
+// TestBulkPerElementEquivalence is the equivalence property of the bulk
+// data plane: Fill+Snapshot through block transfers must be
+// element-for-element identical to write_element/read_element loops,
+// across decompositions, border widths, indexing orders and element types.
+func TestBulkPerElementEquivalence(t *testing.T) {
+	for _, c := range bulkCases() {
+		t.Run(c.name, func(t *testing.T) {
+			m := newMachine(t, c.p)
+			value := func(idx []int) float64 {
+				v := 7.0
+				for _, x := range idx {
+					v = 31*v + float64(x)
+				}
+				return v
+			}
+
+			// Bulk write (Fill), per-element read back.
+			a, err := m.NewArray(c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Fill(value); err != nil {
+				t.Fatal(err)
+			}
+			meta, err := a.Meta()
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := wholeRect(meta)
+			if err := grid.ForEachRect(lo, hi, func(idx []int, k int) error {
+				got, err := a.Read(idx...)
+				if err != nil {
+					return err
+				}
+				want := value(idx)
+				if c.spec.Type == darray.Int {
+					want = float64(int64(want))
+				}
+				if got != want {
+					t.Fatalf("after Fill, element %v = %v, want %v", idx, got, want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Per-element write, bulk read back (Snapshot).
+			if err := grid.ForEachRect(lo, hi, func(idx []int, k int) error {
+				return a.Write(value(idx)+1, idx...)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := a.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := grid.ForEachRect(lo, hi, func(idx []int, k int) error {
+				want := value(idx) + 1
+				if c.spec.Type == darray.Int {
+					want = float64(int64(want))
+				}
+				if snap[k] != want {
+					t.Fatalf("Snapshot[%v] = %v, want %v", idx, snap[k], want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Sub-rectangle: WriteBlock then per-element and ReadBlock agree.
+			sub := make([]float64, grid.RectSize(c.subLo, c.subHi))
+			for i := range sub {
+				sub[i] = float64(-1 - i)
+			}
+			if err := a.WriteBlock(c.subLo, c.subHi, sub); err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.ReadBlock(c.subLo, c.subHi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := grid.ForEachRect(c.subLo, c.subHi, func(idx []int, k int) error {
+				want := sub[k]
+				if c.spec.Type == darray.Int {
+					want = float64(int64(want))
+				}
+				if got[k] != want {
+					t.Fatalf("ReadBlock[%v] = %v, want %v", idx, got[k], want)
+				}
+				el, err := a.Read(idx...)
+				if err != nil {
+					return err
+				}
+				if el != want {
+					t.Fatalf("element %v = %v after WriteBlock, want %v", idx, el, want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBulkMessageBudget is the acceptance criterion of the bulk data
+// plane: Fill and Snapshot issue at most one array-manager message per
+// owning processor (plus the metadata fetch and the coordinator request),
+// not one per element.
+func TestBulkMessageBudget(t *testing.T) {
+	const p = 4
+	m := newMachine(t, p)
+	a, err := m.NewArray(ArraySpec{Dims: []int{256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := p
+	// find_info(meta) + coordinator request + one request per remote owner.
+	budget := uint64(2 + owners - 1)
+	router := m.VM.Router()
+
+	before := router.Sent()
+	if err := a.Fill(func(idx []int) float64 { return float64(idx[0]) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := router.Sent() - before; got > budget {
+		t.Fatalf("Fill of 256 elements sent %d messages, budget %d", got, budget)
+	}
+
+	before = router.Sent()
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := router.Sent() - before; got > budget {
+		t.Fatalf("Snapshot of 256 elements sent %d messages, budget %d", got, budget)
+	}
+	for i, v := range snap {
+		if v != float64(i) {
+			t.Fatalf("snap[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestBulkErrors(t *testing.T) {
+	m := newMachine(t, 2)
+	a, err := m.NewArray(ArraySpec{Dims: []int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadBlock([]int{0, 0}, []int{5, 4}); !IsStatus(err, arraymgr.StatusInvalid) {
+		t.Fatalf("out-of-range ReadBlock: %v", err)
+	}
+	if _, err := a.ReadBlock([]int{1, 1}, []int{1, 4}); !IsStatus(err, arraymgr.StatusInvalid) {
+		t.Fatalf("empty ReadBlock: %v", err)
+	}
+	if err := a.WriteBlock([]int{0, 0}, []int{2, 2}, []float64{1, 2}); !IsStatus(err, arraymgr.StatusInvalid) {
+		t.Fatalf("short WriteBlock: %v", err)
+	}
+	if err := a.FillBlock([]int{0, 0}, []int{9, 9}, func(idx []int) float64 { return 0 }); !IsStatus(err, arraymgr.StatusInvalid) {
+		t.Fatalf("out-of-range FillBlock: %v", err)
+	}
+	if err := a.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadBlock([]int{0, 0}, []int{4, 4}); !IsStatus(err, arraymgr.StatusNotFound) {
+		t.Fatalf("freed ReadBlock: %v", err)
+	}
+	if err := a.WriteBlock([]int{0, 0}, []int{4, 4}, make([]float64, 16)); !IsStatus(err, arraymgr.StatusNotFound) {
+		t.Fatalf("freed WriteBlock: %v", err)
+	}
+	if _, err := a.Snapshot(); !IsStatus(err, arraymgr.StatusNotFound) {
+		t.Fatalf("freed Snapshot: %v", err)
+	}
+	if err := a.Fill(func(idx []int) float64 { return 0 }); !IsStatus(err, arraymgr.StatusNotFound) {
+		t.Fatalf("freed Fill: %v", err)
+	}
+}

@@ -202,47 +202,70 @@ func (a *Array) Verify(ndims int, borders arraymgr.BorderSpec, ix grid.Indexing)
 	return statusErr("verify_array", a.m.AM.VerifyArray(a.onProc, a.id, ndims, borders, ix))
 }
 
+// ReadBlock reads the global rectangle [lo, hi) (half-open per dimension)
+// into a dense buffer linearized row-major over the rectangle
+// (am_user_read_block). The transfer is aggregated by the array manager
+// into one message per remote owning processor.
+func (a *Array) ReadBlock(lo, hi []int) ([]float64, error) {
+	vals, st := a.m.AM.ReadBlock(a.onProc, a.id, lo, hi)
+	return vals, statusErr("read_block", st)
+}
+
+// WriteBlock writes a dense row-major buffer into the global rectangle
+// [lo, hi) (am_user_write_block), one message per remote owning processor.
+func (a *Array) WriteBlock(lo, hi []int, vals []float64) error {
+	return statusErr("write_block", a.m.AM.WriteBlock(a.onProc, a.id, lo, hi, vals))
+}
+
+// FillBlock writes f(idx) to every element of the global rectangle
+// [lo, hi) through the bulk path. The index tuple passed to f is reused
+// between calls; f must not retain it.
+func (a *Array) FillBlock(lo, hi []int, f func(idx []int) float64) error {
+	meta, err := a.Meta()
+	if err != nil {
+		return err
+	}
+	return a.fillBlock(meta, lo, hi, f)
+}
+
+func (a *Array) fillBlock(meta *darray.Meta, lo, hi []int, f func(idx []int) float64) error {
+	if err := grid.CheckRect(lo, hi, meta.Dims); err != nil {
+		return statusErr("write_block", arraymgr.StatusInvalid)
+	}
+	vals := make([]float64, grid.RectSize(lo, hi))
+	_ = grid.ForEachRect(lo, hi, func(idx []int, k int) error {
+		vals[k] = f(idx)
+		return nil
+	})
+	return a.WriteBlock(lo, hi, vals)
+}
+
+// wholeRect returns the rectangle covering the full global index space.
+func wholeRect(meta *darray.Meta) (lo, hi []int) {
+	return make([]int, meta.NDims()), append([]int(nil), meta.Dims...)
+}
+
 // Fill writes f(idx) to every element, iterating the global index space in
-// row-major order. A task-level convenience built on write_element.
+// row-major order: FillBlock over the whole array, one bulk transfer per
+// owning processor instead of one message per element.
 func (a *Array) Fill(f func(idx []int) float64) error {
 	meta, err := a.Meta()
 	if err != nil {
 		return err
 	}
-	n := grid.Size(meta.Dims)
-	for lin := 0; lin < n; lin++ {
-		idx, err := grid.Unflatten(lin, meta.Dims, grid.RowMajor)
-		if err != nil {
-			return err
-		}
-		if err := a.Write(f(idx), idx...); err != nil {
-			return err
-		}
-	}
-	return nil
+	lo, hi := wholeRect(meta)
+	return a.fillBlock(meta, lo, hi, f)
 }
 
-// Snapshot reads the whole array into a dense row-major []float64. A
-// task-level convenience built on read_element.
+// Snapshot reads the whole array into a dense row-major []float64:
+// ReadBlock over the whole array, one bulk transfer per owning processor.
 func (a *Array) Snapshot() ([]float64, error) {
 	meta, err := a.Meta()
 	if err != nil {
 		return nil, err
 	}
-	n := grid.Size(meta.Dims)
-	out := make([]float64, n)
-	for lin := 0; lin < n; lin++ {
-		idx, err := grid.Unflatten(lin, meta.Dims, grid.RowMajor)
-		if err != nil {
-			return nil, err
-		}
-		v, err := a.Read(idx...)
-		if err != nil {
-			return nil, err
-		}
-		out[lin] = v
-	}
-	return out, nil
+	lo, hi := wholeRect(meta)
+	return a.ReadBlock(lo, hi)
 }
 
 // Register adds a named data-parallel program to the machine's registry

@@ -1,0 +1,232 @@
+package darray
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// sectionCase describes one bordered-section layout to exercise.
+type sectionCase struct {
+	name      string
+	localDims []int
+	borders   []int
+	ix        grid.Indexing
+	typ       ElemType
+}
+
+func sectionCases() []sectionCase {
+	return []sectionCase{
+		{"1d/plain", []int{8}, []int{0, 0}, grid.RowMajor, Double},
+		{"1d/bordered", []int{8}, []int{2, 1}, grid.RowMajor, Double},
+		{"2d/row", []int{4, 6}, []int{0, 0, 0, 0}, grid.RowMajor, Double},
+		{"2d/row/bordered", []int{4, 6}, []int{1, 1, 2, 2}, grid.RowMajor, Double},
+		{"2d/col/bordered", []int{4, 6}, []int{1, 0, 0, 2}, grid.ColMajor, Double},
+		{"2d/int/bordered", []int{4, 6}, []int{1, 1, 1, 1}, grid.RowMajor, Int},
+		{"3d/row", []int{2, 3, 4}, []int{0, 1, 1, 0, 2, 0}, grid.RowMajor, Double},
+		{"3d/col", []int{2, 3, 4}, []int{1, 1, 0, 0, 0, 1}, grid.ColMajor, Int},
+	}
+}
+
+// TestSectionBlockRoundTrip writes a pattern per element through
+// StorageOffset, reads it back with ReadBlock, then overwrites a
+// sub-rectangle with WriteBlock and re-checks every element — bulk and
+// per-element paths must agree exactly, and borders must stay untouched.
+func TestSectionBlockRoundTrip(t *testing.T) {
+	for _, c := range sectionCases() {
+		t.Run(c.name, func(t *testing.T) {
+			plus, err := DimsPlus(c.localDims, c.borders)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSection(c.typ, grid.Size(plus))
+			// Mark every storage cell (borders included) with a sentinel.
+			for off := 0; off < s.Len(); off++ {
+				s.SetFloat(off, -1)
+			}
+			value := func(idx []int) float64 {
+				v := 0.0
+				for _, x := range idx {
+					v = 100*v + float64(x+1)
+				}
+				return v
+			}
+			n := grid.Size(c.localDims)
+			for lin := 0; lin < n; lin++ {
+				idx, err := grid.Unflatten(lin, c.localDims, c.ix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				off, err := StorageOffset(idx, c.localDims, c.borders, c.ix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.SetFloat(off, value(idx))
+			}
+
+			// Bulk read of the whole interior matches the per-element pattern.
+			lo := make([]int, len(c.localDims))
+			vals, err := s.ReadBlock(lo, c.localDims, c.localDims, c.borders, c.ix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := grid.ForEachRect(lo, c.localDims, func(idx []int, k int) error {
+				if vals[k] != value(idx) {
+					t.Fatalf("ReadBlock[%v] = %v, want %v", idx, vals[k], value(idx))
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Bulk write of a sub-rectangle, then per-element verification.
+			subLo := make([]int, len(c.localDims))
+			subHi := make([]int, len(c.localDims))
+			for i, d := range c.localDims {
+				subLo[i] = d / 4
+				subHi[i] = d - d/4
+			}
+			sub := make([]float64, grid.RectSize(subLo, subHi))
+			for i := range sub {
+				sub[i] = float64(1000 + i)
+			}
+			if err := s.WriteBlock(sub, subLo, subHi, c.localDims, c.borders, c.ix); err != nil {
+				t.Fatal(err)
+			}
+			inSub := func(idx []int) (int, bool) {
+				pos := 0
+				for i := range idx {
+					if idx[i] < subLo[i] || idx[i] >= subHi[i] {
+						return 0, false
+					}
+					pos = pos*(subHi[i]-subLo[i]) + (idx[i] - subLo[i])
+				}
+				return pos, true
+			}
+			if err := grid.ForEachRect(lo, c.localDims, func(idx []int, k int) error {
+				off, err := StorageOffset(idx, c.localDims, c.borders, c.ix)
+				if err != nil {
+					return err
+				}
+				want := value(idx)
+				if pos, ok := inSub(idx); ok {
+					want = float64(1000 + pos)
+					if c.typ == Int {
+						want = float64(int64(want))
+					}
+				}
+				if got := s.GetFloat(off); got != want {
+					t.Fatalf("element %v = %v after WriteBlock, want %v", idx, got, want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Borders still carry the sentinel: block ops never touch them.
+			interior := make(map[int]bool, n)
+			for lin := 0; lin < n; lin++ {
+				idx, _ := grid.Unflatten(lin, c.localDims, c.ix)
+				off, _ := StorageOffset(idx, c.localDims, c.borders, c.ix)
+				interior[off] = true
+			}
+			for off := 0; off < s.Len(); off++ {
+				if !interior[off] && s.GetFloat(off) != -1 {
+					t.Fatalf("border cell %d modified: %v", off, s.GetFloat(off))
+				}
+			}
+		})
+	}
+}
+
+func TestSectionBlockErrors(t *testing.T) {
+	s := NewSection(Double, 8)
+	localDims := []int{8}
+	borders := []int{0, 0}
+	if _, err := s.ReadBlock([]int{0}, []int{9}, localDims, borders, grid.RowMajor); err == nil {
+		t.Fatal("out-of-range ReadBlock accepted")
+	}
+	if _, err := s.ReadBlock([]int{4}, []int{4}, localDims, borders, grid.RowMajor); err == nil {
+		t.Fatal("empty ReadBlock accepted")
+	}
+	if err := s.WriteBlock([]float64{1, 2}, []int{0}, []int{3}, localDims, borders, grid.RowMajor); err == nil {
+		t.Fatal("short WriteBlock buffer accepted")
+	}
+}
+
+// TestOwnerBlocksPartition checks that OwnerBlocks splits a rectangle into
+// disjoint, covering pieces whose processors and offsets agree with the
+// per-element Owner resolution.
+func TestOwnerBlocksPartition(t *testing.T) {
+	for _, ix := range []grid.Indexing{grid.RowMajor, grid.ColMajor} {
+		meta := &Meta{
+			ID:            ID{Proc: 0, Seq: 0},
+			Type:          Double,
+			Dims:          []int{8, 6},
+			Procs:         []int{3, 1, 4, 7, 9, 2, 6, 5},
+			GridDims:      []int{4, 2},
+			LocalDims:     []int{2, 3},
+			Borders:       []int{1, 0, 0, 1},
+			LocalDimsPlus: []int{3, 4},
+			Indexing:      ix,
+			GridIndexing:  ix,
+		}
+		lo, hi := []int{1, 1}, []int{7, 6}
+		blocks, err := meta.OwnerBlocks(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := 0
+		for _, b := range blocks {
+			if err := grid.ForEachRect(b.GlobalLo, b.GlobalHi, func(gidx []int, k int) error {
+				covered++
+				wantProc, _, err := meta.Owner(gidx)
+				if err != nil {
+					return err
+				}
+				if b.Proc != wantProc {
+					t.Fatalf("%v: index %v in block of proc %d, Owner says %d", ix, gidx, b.Proc, wantProc)
+				}
+				// The local rectangle is the global one translated by the
+				// cell origin.
+				for i := range gidx {
+					rel := gidx[i] - b.GlobalLo[i]
+					lidx := b.LocalLo[i] + rel
+					if lidx < 0 || lidx >= meta.LocalDims[i] {
+						t.Fatalf("local index %d out of range in dim %d", lidx, i)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if covered != grid.RectSize(lo, hi) {
+			t.Fatalf("%v: blocks cover %d of %d elements", ix, covered, grid.RectSize(lo, hi))
+		}
+	}
+}
+
+func TestOwnerBlocksErrors(t *testing.T) {
+	meta := &Meta{
+		Dims: []int{4}, Procs: []int{0, 1}, GridDims: []int{2},
+		LocalDims: []int{2}, Borders: []int{0, 0}, LocalDimsPlus: []int{2},
+	}
+	if _, err := meta.OwnerBlocks([]int{0}, []int{5}); err == nil {
+		t.Fatal("out-of-range rectangle accepted")
+	}
+	if _, err := meta.OwnerBlocks([]int{2}, []int{2}); err == nil {
+		t.Fatal("empty rectangle accepted")
+	}
+	blocks, err := meta.OwnerBlocks([]int{1}, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("expected 2 owner blocks, got %d", len(blocks))
+	}
+	if !reflect.DeepEqual(blocks[0].LocalLo, []int{1}) || !reflect.DeepEqual(blocks[0].LocalHi, []int{2}) {
+		t.Fatalf("block 0 local rect [%v,%v)", blocks[0].LocalLo, blocks[0].LocalHi)
+	}
+}

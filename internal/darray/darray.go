@@ -188,6 +188,67 @@ func (m *Meta) Owner(gidx []int) (proc, storageOff int, err error) {
 	return m.Procs[slot], off, nil
 }
 
+// OwnerBlock describes the piece of a global rectangle held by one local
+// section: the owning processor, the sub-rectangle in global indices, and
+// the same sub-rectangle translated to interior-local indices. It is the
+// unit of the bulk data plane — each OwnerBlock moves in one message.
+type OwnerBlock struct {
+	Proc               int
+	GlobalLo, GlobalHi []int
+	LocalLo, LocalHi   []int
+}
+
+// OwnerBlocks splits the global rectangle [lo, hi) into the sub-rectangles
+// owned by each local section, in slot order. Every index tuple of the
+// rectangle appears in exactly one returned block; sections the rectangle
+// does not touch are omitted.
+func (m *Meta) OwnerBlocks(lo, hi []int) ([]OwnerBlock, error) {
+	if err := grid.CheckRect(lo, hi, m.Dims); err != nil {
+		return nil, err
+	}
+	// Cell c owns [c*local, (c+1)*local) per dimension, so only the cells
+	// in [lo/local, (hi-1)/local] can intersect the rectangle; enumerate
+	// just that sub-grid rather than every cell.
+	local := m.LocalDims
+	cellLo := make([]int, len(lo))
+	cellHi := make([]int, len(lo))
+	for i := range lo {
+		cellLo[i] = lo[i] / local[i]
+		cellHi[i] = (hi[i]-1)/local[i] + 1
+	}
+	var out []OwnerBlock
+	err := grid.ForEachRect(cellLo, cellHi, func(coord []int, _ int) error {
+		slot, err := grid.ProcSlot(coord, m.GridDims, m.GridIndexing)
+		if err != nil {
+			return err
+		}
+		cLo, cHi, err := grid.CellRect(coord, m.Dims, m.GridDims)
+		if err != nil {
+			return err
+		}
+		subLo, subHi, ok := grid.IntersectRect(lo, hi, cLo, cHi)
+		if !ok {
+			return fmt.Errorf("darray: cell %v in range but disjoint from [%v,%v)", coord, lo, hi)
+		}
+		localLo := make([]int, len(lo))
+		localHi := make([]int, len(lo))
+		for i := range lo {
+			localLo[i] = subLo[i] - cLo[i]
+			localHi[i] = subHi[i] - cLo[i]
+		}
+		out = append(out, OwnerBlock{
+			Proc:     m.Procs[slot],
+			GlobalLo: subLo, GlobalHi: subHi,
+			LocalLo: localLo, LocalHi: localHi,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Section is the storage for one local section, including borders. Exactly
 // one of F and I is non-nil, matching the element type. A Section plays the
 // role of the paper's pseudo-definitional array: it is created by the array
@@ -233,6 +294,75 @@ func (s *Section) SetFloat(off int, v float64) {
 	} else {
 		s.F[off] = v
 	}
+}
+
+// ReadBlock copies the interior rectangle [lo, hi) (interior-local indices)
+// of the section into a fresh dense buffer linearized row-major over the
+// rectangle. localDims, borders and ix describe the section's interior
+// shape, border widths and storage indexing; border locations themselves
+// are never read.
+func (s *Section) ReadBlock(lo, hi, localDims, borders []int, ix grid.Indexing) ([]float64, error) {
+	if err := grid.CheckRect(lo, hi, localDims); err != nil {
+		return nil, err
+	}
+	vals := make([]float64, grid.RectSize(lo, hi))
+	if err := s.blockCopy(true, vals, lo, hi, localDims, borders, ix); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// WriteBlock copies vals — a dense buffer linearized row-major over the
+// rectangle — into the interior rectangle [lo, hi) of the section.
+func (s *Section) WriteBlock(vals []float64, lo, hi, localDims, borders []int, ix grid.Indexing) error {
+	if err := grid.CheckRect(lo, hi, localDims); err != nil {
+		return err
+	}
+	if len(vals) != grid.RectSize(lo, hi) {
+		return fmt.Errorf("darray: %d values for a rectangle of %d elements", len(vals), grid.RectSize(lo, hi))
+	}
+	return s.blockCopy(false, vals, lo, hi, localDims, borders, ix)
+}
+
+// blockCopy moves data between vals and the rectangle [lo, hi) of the
+// bordered storage. With row-major storage the rectangle's innermost runs
+// are contiguous, so whole rows move with copy; otherwise elements move one
+// by one through the stride arithmetic.
+func (s *Section) blockCopy(read bool, vals []float64, lo, hi, localDims, borders []int, ix grid.Indexing) error {
+	plus, err := DimsPlus(localDims, borders)
+	if err != nil {
+		return err
+	}
+	strides := grid.Strides(plus, ix)
+	offset := func(idx []int) int {
+		off := 0
+		for i := range idx {
+			off += (idx[i] + borders[2*i]) * strides[i]
+		}
+		return off
+	}
+	last := len(lo) - 1
+	if ix == grid.RowMajor && s.Type == Double {
+		run := hi[last] - lo[last]
+		return grid.ForEachRect(lo[:last], hi[:last], func(outer []int, k int) error {
+			off := offset(outer) + (lo[last]+borders[2*last])*strides[last]
+			if read {
+				copy(vals[k*run:(k+1)*run], s.F[off:off+run])
+			} else {
+				copy(s.F[off:off+run], vals[k*run:(k+1)*run])
+			}
+			return nil
+		})
+	}
+	return grid.ForEachRect(lo, hi, func(idx []int, k int) error {
+		off := offset(idx)
+		if read {
+			vals[k] = s.GetFloat(off)
+		} else {
+			s.SetFloat(off, vals[k])
+		}
+		return nil
+	})
 }
 
 // CopyInterior copies the interior (non-border) data of src into dst, where

@@ -309,6 +309,138 @@ func ProcSlot(gridCoord, gridDims []int, ix Indexing) (int, error) {
 	return Flatten(gridCoord, gridDims, ix)
 }
 
+// --- rectangle arithmetic (the bulk data plane) ---
+//
+// A rectangle is a half-open box [lo, hi) of global or local indices: it
+// contains every index tuple idx with lo[i] <= idx[i] < hi[i]. Rectangles
+// are the transfer unit of the bulk data plane: the array manager splits a
+// global rectangle into the sub-rectangles owned by each local section and
+// moves each sub-rectangle in a single message.
+
+// ErrBadRect reports a malformed or out-of-range rectangle.
+var ErrBadRect = errors.New("grid: invalid rectangle")
+
+// CheckRect validates the half-open rectangle [lo, hi) against dims: the
+// three slices must have equal length and 0 <= lo[i] < hi[i] <= dims[i] in
+// every dimension (empty rectangles are rejected).
+func CheckRect(lo, hi, dims []int) error {
+	if len(lo) != len(dims) || len(hi) != len(dims) {
+		return fmt.Errorf("%w: bounds of length %d/%d for %d dimensions", ErrBadRect, len(lo), len(hi), len(dims))
+	}
+	for i := range dims {
+		if lo[i] < 0 || lo[i] >= hi[i] || hi[i] > dims[i] {
+			return fmt.Errorf("%w: dimension %d: [%d,%d) within size %d", ErrBadRect, i, lo[i], hi[i], dims[i])
+		}
+	}
+	return nil
+}
+
+// RectDims returns the edge lengths hi[i]-lo[i] of the rectangle.
+func RectDims(lo, hi []int) []int {
+	out := make([]int, len(lo))
+	for i := range lo {
+		out[i] = hi[i] - lo[i]
+	}
+	return out
+}
+
+// RectSize returns the number of index tuples in [lo, hi).
+func RectSize(lo, hi []int) int {
+	s := 1
+	for i := range lo {
+		s *= hi[i] - lo[i]
+	}
+	return s
+}
+
+// IntersectRect intersects the rectangles [alo, ahi) and [blo, bhi); ok
+// reports whether the intersection is non-empty.
+func IntersectRect(alo, ahi, blo, bhi []int) (lo, hi []int, ok bool) {
+	lo = make([]int, len(alo))
+	hi = make([]int, len(alo))
+	for i := range alo {
+		lo[i] = max(alo[i], blo[i])
+		hi[i] = min(ahi[i], bhi[i])
+		if lo[i] >= hi[i] {
+			return nil, nil, false
+		}
+	}
+	return lo, hi, true
+}
+
+// CellRect returns the global region [lo, hi) owned by the local section at
+// processor-grid coordinate coord: the blocks of the §3.2.1.1 block
+// decomposition, expressed as rectangles.
+func CellRect(coord, dims, gridDims []int) (lo, hi []int, err error) {
+	local, err := LocalDims(dims, gridDims)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := CheckIndex(coord, gridDims); err != nil {
+		return nil, nil, fmt.Errorf("grid coordinate: %w", err)
+	}
+	lo = make([]int, len(dims))
+	hi = make([]int, len(dims))
+	for i := range dims {
+		lo[i] = coord[i] * local[i]
+		hi[i] = lo[i] + local[i]
+	}
+	return lo, hi, nil
+}
+
+// ForEachRect enumerates the index tuples of [lo, hi) in row-major order
+// (last dimension fastest), calling f with each tuple and its position k in
+// that order — the canonical linearization of dense block buffers. The
+// tuple is reused between calls; f must not retain it. An empty rectangle
+// (hi[i] <= lo[i] in some dimension) is visited zero times; a
+// zero-dimensional rectangle contains exactly one (empty) tuple.
+func ForEachRect(lo, hi []int, f func(idx []int, k int) error) error {
+	n := len(lo)
+	for i := range lo {
+		if hi[i] <= lo[i] {
+			return nil
+		}
+	}
+	idx := append([]int(nil), lo...)
+	for k := 0; ; k++ {
+		if err := f(idx, k); err != nil {
+			return err
+		}
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < hi[i] {
+				break
+			}
+			idx[i] = lo[i]
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// Strides returns the per-dimension storage strides of a dims-shaped box
+// under the given indexing order (stride 1 on the fastest-varying
+// dimension).
+func Strides(dims []int, ix Indexing) []int {
+	out := make([]int, len(dims))
+	if ix == RowMajor {
+		s := 1
+		for i := len(dims) - 1; i >= 0; i-- {
+			out[i] = s
+			s *= dims[i]
+		}
+	} else {
+		s := 1
+		for i := 0; i < len(dims); i++ {
+			out[i] = s
+			s *= dims[i]
+		}
+	}
+	return out
+}
+
 // OwnerSlot composes GlobalToLocal and ProcSlot: it returns the slot (index
 // into the processor array) owning gidx and the flattened offset of the
 // element within the interior of the local section.

@@ -1,0 +1,159 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCheckRect(t *testing.T) {
+	dims := []int{4, 6}
+	cases := []struct {
+		lo, hi []int
+		ok     bool
+	}{
+		{[]int{0, 0}, []int{4, 6}, true},
+		{[]int{1, 2}, []int{2, 3}, true},
+		{[]int{0, 0}, []int{0, 6}, false}, // empty
+		{[]int{-1, 0}, []int{4, 6}, false},
+		{[]int{0, 0}, []int{5, 6}, false},
+		{[]int{2, 2}, []int{1, 3}, false}, // inverted
+		{[]int{0}, []int{4, 6}, false},    // rank mismatch
+	}
+	for _, c := range cases {
+		err := CheckRect(c.lo, c.hi, dims)
+		if (err == nil) != c.ok {
+			t.Errorf("CheckRect(%v, %v): err=%v, want ok=%v", c.lo, c.hi, err, c.ok)
+		}
+	}
+}
+
+func TestRectDimsSize(t *testing.T) {
+	lo, hi := []int{1, 2, 0}, []int{3, 5, 4}
+	if got := RectDims(lo, hi); !reflect.DeepEqual(got, []int{2, 3, 4}) {
+		t.Fatalf("RectDims = %v", got)
+	}
+	if got := RectSize(lo, hi); got != 24 {
+		t.Fatalf("RectSize = %d", got)
+	}
+}
+
+func TestIntersectRect(t *testing.T) {
+	lo, hi, ok := IntersectRect([]int{0, 0}, []int{4, 4}, []int{2, 1}, []int{6, 3})
+	if !ok || !reflect.DeepEqual(lo, []int{2, 1}) || !reflect.DeepEqual(hi, []int{4, 3}) {
+		t.Fatalf("intersection = [%v, %v) ok=%v", lo, hi, ok)
+	}
+	if _, _, ok := IntersectRect([]int{0, 0}, []int{2, 2}, []int{2, 0}, []int{4, 2}); ok {
+		t.Fatal("disjoint rectangles reported as intersecting")
+	}
+}
+
+// TestCellRectPartition checks that the cell rectangles tile the global
+// index space: every global index lies in exactly one cell's rectangle,
+// and that cell agrees with GlobalToLocal.
+func TestCellRectPartition(t *testing.T) {
+	dims := []int{6, 4}
+	gridDims := []int{3, 2}
+	seen := make(map[int]int) // flattened global index -> hit count
+	for c0 := 0; c0 < gridDims[0]; c0++ {
+		for c1 := 0; c1 < gridDims[1]; c1++ {
+			coord := []int{c0, c1}
+			lo, hi, err := CellRect(coord, dims, gridDims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ForEachRect(lo, hi, func(idx []int, k int) error {
+				lin, err := Flatten(idx, dims, RowMajor)
+				if err != nil {
+					return err
+				}
+				seen[lin]++
+				wantCoord, _, err := GlobalToLocal(idx, dims, gridDims)
+				if err != nil {
+					return err
+				}
+				if !reflect.DeepEqual(wantCoord, coord) {
+					t.Errorf("index %v: CellRect cell %v, GlobalToLocal cell %v", idx, coord, wantCoord)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(seen) != Size(dims) {
+		t.Fatalf("cells cover %d of %d indices", len(seen), Size(dims))
+	}
+	for lin, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d covered %d times", lin, n)
+		}
+	}
+}
+
+// TestForEachRectOrder checks that enumeration order matches the row-major
+// linearization of the rectangle's own dimensions.
+func TestForEachRectOrder(t *testing.T) {
+	lo, hi := []int{1, 0, 2}, []int{3, 2, 4}
+	rdims := RectDims(lo, hi)
+	count := 0
+	if err := ForEachRect(lo, hi, func(idx []int, k int) error {
+		rel := make([]int, len(idx))
+		for i := range idx {
+			rel[i] = idx[i] - lo[i]
+		}
+		lin, err := Flatten(rel, rdims, RowMajor)
+		if err != nil {
+			return err
+		}
+		if lin != k {
+			t.Fatalf("index %v at position %d, want %d", idx, k, lin)
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != RectSize(lo, hi) {
+		t.Fatalf("enumerated %d of %d", count, RectSize(lo, hi))
+	}
+}
+
+// TestForEachRectZeroDim: the empty product has exactly one point.
+func TestForEachRectZeroDim(t *testing.T) {
+	calls := 0
+	if err := ForEachRect(nil, nil, func(idx []int, k int) error {
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("zero-dimensional rect visited %d times", calls)
+	}
+}
+
+func TestStrides(t *testing.T) {
+	dims := []int{3, 4, 5}
+	if got := Strides(dims, RowMajor); !reflect.DeepEqual(got, []int{20, 5, 1}) {
+		t.Fatalf("row-major strides = %v", got)
+	}
+	if got := Strides(dims, ColMajor); !reflect.DeepEqual(got, []int{1, 3, 12}) {
+		t.Fatalf("column-major strides = %v", got)
+	}
+	// Strides reproduce Flatten in both orders.
+	for _, ix := range []Indexing{RowMajor, ColMajor} {
+		s := Strides(dims, ix)
+		idx := []int{2, 1, 3}
+		want, err := Flatten(idx, dims, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for i := range idx {
+			got += idx[i] * s[i]
+		}
+		if got != want {
+			t.Fatalf("%v: stride offset %d, Flatten %d", ix, got, want)
+		}
+	}
+}

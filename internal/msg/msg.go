@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Class partitions the message-type space between the task-parallel runtime
@@ -78,6 +79,7 @@ var ErrBadProcessor = errors.New("msg: processor number out of range")
 // only channel through which distinct (virtual) address spaces interact.
 type Router struct {
 	boxes []*mailbox
+	sent  atomic.Uint64
 }
 
 // NewRouter creates a router for p virtual processors numbered 0..p-1.
@@ -102,8 +104,18 @@ func (r *Router) Send(src, dst int, tag Tag, data any) error {
 	if dst < 0 || dst >= len(r.boxes) || src < 0 || src >= len(r.boxes) {
 		return fmt.Errorf("%w: send %d -> %d (P=%d)", ErrBadProcessor, src, dst, len(r.boxes))
 	}
-	return r.boxes[dst].put(Message{Src: src, Dst: dst, Tag: tag, Data: data})
+	if err := r.boxes[dst].put(Message{Src: src, Dst: dst, Tag: tag, Data: data}); err != nil {
+		return err
+	}
+	r.sent.Add(1)
+	return nil
 }
+
+// Sent returns the total number of messages accepted by Send since the
+// router was created. Tests use deltas of this counter to verify message
+// budgets (e.g. that a bulk transfer issues one message per owning
+// processor rather than one per element).
+func (r *Router) Sent() uint64 { return r.sent.Load() }
 
 // Recv performs a selective receive at processor dst: it suspends until a
 // message matching the predicate is available and removes and returns the
