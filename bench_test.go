@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/apps/animation"
 	"repro/internal/apps/climate"
@@ -747,4 +748,143 @@ func BenchmarkFFT_SeqVsDirect(b *testing.B) {
 			fft.DFTDirect(data, fft.Forward)
 		}
 	})
+}
+
+// --- E22: the concurrent, allocation-free data plane ---
+
+// BenchmarkE22_CoordinatorScatterGather compares the concurrent
+// scatter/gather block-read coordinator against the serial
+// owner-at-a-time ablation across machine sizes. The serial coordinator
+// pays one full round trip per owner in sequence; the concurrent one pays
+// one round trip to the slowest owner. lat=0 runs on the raw in-process
+// router (single-core containers show near-parity there — both paths do
+// the same total work); lat=20µs models a multicomputer interconnect hop,
+// the regime the paper's runtime actually lives in, where the serial
+// chain accumulates 2*P hops and the scatter hides all but one round
+// trip.
+func BenchmarkE22_CoordinatorScatterGather(b *testing.B) {
+	const perOwner = 256
+	for _, p := range []int{4, 16, 64} {
+		for _, lat := range []time.Duration{0, 20 * time.Microsecond} {
+			n := perOwner * p
+			m := core.New(p)
+			a, err := m.NewArray(core.ArraySpec{Dims: []int{n}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.Fill(func(idx []int) float64 { return float64(idx[0]) }); err != nil {
+				b.Fatal(err)
+			}
+			m.VM.Router().SetLatency(lat)
+			lo, hi := []int{0}, []int{n}
+			b.Run(fmt.Sprintf("concurrent/P=%d/lat=%v", p, lat), func(b *testing.B) {
+				b.SetBytes(int64(8 * n))
+				for i := 0; i < b.N; i++ {
+					if _, err := a.ReadBlock(lo, hi); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("serial/P=%d/lat=%v", p, lat), func(b *testing.B) {
+				b.SetBytes(int64(8 * n))
+				for i := 0; i < b.N; i++ {
+					if _, st := m.AM.ReadBlockSerial(0, a.ID(), lo, hi); st != arraymgr.StatusOK {
+						b.Fatal(st)
+					}
+				}
+			})
+			m.Close()
+		}
+	}
+}
+
+// BenchmarkE22_LocalFastPath measures the zero-copy local fast path: a
+// wholly-local rectangle read into a caller-supplied buffer (and written
+// from one) against the same rectangle through the message-based
+// coordinator. Run with -benchmem: the fast path must report 0 allocs/op.
+func BenchmarkE22_LocalFastPath(b *testing.B) {
+	m := core.New(4)
+	defer m.Close()
+	a, err := m.NewArray(core.ArraySpec{
+		Dims:    []int{64, 64},
+		Distrib: []grid.Decomp{grid.BlockOf(2), grid.BlockOf(2)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := []int{0, 0}, []int{32, 32} // processor 0's local section
+	buf := make([]float64, 32*32)
+	if err := a.WriteBlock(lo, hi, buf); err != nil {
+		b.Fatal(err)
+	}
+	bytes := int64(8 * len(buf))
+	b.Run("read-into/local", func(b *testing.B) {
+		b.SetBytes(bytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := a.ReadBlockInto(lo, hi, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write/local", func(b *testing.B) {
+		b.SetBytes(bytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := a.WriteBlock(lo, hi, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read/allocating", func(b *testing.B) {
+		b.SetBytes(bytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.ReadBlock(lo, hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE22_HaloExchange measures the shared border-exchange primitive
+// across group sizes: one distributed call performing b.N face exchanges
+// on a block-row field with one-cell borders (the climate/stencil shape).
+func BenchmarkE22_HaloExchange(b *testing.B) {
+	const cols = 64
+	for _, p := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			const l = 8 // interior rows per copy
+			m := core.New(p)
+			defer m.Close()
+			procs := m.AllProcs()
+			field, err := m.NewArray(core.ArraySpec{
+				Dims:    []int{l * p, cols},
+				Procs:   procs,
+				Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+				Borders: arraymgr.ExplicitBorders{1, 1, 0, 0},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := m.CallFn(procs, func(w *spmd.World, a *dcall.Args) {
+				halo := spmd.Halo{
+					Section:      a.Section(0),
+					LocalDims:    []int{l, cols},
+					Borders:      []int{1, 1, 0, 0},
+					GridDims:     []int{p, 1},
+					Indexing:     grid.RowMajor,
+					GridIndexing: grid.RowMajor,
+				}
+				for i := 0; i < b.N; i++ {
+					if err := w.HaloExchange(halo); err != nil {
+						panic(err)
+					}
+				}
+			}, field.Param()); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }

@@ -92,9 +92,19 @@ func (e *Env) ReadBlock(onProc int, id darray.ID, lo, hi []int) ([]float64, arra
 	return e.AM.ReadBlock(onProc, id, lo, hi)
 }
 
+// ReadBlockInto is am_user_read_block_into, the buffer-reuse variant of
+// ReadBlock: the caller supplies (and keeps ownership of) the destination
+// buffer, which must hold exactly the rectangle's element count. A wholly
+// local rectangle is copied straight out of section storage with no
+// message and no allocation.
+func (e *Env) ReadBlockInto(onProc int, id darray.ID, lo, hi []int, dst []float64) arraymgr.Status {
+	return e.AM.ReadBlockInto(onProc, id, lo, hi, dst)
+}
+
 // WriteBlock is am_user_write_block, the bulk companion of WriteElement: it
 // writes a dense row-major buffer into the global rectangle [lo, hi),
-// touching each owning processor once.
+// touching each owning processor once (and none when the rectangle is
+// wholly local).
 func (e *Env) WriteBlock(onProc int, id darray.ID, lo, hi []int, vals []float64) arraymgr.Status {
 	return e.AM.WriteBlock(onProc, id, lo, hi, vals)
 }

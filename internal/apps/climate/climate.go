@@ -17,9 +17,11 @@ package climate
 import (
 	"fmt"
 
+	"repro/internal/arraymgr"
 	"repro/internal/channel"
 	"repro/internal/compose"
 	"repro/internal/core"
+	"repro/internal/darray"
 	"repro/internal/dcall"
 	"repro/internal/grid"
 	"repro/internal/spmd"
@@ -48,20 +50,20 @@ const ProgDiffuseChan = "climate:diffuse_chan"
 // `send` and receives the partner simulation's edge row on `recv`; the
 // opposite global edge uses the constant row `fixed`.
 func RegisterPrograms(m *core.Machine) error {
-	if err := m.Register(ProgDiffuse, func(w *spmd.World, a *dcall.Args) {
+	if err := m.RegisterWithBorders(ProgDiffuse, func(w *spmd.World, a *dcall.Args) {
 		rows := a.Int(0)
 		cols := a.Int(1)
 		alpha := a.Float(2)
 		above := a.Const(3).([]float64)
 		below := a.Const(4).([]float64)
-		field := a.Section(5).F
+		field := a.Section(5)
 		if err := diffuseStep(w, field, rows, cols, alpha, above, below); err != nil {
 			panic(err)
 		}
-	}); err != nil {
+	}, borderFn(5)); err != nil {
 		return err
 	}
-	return m.Register(ProgDiffuseChan, func(w *spmd.World, a *dcall.Args) {
+	return m.RegisterWithBorders(ProgDiffuseChan, func(w *spmd.World, a *dcall.Args) {
 		rows := a.Int(0)
 		cols := a.Int(1)
 		alpha := a.Float(2)
@@ -69,178 +71,172 @@ func RegisterPrograms(m *core.Machine) error {
 		fixed := a.Const(4).([]float64)
 		send := a.Const(5).(*channel.Channel)
 		recv := a.Const(6).(*channel.Channel)
-		field := a.Section(7).F
+		field := a.Section(7)
 		if err := diffuseStepChan(w, field, rows, cols, alpha, coupleAtTop, fixed, send, recv); err != nil {
 			panic(err)
 		}
-	})
+	}, borderFn(7))
 }
 
-// haloKinds: messages to the upper/lower neighbour copy.
-const (
-	kindToAbove = 0
-	kindToBelow = 1
-)
+// FieldBorders is the overlap-area shape both diffusion programs require
+// of their field parameter: one halo row above and below, no side borders.
+func FieldBorders() arraymgr.BorderSpec { return arraymgr.ExplicitBorders{1, 1, 0, 0} }
 
-// diffuseStep performs one damped Jacobi sweep on this copy's block of
-// rows, using halo rows from neighbouring copies and the supplied global
-// boundary rows.
-func diffuseStep(w *spmd.World, field []float64, rows, cols int, alpha float64, above, below []float64) error {
+// borderFn is the programs' border callback (the paper's Program_
+// routine): the field parameter — number 5 for ProgDiffuse, 7 for
+// ProgDiffuseChan — carries FieldBorders; other parameters carry none.
+// Registering it makes ForeignBordersOf and verify_array work for fields
+// created without explicit borders.
+func borderFn(fieldParm int) dcall.BorderFn {
+	return func(parmNum, ndims int) ([]int, error) {
+		b := make([]int, 2*ndims)
+		if parmNum == fieldParm && ndims == 2 {
+			b[0], b[1] = 1, 1
+		}
+		return b, nil
+	}
+}
+
+// fieldHalo builds the HaloExchange description of a block-row field of l
+// interior rows: a p x 1 grid with one halo row on either side.
+func fieldHalo(sec *darray.Section, p, l, cols int) spmd.Halo {
+	return spmd.Halo{
+		Section:      sec,
+		LocalDims:    []int{l, cols},
+		Borders:      []int{1, 1, 0, 0},
+		GridDims:     []int{p, 1},
+		Indexing:     grid.RowMajor,
+		GridIndexing: grid.RowMajor,
+	}
+}
+
+// checkField validates the group/field shape and returns the interior rows
+// per copy. The section's storage is (l+2) x cols: rows 0 and l+1 are the
+// halo rows, interior row i lives at storage row i+1.
+func checkField(w *spmd.World, sec *darray.Section, rows, cols int) (l int, err error) {
 	p := w.Size()
 	if rows%p != 0 {
-		return fmt.Errorf("climate: %d rows not divisible by %d copies", rows, p)
+		return 0, fmt.Errorf("climate: %d rows not divisible by %d copies", rows, p)
 	}
-	l := rows / p
-	if len(field) < l*cols {
-		return fmt.Errorf("climate: local section %d < %d", len(field), l*cols)
+	l = rows / p
+	if sec.Len() < (l+2)*cols {
+		return 0, fmt.Errorf("climate: local section %d < %d (did you create the array with FieldBorders?)",
+			sec.Len(), (l+2)*cols)
+	}
+	return l, nil
+}
+
+// diffuseStep performs one damped Jacobi sweep on this copy's block of
+// rows: the interior neighbours' edge rows arrive in the section's halo
+// rows through HaloExchange, the physical edges take the supplied global
+// boundary rows, and the update then reads only this copy's storage.
+func diffuseStep(w *spmd.World, sec *darray.Section, rows, cols int, alpha float64, above, below []float64) error {
+	l, err := checkField(w, sec, rows, cols)
+	if err != nil {
+		return err
 	}
 	if len(above) != cols || len(below) != cols {
 		return fmt.Errorf("climate: boundary rows must have %d columns", cols)
 	}
-	me := w.Rank()
-
-	// Halo exchange: send edge rows to neighbours (asynchronously), then
-	// receive theirs. Rows are copied before sending — messages between
-	// address spaces carry snapshots.
-	if me > 0 {
-		if err := w.Send(me-1, kindToAbove, append([]float64(nil), field[:cols]...)); err != nil {
-			return err
-		}
+	p, me, f := w.Size(), w.Rank(), sec.F
+	if err := w.HaloExchange(fieldHalo(sec, p, l, cols)); err != nil {
+		return err
 	}
-	if me < p-1 {
-		if err := w.Send(me+1, kindToBelow, append([]float64(nil), field[(l-1)*cols:l*cols]...)); err != nil {
-			return err
-		}
+	if me == 0 {
+		copy(f[0:cols], above)
 	}
-	rowAbove := above
-	rowBelow := below
-	if me > 0 {
-		r, err := w.RecvFloats(me-1, kindToBelow)
-		if err != nil {
-			return err
-		}
-		rowAbove = r
+	if me == p-1 {
+		copy(f[(l+1)*cols:(l+2)*cols], below)
 	}
-	if me < p-1 {
-		r, err := w.RecvFloats(me+1, kindToAbove)
-		if err != nil {
-			return err
-		}
-		rowBelow = r
-	}
-
-	jacobiUpdate(field, l, cols, alpha, rowAbove, rowBelow)
+	jacobiUpdate(f, l, cols, alpha)
 	return nil
 }
 
-// jacobiUpdate performs the damped Jacobi sweep on l rows of the field
-// given its above/below halo rows (reflecting side columns).
-func jacobiUpdate(field []float64, l, cols int, alpha float64, rowAbove, rowBelow []float64) {
+// jacobiUpdate performs the damped Jacobi sweep on the bordered storage of
+// l interior rows (halo rows already filled; reflecting side columns).
+func jacobiUpdate(f []float64, l, cols int, alpha float64) {
 	next := make([]float64, l*cols)
 	get := func(i, j int) float64 {
-		// i in [-1, l]; j clamped to [0, cols-1] (reflecting sides).
+		// i in [-1, l] maps to storage row i+1; j clamped to [0, cols-1].
 		if j < 0 {
 			j = 0
 		}
 		if j >= cols {
 			j = cols - 1
 		}
-		switch {
-		case i < 0:
-			return rowAbove[j]
-		case i >= l:
-			return rowBelow[j]
-		default:
-			return field[i*cols+j]
-		}
+		return f[(i+1)*cols+j]
 	}
 	for i := 0; i < l; i++ {
 		for j := 0; j < cols; j++ {
 			avg := 0.25 * (get(i-1, j) + get(i+1, j) + get(i, j-1) + get(i, j+1))
-			next[i*cols+j] = (1-alpha)*field[i*cols+j] + alpha*avg
+			next[i*cols+j] = (1-alpha)*get(i, j) + alpha*avg
 		}
 	}
-	copy(field[:l*cols], next)
+	for i := 0; i < l; i++ {
+		copy(f[(i+1)*cols:(i+2)*cols], next[i*cols:(i+1)*cols])
+	}
 }
 
 // diffuseStepChan is the §7.2.1 variant: the coupling edge row is
 // exchanged directly with the partner simulation over channels; the send
 // precedes the receive, so the two concurrently executing distributed
-// calls never deadlock.
-func diffuseStepChan(w *spmd.World, field []float64, rows, cols int, alpha float64,
+// calls never deadlock. The partner's row is received straight into the
+// coupling-edge halo row.
+func diffuseStepChan(w *spmd.World, sec *darray.Section, rows, cols int, alpha float64,
 	coupleAtTop bool, fixed []float64, send, recv *channel.Channel) error {
-	p := w.Size()
-	if rows%p != 0 {
-		return fmt.Errorf("climate: %d rows not divisible by %d copies", rows, p)
-	}
-	l := rows / p
-	if len(field) < l*cols {
-		return fmt.Errorf("climate: local section %d < %d", len(field), l*cols)
+	l, err := checkField(w, sec, rows, cols)
+	if err != nil {
+		return err
 	}
 	if len(fixed) != cols {
 		return fmt.Errorf("climate: fixed boundary must have %d columns", cols)
 	}
-	me := w.Rank()
+	p, me, f := w.Size(), w.Rank(), sec.F
 
-	// The copy owning the coupling edge ships it before anything blocks.
+	// The copy owning the coupling edge ships its pre-update interior edge
+	// row before anything blocks (channel sends copy their payload).
 	if coupleAtTop && me == 0 {
-		if err := send.Send(field[:cols]); err != nil {
+		if err := send.Send(f[cols : 2*cols]); err != nil {
 			return err
 		}
 	}
 	if !coupleAtTop && me == p-1 {
-		if err := send.Send(field[(l-1)*cols : l*cols]); err != nil {
+		if err := send.Send(f[l*cols : (l+1)*cols]); err != nil {
 			return err
 		}
 	}
 
 	// Interior halo exchange, as in the base program.
-	if me > 0 {
-		if err := w.Send(me-1, kindToAbove, append([]float64(nil), field[:cols]...)); err != nil {
-			return err
+	if err := w.HaloExchange(fieldHalo(sec, p, l, cols)); err != nil {
+		return err
+	}
+
+	// Physical edges: the coupling edge comes from the partner simulation
+	// over the channel, the opposite edge is the fixed boundary row.
+	if me == 0 {
+		if coupleAtTop {
+			r, ok := recv.Recv()
+			if !ok {
+				return fmt.Errorf("climate: coupling channel closed")
+			}
+			copy(f[0:cols], r)
+		} else {
+			copy(f[0:cols], fixed)
 		}
 	}
-	if me < p-1 {
-		if err := w.Send(me+1, kindToBelow, append([]float64(nil), field[(l-1)*cols:l*cols]...)); err != nil {
-			return err
+	if me == p-1 {
+		if !coupleAtTop {
+			r, ok := recv.Recv()
+			if !ok {
+				return fmt.Errorf("climate: coupling channel closed")
+			}
+			copy(f[(l+1)*cols:(l+2)*cols], r)
+		} else {
+			copy(f[(l+1)*cols:(l+2)*cols], fixed)
 		}
 	}
 
-	var rowAbove, rowBelow []float64
-	switch {
-	case me == 0 && coupleAtTop:
-		r, ok := recv.Recv()
-		if !ok {
-			return fmt.Errorf("climate: coupling channel closed")
-		}
-		rowAbove = r
-	case me == 0:
-		rowAbove = fixed
-	default:
-		r, err := w.RecvFloats(me-1, kindToBelow)
-		if err != nil {
-			return err
-		}
-		rowAbove = r
-	}
-	switch {
-	case me == p-1 && !coupleAtTop:
-		r, ok := recv.Recv()
-		if !ok {
-			return fmt.Errorf("climate: coupling channel closed")
-		}
-		rowBelow = r
-	case me == p-1:
-		rowBelow = fixed
-	default:
-		r, err := w.RecvFloats(me+1, kindToAbove)
-		if err != nil {
-			return err
-		}
-		rowBelow = r
-	}
-
-	jacobiUpdate(field, l, cols, alpha, rowAbove, rowBelow)
+	jacobiUpdate(f, l, cols, alpha)
 	return nil
 }
 
@@ -277,6 +273,7 @@ func Run(m *core.Machine, cfg Config) (Result, error) {
 			Dims:    []int{cfg.Rows, cfg.Cols},
 			Procs:   procs,
 			Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()}, // block rows
+			Borders: FieldBorders(),
 		}
 	}
 	ocean, err := m.NewArray(spec(oceanProcs))
@@ -378,6 +375,7 @@ func RunChanneled(m *core.Machine, cfg Config) (Result, error) {
 			Dims:    []int{cfg.Rows, cfg.Cols},
 			Procs:   procs,
 			Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+			Borders: FieldBorders(),
 		}
 	}
 	ocean, err := m.NewArray(spec(oceanProcs))

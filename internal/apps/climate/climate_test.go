@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dcall"
+	"repro/internal/grid"
 )
 
 func TestCoupledMatchesSequential(t *testing.T) {
@@ -106,5 +108,88 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(m2, Config{Rows: 5, Cols: 4, Steps: 1, Alpha: 0.1}); err == nil {
 		t.Fatal("indivisible rows must fail")
+	}
+}
+
+// TestHaloMessageBudget pins the diffusion step's halo traffic: one
+// ProgDiffuse call on P copies exchanges exactly one message per
+// neighbour — plus the fixed call overhead of one find_local per copy and
+// the P-1 combine-tree messages — however wide the field.
+func TestHaloMessageBudget(t *testing.T) {
+	const rows, cols, p = 16, 8, 4
+	m := core.New(p)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	procs := m.AllProcs()
+	field, err := m.NewArray(core.ArraySpec{
+		Dims:    []int{rows, cols},
+		Procs:   procs,
+		Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+		Borders: FieldBorders(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := field.Fill(func(idx []int) float64 { return InitialOcean(idx[0], idx[1]) }); err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, cols)
+
+	router := m.VM.Router()
+	before := router.Sent()
+	if err := m.Call(procs, ProgDiffuse,
+		dcall.Const(rows), dcall.Const(cols), dcall.Const(0.4),
+		dcall.Const(row), dcall.Const(row),
+		field.Param()); err != nil {
+		t.Fatal(err)
+	}
+	// p find_local requests + 2*(p-1) halo rows + p-1 combines.
+	want := uint64(p + 2*(p-1) + (p - 1))
+	if got := router.Sent() - before; got != want {
+		t.Fatalf("diffuse call sent %d messages, want %d (one halo message per neighbour per step)", got, want)
+	}
+}
+
+// TestForeignBordersVerify covers the §4.2.7 workflow for the diffusion
+// program: a field created without borders is corrected by verify_array
+// against the program's registered border callback, after which the call
+// succeeds.
+func TestForeignBordersVerify(t *testing.T) {
+	const rows, cols, p = 8, 4, 2
+	m := core.New(p)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	procs := m.AllProcs()
+	field, err := m.NewArray(core.ArraySpec{
+		Dims:    []int{rows, cols},
+		Procs:   procs,
+		Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+		// No borders at creation time.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := field.Fill(func(idx []int) float64 { return InitialOcean(idx[0], idx[1]) }); err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, cols)
+	call := func() error {
+		return m.Call(procs, ProgDiffuse,
+			dcall.Const(rows), dcall.Const(cols), dcall.Const(0.4),
+			dcall.Const(row), dcall.Const(row),
+			field.Param())
+	}
+	if err := call(); err == nil {
+		t.Fatal("call on a borderless field must fail")
+	}
+	if err := field.Verify(2, core.ForeignBordersOf(ProgDiffuse, 5), grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	if err := call(); err != nil {
+		t.Fatalf("call after verify: %v", err)
 	}
 }

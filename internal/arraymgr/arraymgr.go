@@ -19,6 +19,7 @@ package arraymgr
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/darray"
@@ -142,8 +143,10 @@ type request struct {
 	val   float64
 	lo    []int     // read/write block: rectangle bounds (global at the
 	hi    []int     // coordinator, interior-local at the owner)
-	vals  []float64 // write block: dense row-major block data
-	which string    // find_info
+	vals  []float64 // write block: dense data; read block: optional caller buffer
+	which string    // find_info selector; tree fan-out inner op
+	procs []int     // tree fan-out: the target processors, in tree order
+	node  int       // tree fan-out: this request's node index within procs
 	// verify parameters
 	ndims    int
 	borders  BorderSpec
@@ -203,15 +206,25 @@ func (m *Manager) serve(proc int) {
 	}
 }
 
-// send routes a request to the server on processor dst and returns its
-// response.
-func (m *Manager) send(src, dst int, req *request) response {
+// sendAsync routes a request to the server on processor dst and returns
+// immediately; the server's response arrives on the returned one-shot
+// channel. Router sends never block, so a coordinator can scatter requests
+// to any number of owners before gathering a single reply — the async
+// request/reply facility behind the concurrent block-transfer coordinators
+// and the control fan-out tree.
+func (m *Manager) sendAsync(src, dst int, req *request) chan response {
 	req.reply = make(chan response, 1)
 	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMRequest}
 	if err := m.machine.Router().Send(src, dst, tag, req); err != nil {
-		return response{status: StatusError}
+		req.reply <- response{status: StatusError}
 	}
-	return <-req.reply
+	return req.reply
+}
+
+// send routes a request to the server on processor dst and waits for its
+// response.
+func (m *Manager) send(src, dst int, req *request) response {
+	return <-m.sendAsync(src, dst, req)
 }
 
 // handle dispatches one request at the server on proc. With tracing at
@@ -241,6 +254,8 @@ func (m *Manager) handle(proc int, req *request) {
 		resp = m.doWriteLocal(proc, req)
 	case "read_block":
 		resp = m.doReadBlock(proc, req)
+	case "read_block_serial":
+		resp = m.doReadBlockSerial(proc, req)
 	case "read_block_local":
 		resp = m.doReadBlockLocal(proc, req)
 	case "write_block":
@@ -255,6 +270,8 @@ func (m *Manager) handle(proc int, req *request) {
 		resp = m.doVerify(proc, req)
 	case "copy_local":
 		resp = m.doCopyLocal(proc, req)
+	case "tree":
+		resp = m.doTree(proc, req)
 	case "update_meta":
 		resp = m.doUpdateMeta(proc, req)
 	default:
@@ -350,19 +367,94 @@ func (m *Manager) doCreate(proc int, req *request) response {
 	}
 
 	// An entry is created on every processor holding a local section, and
-	// on the creating processor (§5.1.3).
+	// on the creating processor (§5.1.3). The fan-out runs through the
+	// combining tree: one message per target, O(log P) round-trip depth.
 	targets := map[int]bool{proc: true}
 	for _, p := range meta.SectionProcs() {
 		targets[p] = true
 	}
-	for p := range targets {
-		sub := &request{op: "create_local", id: id, meta: meta}
-		r := m.send(proc, p, sub)
-		if r.status != StatusOK {
-			return response{status: r.status}
-		}
+	if st := m.fanout(proc, "create_local", &request{id: id, meta: meta}, targets); st != StatusOK {
+		return response{status: st}
 	}
 	return response{status: StatusOK, info: id}
+}
+
+// fanout delivers one control request (create_local / free_local /
+// copy_local, named by op) to every processor in targets through a
+// combining tree rooted at proc — the same shape as the dcall wrapper
+// merge, run in reverse. Each node services its own copy and forwards to
+// at most two children concurrently, so P targets are reached with P-1
+// messages in O(log P) sequential round trips instead of P serial ones.
+// req supplies the operation's payload (id, meta, borders); statuses
+// combine with max on the way back up.
+func (m *Manager) fanout(proc int, op string, req *request, targets map[int]bool) Status {
+	list := make([]int, 0, len(targets))
+	// Root the tree at this processor when it is itself a target, so its
+	// own copy is serviced by a direct call rather than a message.
+	if targets[proc] {
+		list = append(list, proc)
+	}
+	for p := range targets {
+		if p != proc {
+			list = append(list, p)
+		}
+	}
+	rest := list
+	if targets[proc] {
+		rest = list[1:]
+	}
+	sort.Ints(rest)
+	treq := &request{op: "tree", which: op, id: req.id, meta: req.meta, gidx: req.gidx, procs: list, node: 0}
+	if list[0] == proc {
+		return m.doTree(proc, treq).status
+	}
+	return m.send(proc, list[0], treq).status
+}
+
+// doTree services one node of a control fan-out tree: it forwards the
+// request to its (up to two) children so the subtrees proceed
+// concurrently, applies the inner operation locally, then merges the
+// children's statuses with its own.
+func (m *Manager) doTree(proc int, req *request) response {
+	// The tree is transport; the inner operation is what am_debug-style
+	// tracing reports, one line per processor it runs on.
+	if trace.Enabled(trace.Ops) {
+		trace.Logf(trace.Ops, proc, "am: %s %v", req.which, req.id)
+	}
+	var left, right chan response
+	if c := 2*req.node + 1; c < len(req.procs) {
+		left = m.sendAsync(proc, req.procs[c],
+			&request{op: "tree", which: req.which, id: req.id, meta: req.meta, gidx: req.gidx, procs: req.procs, node: c})
+	}
+	if c := 2*req.node + 2; c < len(req.procs) {
+		right = m.sendAsync(proc, req.procs[c],
+			&request{op: "tree", which: req.which, id: req.id, meta: req.meta, gidx: req.gidx, procs: req.procs, node: c})
+	}
+	local := &request{id: req.id, meta: req.meta, gidx: req.gidx}
+	var r response
+	switch req.which {
+	case "create_local":
+		r = m.doCreateLocal(proc, local)
+	case "free_local":
+		r = m.doFreeLocal(proc, local)
+	case "copy_local":
+		r = m.doCopyLocal(proc, local)
+	default:
+		r = response{status: StatusError}
+	}
+	st := r.status
+	if req.which == "free_local" && st == StatusNotFound {
+		st = StatusOK // freeing is idempotent per target (§5.1.3)
+	}
+	for _, c := range []chan response{left, right} {
+		if c == nil {
+			continue
+		}
+		if cr := <-c; cr.status > st {
+			st = cr.status
+		}
+	}
+	return response{status: st}
 }
 
 func (m *Manager) doCreateLocal(proc int, req *request) response {
@@ -402,13 +494,10 @@ func (m *Manager) doFree(proc int, req *request) response {
 	for _, p := range e.meta.SectionProcs() {
 		targets[p] = true
 	}
-	for p := range targets {
-		r := m.send(proc, p, &request{op: "free_local", id: req.id})
-		if r.status != StatusOK && r.status != StatusNotFound {
-			return response{status: r.status}
-		}
-	}
-	return response{status: StatusOK}
+	// Tree fan-out; a target that already lost its entry reports
+	// STATUS_NOT_FOUND, normalized to OK at the node (freeing is
+	// idempotent).
+	return response{status: m.fanout(proc, "free_local", &request{id: req.id}, targets)}
 }
 
 func (m *Manager) doFreeLocal(proc int, req *request) response {
@@ -507,10 +596,75 @@ func copyRuns(toFull bool, full, sub []float64, b darray.OwnerBlock, lo, rectDim
 }
 
 // doReadBlock is the bulk-read coordinator: it splits the global rectangle
-// [lo, hi) by owning processor and issues one read_block_local request per
-// owner (serviced in place when the owner is this processor), assembling
-// the returned sub-blocks into one dense row-major buffer.
+// [lo, hi) by owning processor, scatters one read_block_local request to
+// every remote owner before waiting on any reply, services its own piece
+// while the remote owners work, then gathers the replies and assembles the
+// sub-blocks into one dense row-major buffer. Latency is one round trip to
+// the slowest owner, not the sum over owners. If the request carries a
+// caller-supplied buffer (ReadBlockInto), the rectangle is assembled
+// straight into it.
 func (m *Manager) doReadBlock(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	blocks, err := e.meta.OwnerBlocks(req.lo, req.hi)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	rectDims := grid.RectDims(req.lo, req.hi)
+	out := req.vals
+	if out != nil && len(out) != grid.RectSize(req.lo, req.hi) {
+		return response{status: StatusInvalid}
+	}
+	if out == nil {
+		out = make([]float64, grid.RectSize(req.lo, req.hi))
+	}
+	// Scatter: post every remote request up front (sends never block).
+	replies := make([]chan response, len(blocks))
+	for i, b := range blocks {
+		if b.Proc == proc {
+			continue
+		}
+		replies[i] = m.sendAsync(proc, b.Proc,
+			&request{op: "read_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi})
+	}
+	// Service the local piece while the remote owners work.
+	status := StatusOK
+	for i, b := range blocks {
+		if replies[i] != nil {
+			continue
+		}
+		r := m.doReadBlockLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi})
+		if r.status != StatusOK {
+			status = r.status
+			continue
+		}
+		copyRuns(true, out, r.vals, b, req.lo, rectDims)
+	}
+	// Gather: drain every reply even after a failure, so no owner's
+	// response is left dangling.
+	for i, b := range blocks {
+		if replies[i] == nil {
+			continue
+		}
+		r := <-replies[i]
+		if r.status != StatusOK {
+			status = r.status
+			continue
+		}
+		copyRuns(true, out, r.vals, b, req.lo, rectDims)
+	}
+	if status != StatusOK {
+		return response{status: status}
+	}
+	return response{status: StatusOK, vals: out}
+}
+
+// doReadBlockSerial is the pre-concurrency coordinator, kept verbatim for
+// the E22 ablation: owners are visited one at a time, each paying a full
+// round trip before the next is contacted.
+func (m *Manager) doReadBlockSerial(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
 		return response{status: st}
@@ -555,9 +709,10 @@ func (m *Manager) doReadBlockLocal(proc int, req *request) response {
 	return response{status: StatusOK, vals: vals}
 }
 
-// doWriteBlock is the bulk-write coordinator: it scatters the dense
-// row-major buffer into per-owner sub-blocks and issues one
-// write_block_local request per owner.
+// doWriteBlock is the bulk-write coordinator: it splits the dense
+// row-major buffer into per-owner sub-blocks, scatters one
+// write_block_local request to every remote owner before waiting on any
+// reply, writes its own piece while they work, then gathers the statuses.
 func (m *Manager) doWriteBlock(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
@@ -571,21 +726,39 @@ func (m *Manager) doWriteBlock(proc int, req *request) response {
 	if len(req.vals) != grid.RectSize(req.lo, req.hi) {
 		return response{status: StatusInvalid}
 	}
-	for _, b := range blocks {
+	replies := make([]chan response, len(blocks))
+	localIdx := -1
+	for i, b := range blocks {
+		if b.Proc == proc {
+			localIdx = i
+			continue
+		}
+		// Each remote owner gets its own dense snapshot of its piece —
+		// messages between address spaces carry copies, never views.
 		vals := make([]float64, grid.RectSize(b.GlobalLo, b.GlobalHi))
 		copyRuns(false, req.vals, vals, b, req.lo, rectDims)
-		sub := &request{op: "write_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, vals: vals}
-		var r response
-		if b.Proc == proc {
-			r = m.doWriteBlockLocal(proc, sub)
-		} else {
-			r = m.send(proc, b.Proc, sub)
-		}
+		replies[i] = m.sendAsync(proc, b.Proc,
+			&request{op: "write_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, vals: vals})
+	}
+	status := StatusOK
+	if localIdx >= 0 {
+		b := blocks[localIdx]
+		vals := make([]float64, grid.RectSize(b.GlobalLo, b.GlobalHi))
+		copyRuns(false, req.vals, vals, b, req.lo, rectDims)
+		r := m.doWriteBlockLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, vals: vals})
 		if r.status != StatusOK {
-			return response{status: r.status}
+			status = r.status
 		}
 	}
-	return response{status: StatusOK}
+	for i := range blocks {
+		if replies[i] == nil {
+			continue
+		}
+		if r := <-replies[i]; r.status != StatusOK {
+			status = r.status
+		}
+	}
+	return response{status: status}
 }
 
 func (m *Manager) doWriteBlockLocal(proc int, req *request) response {
@@ -678,18 +851,13 @@ func (m *Manager) doVerify(proc int, req *request) response {
 	}
 	// Mismatch: reallocate every local section with the expected borders,
 	// copying interior data, and update metadata everywhere an entry
-	// exists (section holders + creator + this coordinator).
+	// exists (section holders + creator + this coordinator). The
+	// reallocation fans out through the combining tree like create/free.
 	targets := map[int]bool{proc: true, req.id.Proc: true}
 	for _, p := range meta.SectionProcs() {
 		targets[p] = true
 	}
-	for p := range targets {
-		r := m.send(proc, p, &request{op: "copy_local", id: req.id, meta: nil, gidx: expected})
-		if r.status != StatusOK {
-			return response{status: r.status}
-		}
-	}
-	return response{status: StatusOK}
+	return response{status: m.fanout(proc, "copy_local", &request{id: req.id, gidx: expected}, targets)}
 }
 
 // doCopyLocal reallocates this processor's local section with new borders
@@ -772,10 +940,53 @@ func (m *Manager) WriteElement(onProc int, id darray.ID, indices []int, v float6
 	return m.send(onProc, onProc, &request{op: "write_element", id: id, gidx: indices, val: v}).status
 }
 
+// localBlockFast attempts the zero-copy local fast path: when the whole
+// rectangle [lo, hi) lies on processor proc, the data moves directly
+// between buf and the local section's storage under the server lock — no
+// router message, no request goroutine, no intermediate buffer, and (for
+// rectangles of at most darray.MaxFastDims dimensions) no heap allocation.
+// ok reports whether the fast path applied; when it does not, the caller
+// falls back to the coordinator, which also produces the authoritative
+// failure status for malformed requests.
+func (m *Manager) localBlockFast(proc int, id darray.ID, lo, hi []int, read bool, buf []float64) (Status, bool) {
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	e, ok := srv.entries[id]
+	if !ok || e.freed || e.section == nil {
+		return StatusOK, false
+	}
+	n := e.meta.NDims()
+	if n > darray.MaxFastDims || len(lo) != n || len(hi) != n {
+		return StatusOK, false
+	}
+	if grid.CheckRect(lo, hi, e.meta.Dims) != nil {
+		return StatusOK, false
+	}
+	if len(buf) != grid.RectSize(lo, hi) {
+		return StatusOK, false
+	}
+	var loBuf, hiBuf [darray.MaxFastDims]int
+	if !e.meta.LocalRect(proc, lo, hi, loBuf[:n], hiBuf[:n]) {
+		return StatusOK, false
+	}
+	var err error
+	if read {
+		err = e.section.ReadBlockInto(buf, loBuf[:n], hiBuf[:n], e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
+	} else {
+		err = e.section.WriteBlock(buf, loBuf[:n], hiBuf[:n], e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
+	}
+	if err != nil {
+		return StatusInvalid, true
+	}
+	return StatusOK, true
+}
+
 // ReadBlock reads the global rectangle [lo, hi) (half-open per dimension)
 // into a dense buffer linearized row-major over the rectangle. The
-// transfer is split by owning processor: one message per remote owner,
-// regardless of the rectangle's element count.
+// transfer is split by owning processor: the coordinator scatters one
+// message per remote owner concurrently, regardless of the rectangle's
+// element count, and gathers the replies.
 func (m *Manager) ReadBlock(onProc int, id darray.ID, lo, hi []int) ([]float64, Status) {
 	if m.machine.CheckProc(onProc) != nil {
 		return nil, StatusInvalid
@@ -784,11 +995,47 @@ func (m *Manager) ReadBlock(onProc int, id darray.ID, lo, hi []int) ([]float64, 
 	return r.vals, r.status
 }
 
+// ReadBlockInto is the buffer-reuse variant of ReadBlock: dst must hold
+// exactly the rectangle's element count and receives the data in place.
+// When the whole rectangle lies on onProc the copy comes straight out of
+// the local section storage with no message and zero heap allocations (up
+// to darray.MaxFastDims dimensions); otherwise the concurrent coordinator
+// assembles the remote pieces directly into dst. dst is owned by the
+// caller throughout — the manager retains no reference to it.
+func (m *Manager) ReadBlockInto(onProc int, id darray.ID, lo, hi []int, dst []float64) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	if st, ok := m.localBlockFast(onProc, id, lo, hi, true, dst); ok {
+		return st
+	}
+	return m.send(onProc, onProc, &request{op: "read_block", id: id, lo: lo, hi: hi, vals: dst}).status
+}
+
+// ReadBlockSerial is ReadBlock through the serial owner-at-a-time
+// coordinator. Ablation/benchmark use only (E22): it exists to measure
+// what the concurrent scatter/gather coordinator buys.
+func (m *Manager) ReadBlockSerial(onProc int, id darray.ID, lo, hi []int) ([]float64, Status) {
+	if m.machine.CheckProc(onProc) != nil {
+		return nil, StatusInvalid
+	}
+	r := m.send(onProc, onProc, &request{op: "read_block_serial", id: id, lo: lo, hi: hi})
+	return r.vals, r.status
+}
+
 // WriteBlock writes a dense row-major buffer into the global rectangle
-// [lo, hi), issuing one message per remote owning processor.
+// [lo, hi). When the whole rectangle lies on onProc the data is copied
+// straight into the local section storage with no message and zero heap
+// allocations; otherwise the coordinator scatters one message per remote
+// owning processor concurrently. vals is never retained: remote owners
+// receive their own snapshots, so the caller may reuse the buffer as soon
+// as WriteBlock returns.
 func (m *Manager) WriteBlock(onProc int, id darray.ID, lo, hi []int, vals []float64) Status {
 	if m.machine.CheckProc(onProc) != nil {
 		return StatusInvalid
+	}
+	if st, ok := m.localBlockFast(onProc, id, lo, hi, false, vals); ok {
+		return st
 	}
 	return m.send(onProc, onProc, &request{op: "write_block", id: id, lo: lo, hi: hi, vals: vals}).status
 }

@@ -1,0 +1,179 @@
+package arraymgr
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// fastPathSpec distributes a 32x32 array over a 2x2 grid, so processor 0
+// owns the interior-local rectangle [0,16)x[0,16).
+func fastPathSpec() CreateSpec {
+	spec := basicSpec(4)
+	spec.Dims = []int{32, 32}
+	return spec
+}
+
+// TestLocalFastPathZeroAllocs pins the zero-copy local fast path at zero
+// heap allocations and zero messages per operation: a wholly-local
+// rectangle moves between the caller's buffer and section storage without
+// touching the router or the allocator.
+func TestLocalFastPathZeroAllocs(t *testing.T) {
+	machine, m := newTestManager(t, 4)
+	id := mustCreate(t, m, 0, fastPathSpec())
+
+	lo, hi := []int{0, 0}, []int{16, 16}
+	buf := make([]float64, 256)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	if st := m.WriteBlock(0, id, lo, hi, buf); st != StatusOK {
+		t.Fatalf("warm-up WriteBlock: %v", st)
+	}
+
+	before := machine.Router().Sent()
+	writeAllocs := testing.AllocsPerRun(200, func() {
+		if st := m.WriteBlock(0, id, lo, hi, buf); st != StatusOK {
+			t.Errorf("WriteBlock: %v", st)
+		}
+	})
+	readAllocs := testing.AllocsPerRun(200, func() {
+		if st := m.ReadBlockInto(0, id, lo, hi, buf); st != StatusOK {
+			t.Errorf("ReadBlockInto: %v", st)
+		}
+	})
+	if writeAllocs != 0 {
+		t.Errorf("local WriteBlock: %v allocs/op, want 0", writeAllocs)
+	}
+	if readAllocs != 0 {
+		t.Errorf("local ReadBlockInto: %v allocs/op, want 0", readAllocs)
+	}
+	if sent := machine.Router().Sent() - before; sent != 0 {
+		t.Errorf("local fast path sent %d messages, want 0", sent)
+	}
+}
+
+// TestReadBlockIntoMatchesReadBlock checks the buffer-reuse read against
+// the allocating read on local, remote and owner-spanning rectangles,
+// including the fallback cases the fast path must decline.
+func TestReadBlockIntoMatchesReadBlock(t *testing.T) {
+	_, m := newTestManager(t, 4)
+	id := mustCreate(t, m, 0, fastPathSpec())
+	vals := make([]float64, 32*32)
+	for i := range vals {
+		vals[i] = float64(3*i + 1)
+	}
+	if st := m.WriteBlock(0, id, []int{0, 0}, []int{32, 32}, vals); st != StatusOK {
+		t.Fatalf("WriteBlock: %v", st)
+	}
+
+	rects := []struct {
+		name   string
+		lo, hi []int
+	}{
+		{"wholly-local", []int{2, 3}, []int{14, 16}},
+		{"wholly-remote", []int{16, 16}, []int{32, 32}},
+		{"spans-owners", []int{8, 8}, []int{24, 24}},
+		{"whole-array", []int{0, 0}, []int{32, 32}},
+	}
+	for _, r := range rects {
+		t.Run(r.name, func(t *testing.T) {
+			want, st := m.ReadBlock(0, id, r.lo, r.hi)
+			if st != StatusOK {
+				t.Fatalf("ReadBlock: %v", st)
+			}
+			dst := make([]float64, grid.RectSize(r.lo, r.hi))
+			if st := m.ReadBlockInto(0, id, r.lo, r.hi, dst); st != StatusOK {
+				t.Fatalf("ReadBlockInto: %v", st)
+			}
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+				}
+			}
+		})
+	}
+
+	// A wrong-sized buffer is rejected, not silently truncated.
+	if st := m.ReadBlockInto(0, id, []int{0, 0}, []int{4, 4}, make([]float64, 3)); st != StatusInvalid {
+		t.Fatalf("short buffer: %v", st)
+	}
+	// Freed arrays fail through the fallback path.
+	if st := m.FreeArray(0, id); st != StatusOK {
+		t.Fatalf("FreeArray: %v", st)
+	}
+	if st := m.ReadBlockInto(0, id, []int{0, 0}, []int{4, 4}, make([]float64, 16)); st != StatusNotFound {
+		t.Fatalf("freed ReadBlockInto: %v", st)
+	}
+}
+
+// TestSerialCoordinatorEquivalence keeps the E22 ablation honest: the
+// serial owner-at-a-time coordinator must return exactly what the
+// concurrent scatter/gather coordinator returns.
+func TestSerialCoordinatorEquivalence(t *testing.T) {
+	_, m := newTestManager(t, 4)
+	id := mustCreate(t, m, 0, fastPathSpec())
+	vals := make([]float64, 32*32)
+	for i := range vals {
+		vals[i] = float64(i * 7)
+	}
+	if st := m.WriteBlock(0, id, []int{0, 0}, []int{32, 32}, vals); st != StatusOK {
+		t.Fatalf("WriteBlock: %v", st)
+	}
+	lo, hi := []int{3, 5}, []int{29, 31}
+	want, st := m.ReadBlock(0, id, lo, hi)
+	if st != StatusOK {
+		t.Fatalf("ReadBlock: %v", st)
+	}
+	got, st := m.ReadBlockSerial(0, id, lo, hi)
+	if st != StatusOK {
+		t.Fatalf("ReadBlockSerial: %v", st)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("serial[%d] = %v, concurrent %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestControlFanoutBudget asserts the combining-tree message budget of the
+// batched control plane: creating or freeing an array distributed over P
+// processors costs exactly one user request plus P-1 tree messages (each
+// non-root target receives one), independent of how the tree is shaped.
+func TestControlFanoutBudget(t *testing.T) {
+	const p = 8
+	machine, m := newTestManager(t, p)
+	spec := basicSpec(p)
+	spec.Dims = []int{16, 16}
+	spec.Distrib = []grid.Decomp{grid.BlockOf(4), grid.BlockOf(2)}
+
+	before := machine.Router().Sent()
+	id := mustCreate(t, m, 0, spec)
+	if got, want := machine.Router().Sent()-before, uint64(1+p-1); got != want {
+		t.Errorf("create over %d processors sent %d messages, want %d", p, got, want)
+	}
+
+	before = machine.Router().Sent()
+	if st := m.FreeArray(0, id); st != StatusOK {
+		t.Fatalf("FreeArray: %v", st)
+	}
+	if got, want := machine.Router().Sent()-before, uint64(1+p-1); got != want {
+		t.Errorf("free over %d processors sent %d messages, want %d", p, got, want)
+	}
+
+	// The sections really exist everywhere and really are gone afterwards.
+	id2 := mustCreate(t, m, 0, spec)
+	for proc := 0; proc < p; proc++ {
+		if _, st := m.FindLocal(proc, id2); st != StatusOK {
+			t.Fatalf("FindLocal(%d): %v", proc, st)
+		}
+	}
+	if st := m.FreeArray(0, id2); st != StatusOK {
+		t.Fatalf("FreeArray: %v", st)
+	}
+	for proc := 0; proc < p; proc++ {
+		if _, st := m.FindLocal(proc, id2); st != StatusNotFound {
+			t.Fatalf("freed FindLocal(%d): %v", proc, st)
+		}
+	}
+}

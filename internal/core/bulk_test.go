@@ -252,3 +252,80 @@ func TestBulkErrors(t *testing.T) {
 		t.Fatalf("freed Fill: %v", err)
 	}
 }
+
+// TestReadBlockInto drives the buffer-reuse read across the bulk-case
+// configuration space: one caller-owned buffer serves every rectangle and
+// always agrees with ReadBlock.
+func TestReadBlockInto(t *testing.T) {
+	for _, c := range bulkCases() {
+		t.Run(c.name, func(t *testing.T) {
+			m := newMachine(t, c.p)
+			a, err := m.NewArray(c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Fill(func(idx []int) float64 {
+				v := 3.0
+				for _, x := range idx {
+					v = 17*v + float64(x)
+				}
+				return v
+			}); err != nil {
+				t.Fatal(err)
+			}
+			want, err := a.ReadBlock(c.subLo, c.subHi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]float64, grid.RectSize(c.subLo, c.subHi))
+			if err := a.ReadBlockInto(c.subLo, c.subHi, dst); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestLocalBlockOpsAllocationFree pins the zero-copy local fast path at
+// the public API: reading or writing a wholly-local rectangle through
+// core.Array performs zero heap allocations and sends zero messages.
+func TestLocalBlockOpsAllocationFree(t *testing.T) {
+	m := newMachine(t, 4)
+	a, err := m.NewArray(ArraySpec{
+		Dims:    []int{32, 32},
+		Distrib: []grid.Decomp{grid.BlockOf(2), grid.BlockOf(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := []int{0, 0}, []int{16, 16} // processor 0's local section
+	buf := make([]float64, 256)
+	if err := a.WriteBlock(lo, hi, buf); err != nil {
+		t.Fatal(err)
+	}
+	router := m.VM.Router()
+	before := router.Sent()
+	writeAllocs := testing.AllocsPerRun(200, func() {
+		if err := a.WriteBlock(lo, hi, buf); err != nil {
+			t.Error(err)
+		}
+	})
+	readAllocs := testing.AllocsPerRun(200, func() {
+		if err := a.ReadBlockInto(lo, hi, buf); err != nil {
+			t.Error(err)
+		}
+	})
+	if writeAllocs != 0 {
+		t.Errorf("local WriteBlock: %v allocs/op, want 0", writeAllocs)
+	}
+	if readAllocs != 0 {
+		t.Errorf("local ReadBlockInto: %v allocs/op, want 0", readAllocs)
+	}
+	if sent := router.Sent() - before; sent != 0 {
+		t.Errorf("local block ops sent %d messages, want 0", sent)
+	}
+}

@@ -24,6 +24,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/arraymgr"
 	"repro/internal/darray"
@@ -211,11 +212,28 @@ func (a *Array) ReadBlock(lo, hi []int) ([]float64, error) {
 	return vals, statusErr("read_block", st)
 }
 
+// ReadBlockInto reads the global rectangle [lo, hi) into dst, which must
+// hold exactly the rectangle's element count. The buffer is owned by the
+// caller throughout and may be reused across calls; when the whole
+// rectangle lies on the requesting processor the copy comes straight out
+// of section storage with no message and zero heap allocations.
+func (a *Array) ReadBlockInto(lo, hi []int, dst []float64) error {
+	return statusErr("read_block", a.m.AM.ReadBlockInto(a.onProc, a.id, lo, hi, dst))
+}
+
 // WriteBlock writes a dense row-major buffer into the global rectangle
-// [lo, hi) (am_user_write_block), one message per remote owning processor.
+// [lo, hi) (am_user_write_block): straight into section storage when the
+// rectangle is wholly local, one concurrent message per remote owning
+// processor otherwise. vals is never retained; the caller may reuse it as
+// soon as WriteBlock returns.
 func (a *Array) WriteBlock(lo, hi []int, vals []float64) error {
 	return statusErr("write_block", a.m.AM.WriteBlock(a.onProc, a.id, lo, hi, vals))
 }
+
+// blockBufs pools dense rectangle buffers for FillBlock/Fill, which would
+// otherwise allocate a rectangle-sized buffer per call. Safe because
+// WriteBlock never retains its argument.
+var blockBufs = sync.Pool{New: func() any { return new([]float64) }}
 
 // FillBlock writes f(idx) to every element of the global rectangle
 // [lo, hi) through the bulk path. The index tuple passed to f is reused
@@ -232,12 +250,19 @@ func (a *Array) fillBlock(meta *darray.Meta, lo, hi []int, f func(idx []int) flo
 	if err := grid.CheckRect(lo, hi, meta.Dims); err != nil {
 		return statusErr("write_block", arraymgr.StatusInvalid)
 	}
-	vals := make([]float64, grid.RectSize(lo, hi))
+	n := grid.RectSize(lo, hi)
+	bp := blockBufs.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	vals := (*bp)[:n]
 	_ = grid.ForEachRect(lo, hi, func(idx []int, k int) error {
 		vals[k] = f(idx)
 		return nil
 	})
-	return a.WriteBlock(lo, hi, vals)
+	err := a.WriteBlock(lo, hi, vals)
+	blockBufs.Put(bp)
+	return err
 }
 
 // wholeRect returns the rectangle covering the full global index space.

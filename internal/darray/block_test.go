@@ -230,3 +230,99 @@ func TestOwnerBlocksErrors(t *testing.T) {
 		t.Fatalf("block 0 local rect [%v,%v)", blocks[0].LocalLo, blocks[0].LocalHi)
 	}
 }
+
+// TestReadBlockIntoAgreesWithReadBlock checks the buffer-reuse section
+// read against the allocating one across every section layout, and pins
+// it at zero allocations per call.
+func TestReadBlockIntoAgreesWithReadBlock(t *testing.T) {
+	for _, c := range sectionCases() {
+		t.Run(c.name, func(t *testing.T) {
+			plus, err := DimsPlus(c.localDims, c.borders)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sec := NewSection(c.typ, grid.Size(plus))
+			for i := 0; i < sec.Len(); i++ {
+				sec.SetFloat(i, float64(2*i+1))
+			}
+			lo := make([]int, len(c.localDims))
+			hi := c.localDims
+			want, err := sec.ReadBlock(lo, hi, c.localDims, c.borders, c.ix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]float64, grid.Size(c.localDims))
+			if err := sec.ReadBlockInto(dst, lo, hi, c.localDims, c.borders, c.ix); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(dst, want) {
+				t.Fatalf("ReadBlockInto = %v, want %v", dst, want)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if err := sec.ReadBlockInto(dst, lo, hi, c.localDims, c.borders, c.ix); err != nil {
+					t.Error(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("ReadBlockInto: %v allocs/op, want 0", allocs)
+			}
+			// Wrong-sized buffers are rejected.
+			if err := sec.ReadBlockInto(dst[:1], lo, hi, c.localDims, c.borders, c.ix); err == nil {
+				t.Error("short buffer must fail")
+			}
+		})
+	}
+}
+
+// TestLocalRect checks the allocation-free wholly-local ownership test
+// against OwnerBlocks, the authoritative rectangle splitter.
+func TestLocalRect(t *testing.T) {
+	for _, ix := range []grid.Indexing{grid.RowMajor, grid.ColMajor} {
+		meta := &Meta{
+			ID:            ID{Proc: 0, Seq: 0},
+			Type:          Double,
+			Dims:          []int{12, 8},
+			Procs:         []int{3, 1, 4, 2, 9, 7}, // 6 supplied, grid uses 6
+			GridDims:      []int{3, 2},
+			LocalDims:     []int{4, 4},
+			Borders:       []int{1, 0, 0, 2},
+			LocalDimsPlus: []int{5, 6},
+			Indexing:      ix,
+			GridIndexing:  ix,
+		}
+		rects := [][2][]int{
+			{{0, 0}, {4, 4}},  // exactly one cell
+			{{1, 5}, {3, 8}},  // inside a cell
+			{{0, 0}, {12, 8}}, // whole array (spans owners)
+			{{3, 3}, {5, 5}},  // straddles cells
+			{{8, 4}, {12, 8}}, // last cell
+			{{4, 0}, {8, 4}},  // middle cell
+		}
+		for _, r := range rects {
+			lo, hi := r[0], r[1]
+			blocks, err := meta.OwnerBlocks(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, proc := range meta.Procs {
+				dstLo := make([]int, 2)
+				dstHi := make([]int, 2)
+				got := meta.LocalRect(proc, lo, hi, dstLo, dstHi)
+				want := len(blocks) == 1 && blocks[0].Proc == proc
+				if got != want {
+					t.Fatalf("ix=%v rect [%v,%v) proc %d: LocalRect = %v, want %v", ix, lo, hi, proc, got, want)
+				}
+				if got {
+					if !reflect.DeepEqual(dstLo, blocks[0].LocalLo) || !reflect.DeepEqual(dstHi, blocks[0].LocalHi) {
+						t.Fatalf("ix=%v rect [%v,%v): local bounds [%v,%v), want [%v,%v)",
+							ix, lo, hi, dstLo, dstHi, blocks[0].LocalLo, blocks[0].LocalHi)
+					}
+				}
+			}
+			// A processor holding no section never owns a rectangle.
+			if meta.LocalRect(0, lo, hi, make([]int, 2), make([]int, 2)) {
+				t.Fatalf("processor without a section claimed rect [%v,%v)", lo, hi)
+			}
+		}
+	}
+}

@@ -188,6 +188,62 @@ func (m *Meta) Owner(gidx []int) (proc, storageOff int, err error) {
 	return m.Procs[slot], off, nil
 }
 
+// MaxFastDims bounds the dimensionality served by the allocation-free
+// block-copy fast path (LocalRect, Section.ReadBlockInto and the block
+// copies behind it). Rectangles of more dimensions remain correct but fall
+// back to the general, allocating path.
+const MaxFastDims = 8
+
+// LocalRect reports whether the global rectangle [lo, hi) lies entirely
+// within the local section held by proc. If so it writes the rectangle's
+// interior-local bounds into dstLo and dstHi (each of length NDims) and
+// returns true. It performs no heap allocation, which makes it the
+// ownership test of the zero-copy local fast path: a wholly-local block
+// transfer can be serviced straight from section storage without touching
+// the router. The rectangle must already be validated against m.Dims.
+func (m *Meta) LocalRect(proc int, lo, hi, dstLo, dstHi []int) bool {
+	n := m.NDims()
+	if len(lo) != n || len(hi) != n || len(dstLo) != n || len(dstHi) != n {
+		return false
+	}
+	slot, ok := m.HoldsSection(proc)
+	if !ok {
+		return false
+	}
+	// Unflatten slot into the grid coordinate dimension by dimension
+	// (fastest-varying first under the grid indexing), checking containment
+	// and translating to interior-local bounds as we go.
+	lin := slot
+	if m.GridIndexing == grid.RowMajor {
+		for i := n - 1; i >= 0; i-- {
+			if !m.localRectDim(i, &lin, lo, hi, dstLo, dstHi) {
+				return false
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if !m.localRectDim(i, &lin, lo, hi, dstLo, dstHi) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// localRectDim handles one dimension of LocalRect: it peels this
+// dimension's grid coordinate off lin and checks/translates the bounds.
+func (m *Meta) localRectDim(i int, lin *int, lo, hi, dstLo, dstHi []int) bool {
+	c := *lin % m.GridDims[i]
+	*lin /= m.GridDims[i]
+	cellLo := c * m.LocalDims[i]
+	if lo[i] < cellLo || hi[i] > cellLo+m.LocalDims[i] {
+		return false
+	}
+	dstLo[i] = lo[i] - cellLo
+	dstHi[i] = hi[i] - cellLo
+	return true
+}
+
 // OwnerBlock describes the piece of a global rectangle held by one local
 // section: the owning processor, the sub-rectangle in global indices, and
 // the same sub-rectangle translated to interior-local indices. It is the
@@ -312,6 +368,21 @@ func (s *Section) ReadBlock(lo, hi, localDims, borders []int, ix grid.Indexing) 
 	return vals, nil
 }
 
+// ReadBlockInto copies the interior rectangle [lo, hi) into dst, which the
+// caller supplies and owns; dst must hold exactly RectSize(lo, hi)
+// elements and the section retains no reference to it. For rectangles of
+// at most MaxFastDims dimensions the copy performs no heap allocation —
+// this is the buffer-reuse read of the zero-copy local fast path.
+func (s *Section) ReadBlockInto(dst []float64, lo, hi, localDims, borders []int, ix grid.Indexing) error {
+	if err := grid.CheckRect(lo, hi, localDims); err != nil {
+		return err
+	}
+	if len(dst) != grid.RectSize(lo, hi) {
+		return fmt.Errorf("darray: buffer of %d elements for a rectangle of %d", len(dst), grid.RectSize(lo, hi))
+	}
+	return s.blockCopy(true, dst, lo, hi, localDims, borders, ix)
+}
+
 // WriteBlock copies vals — a dense buffer linearized row-major over the
 // rectangle — into the interior rectangle [lo, hi) of the section.
 func (s *Section) WriteBlock(vals []float64, lo, hi, localDims, borders []int, ix grid.Indexing) error {
@@ -327,8 +398,17 @@ func (s *Section) WriteBlock(vals []float64, lo, hi, localDims, borders []int, i
 // blockCopy moves data between vals and the rectangle [lo, hi) of the
 // bordered storage. With row-major storage the rectangle's innermost runs
 // are contiguous, so whole rows move with copy; otherwise elements move one
-// by one through the stride arithmetic.
+// by one through the stride arithmetic. Rectangles of at most MaxFastDims
+// dimensions take the allocation-free path; the general path allocates its
+// stride/index scratch.
 func (s *Section) blockCopy(read bool, vals []float64, lo, hi, localDims, borders []int, ix grid.Indexing) error {
+	if err := CheckBorders(borders, len(localDims)); err != nil {
+		return err
+	}
+	if len(lo) <= MaxFastDims {
+		s.fastCopy(read, vals, lo, hi, localDims, borders, ix)
+		return nil
+	}
 	plus, err := DimsPlus(localDims, borders)
 	if err != nil {
 		return err
@@ -363,6 +443,75 @@ func (s *Section) blockCopy(read bool, vals []float64, lo, hi, localDims, border
 		}
 		return nil
 	})
+}
+
+// fastCopy is blockCopy specialised to at most MaxFastDims dimensions: all
+// scratch state lives in fixed-size stack arrays and the odometer walks
+// offsets incrementally, so the copy performs no heap allocation. Bounds,
+// borders and buffer length must already be validated.
+func (s *Section) fastCopy(read bool, vals []float64, lo, hi, localDims, borders []int, ix grid.Indexing) {
+	n := len(lo)
+	var plus, strides, idx [MaxFastDims]int
+	for i := 0; i < n; i++ {
+		plus[i] = localDims[i] + borders[2*i] + borders[2*i+1]
+	}
+	if ix == grid.RowMajor {
+		st := 1
+		for i := n - 1; i >= 0; i-- {
+			strides[i] = st
+			st *= plus[i]
+		}
+	} else {
+		st := 1
+		for i := 0; i < n; i++ {
+			strides[i] = st
+			st *= plus[i]
+		}
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		off += (lo[i] + borders[2*i]) * strides[i]
+		idx[i] = lo[i]
+	}
+	last := n - 1
+	run := hi[last] - lo[last]
+	contiguous := ix == grid.RowMajor && s.Type == Double // strides[last] == 1
+	k := 0
+	for {
+		if contiguous {
+			if read {
+				copy(vals[k:k+run], s.F[off:off+run])
+			} else {
+				copy(s.F[off:off+run], vals[k:k+run])
+			}
+			k += run
+		} else {
+			o := off
+			for j := 0; j < run; j++ {
+				if read {
+					vals[k] = s.GetFloat(o)
+				} else {
+					s.SetFloat(o, vals[k])
+				}
+				k++
+				o += strides[last]
+			}
+		}
+		// Advance the outer-dimension odometer, keeping off in step.
+		i := last - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			off += strides[i]
+			if idx[i] < hi[i] {
+				break
+			}
+			off -= (hi[i] - lo[i]) * strides[i]
+			idx[i] = lo[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
 }
 
 // CopyInterior copies the interior (non-border) data of src into dst, where

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Class partitions the message-type space between the task-parallel runtime
@@ -67,6 +68,9 @@ type Message struct {
 	Dst  int
 	Tag  Tag
 	Data any
+	// readyAt is the simulated delivery time (zero: immediately
+	// receivable). See Router.SetLatency.
+	readyAt time.Time
 }
 
 // ErrClosed is returned by Send/Recv after the router has been shut down.
@@ -78,8 +82,9 @@ var ErrBadProcessor = errors.New("msg: processor number out of range")
 // Router connects P virtual processors, each with one mailbox. It is the
 // only channel through which distinct (virtual) address spaces interact.
 type Router struct {
-	boxes []*mailbox
-	sent  atomic.Uint64
+	boxes   []*mailbox
+	sent    atomic.Uint64
+	latency atomic.Int64 // simulated per-message delivery latency, ns
 }
 
 // NewRouter creates a router for p virtual processors numbered 0..p-1.
@@ -104,12 +109,27 @@ func (r *Router) Send(src, dst int, tag Tag, data any) error {
 	if dst < 0 || dst >= len(r.boxes) || src < 0 || src >= len(r.boxes) {
 		return fmt.Errorf("%w: send %d -> %d (P=%d)", ErrBadProcessor, src, dst, len(r.boxes))
 	}
-	if err := r.boxes[dst].put(Message{Src: src, Dst: dst, Tag: tag, Data: data}); err != nil {
+	m := Message{Src: src, Dst: dst, Tag: tag, Data: data}
+	if d := r.latency.Load(); d > 0 {
+		m.readyAt = time.Now().Add(time.Duration(d))
+	}
+	if err := r.boxes[dst].put(m); err != nil {
 		return err
 	}
 	r.sent.Add(1)
 	return nil
 }
+
+// SetLatency installs a simulated per-message delivery latency: a message
+// sent at time T becomes receivable at T+d. The in-process machine
+// otherwise delivers in nanoseconds, which hides the phenomenon the
+// paper's multicomputer runtime actually contends with — per-hop
+// interconnect latency that serial request chains accumulate and
+// overlapped requests hide. Modeling experiments (E22) use it to measure
+// latency hiding; zero (the default) delivers immediately. Set it before
+// traffic starts: lowering it while messages are in flight may reorder
+// delivery between a fixed (src, dst, tag) pair.
+func (r *Router) SetLatency(d time.Duration) { r.latency.Store(int64(d)) }
 
 // Sent returns the total number of messages accepted by Send since the
 // router was created. Tests use deltas of this counter to verify message
@@ -189,13 +209,49 @@ func (b *mailbox) get(match func(Message) bool) (Message, error) {
 		if b.closed {
 			return Message{}, ErrClosed
 		}
+		// Find the oldest matching message. One that is matched but not
+		// yet deliverable (simulated latency) arms a wake-up for its
+		// delivery time instead.
+		found := -1
+		var now, wakeAt time.Time
 		for i, m := range b.queue {
-			if match(m) {
-				b.queue = append(b.queue[:i], b.queue[i+1:]...)
-				return m, nil
+			if !match(m) {
+				continue
 			}
+			if m.readyAt.IsZero() {
+				found = i
+				break
+			}
+			if now.IsZero() {
+				now = time.Now()
+			}
+			if !m.readyAt.After(now) {
+				found = i
+				break
+			}
+			wakeAt = m.readyAt
+			break // constant latency: later matches are ready no earlier
 		}
-		b.cond.Wait()
+		if found >= 0 {
+			m := b.queue[found]
+			b.queue = append(b.queue[:found], b.queue[found+1:]...)
+			return m, nil
+		}
+		if !wakeAt.IsZero() {
+			// The callback takes b.mu before broadcasting so it cannot
+			// fire in the window between arming the timer and Wait
+			// registering this goroutine (a lost wakeup would hang the
+			// receiver until the next unrelated put).
+			t := time.AfterFunc(time.Until(wakeAt), func() {
+				b.mu.Lock()
+				defer b.mu.Unlock()
+				b.cond.Broadcast()
+			})
+			b.cond.Wait()
+			t.Stop()
+		} else {
+			b.cond.Wait()
+		}
 	}
 }
 

@@ -250,3 +250,51 @@ func TestClassString(t *testing.T) {
 		t.Fatal("unknown class should still print")
 	}
 }
+
+// TestSetLatency pins the simulated-interconnect model: messages become
+// receivable only after the configured latency, order between a fixed
+// pair is preserved, and the sent counter is unaffected.
+func TestSetLatency(t *testing.T) {
+	r := NewRouter(2)
+	defer r.Close()
+	const d = 5 * time.Millisecond
+	r.SetLatency(d)
+	tag := Tag{Class: ClassData, Kind: 1}
+
+	start := time.Now()
+	if err := r.Send(0, 1, tag, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send(0, 1, tag, "b"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.RecvFrom(1, 0, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Errorf("message delivered after %v, want >= %v", elapsed, d)
+	}
+	if m.Data != "a" {
+		t.Errorf("first delivery = %v, want a (FIFO)", m.Data)
+	}
+	m, err = r.RecvFrom(1, 0, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Data != "b" {
+		t.Errorf("second delivery = %v, want b (FIFO)", m.Data)
+	}
+	if r.Sent() != 2 {
+		t.Errorf("Sent = %d, want 2", r.Sent())
+	}
+
+	// Back to zero: immediate delivery again.
+	r.SetLatency(0)
+	if err := r.Send(1, 0, tag, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := r.RecvFrom(0, 1, tag); err != nil || m.Data != "c" {
+		t.Fatalf("zero-latency delivery: %v, %v", m, err)
+	}
+}

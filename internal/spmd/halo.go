@@ -1,0 +1,169 @@
+// Halo exchange: the shared border-exchange primitive of data-parallel
+// programs that keep Fortran D-style overlap areas (§3.2.1.3) in their
+// local sections. Before the paper's stencil-style programs can update
+// their interiors with purely local reads, each copy's borders must be
+// filled with the neighbouring copies' interior edge slabs; climate and
+// stencil used to do this with ad-hoc per-edge Send/Recv loops, each
+// hand-rolling the slab extraction and the border write. HaloExchange
+// lifts the pattern onto the grid rectangle arithmetic: every neighbour
+// send is posted before any receive (sends are asynchronous, so no pairing
+// of sends and receives can deadlock, and the slabs snapshot the
+// pre-exchange interior), and each received slab is written straight into
+// the section's border storage — one message per neighbour per exchange.
+package spmd
+
+import (
+	"fmt"
+
+	"repro/internal/darray"
+	"repro/internal/grid"
+)
+
+// Halo describes one copy's bordered local section for HaloExchange. The
+// group's ranks must correspond to processor-grid slots the way
+// distributed arrays lay sections out: rank r holds the section at grid
+// coordinate Unflatten(r, GridDims, GridIndexing) — true whenever the
+// distributed call is made over the array's processor list in order.
+type Halo struct {
+	Section   *darray.Section // bordered local storage
+	LocalDims []int           // interior dimensions of the local section
+	Borders   []int           // 2*ndims border widths, as in darray.Meta
+	GridDims  []int           // processor-grid dimensions; product == group size
+	Indexing  grid.Indexing   // storage indexing of the section
+	// GridIndexing maps ranks to grid coordinates (the array's
+	// grid-indexing type; equal to Indexing for arrays the paper creates).
+	GridIndexing grid.Indexing
+}
+
+// Reserved kind base for halo traffic; dimension d direction dir uses
+// kindHalo - (2*d + dir), below every other reserved collective kind.
+const kindHalo = -16
+
+const (
+	haloToLow  = 0 // slab travelling toward the lower-coordinate neighbour
+	haloToHigh = 1 // slab travelling toward the higher-coordinate neighbour
+)
+
+func haloKind(d, dir int) int { return kindHalo - (2*d + dir) }
+
+// HaloExchange fills the section's border locations along every decomposed
+// dimension with the neighbouring copies' interior edge slabs, and sends
+// this copy's edge slabs to the neighbours that need them. Exchanges are
+// face-only: a border location in more than one dimension's border (a
+// corner) is not filled. Borders on the physical boundary of the grid
+// (coordinate 0 or GridDims[d]-1) are left untouched for the program to
+// fill with its boundary condition. Every copy of the group must call it
+// the same number of times.
+func (w *World) HaloExchange(h Halo) error {
+	n := len(h.LocalDims)
+	if h.Section == nil || n == 0 {
+		return fmt.Errorf("spmd: halo needs a section and dimensions")
+	}
+	if err := darray.CheckBorders(h.Borders, n); err != nil {
+		return fmt.Errorf("spmd: halo: %w", err)
+	}
+	if len(h.GridDims) != n || grid.Size(h.GridDims) != len(w.procs) {
+		return fmt.Errorf("spmd: halo grid %v does not cover the %d-member group", h.GridDims, len(w.procs))
+	}
+	coord, err := grid.Unflatten(w.index, h.GridDims, h.GridIndexing)
+	if err != nil {
+		return err
+	}
+	plus, err := darray.DimsPlus(h.LocalDims, h.Borders)
+	if err != nil {
+		return err
+	}
+	none := darray.NoBorders(n)
+	lo := make([]int, n)
+	hi := make([]int, n)
+
+	// nbr returns the rank one step along dimension d.
+	nbr := func(d, delta int) (int, error) {
+		coord[d] += delta
+		slot, err := grid.ProcSlot(coord, h.GridDims, h.GridIndexing)
+		coord[d] -= delta
+		return slot, err
+	}
+	// sendSlab ships the interior slab with dimension-d extent [from, to)
+	// (full interior extent in every other dimension — faces, not corners).
+	sendSlab := func(d, from, to, dir, rank int) error {
+		for i := 0; i < n; i++ {
+			lo[i], hi[i] = 0, h.LocalDims[i]
+		}
+		lo[d], hi[d] = from, to
+		vals, err := h.Section.ReadBlock(lo, hi, h.LocalDims, h.Borders, h.Indexing)
+		if err != nil {
+			return err
+		}
+		return w.sendInternal(rank, haloKind(d, dir), vals)
+	}
+	// recvSlab receives a neighbour slab and writes it straight into the
+	// border storage rectangle with dimension-d storage extent [from, to):
+	// the bordered box is addressed as the borderless interior of a
+	// plus-shaped section, which is exactly what border locations are.
+	recvSlab := func(d, from, to, dir, rank int) error {
+		m, err := w.recvInternal(rank, haloKind(d, dir))
+		if err != nil {
+			return err
+		}
+		vals, ok := m.Data.([]float64)
+		if !ok {
+			return fmt.Errorf("spmd: halo expected []float64, got %T", m.Data)
+		}
+		for i := 0; i < n; i++ {
+			lo[i], hi[i] = h.Borders[2*i], h.Borders[2*i]+h.LocalDims[i]
+		}
+		lo[d], hi[d] = from, to
+		return h.Section.WriteBlock(vals, lo, hi, plus, none, h.Indexing)
+	}
+
+	// Post all sends before any receive.
+	for d := 0; d < n; d++ {
+		bl, bh := h.Borders[2*d], h.Borders[2*d+1]
+		if coord[d] > 0 && bh > 0 {
+			// The lower neighbour fills its high border (width bh) with
+			// this copy's first bh interior slabs.
+			rank, err := nbr(d, -1)
+			if err != nil {
+				return err
+			}
+			if err := sendSlab(d, 0, bh, haloToLow, rank); err != nil {
+				return err
+			}
+		}
+		if coord[d] < h.GridDims[d]-1 && bl > 0 {
+			// The higher neighbour fills its low border (width bl) with
+			// this copy's last bl interior slabs.
+			rank, err := nbr(d, +1)
+			if err != nil {
+				return err
+			}
+			if err := sendSlab(d, h.LocalDims[d]-bl, h.LocalDims[d], haloToHigh, rank); err != nil {
+				return err
+			}
+		}
+	}
+	// Receive each neighbour's slab into this copy's border storage.
+	for d := 0; d < n; d++ {
+		bl, bh := h.Borders[2*d], h.Borders[2*d+1]
+		if coord[d] > 0 && bl > 0 {
+			rank, err := nbr(d, -1)
+			if err != nil {
+				return err
+			}
+			if err := recvSlab(d, 0, bl, haloToHigh, rank); err != nil {
+				return err
+			}
+		}
+		if coord[d] < h.GridDims[d]-1 && bh > 0 {
+			rank, err := nbr(d, +1)
+			if err != nil {
+				return err
+			}
+			if err := recvSlab(d, h.Borders[2*d]+h.LocalDims[d], h.Borders[2*d]+h.LocalDims[d]+bh, haloToLow, rank); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package spmd
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/darray"
+	"repro/internal/grid"
+	"repro/internal/msg"
+)
+
+// haloSection builds a bordered section whose interior is filled with
+// value(idx...) and whose border locations hold the sentinel.
+func haloSection(localDims, borders []int, ix grid.Indexing, sentinel float64, value func(idx []int) float64) *darray.Section {
+	plus, err := darray.DimsPlus(localDims, borders)
+	if err != nil {
+		panic(err)
+	}
+	sec := darray.NewSection(darray.Double, grid.Size(plus))
+	for i := range sec.F {
+		sec.F[i] = sentinel
+	}
+	vals := make([]float64, grid.Size(localDims))
+	_ = grid.ForEachRect(make([]int, len(localDims)), localDims, func(idx []int, k int) error {
+		vals[k] = value(idx)
+		return nil
+	})
+	lo := make([]int, len(localDims))
+	if err := sec.WriteBlock(vals, lo, localDims, localDims, borders, ix); err != nil {
+		panic(err)
+	}
+	return sec
+}
+
+// TestHaloExchange1D checks a block-row exchange with asymmetric border
+// widths: every interior neighbour's edge slab lands in the right border
+// rows, physical edges stay untouched, and the message budget is exactly
+// one per neighbour per exchange.
+func TestHaloExchange1D(t *testing.T) {
+	const p = 4
+	const l, cols = 3, 5
+	borders := []int{2, 1, 0, 0} // two halo rows above, one below
+	const sentinel = -99.0
+	r := msg.NewRouter(p)
+	defer r.Close()
+	procs := []int{0, 1, 2, 3}
+
+	// Global row of interior row i at rank me is me*l+i; value = 100*row+col.
+	value := func(me int) func(idx []int) float64 {
+		return func(idx []int) float64 { return float64(100*(me*l+idx[0]) + idx[1]) }
+	}
+	secs := make([]*darray.Section, p)
+	for me := 0; me < p; me++ {
+		secs[me] = haloSection([]int{l, cols}, borders, grid.RowMajor, sentinel, value(me))
+	}
+
+	before := r.Sent()
+	runGroup(t, r, procs, 7, func(w *World) error {
+		return w.HaloExchange(Halo{
+			Section:      secs[w.Rank()],
+			LocalDims:    []int{l, cols},
+			Borders:      borders,
+			GridDims:     []int{p, 1},
+			Indexing:     grid.RowMajor,
+			GridIndexing: grid.RowMajor,
+		})
+	})
+	// Each interior neighbour pair exchanges one message in each
+	// direction: 2*(p-1) messages, however wide the borders are.
+	if got, want := r.Sent()-before, uint64(2*(p-1)); got != want {
+		t.Errorf("halo exchange sent %d messages, want %d", got, want)
+	}
+
+	stride := cols // no side borders
+	for me := 0; me < p; me++ {
+		f := secs[me].F
+		// Above-borders: storage rows 0,1 hold global rows me*l-2, me*l-1
+		// for interior ranks; rank 0's stay sentinel.
+		for b := 0; b < 2; b++ {
+			globalRow := me*l - 2 + b
+			for j := 0; j < cols; j++ {
+				got := f[b*stride+j]
+				want := sentinel
+				if me > 0 {
+					want = float64(100*globalRow + j)
+				}
+				if got != want {
+					t.Errorf("rank %d above-border row %d col %d = %v, want %v", me, b, j, got, want)
+				}
+			}
+		}
+		// Below-border: storage row 2+l holds global row (me+1)*l for
+		// interior ranks; the last rank's stays sentinel.
+		for j := 0; j < cols; j++ {
+			got := f[(2+l)*stride+j]
+			want := sentinel
+			if me < p-1 {
+				want = float64(100*(me+1)*l + j)
+			}
+			if got != want {
+				t.Errorf("rank %d below-border col %d = %v, want %v", me, j, got, want)
+			}
+		}
+	}
+}
+
+// TestHaloExchange2D runs a 2x2 grid with one-cell borders in both
+// dimensions: face slabs cross in both dimensions while corners stay
+// unfilled, under both storage indexing orders.
+func TestHaloExchange2D(t *testing.T) {
+	for _, ix := range []grid.Indexing{grid.RowMajor, grid.ColMajor} {
+		t.Run(ix.String(), func(t *testing.T) {
+			const l = 2 // 2x2 interior per section, 4x4 global
+			borders := []int{1, 1, 1, 1}
+			const sentinel = -7.0
+			r := msg.NewRouter(4)
+			defer r.Close()
+			procs := []int{0, 1, 2, 3}
+			gridDims := []int{2, 2}
+
+			global := func(gi, gj int) float64 { return float64(10*gi + gj) }
+			secs := make([]*darray.Section, 4)
+			coords := make([][]int, 4)
+			for me := 0; me < 4; me++ {
+				coord, err := grid.Unflatten(me, gridDims, ix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				coords[me] = coord
+				secs[me] = haloSection([]int{l, l}, borders, ix, sentinel, func(idx []int) float64 {
+					return global(coord[0]*l+idx[0], coord[1]*l+idx[1])
+				})
+			}
+
+			before := r.Sent()
+			runGroup(t, r, procs, 9, func(w *World) error {
+				return w.HaloExchange(Halo{
+					Section:      secs[w.Rank()],
+					LocalDims:    []int{l, l},
+					Borders:      borders,
+					GridDims:     gridDims,
+					Indexing:     ix,
+					GridIndexing: ix,
+				})
+			})
+			// Every rank has exactly two neighbours on a 2x2 grid: 8 directed
+			// messages per exchange.
+			if got, want := r.Sent()-before, uint64(8); got != want {
+				t.Errorf("halo exchange sent %d messages, want %d", got, want)
+			}
+
+			plus := []int{l + 2, l + 2}
+			for me := 0; me < 4; me++ {
+				coord := coords[me]
+				sec := secs[me]
+				// Walk the whole bordered box; classify each location.
+				err := grid.ForEachRect([]int{0, 0}, plus, func(s []int, _ int) error {
+					off, err := grid.Flatten(s, plus, ix)
+					if err != nil {
+						return err
+					}
+					got := sec.F[off]
+					// Interior-local coordinates (may be -1 or l for borders).
+					i, j := s[0]-1, s[1]-1
+					gi, gj := coord[0]*l+i, coord[1]*l+j
+					inRow := i >= 0 && i < l
+					inCol := j >= 0 && j < l
+					var want float64
+					switch {
+					case inRow && inCol: // interior, untouched
+						want = global(gi, gj)
+					case inRow != inCol && gi >= 0 && gi < 2*l && gj >= 0 && gj < 2*l:
+						// face border with a real neighbour: filled
+						want = global(gi, gj)
+					default: // corner or physical edge: untouched
+						want = sentinel
+					}
+					if got != want {
+						return fmt.Errorf("rank %d storage %v = %v, want %v", me, s, got, want)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+// TestHaloExchangeValidation rejects malformed halo specifications.
+func TestHaloExchangeValidation(t *testing.T) {
+	r := msg.NewRouter(2)
+	defer r.Close()
+	w := NewWorld(r, []int{0, 1}, 0, 1)
+	sec := darray.NewSection(darray.Double, 12)
+	if err := w.HaloExchange(Halo{LocalDims: []int{2, 2}, Borders: []int{1, 1, 0, 0}, GridDims: []int{2, 1}}); err == nil {
+		t.Error("nil section must fail")
+	}
+	if err := w.HaloExchange(Halo{Section: sec, LocalDims: []int{2, 2}, Borders: []int{1, 1}, GridDims: []int{2, 1}}); err == nil {
+		t.Error("short borders must fail")
+	}
+	if err := w.HaloExchange(Halo{Section: sec, LocalDims: []int{2, 2}, Borders: []int{1, 1, 0, 0}, GridDims: []int{4, 1}}); err == nil {
+		t.Error("grid not covering the group must fail")
+	}
+}

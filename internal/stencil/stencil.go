@@ -69,12 +69,6 @@ func RegisterPrograms(m *core.Machine) error {
 	}, Borders)
 }
 
-// halo message kinds.
-const (
-	kindUp   = 0
-	kindDown = 1
-)
-
 // JacobiSteps runs `steps` five-point Jacobi sweeps on this copy's block
 // of rows. The section must carry BorderWidth borders in both dimensions;
 // the field is distributed by block rows ({block, *}).
@@ -95,50 +89,31 @@ func JacobiSteps(w *spmd.World, sec *darray.Section, rows, cols, steps int, boun
 	// j in [-1, cols] — borders included.
 	at := func(i, j int) int { return (i+BorderWidth)*stride + (j + BorderWidth) }
 
+	// The field is distributed by block rows: a p x 1 grid, one halo row
+	// exchanged with each interior neighbour per step.
+	halo := spmd.Halo{
+		Section:      sec,
+		LocalDims:    []int{l, cols},
+		Borders:      []int{BorderWidth, BorderWidth, BorderWidth, BorderWidth},
+		GridDims:     []int{p, 1},
+		Indexing:     grid.RowMajor,
+		GridIndexing: grid.RowMajor,
+	}
+
 	scratch := make([]float64, l*cols)
 	for s := 0; s < steps; s++ {
-		// 1. Fill the overlap areas. Interior edge rows travel to the
-		// neighbouring copies; the physical edges take the fixed boundary.
-		if me > 0 {
-			row := make([]float64, cols)
-			for j := 0; j < cols; j++ {
-				row[j] = f[at(0, j)]
-			}
-			if err := w.Send(me-1, kindUp, row); err != nil {
-				return err
-			}
+		// 1. Fill the overlap areas: interior edge rows travel to the
+		// neighbouring copies, received straight into the borders; the
+		// physical edges take the fixed boundary.
+		if err := w.HaloExchange(halo); err != nil {
+			return err
 		}
-		if me < p-1 {
-			row := make([]float64, cols)
-			for j := 0; j < cols; j++ {
-				row[j] = f[at(l-1, j)]
-			}
-			if err := w.Send(me+1, kindDown, row); err != nil {
-				return err
-			}
-		}
-		if me > 0 {
-			row, err := w.RecvFloats(me-1, kindDown)
-			if err != nil {
-				return err
-			}
-			for j := 0; j < cols; j++ {
-				f[at(-1, j)] = row[j] // received straight into the border
-			}
-		} else {
+		if me == 0 {
 			for j := 0; j < cols; j++ {
 				f[at(-1, j)] = boundary
 			}
 		}
-		if me < p-1 {
-			row, err := w.RecvFloats(me+1, kindUp)
-			if err != nil {
-				return err
-			}
-			for j := 0; j < cols; j++ {
-				f[at(l, j)] = row[j]
-			}
-		} else {
+		if me == p-1 {
 			for j := 0; j < cols; j++ {
 				f[at(l, j)] = boundary
 			}

@@ -156,3 +156,42 @@ func TestIndivisibleRows(t *testing.T) {
 	}
 	_ = arraymgr.StatusOK // keep import for clarity of intent
 }
+
+// TestHaloMessageBudget pins the stencil's halo traffic: one distributed
+// call running S Jacobi steps on P copies exchanges exactly one message
+// per neighbour per step — plus the fixed call overhead of one find_local
+// per copy and the P-1 combine-tree messages — however large the field.
+func TestHaloMessageBudget(t *testing.T) {
+	const rows, cols, steps, p = 16, 8, 5, 4
+	m := core.New(p)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	procs := m.AllProcs()
+	field, err := m.NewArray(core.ArraySpec{
+		Dims:    []int{rows, cols},
+		Procs:   procs,
+		Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+		Borders: core.ForeignBordersOf(ProgJacobi, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := field.Fill(func(idx []int) float64 { return hotCorner(idx[0], idx[1]) }); err != nil {
+		t.Fatal(err)
+	}
+
+	router := m.VM.Router()
+	before := router.Sent()
+	if err := m.Call(procs, ProgJacobi,
+		dcall.Const(rows), dcall.Const(cols), dcall.Const(steps), dcall.Const(1.5),
+		field.Param()); err != nil {
+		t.Fatal(err)
+	}
+	// p find_local requests + steps * 2*(p-1) halo slabs + p-1 combines.
+	want := uint64(p + steps*2*(p-1) + (p - 1))
+	if got := router.Sent() - before; got != want {
+		t.Fatalf("stencil call sent %d messages, want %d (one halo message per neighbour per step)", got, want)
+	}
+}
