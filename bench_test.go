@@ -847,6 +847,74 @@ func BenchmarkE22_LocalFastPath(b *testing.B) {
 	})
 }
 
+// --- E23: the indexed gather/scatter plane ---
+
+// BenchmarkE23_IndexedGatherScatter compares moving k scattered elements
+// through the per-element path (one array-manager round trip per element)
+// against the indexed gather/scatter plane (one concurrent request per
+// owning processor). lat=0 runs on the raw in-process router; lat=20µs
+// models a multicomputer interconnect hop, where the per-element loop
+// accumulates 2k hops and the batched path pays one overlapped round
+// trip. The ratio is the payoff of batching the paper's scattered-index
+// task-level access pattern (§4.2.3/§4.2.4).
+func BenchmarkE23_IndexedGatherScatter(b *testing.B) {
+	const perOwner = 64
+	for _, p := range []int{4, 16, 64} {
+		for _, lat := range []time.Duration{0, 20 * time.Microsecond} {
+			n := perOwner * p
+			m := core.New(p)
+			a, err := m.NewArray(core.ArraySpec{Dims: []int{n}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.Fill(func(idx []int) float64 { return float64(idx[0]) }); err != nil {
+				b.Fatal(err)
+			}
+			m.VM.Router().SetLatency(lat)
+			rng := rand.New(rand.NewSource(23))
+			for _, k := range []int{64, 1024} {
+				indices := make([][]int, k)
+				for i := range indices {
+					indices[i] = []int{rng.Intn(n)}
+				}
+				vals := make([]float64, k)
+				dst := make([]float64, k)
+				for i := range vals {
+					vals[i] = float64(i)
+				}
+				tag := fmt.Sprintf("P=%d/lat=%v/k=%d", p, lat, k)
+				b.Run("gather/"+tag, func(b *testing.B) {
+					b.SetBytes(int64(8 * k))
+					for i := 0; i < b.N; i++ {
+						if err := a.GatherElementsInto(indices, dst); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.Run("scatter/"+tag, func(b *testing.B) {
+					b.SetBytes(int64(8 * k))
+					for i := 0; i < b.N; i++ {
+						if err := a.ScatterElements(indices, vals); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.Run("per-element/"+tag, func(b *testing.B) {
+					b.SetBytes(int64(8 * k))
+					for i := 0; i < b.N; i++ {
+						for _, idx := range indices {
+							if _, err := a.Read(idx...); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				})
+			}
+			m.Close()
+		}
+	}
+}
+
 // BenchmarkE22_HaloExchange measures the shared border-exchange primitive
 // across group sizes: one distributed call performing b.N face exchanges
 // on a block-row field with one-cell borders (the climate/stencil shape).

@@ -109,6 +109,26 @@ func (e *Env) WriteBlock(onProc int, id darray.ID, lo, hi []int, vals []float64)
 	return e.AM.WriteBlock(onProc, id, lo, hi, vals)
 }
 
+// GatherElements is am_user_gather_elements, the indexed companion of
+// ReadElement: it reads the elements at the given global index tuples in
+// one operation, returning their values in request order. The array
+// manager splits the vector by owning processor and issues one concurrent
+// request per owner, so k scattered elements cost O(#owners) messages
+// instead of the k round trips of a read_element loop. ReadElement is the
+// k=1 degenerate case.
+func (e *Env) GatherElements(onProc int, id darray.ID, indices [][]int) ([]float64, arraymgr.Status) {
+	return e.AM.GatherElements(onProc, id, indices)
+}
+
+// ScatterElements is am_user_scatter_elements, the indexed companion of
+// WriteElement: it writes vals[i] to the element at indices[i], one
+// concurrent request per owning processor. A repeated index takes the
+// value at its last occurrence (last writer wins), as a write_element loop
+// would leave it. WriteElement is the k=1 degenerate case.
+func (e *Env) ScatterElements(onProc int, id darray.ID, indices [][]int, vals []float64) arraymgr.Status {
+	return e.AM.ScatterElements(onProc, id, indices, vals)
+}
+
 // FindLocal is am_user_find_local (§4.2.5). Users should rarely call it
 // directly; the distributed-call implementation invokes it automatically.
 func (e *Env) FindLocal(onProc int, id darray.ID) (*darray.Section, arraymgr.Status) {

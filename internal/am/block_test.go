@@ -28,6 +28,26 @@ func TestUserBlockProcedures(t *testing.T) {
 	if st := e.WriteBlock(0, id, []int{0, 0}, []int{4, 4}, vals); st != StatusOK {
 		t.Fatalf("WriteBlock: %v", st)
 	}
+	// The indexed procedures (am_user_gather_elements /
+	// am_user_scatter_elements) agree with the per-element ones.
+	scattered := [][]int{{3, 1}, {0, 0}, {2, 3}}
+	if st := e.ScatterElements(0, id, scattered, []float64{-1, -2, -3}); st != StatusOK {
+		t.Fatalf("ScatterElements: %v", st)
+	}
+	gathered, st := e.GatherElements(0, id, scattered)
+	if st != StatusOK {
+		t.Fatalf("GatherElements: %v", st)
+	}
+	for i, idx := range scattered {
+		v, st := e.ReadElement(0, id, idx)
+		if st != StatusOK || v != gathered[i] || v != float64(-1-i) {
+			t.Fatalf("element %v = %v/%v (gather %v), want %v", idx, v, st, gathered[i], float64(-1-i))
+		}
+		// Restore the block pattern for the checks below.
+		if st := e.WriteElement(0, id, idx, vals[idx[0]*4+idx[1]]); st != StatusOK {
+			t.Fatalf("WriteElement: %v", st)
+		}
+	}
 	// The bulk write is visible through the per-element procedure.
 	v, st := e.ReadElement(0, id, []int{2, 3})
 	if st != StatusOK || v != vals[2*4+3] {

@@ -118,6 +118,11 @@ type Config struct {
 	Horizon  float64 // simulation end time
 	Alpha    float64 // diffusion coefficient (0 < alpha <= 0.5 for stability)
 	ValveCut float64 // fraction the valve passes through (e.g. 0.8)
+	// Probes lists global cell indices the task level samples after every
+	// reactor event — temperature sensors scattered over the field. Each
+	// sample is one batched gather (one message per owning processor),
+	// however many probes are installed.
+	Probes []int
 }
 
 // PumpFlow is the pump's deterministic flow model.
@@ -130,6 +135,9 @@ type Result struct {
 	TotalInjected float64 // heat delivered to the reactor
 	FieldTotal    float64 // Σ field (must equal TotalInjected)
 	Field         []float64
+	// ProbeTrace records the probe temperatures after each reactor event,
+	// one row per event in Config.Probes order (empty without probes).
+	ProbeTrace [][]float64
 }
 
 // Run builds the component graph and executes it. The reactor's group is
@@ -170,13 +178,33 @@ func Run(m *core.Machine, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	probeIdx := make([][]int, len(cfg.Probes))
+	for i, c := range cfg.Probes {
+		if c < 0 || c >= cfg.Cells {
+			return Result{}, fmt.Errorf("reactor: probe cell %d outside field of %d", c, cfg.Cells)
+		}
+		probeIdx[i] = []int{c}
+	}
+
 	if err := s.AddComponent("reactor", func(ctx *sim.Context, ev sim.Event) error {
 		amount := ev.Payload.(float64)
 		res.TotalInjected += amount
 		// The component's model: a distributed call on the reactor group.
-		return m.Call(procs, ProgInjectDiffuse,
+		if err := m.Call(procs, ProgInjectDiffuse,
 			dcall.Const(cfg.Cells), dcall.Const(amount), dcall.Const(cfg.Alpha),
-			field.Param())
+			field.Param()); err != nil {
+			return err
+		}
+		// Sample the sensors through the task level: one batched gather of
+		// all probe cells, not one read_element round trip per probe.
+		if len(probeIdx) > 0 {
+			vals, err := field.GatherElements(probeIdx)
+			if err != nil {
+				return err
+			}
+			res.ProbeTrace = append(res.ProbeTrace, vals)
+		}
+		return nil
 	}); err != nil {
 		return Result{}, err
 	}
@@ -222,12 +250,26 @@ func RunSequential(cfg Config) Result {
 		}
 		copy(field, next)
 	}
+	for _, c := range cfg.Probes {
+		if c < 0 || c >= cfg.Cells {
+			// Mirror Run's validation; the reference has no error channel,
+			// so fail loudly up front rather than mid-run on a bad index.
+			panic(fmt.Sprintf("reactor: probe cell %d outside field of %d", c, cfg.Cells))
+		}
+	}
 	for t := 0.0; t <= cfg.Horizon; t += cfg.Dt {
 		res.PulsesEmitted++
 		pulse := PumpFlow(t) * cfg.Dt * cfg.ValveCut
 		res.TotalInjected += pulse
 		diffuse(pulse)
 		res.Events += 3 // pump, valve, reactor
+		if len(cfg.Probes) > 0 {
+			row := make([]float64, len(cfg.Probes))
+			for i, c := range cfg.Probes {
+				row[i] = field[c]
+			}
+			res.ProbeTrace = append(res.ProbeTrace, row)
+		}
 	}
 	res.Field = field
 	for _, v := range field {

@@ -56,6 +56,51 @@ func TestMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestProbeTrace pins the task level's scattered-index monitoring: the
+// probe temperatures sampled after every reactor event through the batched
+// gather path must match the sequential reference step for step.
+func TestProbeTrace(t *testing.T) {
+	cfg := testCfg
+	cfg.Probes = []int{0, 3, 7, 3} // scattered sensors, one repeated
+	want := RunSequential(cfg)
+	if len(want.ProbeTrace) != want.PulsesEmitted {
+		t.Fatalf("sequential trace has %d rows for %d pulses", len(want.ProbeTrace), want.PulsesEmitted)
+	}
+	for _, p := range []int{1, 2, 4} {
+		m := core.New(p)
+		if err := RegisterPrograms(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(m, cfg)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if len(got.ProbeTrace) != len(want.ProbeTrace) {
+			t.Fatalf("P=%d: trace has %d rows, want %d", p, len(got.ProbeTrace), len(want.ProbeTrace))
+		}
+		for ev := range want.ProbeTrace {
+			for i := range cfg.Probes {
+				if math.Abs(got.ProbeTrace[ev][i]-want.ProbeTrace[ev][i]) > 1e-9 {
+					t.Fatalf("P=%d: event %d probe %d = %v, want %v",
+						p, ev, i, got.ProbeTrace[ev][i], want.ProbeTrace[ev][i])
+				}
+			}
+		}
+		m.Close()
+	}
+	// Out-of-range probes are rejected up front.
+	m := core.New(2)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Probes = []int{cfg.Cells}
+	if _, err := Run(m, bad); err == nil {
+		t.Fatal("out-of-range probe must fail")
+	}
+}
+
 func TestEventCountStructure(t *testing.T) {
 	// Each pump tick spawns exactly a valve and a reactor event: total
 	// events = 3 * pulses.

@@ -114,6 +114,47 @@ type server struct {
 	mu      sync.Mutex
 	entries map[darray.ID]*entry
 	nextSeq int
+
+	// bufMu guards the reply-buffer pool. It is separate from (and may be
+	// taken under) mu, so owner-side service routines can draw a buffer
+	// while holding the entry lock and coordinators can recycle one without
+	// it.
+	bufMu sync.Mutex
+	bufs  [][]float64
+}
+
+// maxPooledBufs bounds each server's reply-buffer pool; buffers returned
+// beyond the bound are dropped to the garbage collector.
+const maxPooledBufs = 64
+
+// getBuf draws a reply buffer of exactly n elements from the server's
+// pool, allocating only when no pooled buffer is large enough — at a
+// steady state of same-shaped requests, zero allocations per call.
+func (s *server) getBuf(n int) []float64 {
+	s.bufMu.Lock()
+	for i := len(s.bufs) - 1; i >= 0; i-- {
+		if cap(s.bufs[i]) >= n {
+			b := s.bufs[i]
+			s.bufs = append(s.bufs[:i], s.bufs[i+1:]...)
+			s.bufMu.Unlock()
+			return b[:n]
+		}
+	}
+	s.bufMu.Unlock()
+	return make([]float64, n)
+}
+
+// putBuf returns a reply buffer to the pool. Callers must not touch the
+// buffer afterwards; the owning server will hand it to a later request.
+func (s *server) putBuf(b []float64) {
+	if b == nil {
+		return
+	}
+	s.bufMu.Lock()
+	if len(s.bufs) < maxPooledBufs {
+		s.bufs = append(s.bufs, b)
+	}
+	s.bufMu.Unlock()
 }
 
 // Manager is the whole array manager: one server per virtual processor plus
@@ -138,15 +179,15 @@ type request struct {
 	id    darray.ID
 	spec  *CreateSpec
 	meta  *darray.Meta // for create_local / update_meta
-	gidx  []int        // read/write element
-	off   int          // read/write local
-	val   float64
-	lo    []int     // read/write block: rectangle bounds (global at the
-	hi    []int     // coordinator, interior-local at the owner)
-	vals  []float64 // write block: dense data; read block: optional caller buffer
-	which string    // find_info selector; tree fan-out inner op
-	procs []int     // tree fan-out: the target processors, in tree order
-	node  int       // tree fan-out: this request's node index within procs
+	gidx  []int        // copy_local: new borders (via fanout)
+	gidxs [][]int      // read/write vector: global index tuples (coordinator)
+	offs  []int        // read/write vector: storage offsets (owner)
+	lo    []int        // read/write block: rectangle bounds (global at the
+	hi    []int        // coordinator, interior-local at the owner)
+	vals  []float64    // write data; read: optional caller buffer
+	which string       // find_info selector; tree fan-out inner op
+	procs []int        // tree fan-out: the target processors, in tree order
+	node  int          // tree fan-out: this request's node index within procs
 	// verify parameters
 	ndims    int
 	borders  BorderSpec
@@ -157,7 +198,6 @@ type request struct {
 
 type response struct {
 	status  Status
-	val     float64
 	vals    []float64
 	section *darray.Section
 	info    any
@@ -244,14 +284,14 @@ func (m *Manager) handle(proc int, req *request) {
 		resp = m.doFree(proc, req)
 	case "free_local":
 		resp = m.doFreeLocal(proc, req)
-	case "read_element":
-		resp = m.doRead(proc, req)
-	case "read_element_local":
-		resp = m.doReadLocal(proc, req)
-	case "write_element":
-		resp = m.doWrite(proc, req)
-	case "write_element_local":
-		resp = m.doWriteLocal(proc, req)
+	case "read_vector":
+		resp = m.doReadVector(proc, req)
+	case "read_vector_local":
+		resp = m.doReadVectorLocal(proc, req)
+	case "write_vector":
+		resp = m.doWriteVector(proc, req)
+	case "write_vector_local":
+		resp = m.doWriteVectorLocal(proc, req)
 	case "read_block":
 		resp = m.doReadBlock(proc, req)
 	case "read_block_serial":
@@ -513,22 +553,74 @@ func (m *Manager) doFreeLocal(proc int, req *request) response {
 	return response{status: StatusOK}
 }
 
-func (m *Manager) doRead(proc int, req *request) response {
+// doReadVector is the indexed-gather coordinator: it splits the request's
+// global index tuples by owning processor (darray.Meta.OwnerIndices),
+// scatters one read_vector_local request to every remote owner before
+// waiting on any reply, services its own set while the remote owners work,
+// then gathers the replies and scatters the values into the result vector
+// by request position. A k-element gather across P owners costs one
+// request/reply pair per owner, never one per element. If the request
+// carries a caller-supplied buffer, values land straight in it.
+func (m *Manager) doReadVector(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
 		return response{status: st}
 	}
-	owner, off, err := e.meta.Owner(req.gidx)
+	sets, err := e.meta.OwnerIndices(req.gidxs)
 	if err != nil {
 		return response{status: StatusInvalid}
 	}
-	if owner == proc {
-		return m.doReadLocal(proc, &request{id: req.id, off: off})
+	out := req.vals
+	if out != nil && len(out) != len(req.gidxs) {
+		return response{status: StatusInvalid}
 	}
-	return m.send(proc, owner, &request{op: "read_element_local", id: req.id, off: off})
+	if out == nil {
+		out = make([]float64, len(req.gidxs))
+	}
+	replies := make([]chan response, len(sets))
+	for i, s := range sets {
+		if s.Proc == proc {
+			continue
+		}
+		replies[i] = m.sendAsync(proc, s.Proc,
+			&request{op: "read_vector_local", id: req.id, offs: s.Offs})
+	}
+	status := StatusOK
+	// scatter places one owner's reply values at their request positions
+	// and returns the pooled reply buffer to the owner's server.
+	scatter := func(i int, r response) {
+		if r.status != StatusOK {
+			status = r.status
+			return
+		}
+		for j, p := range sets[i].Pos {
+			out[p] = r.vals[j]
+		}
+		m.servers[sets[i].Proc].putBuf(r.vals)
+	}
+	for i, s := range sets {
+		if replies[i] != nil {
+			continue
+		}
+		scatter(i, m.doReadVectorLocal(proc, &request{id: req.id, offs: s.Offs}))
+	}
+	for i := range sets {
+		if replies[i] == nil {
+			continue
+		}
+		scatter(i, <-replies[i])
+	}
+	if status != StatusOK {
+		return response{status: status}
+	}
+	return response{status: StatusOK, vals: out}
 }
 
-func (m *Manager) doReadLocal(proc int, req *request) response {
+// doReadVectorLocal services one owner's share of an indexed gather: the
+// requested storage offsets are read into a pooled reply buffer — zero
+// allocations per request at a steady state. Ownership of the buffer
+// passes to the coordinator, which returns it via putBuf after unpacking.
+func (m *Manager) doReadVectorLocal(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
 		return response{status: st}
@@ -536,28 +628,76 @@ func (m *Manager) doReadLocal(proc int, req *request) response {
 	srv := m.servers[proc]
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
-	if e.section == nil || req.off < 0 || req.off >= e.section.Len() {
+	if e.section == nil {
 		return response{status: StatusError}
 	}
-	return response{status: StatusOK, val: e.section.GetFloat(req.off)}
+	vals := srv.getBuf(len(req.offs))
+	if err := e.section.GatherInto(vals, req.offs); err != nil {
+		srv.putBuf(vals)
+		return response{status: StatusError}
+	}
+	return response{status: StatusOK, vals: vals}
 }
 
-func (m *Manager) doWrite(proc int, req *request) response {
+// doWriteVector is the indexed-scatter coordinator: it splits the request
+// by owning processor and sends each remote owner one write_vector_local
+// request carrying that owner's offsets and values, all posted before any
+// reply is awaited. Offsets within an owner's set preserve request order,
+// so a global index repeated in one request takes the value at its last
+// occurrence (last writer wins), exactly as a sequential loop of
+// write_element calls would leave it.
+func (m *Manager) doWriteVector(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
 		return response{status: st}
 	}
-	owner, off, err := e.meta.Owner(req.gidx)
+	if len(req.vals) != len(req.gidxs) {
+		return response{status: StatusInvalid}
+	}
+	sets, err := e.meta.OwnerIndices(req.gidxs)
 	if err != nil {
 		return response{status: StatusInvalid}
 	}
-	if owner == proc {
-		return m.doWriteLocal(proc, &request{id: req.id, off: off, val: req.val})
+	// pack builds one owner's value vector in set order — a fresh snapshot,
+	// since messages between address spaces carry copies, never views.
+	pack := func(s darray.OwnerIndexSet) []float64 {
+		vals := make([]float64, len(s.Pos))
+		for j, p := range s.Pos {
+			vals[j] = req.vals[p]
+		}
+		return vals
 	}
-	return m.send(proc, owner, &request{op: "write_element_local", id: req.id, off: off, val: req.val})
+	replies := make([]chan response, len(sets))
+	localIdx := -1
+	for i, s := range sets {
+		if s.Proc == proc {
+			localIdx = i
+			continue
+		}
+		replies[i] = m.sendAsync(proc, s.Proc,
+			&request{op: "write_vector_local", id: req.id, offs: s.Offs, vals: pack(s)})
+	}
+	status := StatusOK
+	if localIdx >= 0 {
+		s := sets[localIdx]
+		if r := m.doWriteVectorLocal(proc, &request{id: req.id, offs: s.Offs, vals: pack(s)}); r.status != StatusOK {
+			status = r.status
+		}
+	}
+	for i := range sets {
+		if replies[i] == nil {
+			continue
+		}
+		if r := <-replies[i]; r.status != StatusOK {
+			status = r.status
+		}
+	}
+	return response{status: status}
 }
 
-func (m *Manager) doWriteLocal(proc int, req *request) response {
+// doWriteVectorLocal services one owner's share of an indexed scatter,
+// applying the values in request order (last writer wins for repeats).
+func (m *Manager) doWriteVectorLocal(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
 		return response{status: st}
@@ -565,10 +705,12 @@ func (m *Manager) doWriteLocal(proc int, req *request) response {
 	srv := m.servers[proc]
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
-	if e.section == nil || req.off < 0 || req.off >= e.section.Len() {
+	if e.section == nil {
 		return response{status: StatusError}
 	}
-	e.section.SetFloat(req.off, req.val)
+	if err := e.section.ScatterFrom(req.vals, req.offs); err != nil {
+		return response{status: StatusError}
+	}
 	return response{status: StatusOK}
 }
 
@@ -641,6 +783,7 @@ func (m *Manager) doReadBlock(proc int, req *request) response {
 			continue
 		}
 		copyRuns(true, out, r.vals, b, req.lo, rectDims)
+		m.servers[b.Proc].putBuf(r.vals)
 	}
 	// Gather: drain every reply even after a failure, so no owner's
 	// response is left dangling.
@@ -654,6 +797,7 @@ func (m *Manager) doReadBlock(proc int, req *request) response {
 			continue
 		}
 		copyRuns(true, out, r.vals, b, req.lo, rectDims)
+		m.servers[b.Proc].putBuf(r.vals)
 	}
 	if status != StatusOK {
 		return response{status: status}
@@ -687,10 +831,15 @@ func (m *Manager) doReadBlockSerial(proc int, req *request) response {
 			return response{status: r.status}
 		}
 		copyRuns(true, out, r.vals, b, req.lo, rectDims)
+		m.servers[b.Proc].putBuf(r.vals)
 	}
 	return response{status: StatusOK, vals: out}
 }
 
+// doReadBlockLocal services one owner's share of a bulk read into a pooled
+// reply buffer — zero allocations per request at a steady state. Ownership
+// of the buffer passes to the coordinator, which returns it via putBuf
+// after assembling the rectangle.
 func (m *Manager) doReadBlockLocal(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
@@ -702,8 +851,12 @@ func (m *Manager) doReadBlockLocal(proc int, req *request) response {
 	if e.section == nil {
 		return response{status: StatusError}
 	}
-	vals, err := e.section.ReadBlock(req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
-	if err != nil {
+	if grid.CheckRect(req.lo, req.hi, e.meta.LocalDims) != nil {
+		return response{status: StatusInvalid}
+	}
+	vals := srv.getBuf(grid.RectSize(req.lo, req.hi))
+	if err := e.section.ReadBlockInto(vals, req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
+		srv.putBuf(vals)
 		return response{status: StatusInvalid}
 	}
 	return response{status: StatusOK, vals: vals}
@@ -923,21 +1076,59 @@ func (m *Manager) FreeArray(onProc int, id darray.ID) Status {
 	return m.send(onProc, onProc, &request{op: "free_array", id: id}).status
 }
 
-// ReadElement reads one element by its global indices.
+// GatherElements reads the elements at the given global index tuples,
+// returning their values in request order. The transfer is split by owning
+// processor: one concurrent request per owner, however many elements each
+// owner holds — the indexed companion of ReadBlock for access patterns
+// with no rectangular structure.
+func (m *Manager) GatherElements(onProc int, id darray.ID, indices [][]int) ([]float64, Status) {
+	if m.machine.CheckProc(onProc) != nil {
+		return nil, StatusInvalid
+	}
+	r := m.send(onProc, onProc, &request{op: "read_vector", id: id, gidxs: indices})
+	return r.vals, r.status
+}
+
+// GatherElementsInto is the buffer-reuse variant of GatherElements: dst
+// must hold exactly len(indices) elements and receives the values in
+// place. dst is owned by the caller throughout.
+func (m *Manager) GatherElementsInto(onProc int, id darray.ID, indices [][]int, dst []float64) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	return m.send(onProc, onProc, &request{op: "read_vector", id: id, gidxs: indices, vals: dst}).status
+}
+
+// ScatterElements writes vals[i] to the element at indices[i], split by
+// owning processor into one concurrent request per owner. A repeated index
+// takes the value at its last occurrence in the request (last writer
+// wins). vals is never retained; remote owners receive their own
+// snapshots.
+func (m *Manager) ScatterElements(onProc int, id darray.ID, indices [][]int, vals []float64) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	return m.send(onProc, onProc, &request{op: "write_vector", id: id, gidxs: indices, vals: vals}).status
+}
+
+// ReadElement reads one element by its global indices — the k=1 degenerate
+// case of GatherElements.
 func (m *Manager) ReadElement(onProc int, id darray.ID, indices []int) (float64, Status) {
 	if m.machine.CheckProc(onProc) != nil {
 		return 0, StatusInvalid
 	}
-	r := m.send(onProc, onProc, &request{op: "read_element", id: id, gidx: indices})
-	return r.val, r.status
+	out := make([]float64, 1)
+	st := m.send(onProc, onProc, &request{op: "read_vector", id: id, gidxs: [][]int{indices}, vals: out}).status
+	return out[0], st
 }
 
-// WriteElement writes one element by its global indices.
+// WriteElement writes one element by its global indices — the k=1
+// degenerate case of ScatterElements.
 func (m *Manager) WriteElement(onProc int, id darray.ID, indices []int, v float64) Status {
 	if m.machine.CheckProc(onProc) != nil {
 		return StatusInvalid
 	}
-	return m.send(onProc, onProc, &request{op: "write_element", id: id, gidx: indices, val: v}).status
+	return m.send(onProc, onProc, &request{op: "write_vector", id: id, gidxs: [][]int{indices}, vals: []float64{v}}).status
 }
 
 // localBlockFast attempts the zero-copy local fast path: when the whole

@@ -290,6 +290,109 @@ func TestReadBlockInto(t *testing.T) {
 	}
 }
 
+// TestGatherScatterElements drives the indexed gather/scatter plane at the
+// public API across the bulk-case configuration space: ScatterElements
+// followed by GatherElements and GatherElementsInto must agree with the
+// per-element path on scattered (and repeated) indices.
+func TestGatherScatterElements(t *testing.T) {
+	for _, c := range bulkCases() {
+		t.Run(c.name, func(t *testing.T) {
+			m := newMachine(t, c.p)
+			a, err := m.NewArray(c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Scatter a value to every corner of the sub-rectangle plus its
+			// lo corner again (a repeat: the second write must win).
+			nd := len(c.subLo)
+			corner := func(pick int) []int {
+				idx := make([]int, nd)
+				for d := 0; d < nd; d++ {
+					if pick&(1<<d) != 0 {
+						idx[d] = c.subHi[d] - 1
+					} else {
+						idx[d] = c.subLo[d]
+					}
+				}
+				return idx
+			}
+			var indices [][]int
+			for pick := 0; pick < 1<<nd; pick++ {
+				indices = append(indices, corner(pick))
+			}
+			indices = append(indices, corner(0))
+			vals := make([]float64, len(indices))
+			for i := range vals {
+				vals[i] = float64(10*i + 1)
+			}
+			if err := a.ScatterElements(indices, vals); err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.GatherElements(indices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]float64, len(indices))
+			if err := a.GatherElementsInto(indices, dst); err != nil {
+				t.Fatal(err)
+			}
+			for i, idx := range indices {
+				want, err := a.Read(idx...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i] != want || dst[i] != want {
+					t.Fatalf("gather[%d] (%v) = %v/%v, element read %v", i, idx, got[i], dst[i], want)
+				}
+			}
+			// The repeated lo corner holds its last-written value.
+			want := vals[len(vals)-1]
+			if c.spec.Type == darray.Int {
+				want = float64(int64(want))
+			}
+			if v, err := a.Read(corner(0)...); err != nil || v != want {
+				t.Fatalf("repeated index = %v (%v), want last-written %v", v, err, want)
+			}
+		})
+	}
+}
+
+// TestGatherMessageBudget bounds the indexed plane at the public API: a
+// k-element gather or scatter costs one coordinator request plus at most
+// one request per remote owner — never one per element.
+func TestGatherMessageBudget(t *testing.T) {
+	const p = 4
+	m := newMachine(t, p)
+	a, err := m.NewArray(ArraySpec{Dims: []int{256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 128
+	indices := make([][]int, k)
+	vals := make([]float64, k)
+	for i := range indices {
+		indices[i] = []int{(i * 11) % 256}
+		vals[i] = float64(i)
+	}
+	budget := uint64(1 + p - 1)
+	router := m.VM.Router()
+
+	before := router.Sent()
+	if err := a.ScatterElements(indices, vals); err != nil {
+		t.Fatal(err)
+	}
+	if got := router.Sent() - before; got > budget {
+		t.Fatalf("%d-element scatter sent %d messages, budget %d", k, got, budget)
+	}
+	before = router.Sent()
+	if _, err := a.GatherElements(indices); err != nil {
+		t.Fatal(err)
+	}
+	if got := router.Sent() - before; got > budget {
+		t.Fatalf("%d-element gather sent %d messages, budget %d", k, got, budget)
+	}
+}
+
 // TestLocalBlockOpsAllocationFree pins the zero-copy local fast path at
 // the public API: reading or writing a wholly-local rectangle through
 // core.Array performs zero heap allocations and sends zero messages.

@@ -230,6 +230,34 @@ func (a *Array) WriteBlock(lo, hi []int, vals []float64) error {
 	return statusErr("write_block", a.m.AM.WriteBlock(a.onProc, a.id, lo, hi, vals))
 }
 
+// GatherElements reads the elements at the given global index tuples in
+// one operation, returning their values in request order
+// (am_user_gather_elements). The transfer is split by owning processor —
+// one concurrent request per owner — so k scattered elements cost
+// O(#owners) messages instead of the k round trips of a Read loop. Read is
+// the k=1 degenerate case.
+func (a *Array) GatherElements(indices [][]int) ([]float64, error) {
+	vals, st := a.m.AM.GatherElements(a.onProc, a.id, indices)
+	return vals, statusErr("read_vector", st)
+}
+
+// GatherElementsInto is the buffer-reuse variant of GatherElements: dst
+// must hold exactly len(indices) elements and receives the values in
+// place. The buffer is owned by the caller throughout and may be reused
+// across calls.
+func (a *Array) GatherElementsInto(indices [][]int, dst []float64) error {
+	return statusErr("read_vector", a.m.AM.GatherElementsInto(a.onProc, a.id, indices, dst))
+}
+
+// ScatterElements writes vals[i] to the element at indices[i]
+// (am_user_scatter_elements), one concurrent request per owning processor.
+// A repeated index takes the value at its last occurrence (last writer
+// wins), exactly as the equivalent Write loop would leave it. vals is
+// never retained; the caller may reuse it as soon as the call returns.
+func (a *Array) ScatterElements(indices [][]int, vals []float64) error {
+	return statusErr("write_vector", a.m.AM.ScatterElements(a.onProc, a.id, indices, vals))
+}
+
 // blockBufs pools dense rectangle buffers for FillBlock/Fill, which would
 // otherwise allocate a rectangle-sized buffer per call. Safe because
 // WriteBlock never retains its argument.

@@ -305,6 +305,63 @@ func (m *Meta) OwnerBlocks(lo, hi []int) ([]OwnerBlock, error) {
 	return out, nil
 }
 
+// OwnerIndexSet describes the elements of a scattered-index vector held by
+// one local section: the owning processor, the flat storage offsets of the
+// elements within that processor's bordered section storage, and the
+// positions of those elements within the request vector. It is the unit of
+// the indexed gather/scatter plane — each OwnerIndexSet moves in one
+// message, the way each OwnerBlock does on the bulk plane.
+type OwnerIndexSet struct {
+	Proc int
+	Offs []int // storage offsets, border-displaced, in the section's indexing
+	Pos  []int // positions within the request vector, in request order
+}
+
+// OwnerIndices splits a vector of global index tuples by owning local
+// section, sets ordered by first appearance in the request vector.
+// Offsets within a set appear in request order, so
+// applying a set's writes in order preserves the request's write order for
+// repeated indices (last writer wins). Every element of indices appears in
+// exactly one set; an empty vector yields no sets.
+func (m *Meta) OwnerIndices(indices [][]int) ([]OwnerIndexSet, error) {
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	strides := grid.Strides(m.LocalDimsPlus, m.Indexing)
+	n := m.NDims()
+	bySlot := make(map[int]int) // slot -> index into sets
+	var sets []OwnerIndexSet
+	for pos, gidx := range indices {
+		if err := grid.CheckIndex(gidx, m.Dims); err != nil {
+			return nil, err
+		}
+		// Inline GlobalToLocal + ProcSlot + StorageOffset so resolving k
+		// indices costs no per-index allocation.
+		slot, off := 0, 0
+		if m.GridIndexing == grid.RowMajor {
+			for i := 0; i < n; i++ {
+				slot = slot*m.GridDims[i] + gidx[i]/m.LocalDims[i]
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				slot = slot*m.GridDims[i] + gidx[i]/m.LocalDims[i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			off += (gidx[i]%m.LocalDims[i] + m.Borders[2*i]) * strides[i]
+		}
+		si, ok := bySlot[slot]
+		if !ok {
+			si = len(sets)
+			bySlot[slot] = si
+			sets = append(sets, OwnerIndexSet{Proc: m.Procs[slot]})
+		}
+		sets[si].Offs = append(sets[si].Offs, off)
+		sets[si].Pos = append(sets[si].Pos, pos)
+	}
+	return sets, nil
+}
+
 // Section is the storage for one local section, including borders. Exactly
 // one of F and I is non-nil, matching the element type. A Section plays the
 // role of the paper's pseudo-definitional array: it is created by the array
@@ -512,6 +569,60 @@ func (s *Section) fastCopy(read bool, vals []float64, lo, hi, localDims, borders
 			return
 		}
 	}
+}
+
+// GatherInto reads the elements at the given flat storage offsets into dst,
+// which the caller supplies and owns; dst must hold exactly len(offs)
+// elements. Offsets are bounds-checked against the section storage but are
+// otherwise trusted — OwnerIndices computes them border-displaced from
+// validated global indices. The copy performs no heap allocation, making it
+// the owner-side service routine of the indexed gather plane.
+func (s *Section) GatherInto(dst []float64, offs []int) error {
+	if len(dst) != len(offs) {
+		return fmt.Errorf("darray: buffer of %d elements for %d offsets", len(dst), len(offs))
+	}
+	n := s.Len()
+	for _, off := range offs {
+		if off < 0 || off >= n {
+			return fmt.Errorf("darray: gather offset %d outside section of %d elements", off, n)
+		}
+	}
+	if s.Type == Int {
+		for i, off := range offs {
+			dst[i] = float64(s.I[off])
+		}
+	} else {
+		for i, off := range offs {
+			dst[i] = s.F[off]
+		}
+	}
+	return nil
+}
+
+// ScatterFrom writes vals[i] to storage offset offs[i], in order, so a
+// repeated offset takes the value at its last occurrence (last writer
+// wins). vals must hold exactly len(offs) elements; the copy performs no
+// heap allocation.
+func (s *Section) ScatterFrom(vals []float64, offs []int) error {
+	if len(vals) != len(offs) {
+		return fmt.Errorf("darray: %d values for %d offsets", len(vals), len(offs))
+	}
+	n := s.Len()
+	for _, off := range offs {
+		if off < 0 || off >= n {
+			return fmt.Errorf("darray: scatter offset %d outside section of %d elements", off, n)
+		}
+	}
+	if s.Type == Int {
+		for i, off := range offs {
+			s.I[off] = int64(vals[i])
+		}
+	} else {
+		for i, off := range offs {
+			s.F[off] = vals[i]
+		}
+	}
+	return nil
 }
 
 // CopyInterior copies the interior (non-border) data of src into dst, where

@@ -1,0 +1,233 @@
+package darray
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// metaFor builds the Meta the array manager would produce for dims over a
+// processor grid, with the given borders and indexing.
+func metaFor(t *testing.T, dims, gridDims, borders []int, ix grid.Indexing) *Meta {
+	t.Helper()
+	localDims, err := grid.LocalDims(dims, gridDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := DimsPlus(localDims, borders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]int, grid.Size(gridDims))
+	for i := range procs {
+		procs[i] = 10 + 3*i // non-identity processor numbering
+	}
+	return &Meta{
+		ID: ID{Proc: 0, Seq: 0}, Type: Double,
+		Dims:      append([]int(nil), dims...),
+		Procs:     procs,
+		GridDims:  append([]int(nil), gridDims...),
+		LocalDims: localDims, Borders: append([]int(nil), borders...),
+		LocalDimsPlus: plus,
+		Indexing:      ix, GridIndexing: ix,
+	}
+}
+
+// TestOwnerIndicesMatchesOwner checks the vector split against the scalar
+// Owner resolution: every index lands in exactly one set, on the processor
+// and at the storage offset Owner reports, with positions covering the
+// request vector exactly once in request order.
+func TestOwnerIndicesMatchesOwner(t *testing.T) {
+	cases := []struct {
+		name     string
+		dims     []int
+		gridDims []int
+		borders  []int
+		ix       grid.Indexing
+	}{
+		{"1d", []int{24}, []int{4}, []int{0, 0}, grid.RowMajor},
+		{"1d/bordered", []int{12}, []int{3}, []int{2, 1}, grid.RowMajor},
+		{"2d/row", []int{8, 6}, []int{2, 2}, []int{0, 0, 0, 0}, grid.RowMajor},
+		{"2d/row/bordered", []int{8, 6}, []int{2, 3}, []int{1, 1, 2, 0}, grid.RowMajor},
+		{"2d/col/bordered", []int{8, 6}, []int{2, 2}, []int{1, 0, 0, 1}, grid.ColMajor},
+		{"3d", []int{4, 6, 2}, []int{2, 3, 1}, []int{1, 0, 0, 1, 1, 1}, grid.ColMajor},
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := metaFor(t, c.dims, c.gridDims, c.borders, c.ix)
+			const k = 64
+			indices := make([][]int, k)
+			for i := range indices {
+				idx := make([]int, len(c.dims))
+				for d := range idx {
+					idx[d] = rng.Intn(c.dims[d])
+				}
+				indices[i] = idx
+			}
+			sets, err := m.OwnerIndices(indices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seenProc := map[int]bool{}
+			seenPos := map[int]bool{}
+			for _, s := range sets {
+				if seenProc[s.Proc] {
+					t.Fatalf("processor %d appears in two sets", s.Proc)
+				}
+				seenProc[s.Proc] = true
+				if len(s.Offs) != len(s.Pos) || len(s.Offs) == 0 {
+					t.Fatalf("malformed set: %d offsets, %d positions", len(s.Offs), len(s.Pos))
+				}
+				last := -1
+				for j, pos := range s.Pos {
+					if seenPos[pos] {
+						t.Fatalf("position %d appears twice", pos)
+					}
+					seenPos[pos] = true
+					if pos <= last {
+						t.Fatalf("positions out of request order: %v", s.Pos)
+					}
+					last = pos
+					wantProc, wantOff, err := m.Owner(indices[pos])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if s.Proc != wantProc || s.Offs[j] != wantOff {
+						t.Fatalf("index %v resolved to proc %d off %d, Owner says %d/%d",
+							indices[pos], s.Proc, s.Offs[j], wantProc, wantOff)
+					}
+				}
+			}
+			if len(seenPos) != k {
+				t.Fatalf("sets cover %d of %d positions", len(seenPos), k)
+			}
+		})
+	}
+}
+
+// TestOwnerIndicesErrors rejects malformed index vectors and accepts the
+// empty one.
+func TestOwnerIndicesErrors(t *testing.T) {
+	m := metaFor(t, []int{8, 6}, []int{2, 2}, NoBorders(2), grid.RowMajor)
+	if sets, err := m.OwnerIndices(nil); err != nil || sets != nil {
+		t.Fatalf("empty vector: sets=%v err=%v", sets, err)
+	}
+	if _, err := m.OwnerIndices([][]int{{0, 0}, {8, 0}}); err == nil {
+		t.Fatal("out-of-range index must fail")
+	}
+	if _, err := m.OwnerIndices([][]int{{1}}); err == nil {
+		t.Fatal("short index tuple must fail")
+	}
+}
+
+// TestSectionGatherScatter checks GatherInto/ScatterFrom against the
+// per-element StorageOffset path across section layouts, including
+// last-writer-wins for repeated offsets.
+func TestSectionGatherScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, c := range sectionCases() {
+		t.Run(c.name, func(t *testing.T) {
+			plus, err := DimsPlus(c.localDims, c.borders)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSection(c.typ, grid.Size(plus))
+			// Pick k interior offsets (with repeats) via StorageOffset.
+			const k = 20
+			offs := make([]int, k)
+			vals := make([]float64, k)
+			for i := range offs {
+				idx := make([]int, len(c.localDims))
+				for d := range idx {
+					idx[d] = rng.Intn(c.localDims[d])
+				}
+				off, err := StorageOffset(idx, c.localDims, c.borders, c.ix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				offs[i] = off
+				vals[i] = float64(i + 1)
+			}
+			offs[k-1] = offs[0] // force at least one repeat
+			if err := s.ScatterFrom(vals, offs); err != nil {
+				t.Fatal(err)
+			}
+			// Each offset must hold the value of its last occurrence in
+			// the request (last writer wins).
+			lastVal := map[int]float64{}
+			for i, off := range offs {
+				lastVal[off] = vals[i]
+			}
+			for off, v := range lastVal {
+				if c.typ == Int {
+					v = float64(int64(v))
+				}
+				if got := s.GetFloat(off); got != v {
+					t.Fatalf("offset %d = %v, want last-written %v", off, got, v)
+				}
+			}
+			// Gather reads back exactly what the storage holds.
+			dst := make([]float64, k)
+			if err := s.GatherInto(dst, offs); err != nil {
+				t.Fatal(err)
+			}
+			for i, off := range offs {
+				if dst[i] != s.GetFloat(off) {
+					t.Fatalf("gather[%d] = %v, storage %v", i, dst[i], s.GetFloat(off))
+				}
+			}
+		})
+	}
+}
+
+// TestSectionGatherScatterZeroAllocs pins the owner-side service copies at
+// zero heap allocations.
+func TestSectionGatherScatterZeroAllocs(t *testing.T) {
+	s := NewSection(Double, 64)
+	offs := []int{3, 17, 42, 8, 8, 63, 0}
+	buf := make([]float64, len(offs))
+	gather := testing.AllocsPerRun(200, func() {
+		if err := s.GatherInto(buf, offs); err != nil {
+			t.Error(err)
+		}
+	})
+	scatter := testing.AllocsPerRun(200, func() {
+		if err := s.ScatterFrom(buf, offs); err != nil {
+			t.Error(err)
+		}
+	})
+	if gather != 0 {
+		t.Errorf("GatherInto: %v allocs/op, want 0", gather)
+	}
+	if scatter != 0 {
+		t.Errorf("ScatterFrom: %v allocs/op, want 0", scatter)
+	}
+}
+
+// TestSectionGatherScatterErrors rejects length mismatches and
+// out-of-range offsets without partial writes going unnoticed.
+func TestSectionGatherScatterErrors(t *testing.T) {
+	s := NewSection(Double, 8)
+	if err := s.GatherInto(make([]float64, 2), []int{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if err := s.GatherInto(make([]float64, 1), []int{8}); err == nil {
+		t.Fatal("out-of-range offset must fail")
+	}
+	if err := s.ScatterFrom([]float64{1}, []int{-1}); err == nil {
+		t.Fatal("negative offset must fail")
+	}
+	if err := s.ScatterFrom([]float64{1, 2}, []int{0}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	// Offsets are validated up front: a bad offset anywhere means nothing
+	// is written.
+	if err := s.ScatterFrom([]float64{5, 6}, []int{0, 99}); err == nil {
+		t.Fatal("trailing bad offset must fail")
+	}
+	if s.F[0] != 0 {
+		t.Fatalf("failed scatter wrote %v before validating", s.F[0])
+	}
+}

@@ -21,6 +21,22 @@ func newRuntime(t *testing.T, p int) *Runtime {
 	return NewRuntime(machine, arraymgr.New(machine))
 }
 
+// gatherVector reads elements 0..n-1 of a distributed vector in one
+// batched gather (the task level's scattered-index access path) instead of
+// n read_element round trips.
+func gatherVector(t *testing.T, r *Runtime, onProc int, id darray.ID, n int) []float64 {
+	t.Helper()
+	indices := make([][]int, n)
+	for i := range indices {
+		indices[i] = []int{i}
+	}
+	vals, st := r.AM.GatherElements(onProc, id, indices)
+	if st != arraymgr.StatusOK {
+		t.Fatalf("GatherElements: %v", st)
+	}
+	return vals
+}
+
 func createVector(t *testing.T, r *Runtime, n int, procs []int) darray.ID {
 	t.Helper()
 	id, st := r.AM.CreateArray(0, arraymgr.CreateSpec{
@@ -71,11 +87,11 @@ func TestLocalSectionDataFlow(t *testing.T) {
 	if st != StatusOK {
 		t.Fatalf("status = %d", st)
 	}
+	got := gatherVector(t, r, 0, id, 8)
 	for g := 0; g < 8; g++ {
 		want := float64((g/2)*100 + g%2)
-		v, ast := r.AM.ReadElement(0, id, []int{g})
-		if ast != arraymgr.StatusOK || v != want {
-			t.Fatalf("element %d = %v,%v want %v", g, v, ast, want)
+		if got[g] != want {
+			t.Fatalf("element %d = %v, want %v", g, got[g], want)
 		}
 	}
 }
@@ -321,11 +337,11 @@ func TestCopiesCommunicateWithinCall(t *testing.T) {
 	if st != StatusOK {
 		t.Fatalf("status = %d", st)
 	}
+	got := gatherVector(t, r, 0, id, 3)
 	for g := 0; g < 3; g++ {
 		want := float64((g + 2) % 3)
-		v, _ := r.AM.ReadElement(0, id, []int{g})
-		if v != want {
-			t.Fatalf("element %d = %v, want %v", g, v, want)
+		if got[g] != want {
+			t.Fatalf("element %d = %v, want %v", g, got[g], want)
 		}
 	}
 }
@@ -359,11 +375,11 @@ func TestConcurrentDistributedCalls(t *testing.T) {
 	if statuses[0] != StatusOK || statuses[1] != StatusOK {
 		t.Fatalf("statuses = %v", statuses)
 	}
+	gotA := gatherVector(t, r, 0, idA, 2)
+	gotB := gatherVector(t, r, 2, idB, 2)
 	for g := 0; g < 2; g++ {
-		va, _ := r.AM.ReadElement(0, idA, []int{g})
-		vb, _ := r.AM.ReadElement(2, idB, []int{g})
-		if va != 100+float64(1-g) || vb != 200+float64(1-g) {
-			t.Fatalf("cross-talk: A[%d]=%v B[%d]=%v", g, va, g, vb)
+		if gotA[g] != 100+float64(1-g) || gotB[g] != 200+float64(1-g) {
+			t.Fatalf("cross-talk: A[%d]=%v B[%d]=%v", g, gotA[g], g, gotB[g])
 		}
 	}
 
@@ -407,16 +423,16 @@ func TestRegistryAndNamedCall(t *testing.T) {
 
 	procs := []int{0, 1}
 	id := createVector(t, r, 4, procs)
-	for g := 0; g < 4; g++ {
-		r.AM.WriteElement(0, id, []int{g}, float64(g))
+	if st := r.AM.ScatterElements(0, id, [][]int{{0}, {1}, {2}, {3}}, []float64{0, 1, 2, 3}); st != arraymgr.StatusOK {
+		t.Fatalf("ScatterElements: %v", st)
 	}
 	if st := r.Call(0, procs, "test:double_it", []Param{Local(id)}); st != StatusOK {
 		t.Fatalf("status = %d", st)
 	}
+	got := gatherVector(t, r, 0, id, 4)
 	for g := 0; g < 4; g++ {
-		v, _ := r.AM.ReadElement(0, id, []int{g})
-		if v != float64(2*g) {
-			t.Fatalf("element %d = %v", g, v)
+		if got[g] != float64(2*g) {
+			t.Fatalf("element %d = %v", g, got[g])
 		}
 	}
 }

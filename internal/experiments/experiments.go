@@ -166,12 +166,15 @@ func E2Pipeline(w io.Writer) error {
 // --- E3: reactor ---
 
 // E3Reactor checks determinism and conservation of the discrete-event
-// simulation and reports event throughput.
+// simulation and reports event throughput. Three temperature probes are
+// sampled through the task level after every reactor event — one batched
+// gather per event — and must trace the sequential reference exactly.
 func E3Reactor(w io.Writer) error {
 	fmt.Fprintln(w, "E3 (Fig 2.3) reactor discrete-event simulation")
 	fmt.Fprintln(w, "cells  P  events  injected    conserved  events/ms")
 	for _, c := range []struct{ cells, p int }{{8, 2}, {32, 4}, {64, 8}} {
-		cfg := reactor.Config{Cells: c.cells, Dt: 0.25, Horizon: 8, Alpha: 0.25, ValveCut: 0.8}
+		cfg := reactor.Config{Cells: c.cells, Dt: 0.25, Horizon: 8, Alpha: 0.25, ValveCut: 0.8,
+			Probes: []int{0, c.cells / 2, c.cells - 1}}
 		m := core.New(c.p)
 		if err := reactor.RegisterPrograms(m); err != nil {
 			return err
@@ -190,10 +193,18 @@ func E3Reactor(w io.Writer) error {
 		if res.Events != ref.Events {
 			return fmt.Errorf("E3: event count %d != sequential %d", res.Events, ref.Events)
 		}
+		for ev := range ref.ProbeTrace {
+			for i := range cfg.Probes {
+				if math.Abs(res.ProbeTrace[ev][i]-ref.ProbeTrace[ev][i]) > 1e-9 {
+					return fmt.Errorf("E3: probe %d diverges at event %d", i, ev)
+				}
+			}
+		}
 		fmt.Fprintf(w, "%5d  %d  %6d  %9.5f   yes        %8.1f\n",
 			c.cells, c.p, res.Events, res.TotalInjected,
 			float64(res.Events)/float64(el.Milliseconds()+1))
 	}
+	fmt.Fprintln(w, "probe sensors (batched gathers at the task level) trace the sequential run exactly.")
 	return nil
 }
 
@@ -632,6 +643,29 @@ func E13ArrayManagerOps(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "read_element   local %-10v remote %v\n", localRead, remoteRead)
 	fmt.Fprintf(w, "write_element  local %-10v remote %v\n", localWrite, remoteWrite)
+	// Scattered access: all 8 elements (spread over the 4 owners) through
+	// the per-element loop vs one batched gather.
+	scattered := make([][]int, 8)
+	for i := range scattered {
+		scattered[i] = []int{i}
+	}
+	buf := make([]float64, len(scattered))
+	perElem, err := timeOp(func() error {
+		for _, idx := range scattered {
+			if _, err := a.ReadOn(0, idx[0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	gathered, err := timeOp(func() error { return a.GatherElementsInto(scattered, buf) })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "8 scattered elements: read_element loop %-10v gather_elements %v\n", perElem, gathered)
 	fmt.Fprintln(w, "create/free of an array distributed over P processors:")
 	for _, p := range []int{1, 2, 4, 8} {
 		mm := core.New(p)
@@ -800,16 +834,17 @@ func E17VerifyBorders(w io.Writer) error {
 			return err
 		}
 		tRealloc := time.Since(t0)
-		// Spot-check the interior.
-		ok := true
-		for _, i := range []int{0, n / 2, n - 1} {
-			v, err := a.Read(i)
-			if err != nil || v != float64(i) {
-				ok = false
-			}
+		// Spot-check the interior: one batched gather of the scattered
+		// check points instead of a read_element loop.
+		spots := [][]int{{0}, {n / 2}, {n - 1}}
+		vals, err := a.GatherElements(spots)
+		if err != nil {
+			return err
 		}
-		if !ok {
-			return fmt.Errorf("E17: interior lost after reallocation")
+		for i, idx := range spots {
+			if vals[i] != float64(idx[0]) {
+				return fmt.Errorf("E17: interior lost after reallocation: element %d = %v", idx[0], vals[i])
+			}
 		}
 		fmt.Fprintf(w, "%7d    %-15v   %-14v   yes\n", n,
 			tMatch.Round(time.Microsecond), tRealloc.Round(time.Microsecond))

@@ -5,11 +5,14 @@
 // filled with the neighbouring copies' interior edge slabs; climate and
 // stencil used to do this with ad-hoc per-edge Send/Recv loops, each
 // hand-rolling the slab extraction and the border write. HaloExchange
-// lifts the pattern onto the grid rectangle arithmetic: every neighbour
-// send is posted before any receive (sends are asynchronous, so no pairing
-// of sends and receives can deadlock, and the slabs snapshot the
-// pre-exchange interior), and each received slab is written straight into
-// the section's border storage — one message per neighbour per exchange.
+// lifts the pattern onto the grid rectangle arithmetic: the exchange runs
+// dimension by dimension, each dimension's sends posted before its
+// receives (sends are asynchronous, so no pairing of sends and receives
+// can deadlock), and each received slab is written straight into the
+// section's border storage — one message per neighbour per dimension per
+// exchange. Because a dimension's slab spans the borders the earlier
+// dimensions filled, diagonal corner values are relayed through the face
+// neighbours, and nine-point stencils need no extra messages.
 package spmd
 
 import (
@@ -47,13 +50,23 @@ const (
 func haloKind(d, dir int) int { return kindHalo - (2*d + dir) }
 
 // HaloExchange fills the section's border locations along every decomposed
-// dimension with the neighbouring copies' interior edge slabs, and sends
-// this copy's edge slabs to the neighbours that need them. Exchanges are
-// face-only: a border location in more than one dimension's border (a
-// corner) is not filled. Borders on the physical boundary of the grid
-// (coordinate 0 or GridDims[d]-1) are left untouched for the program to
-// fill with its boundary condition. Every copy of the group must call it
-// the same number of times.
+// dimension with the neighbouring copies' edge slabs, and sends this
+// copy's edge slabs to the neighbours that need them. The exchange runs
+// dimension by dimension, and the slab shipped in dimension d spans the
+// full bordered extent of every already-exchanged dimension (< d) and the
+// interior extent of the rest — the standard trick that fills diagonal
+// corners without diagonal messages: dimension 0 delivers a corner value
+// to a face neighbour, and each later dimension relays it onward inside
+// the face slab. After the exchange, every border location whose global
+// position lies inside a neighbouring section holds that section's value,
+// corners included, so nine-point stencils read correct diagonals. Borders
+// on the physical boundary of the grid (coordinate 0 or GridDims[d]-1)
+// are left for the program's boundary condition, except that corner cells
+// relayed through a neighbour receive copies of that neighbour's physical
+// border contents (the same global locations, so a boundary condition
+// written before the exchange is preserved). The message budget is one
+// message per neighbour per dimension per exchange, however wide the
+// borders. Every copy of the group must call it the same number of times.
 func (w *World) HaloExchange(h Halo) error {
 	n := len(h.LocalDims)
 	if h.Section == nil || n == 0 {
@@ -84,23 +97,34 @@ func (w *World) HaloExchange(h Halo) error {
 		coord[d] -= delta
 		return slot, err
 	}
-	// sendSlab ships the interior slab with dimension-d extent [from, to)
-	// (full interior extent in every other dimension — faces, not corners).
-	sendSlab := func(d, from, to, dir, rank int) error {
+	// slabBounds sets [lo, hi) for a dimension-d slab in storage
+	// coordinates (the bordered box addressed as the borderless interior
+	// of a plus-shaped section, which is exactly what border locations
+	// are): already-exchanged dimensions (< d) span the full bordered
+	// extent — this is what relays corner values — and the rest span the
+	// interior only.
+	slabBounds := func(d, from, to int) {
 		for i := 0; i < n; i++ {
-			lo[i], hi[i] = 0, h.LocalDims[i]
+			if i < d {
+				lo[i], hi[i] = 0, plus[i]
+			} else {
+				lo[i], hi[i] = h.Borders[2*i], h.Borders[2*i]+h.LocalDims[i]
+			}
 		}
 		lo[d], hi[d] = from, to
-		vals, err := h.Section.ReadBlock(lo, hi, h.LocalDims, h.Borders, h.Indexing)
+	}
+	// sendSlab snapshots the storage slab with dimension-d extent
+	// [from, to) and ships it (messages carry copies, never views).
+	sendSlab := func(d, from, to, dir, rank int) error {
+		slabBounds(d, from, to)
+		vals, err := h.Section.ReadBlock(lo, hi, plus, none, h.Indexing)
 		if err != nil {
 			return err
 		}
 		return w.sendInternal(rank, haloKind(d, dir), vals)
 	}
 	// recvSlab receives a neighbour slab and writes it straight into the
-	// border storage rectangle with dimension-d storage extent [from, to):
-	// the bordered box is addressed as the borderless interior of a
-	// plus-shaped section, which is exactly what border locations are.
+	// border storage rectangle with dimension-d storage extent [from, to).
 	recvSlab := func(d, from, to, dir, rank int) error {
 		m, err := w.recvInternal(rank, haloKind(d, dir))
 		if err != nil {
@@ -110,14 +134,15 @@ func (w *World) HaloExchange(h Halo) error {
 		if !ok {
 			return fmt.Errorf("spmd: halo expected []float64, got %T", m.Data)
 		}
-		for i := 0; i < n; i++ {
-			lo[i], hi[i] = h.Borders[2*i], h.Borders[2*i]+h.LocalDims[i]
-		}
-		lo[d], hi[d] = from, to
+		slabBounds(d, from, to)
 		return h.Section.WriteBlock(vals, lo, hi, plus, none, h.Indexing)
 	}
 
-	// Post all sends before any receive.
+	// One phase per dimension, in order; a phase's sends must carry the
+	// borders the previous phases filled, so the phases cannot be fused.
+	// Within a phase, both sends are posted before either receive (sends
+	// are asynchronous, so no pairing can deadlock and the slabs snapshot
+	// the pre-receive storage).
 	for d := 0; d < n; d++ {
 		bl, bh := h.Borders[2*d], h.Borders[2*d+1]
 		if coord[d] > 0 && bh > 0 {
@@ -127,7 +152,7 @@ func (w *World) HaloExchange(h Halo) error {
 			if err != nil {
 				return err
 			}
-			if err := sendSlab(d, 0, bh, haloToLow, rank); err != nil {
+			if err := sendSlab(d, bl, bl+bh, haloToLow, rank); err != nil {
 				return err
 			}
 		}
@@ -138,14 +163,10 @@ func (w *World) HaloExchange(h Halo) error {
 			if err != nil {
 				return err
 			}
-			if err := sendSlab(d, h.LocalDims[d]-bl, h.LocalDims[d], haloToHigh, rank); err != nil {
+			if err := sendSlab(d, h.LocalDims[d], h.LocalDims[d]+bl, haloToHigh, rank); err != nil {
 				return err
 			}
 		}
-	}
-	// Receive each neighbour's slab into this copy's border storage.
-	for d := 0; d < n; d++ {
-		bl, bh := h.Borders[2*d], h.Borders[2*d+1]
 		if coord[d] > 0 && bl > 0 {
 			rank, err := nbr(d, -1)
 			if err != nil {
@@ -160,7 +181,7 @@ func (w *World) HaloExchange(h Halo) error {
 			if err != nil {
 				return err
 			}
-			if err := recvSlab(d, h.Borders[2*d]+h.LocalDims[d], h.Borders[2*d]+h.LocalDims[d]+bh, haloToLow, rank); err != nil {
+			if err := recvSlab(d, bl+h.LocalDims[d], bl+h.LocalDims[d]+bh, haloToLow, rank); err != nil {
 				return err
 			}
 		}

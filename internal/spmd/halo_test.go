@@ -105,8 +105,11 @@ func TestHaloExchange1D(t *testing.T) {
 }
 
 // TestHaloExchange2D runs a 2x2 grid with one-cell borders in both
-// dimensions: face slabs cross in both dimensions while corners stay
-// unfilled, under both storage indexing orders.
+// dimensions under both storage indexing orders: face slabs cross in both
+// dimensions, and the diagonal corners arrive too — relayed through the
+// face neighbours by the dimension-by-dimension exchange, with no extra
+// messages. Border cells whose global position lies outside the field
+// (the physical boundary) stay untouched.
 func TestHaloExchange2D(t *testing.T) {
 	for _, ix := range []grid.Indexing{grid.RowMajor, grid.ColMajor} {
 		t.Run(ix.String(), func(t *testing.T) {
@@ -169,10 +172,11 @@ func TestHaloExchange2D(t *testing.T) {
 					switch {
 					case inRow && inCol: // interior, untouched
 						want = global(gi, gj)
-					case inRow != inCol && gi >= 0 && gi < 2*l && gj >= 0 && gj < 2*l:
-						// face border with a real neighbour: filled
+					case gi >= 0 && gi < 2*l && gj >= 0 && gj < 2*l:
+						// border whose global position some section owns:
+						// filled — faces directly, corners by relay.
 						want = global(gi, gj)
-					default: // corner or physical edge: untouched
+					default: // physical edge: untouched
 						want = sentinel
 					}
 					if got != want {
@@ -185,6 +189,71 @@ func TestHaloExchange2D(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestHaloExchangeCorners is the nine-point-stencil property on a 3x3
+// grid: after one exchange, the centre rank's bordered storage holds the
+// correct global value at every location — four faces and four diagonal
+// corners — and the message budget is exactly one message per neighbour
+// per dimension (no diagonal messages: corners travel inside the face
+// slabs of the second dimension).
+func TestHaloExchangeCorners(t *testing.T) {
+	const g = 3 // 3x3 grid
+	const l = 2 // 2x2 interior per section
+	borders := []int{1, 1, 1, 1}
+	const sentinel = -55.0
+	r := msg.NewRouter(g * g)
+	defer r.Close()
+	procs := make([]int, g*g)
+	for i := range procs {
+		procs[i] = i
+	}
+	gridDims := []int{g, g}
+
+	global := func(gi, gj int) float64 { return float64(100*gi + gj) }
+	secs := make([]*darray.Section, g*g)
+	for me := 0; me < g*g; me++ {
+		coord, err := grid.Unflatten(me, gridDims, grid.RowMajor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs[me] = haloSection([]int{l, l}, borders, grid.RowMajor, sentinel, func(idx []int) float64 {
+			return global(coord[0]*l+idx[0], coord[1]*l+idx[1])
+		})
+	}
+
+	before := r.Sent()
+	runGroup(t, r, procs, 11, func(w *World) error {
+		return w.HaloExchange(Halo{
+			Section:      secs[w.Rank()],
+			LocalDims:    []int{l, l},
+			Borders:      borders,
+			GridDims:     gridDims,
+			Indexing:     grid.RowMajor,
+			GridIndexing: grid.RowMajor,
+		})
+	})
+	// Per dimension: 2 directed messages per interior neighbour pair,
+	// g*(g-1) pairs — one message per neighbour per dimension, no
+	// diagonal traffic.
+	if got, want := r.Sent()-before, uint64(2*2*g*(g-1)); got != want {
+		t.Errorf("halo exchange sent %d messages, want %d", got, want)
+	}
+
+	// The centre rank (grid coordinate (1,1)) has all eight neighbours:
+	// its entire bordered storage must hold the global field values,
+	// diagonal corners included.
+	centre := 4
+	f := secs[centre].F
+	plus := l + 2
+	for si := 0; si < plus; si++ {
+		for sj := 0; sj < plus; sj++ {
+			gi, gj := l+si-1, l+sj-1 // centre section starts at global (l, l)
+			if got, want := f[si*plus+sj], global(gi, gj); got != want {
+				t.Errorf("centre storage (%d,%d) = %v, want %v", si, sj, got, want)
+			}
+		}
 	}
 }
 
