@@ -915,6 +915,70 @@ func BenchmarkE23_IndexedGatherScatter(b *testing.B) {
 	}
 }
 
+// --- E24: strided restriction vs indexed gather ---
+
+// BenchmarkE24_StridedRestriction is the multigrid-restriction /
+// down-sampling experiment: fetching every k-th row of a block-row
+// distributed field through the strided bulk plane
+// (ReadBlockStridedInto: bounds + step per owner) against the equivalent
+// GatherElements call (an index vector with one tuple per sampled
+// element). Both paths cost one request/reply pair per owning processor
+// (pinned by arraymgr.TestStridedMessageBudget), so under a modeled
+// interconnect hop (lat=20µs, the E22/E23 regime) they pay the same
+// overlapped round trip — the ratio isolates what the index vector costs:
+// per-element ownership resolution, per-owner offset lists, and
+// per-element payload instead of three small vectors.
+func BenchmarkE24_StridedRestriction(b *testing.B) {
+	const rowsPerOwner = 32
+	const cols = 1024
+	for _, p := range []int{4, 16, 64} {
+		for _, lat := range []time.Duration{0, 20 * time.Microsecond} {
+			rows := rowsPerOwner * p
+			m := core.New(p)
+			a, err := m.NewArray(core.ArraySpec{
+				Dims:    []int{rows, cols},
+				Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.Fill(func(idx []int) float64 { return float64(idx[0]*cols + idx[1]) }); err != nil {
+				b.Fatal(err)
+			}
+			m.VM.Router().SetLatency(lat)
+			for _, k := range []int{2, 4, 8} {
+				srows := (rows + k - 1) / k
+				dst := make([]float64, srows*cols)
+				indices := make([][]int, 0, srows*cols)
+				for i := 0; i < rows; i += k {
+					for j := 0; j < cols; j++ {
+						indices = append(indices, []int{i, j})
+					}
+				}
+				lo, hi, step := []int{0, 0}, []int{rows, cols}, []int{k, 1}
+				tag := fmt.Sprintf("P=%d/lat=%v/k=%d", p, lat, k)
+				b.Run("strided/"+tag, func(b *testing.B) {
+					b.SetBytes(int64(8 * len(dst)))
+					for i := 0; i < b.N; i++ {
+						if err := a.ReadBlockStridedInto(lo, hi, step, dst); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.Run("gather/"+tag, func(b *testing.B) {
+					b.SetBytes(int64(8 * len(dst)))
+					for i := 0; i < b.N; i++ {
+						if err := a.GatherElementsInto(indices, dst); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			m.Close()
+		}
+	}
+}
+
 // BenchmarkE22_HaloExchange measures the shared border-exchange primitive
 // across group sizes: one distributed call performing b.N face exchanges
 // on a block-row field with one-cell borders (the climate/stencil shape).

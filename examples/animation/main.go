@@ -1,18 +1,25 @@
 // Command animation runs the inherently-parallel frame-generation example
 // of §2.3.4 (Fig 2.4): independent animation frames rendered concurrently
-// by data-parallel programs on disjoint processor groups.
+// by data-parallel programs on disjoint processor groups. The task level
+// additionally pulls a down-sampled preview of each frame out of the
+// distributed image with one strided block read (every k-th row/column,
+// one message per owning processor) and prints it as ASCII art.
 //
-//	go run ./examples/animation -p 4 -groups 2 -frames 8
+//	go run ./examples/animation -p 4 -groups 2 -frames 8 -preview 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/apps/animation"
 	"repro/internal/core"
 )
+
+// ramp maps an escape count in [0, MaxIter] to a character.
+const ramp = " .:-=+*#%@"
 
 func main() {
 	p := flag.Int("p", 4, "virtual processors")
@@ -20,6 +27,7 @@ func main() {
 	frames := flag.Int("frames", 8, "frames to render")
 	height := flag.Int("height", 32, "frame height (divisible by p/groups)")
 	width := flag.Int("width", 32, "frame width")
+	preview := flag.Int("preview", 4, "down-sampling step for previews (every k-th row/column)")
 	flag.Parse()
 
 	m := core.New(*p)
@@ -28,18 +36,34 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := animation.Config{Frames: *frames, Height: *height, Width: *width, Groups: *groups}
-	sums, err := animation.Run(m, cfg)
+	sums, previews, err := animation.RunPreviews(m, cfg, *preview)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ref := animation.RunSequential(cfg)
-	fmt.Printf("rendered %d frames of %dx%d on %d groups of %d processors\n",
-		*frames, *height, *width, *groups, *p / *groups)
+	refPrev := animation.PreviewSequential(cfg, *preview)
+	fmt.Printf("rendered %d frames of %dx%d on %d groups of %d processors (preview step %d)\n",
+		*frames, *height, *width, *groups, *p / *groups, *preview)
 	for f, s := range sums {
 		ok := "ok"
 		if s != ref[f] {
 			ok = "MISMATCH"
 		}
+		pv := previews[f]
+		for i := range pv.Data {
+			if pv.Data[i] != refPrev[f].Data[i] {
+				ok = "PREVIEW MISMATCH"
+			}
+		}
 		fmt.Printf("  frame %2d: checksum %10.0f  [%s]\n", f, s, ok)
+		for i := 0; i < pv.Rows; i++ {
+			var row strings.Builder
+			row.WriteString("    ")
+			for j := 0; j < pv.Cols; j++ {
+				c := int(pv.Data[i*pv.Cols+j]) * (len(ramp) - 1) / animation.MaxIter
+				row.WriteByte(ramp[c])
+			}
+			fmt.Println(row.String())
+		}
 	}
 }

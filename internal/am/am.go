@@ -109,6 +109,32 @@ func (e *Env) WriteBlock(onProc int, id darray.ID, lo, hi []int, vals []float64)
 	return e.AM.WriteBlock(onProc, id, lo, hi, vals)
 }
 
+// ReadBlockStrided is am_user_read_block_strided, the sub-sampled
+// companion of ReadBlock: it reads every step[i]-th element of the global
+// rectangle [lo, hi) into a dense buffer packed row-major over the
+// lattice, touching each owning processor once. A unit step in every
+// dimension delegates to the dense path.
+func (e *Env) ReadBlockStrided(onProc int, id darray.ID, lo, hi, step []int) ([]float64, arraymgr.Status) {
+	return e.AM.ReadBlockStrided(onProc, id, lo, hi, step)
+}
+
+// ReadBlockStridedInto is am_user_read_block_strided_into, the
+// buffer-reuse variant of ReadBlockStrided: the caller supplies (and keeps
+// ownership of) the destination buffer, which must hold exactly the
+// lattice's point count. A wholly-local lattice is copied straight out of
+// section storage with no message and no allocation.
+func (e *Env) ReadBlockStridedInto(onProc int, id darray.ID, lo, hi, step []int, dst []float64) arraymgr.Status {
+	return e.AM.ReadBlockStridedInto(onProc, id, lo, hi, step, dst)
+}
+
+// WriteBlockStrided is am_user_write_block_strided: it writes a dense
+// buffer packed row-major over the lattice onto every step[i]-th element
+// of the global rectangle [lo, hi), touching each owning processor once
+// and leaving off-lattice elements untouched.
+func (e *Env) WriteBlockStrided(onProc int, id darray.ID, lo, hi, step []int, vals []float64) arraymgr.Status {
+	return e.AM.WriteBlockStrided(onProc, id, lo, hi, step, vals)
+}
+
 // GatherElements is am_user_gather_elements, the indexed companion of
 // ReadElement: it reads the elements at the given global index tuples in
 // one operation, returning their values in request order. The array

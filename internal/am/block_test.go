@@ -63,9 +63,53 @@ func TestUserBlockProcedures(t *testing.T) {
 		}
 	}
 
+	// The strided procedures agree with per-element access over the
+	// lattice and leave off-lattice elements alone.
+	sgot, st := e.ReadBlockStrided(0, id, []int{0, 0}, []int{4, 4}, []int{2, 1})
+	if st != StatusOK {
+		t.Fatalf("ReadBlockStrided: %v", st)
+	}
+	for k := 0; k < 8; k++ {
+		i, j := 2*(k/4), k%4
+		if want := vals[i*4+j]; sgot[k] != want {
+			t.Fatalf("ReadBlockStrided[%d] (%d,%d) = %v, want %v", k, i, j, sgot[k], want)
+		}
+	}
+	if st := e.WriteBlockStrided(0, id, []int{0, 0}, []int{4, 4}, []int{2, 1}, make([]float64, 8)); st != StatusOK {
+		t.Fatalf("WriteBlockStrided: %v", st)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := vals[i*4+j]
+			if i%2 == 0 {
+				want = 0 // on the every-2nd-row lattice
+			}
+			v, st := e.ReadElement(0, id, []int{i, j})
+			if st != StatusOK || v != want {
+				t.Fatalf("element (%d,%d) = %v (%v) after strided write, want %v", i, j, v, st, want)
+			}
+		}
+	}
+	dst := make([]float64, 8)
+	if st := e.ReadBlockStridedInto(0, id, []int{0, 0}, []int{4, 4}, []int{2, 1}, dst); st != StatusOK {
+		t.Fatalf("ReadBlockStridedInto: %v", st)
+	}
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatalf("strided readback = %v, want zeros", dst)
+		}
+	}
+	restore := append(append([]float64(nil), vals[0:4]...), vals[8:12]...)
+	if st := e.WriteBlockStrided(0, id, []int{0, 0}, []int{4, 4}, []int{2, 1}, restore); st != StatusOK {
+		t.Fatalf("restore WriteBlockStrided: %v", st)
+	}
+
 	// Status codes, not errors: invalid rectangle and freed array.
 	if _, st := e.ReadBlock(0, id, []int{0, 0}, []int{5, 4}); st != StatusInvalid {
 		t.Fatalf("out-of-range ReadBlock: %v", st)
+	}
+	if _, st := e.ReadBlockStrided(0, id, []int{0, 0}, []int{4, 4}, []int{0, 1}); st != StatusInvalid {
+		t.Fatalf("zero-step ReadBlockStrided: %v", st)
 	}
 	if st := e.FreeArray(0, id); st != StatusOK {
 		t.Fatalf("FreeArray: %v", st)

@@ -78,18 +78,44 @@ type Config struct {
 	Groups int // number of independent processor groups (divides P)
 }
 
+// Preview is one frame's down-sampled image: every Step-th row and column
+// of the rendered frame, in row-major order. The task level fetches it
+// from the distributed image through the strided bulk plane — one message
+// per owning processor, not one offset per sampled pixel.
+type Preview struct {
+	Step, Rows, Cols int
+	Data             []float64 // Rows x Cols, row-major
+}
+
 // Run renders all frames, returning per-frame checksums. Frames are
 // assigned to groups round-robin; each group renders its frames in
 // sequence, all groups concurrently — Fig 2.4 with more than two frames in
 // flight.
 func Run(m *core.Machine, cfg Config) ([]float64, error) {
+	sums, _, err := run(m, cfg, 0)
+	return sums, err
+}
+
+// RunPreviews is Run plus task-level down-sampling: after each frame is
+// rendered, its preview (every step-th row and column) is pulled out of
+// the distributed image with a single ReadBlockStridedInto per frame —
+// the strided plane's replacement for the per-pixel GatherElements index
+// vector a down-sampler otherwise needs.
+func RunPreviews(m *core.Machine, cfg Config, step int) ([]float64, []Preview, error) {
+	if step < 1 {
+		return nil, nil, fmt.Errorf("animation: preview step %d (want >= 1)", step)
+	}
+	return run(m, cfg, step)
+}
+
+func run(m *core.Machine, cfg Config, step int) ([]float64, []Preview, error) {
 	p := m.P()
 	if cfg.Groups < 1 || p%cfg.Groups != 0 {
-		return nil, fmt.Errorf("animation: %d groups do not divide %d processors", cfg.Groups, p)
+		return nil, nil, fmt.Errorf("animation: %d groups do not divide %d processors", cfg.Groups, p)
 	}
 	gsize := p / cfg.Groups
 	if cfg.Height%gsize != 0 {
-		return nil, fmt.Errorf("animation: height %d not divisible by group size %d", cfg.Height, gsize)
+		return nil, nil, fmt.Errorf("animation: height %d not divisible by group size %d", cfg.Height, gsize)
 	}
 
 	// One image array per group, reused across that group's frames.
@@ -103,13 +129,20 @@ func Run(m *core.Machine, cfg Config) ([]float64, error) {
 			Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer img.Free()
 		images[g] = img
 	}
 
 	sums := make([]float64, cfg.Frames)
+	var previews []Preview
+	prows, pcols := 0, 0
+	if step > 0 {
+		previews = make([]Preview, cfg.Frames)
+		prows = (cfg.Height + step - 1) / step
+		pcols = (cfg.Width + step - 1) / step
+	}
 	errs := make([]error, cfg.Groups)
 	sumCombine := func(a, b []float64) []float64 { return []float64{a[0] + b[0]} }
 
@@ -125,14 +158,41 @@ func Run(m *core.Machine, cfg Config) ([]float64, error) {
 				return
 			}
 			sums[frame] = out.Value()[0]
+			if step > 0 {
+				data := make([]float64, prows*pcols)
+				if err := images[g].ReadBlockStridedInto(
+					[]int{0, 0}, []int{cfg.Height, cfg.Width}, []int{step, step}, data); err != nil {
+					errs[g] = fmt.Errorf("frame %d preview: %w", frame, err)
+					return
+				}
+				previews[frame] = Preview{Step: step, Rows: prows, Cols: pcols, Data: data}
+			}
 		}
 	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return sums, nil
+	return sums, previews, nil
+}
+
+// PreviewSequential computes the down-sampled frames directly from the
+// pixel function: the per-element reference RunPreviews must match.
+func PreviewSequential(cfg Config, step int) []Preview {
+	prows := (cfg.Height + step - 1) / step
+	pcols := (cfg.Width + step - 1) / step
+	out := make([]Preview, cfg.Frames)
+	for f := 0; f < cfg.Frames; f++ {
+		data := make([]float64, prows*pcols)
+		for i := 0; i < prows; i++ {
+			for j := 0; j < pcols; j++ {
+				data[i*pcols+j] = Pixel(f, cfg.Height, cfg.Width, i*step, j*step)
+			}
+		}
+		out[f] = Preview{Step: step, Rows: prows, Cols: pcols, Data: data}
+	}
+	return out
 }
 
 // RunSequential renders the same frames serially with no parallel

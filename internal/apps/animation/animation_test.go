@@ -30,6 +30,56 @@ func TestChecksumsMatchSequential(t *testing.T) {
 	}
 }
 
+// TestPreviewsMatchSequential pins the strided down-sampling path: the
+// previews RunPreviews fetches through ReadBlockStridedInto must equal the
+// per-element reference pixel-for-pixel, including a step that does not
+// divide the frame height (the last sampled row rides a partial stride).
+func TestPreviewsMatchSequential(t *testing.T) {
+	for _, step := range []int{1, 2, 3, 4} {
+		cfg := testCfg
+		m := core.New(4)
+		if err := RegisterPrograms(m); err != nil {
+			t.Fatal(err)
+		}
+		sums, previews, err := RunPreviews(m, cfg, step)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		wantSums := RunSequential(cfg)
+		for f := range wantSums {
+			if sums[f] != wantSums[f] {
+				t.Fatalf("step %d: frame %d checksum %v, want %v", step, f, sums[f], wantSums[f])
+			}
+		}
+		want := PreviewSequential(cfg, step)
+		if len(previews) != len(want) {
+			t.Fatalf("step %d: %d previews for %d frames", step, len(previews), len(want))
+		}
+		for f := range want {
+			if previews[f].Rows != want[f].Rows || previews[f].Cols != want[f].Cols {
+				t.Fatalf("step %d: frame %d preview %dx%d, want %dx%d", step, f,
+					previews[f].Rows, previews[f].Cols, want[f].Rows, want[f].Cols)
+			}
+			for i := range want[f].Data {
+				if previews[f].Data[i] != want[f].Data[i] {
+					t.Fatalf("step %d: frame %d preview pixel %d = %v, want %v",
+						step, f, i, previews[f].Data[i], want[f].Data[i])
+				}
+			}
+		}
+		m.Close()
+	}
+	// A bad step is rejected.
+	m := core.New(2)
+	defer m.Close()
+	if err := RegisterPrograms(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunPreviews(m, Config{Frames: 1, Height: 8, Width: 8, Groups: 1}, 0); err == nil {
+		t.Fatal("zero preview step must fail")
+	}
+}
+
 func TestFramesDiffer(t *testing.T) {
 	// The animation animates: consecutive frames have different content.
 	sums := RunSequential(Config{Frames: 3, Height: 8, Width: 8, Groups: 1})

@@ -184,6 +184,7 @@ type request struct {
 	offs  []int        // read/write vector: storage offsets (owner)
 	lo    []int        // read/write block: rectangle bounds (global at the
 	hi    []int        // coordinator, interior-local at the owner)
+	step  []int        // strided block ops: per-dimension stride (>= 1)
 	vals  []float64    // write data; read: optional caller buffer
 	which string       // find_info selector; tree fan-out inner op
 	procs []int        // tree fan-out: the target processors, in tree order
@@ -302,6 +303,14 @@ func (m *Manager) handle(proc int, req *request) {
 		resp = m.doWriteBlock(proc, req)
 	case "write_block_local":
 		resp = m.doWriteBlockLocal(proc, req)
+	case "read_block_strided":
+		resp = m.doReadBlockStrided(proc, req)
+	case "read_block_strided_local":
+		resp = m.doReadBlockStridedLocal(proc, req)
+	case "write_block_strided":
+		resp = m.doWriteBlockStrided(proc, req)
+	case "write_block_strided_local":
+		resp = m.doWriteBlockStridedLocal(proc, req)
 	case "find_local":
 		resp = m.doFindLocal(proc, req)
 	case "find_info":
@@ -931,6 +940,189 @@ func (m *Manager) doWriteBlockLocal(proc int, req *request) response {
 	return response{status: StatusOK}
 }
 
+// copyRunsStrided is copyRuns for a strided transfer: it moves owner block
+// b's lattice points between full (the packed buffer covering the whole
+// request lattice, sdims = StridedRectDims(lo, hi, step)) and sub (the
+// packed buffer covering just b). Both buffers pack the lattice row-major,
+// so runs along the last dimension are contiguous in each and move with
+// copy regardless of the stride.
+func copyRunsStrided(toFull bool, full, sub []float64, b darray.OwnerBlock, lo, step, sdims []int) {
+	last := len(sdims) - 1
+	run := (b.GlobalHi[last] - b.GlobalLo[last] + step[last] - 1) / step[last]
+	_ = grid.ForEachStridedRect(b.GlobalLo[:last], b.GlobalHi[:last], step[:last], func(outer []int, k int) error {
+		pos := 0
+		for i, x := range outer {
+			pos = pos*sdims[i] + (x-lo[i])/step[i]
+		}
+		pos = pos*sdims[last] + (b.GlobalLo[last]-lo[last])/step[last]
+		if toFull {
+			copy(full[pos:pos+run], sub[k*run:(k+1)*run])
+		} else {
+			copy(sub[k*run:(k+1)*run], full[pos:pos+run])
+		}
+		return nil
+	})
+}
+
+// doReadBlockStrided is the strided bulk-read coordinator: the lattice of
+// every step[i]-th element of [lo, hi) is split by owning processor
+// (darray.Meta.OwnerBlocksStrided), one read_block_strided_local request is
+// scattered to every remote owner before any reply is awaited (the same
+// sendAsync machinery as the dense coordinator), the local piece is
+// serviced in place, and the replies are assembled into one packed
+// row-major lattice buffer. Every-k-th-row access costs one request/reply
+// pair per owner, never one offset per element.
+func (m *Manager) doReadBlockStrided(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	blocks, err := e.meta.OwnerBlocksStrided(req.lo, req.hi, req.step)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	sdims := grid.StridedRectDims(req.lo, req.hi, req.step)
+	out := req.vals
+	if out != nil && len(out) != grid.StridedRectSize(req.lo, req.hi, req.step) {
+		return response{status: StatusInvalid}
+	}
+	if out == nil {
+		out = make([]float64, grid.StridedRectSize(req.lo, req.hi, req.step))
+	}
+	replies := make([]chan response, len(blocks))
+	for i, b := range blocks {
+		if b.Proc == proc {
+			continue
+		}
+		replies[i] = m.sendAsync(proc, b.Proc,
+			&request{op: "read_block_strided_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step})
+	}
+	status := StatusOK
+	for i, b := range blocks {
+		if replies[i] != nil {
+			continue
+		}
+		r := m.doReadBlockStridedLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step})
+		if r.status != StatusOK {
+			status = r.status
+			continue
+		}
+		copyRunsStrided(true, out, r.vals, b, req.lo, req.step, sdims)
+		m.servers[b.Proc].putBuf(r.vals)
+	}
+	for i, b := range blocks {
+		if replies[i] == nil {
+			continue
+		}
+		r := <-replies[i]
+		if r.status != StatusOK {
+			status = r.status
+			continue
+		}
+		copyRunsStrided(true, out, r.vals, b, req.lo, req.step, sdims)
+		m.servers[b.Proc].putBuf(r.vals)
+	}
+	if status != StatusOK {
+		return response{status: status}
+	}
+	return response{status: StatusOK, vals: out}
+}
+
+// doReadBlockStridedLocal services one owner's share of a strided bulk
+// read into a pooled reply buffer — zero allocations per request at a
+// steady state, exactly like the dense owner server it mirrors.
+func (m *Manager) doReadBlockStridedLocal(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if e.section == nil {
+		return response{status: StatusError}
+	}
+	if grid.CheckStridedRect(req.lo, req.hi, req.step, e.meta.LocalDims) != nil {
+		return response{status: StatusInvalid}
+	}
+	vals := srv.getBuf(grid.StridedRectSize(req.lo, req.hi, req.step))
+	if err := e.section.ReadBlockStridedInto(vals, req.lo, req.hi, req.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
+		srv.putBuf(vals)
+		return response{status: StatusInvalid}
+	}
+	return response{status: StatusOK, vals: vals}
+}
+
+// doWriteBlockStrided is the strided bulk-write coordinator: the packed
+// lattice buffer is split into per-owner sub-buffers, one
+// write_block_strided_local request is scattered to every remote owner
+// before any reply is awaited, the local piece is written in place, and the
+// statuses are gathered.
+func (m *Manager) doWriteBlockStrided(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	blocks, err := e.meta.OwnerBlocksStrided(req.lo, req.hi, req.step)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	sdims := grid.StridedRectDims(req.lo, req.hi, req.step)
+	if len(req.vals) != grid.StridedRectSize(req.lo, req.hi, req.step) {
+		return response{status: StatusInvalid}
+	}
+	replies := make([]chan response, len(blocks))
+	localIdx := -1
+	for i, b := range blocks {
+		if b.Proc == proc {
+			localIdx = i
+			continue
+		}
+		// Each remote owner gets its own packed snapshot of its piece —
+		// messages between address spaces carry copies, never views.
+		vals := make([]float64, grid.StridedRectSize(b.GlobalLo, b.GlobalHi, req.step))
+		copyRunsStrided(false, req.vals, vals, b, req.lo, req.step, sdims)
+		replies[i] = m.sendAsync(proc, b.Proc,
+			&request{op: "write_block_strided_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step, vals: vals})
+	}
+	status := StatusOK
+	if localIdx >= 0 {
+		b := blocks[localIdx]
+		vals := make([]float64, grid.StridedRectSize(b.GlobalLo, b.GlobalHi, req.step))
+		copyRunsStrided(false, req.vals, vals, b, req.lo, req.step, sdims)
+		r := m.doWriteBlockStridedLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step, vals: vals})
+		if r.status != StatusOK {
+			status = r.status
+		}
+	}
+	for i := range blocks {
+		if replies[i] == nil {
+			continue
+		}
+		if r := <-replies[i]; r.status != StatusOK {
+			status = r.status
+		}
+	}
+	return response{status: status}
+}
+
+func (m *Manager) doWriteBlockStridedLocal(proc int, req *request) response {
+	e, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if e.section == nil {
+		return response{status: StatusError}
+	}
+	if err := e.section.WriteBlockStrided(req.vals, req.lo, req.hi, req.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
+		return response{status: StatusInvalid}
+	}
+	return response{status: StatusOK}
+}
+
 func (m *Manager) doFindLocal(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
@@ -1085,8 +1277,11 @@ func (m *Manager) GatherElements(onProc int, id darray.ID, indices [][]int) ([]f
 	if m.machine.CheckProc(onProc) != nil {
 		return nil, StatusInvalid
 	}
-	r := m.send(onProc, onProc, &request{op: "read_vector", id: id, gidxs: indices})
-	return r.vals, r.status
+	out := make([]float64, len(indices))
+	if st := m.GatherElementsInto(onProc, id, indices, out); st != StatusOK {
+		return nil, st
+	}
+	return out, StatusOK
 }
 
 // GatherElementsInto is the buffer-reuse variant of GatherElements: dst
@@ -1095,6 +1290,9 @@ func (m *Manager) GatherElements(onProc int, id darray.ID, indices [][]int) ([]f
 func (m *Manager) GatherElementsInto(onProc int, id darray.ID, indices [][]int, dst []float64) Status {
 	if m.machine.CheckProc(onProc) != nil {
 		return StatusInvalid
+	}
+	if st, ok := m.localVectorFast(onProc, id, indices, true, dst); ok {
+		return st
 	}
 	return m.send(onProc, onProc, &request{op: "read_vector", id: id, gidxs: indices, vals: dst}).status
 }
@@ -1108,38 +1306,67 @@ func (m *Manager) ScatterElements(onProc int, id darray.ID, indices [][]int, val
 	if m.machine.CheckProc(onProc) != nil {
 		return StatusInvalid
 	}
+	if len(indices) == len(vals) {
+		if st, ok := m.localVectorFast(onProc, id, indices, false, vals); ok {
+			return st
+		}
+	}
 	return m.send(onProc, onProc, &request{op: "write_vector", id: id, gidxs: indices, vals: vals}).status
 }
 
 // ReadElement reads one element by its global indices — the k=1 degenerate
-// case of GatherElements.
+// case of GatherElements. The one-element request vectors come from a
+// scratch pool and a wholly-local element takes the router-free fast path,
+// so local element reads allocate nothing.
 func (m *Manager) ReadElement(onProc int, id darray.ID, indices []int) (float64, Status) {
 	if m.machine.CheckProc(onProc) != nil {
 		return 0, StatusInvalid
 	}
-	out := make([]float64, 1)
-	st := m.send(onProc, onProc, &request{op: "read_vector", id: id, gidxs: [][]int{indices}, vals: out}).status
-	return out[0], st
+	s := elemScratchPool.Get().(*elemScratch)
+	s.idx[0] = indices
+	s.val[0] = 0 // failed reads report 0, not a stale pooled value
+	st, ok := m.localVectorFast(onProc, id, s.gidxs, true, s.val[:])
+	if !ok {
+		st = m.send(onProc, onProc, &request{op: "read_vector", id: id, gidxs: s.gidxs, vals: s.val[:]}).status
+	}
+	v := s.val[0]
+	if st != StatusOK {
+		v = 0
+	}
+	s.idx[0] = nil
+	elemScratchPool.Put(s)
+	return v, st
 }
 
 // WriteElement writes one element by its global indices — the k=1
-// degenerate case of ScatterElements.
+// degenerate case of ScatterElements, sharing ReadElement's scratch pool
+// and local fast path.
 func (m *Manager) WriteElement(onProc int, id darray.ID, indices []int, v float64) Status {
 	if m.machine.CheckProc(onProc) != nil {
 		return StatusInvalid
 	}
-	return m.send(onProc, onProc, &request{op: "write_vector", id: id, gidxs: [][]int{indices}, vals: []float64{v}}).status
+	s := elemScratchPool.Get().(*elemScratch)
+	s.idx[0] = indices
+	s.val[0] = v
+	st, ok := m.localVectorFast(onProc, id, s.gidxs, false, s.val[:])
+	if !ok {
+		st = m.send(onProc, onProc, &request{op: "write_vector", id: id, gidxs: s.gidxs, vals: s.val[:]}).status
+	}
+	s.idx[0] = nil
+	elemScratchPool.Put(s)
+	return st
 }
 
 // localBlockFast attempts the zero-copy local fast path: when the whole
-// rectangle [lo, hi) lies on processor proc, the data moves directly
-// between buf and the local section's storage under the server lock — no
-// router message, no request goroutine, no intermediate buffer, and (for
+// rectangle [lo, hi) — dense for step == nil, else the (lo, hi, step)
+// lattice — lies on processor proc, the data moves directly between buf
+// and the local section's storage under the server lock — no router
+// message, no request goroutine, no intermediate buffer, and (for
 // rectangles of at most darray.MaxFastDims dimensions) no heap allocation.
 // ok reports whether the fast path applied; when it does not, the caller
 // falls back to the coordinator, which also produces the authoritative
 // failure status for malformed requests.
-func (m *Manager) localBlockFast(proc int, id darray.ID, lo, hi []int, read bool, buf []float64) (Status, bool) {
+func (m *Manager) localBlockFast(proc int, id darray.ID, lo, hi, step []int, read bool, buf []float64) (Status, bool) {
 	srv := m.servers[proc]
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
@@ -1151,27 +1378,127 @@ func (m *Manager) localBlockFast(proc int, id darray.ID, lo, hi []int, read bool
 	if n > darray.MaxFastDims || len(lo) != n || len(hi) != n {
 		return StatusOK, false
 	}
-	if grid.CheckRect(lo, hi, e.meta.Dims) != nil {
-		return StatusOK, false
-	}
-	if len(buf) != grid.RectSize(lo, hi) {
-		return StatusOK, false
+	hiUse := hi
+	var hiEff [darray.MaxFastDims]int
+	if step == nil {
+		if grid.CheckRect(lo, hi, e.meta.Dims) != nil {
+			return StatusOK, false
+		}
+		if len(buf) != grid.RectSize(lo, hi) {
+			return StatusOK, false
+		}
+	} else {
+		if len(step) != n || grid.CheckStridedRect(lo, hi, step, e.meta.Dims) != nil {
+			return StatusOK, false
+		}
+		if len(buf) != grid.StridedRectSize(lo, hi, step) {
+			return StatusOK, false
+		}
+		// Locality is decided by the lattice's bounding box, not the
+		// requested hi: clamp each bound to just past the last lattice
+		// point so a stride overshooting the section edge still qualifies.
+		for i := 0; i < n; i++ {
+			hiEff[i] = lo[i] + ((hi[i]-1-lo[i])/step[i])*step[i] + 1
+		}
+		hiUse = hiEff[:n]
 	}
 	var loBuf, hiBuf [darray.MaxFastDims]int
-	if !e.meta.LocalRect(proc, lo, hi, loBuf[:n], hiBuf[:n]) {
+	if !e.meta.LocalRect(proc, lo, hiUse, loBuf[:n], hiBuf[:n]) {
 		return StatusOK, false
 	}
 	var err error
-	if read {
+	switch {
+	case step == nil && read:
 		err = e.section.ReadBlockInto(buf, loBuf[:n], hiBuf[:n], e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
-	} else {
+	case step == nil:
 		err = e.section.WriteBlock(buf, loBuf[:n], hiBuf[:n], e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
+	case read:
+		err = e.section.ReadBlockStridedInto(buf, loBuf[:n], hiBuf[:n], step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
+	default:
+		err = e.section.WriteBlockStrided(buf, loBuf[:n], hiBuf[:n], step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
 	}
 	if err != nil {
 		return StatusInvalid, true
 	}
 	return StatusOK, true
 }
+
+// localVectorFast attempts the local fast path of the indexed plane: when
+// every index of the request resolves to the requesting processor, the
+// elements move directly between buf and the local section's storage under
+// the server lock — no router message and no heap allocation, the
+// ownership test running inline over the index vector the way
+// darray.Meta.OwnerIndices resolves it. For a scatter the whole vector is
+// validated before the first write, so a declined request mutates nothing;
+// values are applied in request order (last writer wins for repeats). ok
+// reports whether the fast path applied.
+func (m *Manager) localVectorFast(proc int, id darray.ID, indices [][]int, read bool, buf []float64) (Status, bool) {
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	e, ok := srv.entries[id]
+	if !ok || e.freed || e.section == nil {
+		return StatusOK, false
+	}
+	meta := e.meta
+	n := meta.NDims()
+	if n > darray.MaxFastDims || len(buf) != len(indices) {
+		return StatusOK, false
+	}
+	homeSlot, holds := meta.HoldsSection(proc)
+	if !holds {
+		return StatusOK, false
+	}
+	var stridesBuf [darray.MaxFastDims]int
+	if meta.Indexing == grid.RowMajor {
+		st := 1
+		for i := n - 1; i >= 0; i-- {
+			stridesBuf[i] = st
+			st *= meta.LocalDimsPlus[i]
+		}
+	} else {
+		st := 1
+		for i := 0; i < n; i++ {
+			stridesBuf[i] = st
+			st *= meta.LocalDimsPlus[i]
+		}
+	}
+	strides := stridesBuf[:n]
+	// Pass 1: every index must be well-formed and owned by this processor
+	// (malformed requests fall back to the coordinator for the
+	// authoritative status; a declined scatter must mutate nothing).
+	for _, gidx := range indices {
+		slot, _, ok := meta.ResolveIndex(gidx, strides)
+		if !ok || slot != homeSlot {
+			return StatusOK, false
+		}
+	}
+	// Pass 2: move the data through border-displaced storage offsets.
+	for k, gidx := range indices {
+		_, off, _ := meta.ResolveIndex(gidx, strides)
+		if read {
+			buf[k] = e.section.GetFloat(off)
+		} else {
+			e.section.SetFloat(off, buf[k])
+		}
+	}
+	return StatusOK, true
+}
+
+// elemScratch carries the one-element index and value vectors of
+// ReadElement/WriteElement, pooled so the k=1 degenerate ops allocate
+// nothing on the local fast path.
+type elemScratch struct {
+	idx   [1][]int
+	val   [1]float64
+	gidxs [][]int // aliases idx[:]
+}
+
+var elemScratchPool = sync.Pool{New: func() any {
+	s := &elemScratch{}
+	s.gidxs = s.idx[:]
+	return s
+}}
 
 // ReadBlock reads the global rectangle [lo, hi) (half-open per dimension)
 // into a dense buffer linearized row-major over the rectangle. The
@@ -1197,7 +1524,7 @@ func (m *Manager) ReadBlockInto(onProc int, id darray.ID, lo, hi []int, dst []fl
 	if m.machine.CheckProc(onProc) != nil {
 		return StatusInvalid
 	}
-	if st, ok := m.localBlockFast(onProc, id, lo, hi, true, dst); ok {
+	if st, ok := m.localBlockFast(onProc, id, lo, hi, nil, true, dst); ok {
 		return st
 	}
 	return m.send(onProc, onProc, &request{op: "read_block", id: id, lo: lo, hi: hi, vals: dst}).status
@@ -1225,10 +1552,76 @@ func (m *Manager) WriteBlock(onProc int, id darray.ID, lo, hi []int, vals []floa
 	if m.machine.CheckProc(onProc) != nil {
 		return StatusInvalid
 	}
-	if st, ok := m.localBlockFast(onProc, id, lo, hi, false, vals); ok {
+	if st, ok := m.localBlockFast(onProc, id, lo, hi, nil, false, vals); ok {
 		return st
 	}
 	return m.send(onProc, onProc, &request{op: "write_block", id: id, lo: lo, hi: hi, vals: vals}).status
+}
+
+// unitStep reports whether every stride is 1 — the degenerate case the
+// strided entry points hand to the dense path.
+func unitStep(step []int) bool {
+	for _, s := range step {
+		if s != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadBlockStrided reads the lattice of every step[i]-th element of the
+// global rectangle [lo, hi) into a dense buffer packed row-major over the
+// lattice. Like ReadBlock, the transfer is split by owning processor — one
+// concurrent request per owner holding a lattice point, however many
+// rows/columns the stride selects — so every-k-th-row access costs
+// O(#owners) messages instead of an index vector with one offset per
+// element. A unit step in every dimension delegates to the dense path.
+func (m *Manager) ReadBlockStrided(onProc int, id darray.ID, lo, hi, step []int) ([]float64, Status) {
+	if m.machine.CheckProc(onProc) != nil {
+		return nil, StatusInvalid
+	}
+	if len(step) == len(lo) && unitStep(step) {
+		return m.ReadBlock(onProc, id, lo, hi)
+	}
+	r := m.send(onProc, onProc, &request{op: "read_block_strided", id: id, lo: lo, hi: hi, step: step})
+	return r.vals, r.status
+}
+
+// ReadBlockStridedInto is the buffer-reuse variant of ReadBlockStrided:
+// dst must hold exactly the lattice's point count and receives the packed
+// data in place. A wholly-local lattice is copied straight out of section
+// storage with no message and zero heap allocations (up to
+// darray.MaxFastDims dimensions); dst is owned by the caller throughout.
+func (m *Manager) ReadBlockStridedInto(onProc int, id darray.ID, lo, hi, step []int, dst []float64) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	if len(step) == len(lo) && unitStep(step) {
+		return m.ReadBlockInto(onProc, id, lo, hi, dst)
+	}
+	if st, ok := m.localBlockFast(onProc, id, lo, hi, step, true, dst); ok {
+		return st
+	}
+	return m.send(onProc, onProc, &request{op: "read_block_strided", id: id, lo: lo, hi: hi, step: step, vals: dst}).status
+}
+
+// WriteBlockStrided writes a dense buffer packed row-major over the
+// lattice onto every step[i]-th element of the global rectangle [lo, hi):
+// straight into section storage when the lattice is wholly local, one
+// concurrent message per remote owning processor otherwise. Elements off
+// the lattice are untouched; vals is never retained. A unit step in every
+// dimension delegates to the dense path.
+func (m *Manager) WriteBlockStrided(onProc int, id darray.ID, lo, hi, step []int, vals []float64) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	if len(step) == len(lo) && unitStep(step) {
+		return m.WriteBlock(onProc, id, lo, hi, vals)
+	}
+	if st, ok := m.localBlockFast(onProc, id, lo, hi, step, false, vals); ok {
+		return st
+	}
+	return m.send(onProc, onProc, &request{op: "write_block_strided", id: id, lo: lo, hi: hi, step: step, vals: vals}).status
 }
 
 // FindLocal returns the local section of the array on onProc in a form

@@ -53,6 +53,93 @@ func TestLocalFastPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestLocalGatherScatterFastPath pins the indexed plane's local fast path:
+// when every index of a gather or scatter resolves to the requesting
+// processor, the operation touches neither the router nor the allocator,
+// and the k=1 element ops ride the same path through the scratch pool.
+func TestLocalGatherScatterFastPath(t *testing.T) {
+	machine, m := newTestManager(t, 4)
+	id := mustCreate(t, m, 0, fastPathSpec()) // 32x32 over 2x2: proc 0 owns [0,16)^2
+
+	local := [][]int{{0, 0}, {15, 15}, {3, 7}, {3, 7}, {12, 1}}
+	vals := []float64{1, 2, 3, 4, 5}
+	dst := make([]float64, len(local))
+	if st := m.ScatterElements(0, id, local, vals); st != StatusOK {
+		t.Fatalf("warm-up ScatterElements: %v", st)
+	}
+
+	before := machine.Router().Sent()
+	scatterAllocs := testing.AllocsPerRun(200, func() {
+		if st := m.ScatterElements(0, id, local, vals); st != StatusOK {
+			t.Errorf("ScatterElements: %v", st)
+		}
+	})
+	gatherAllocs := testing.AllocsPerRun(200, func() {
+		if st := m.GatherElementsInto(0, id, local, dst); st != StatusOK {
+			t.Errorf("GatherElementsInto: %v", st)
+		}
+	})
+	readAllocs := testing.AllocsPerRun(200, func() {
+		if _, st := m.ReadElement(0, id, local[0]); st != StatusOK {
+			t.Errorf("ReadElement: %v", st)
+		}
+	})
+	writeAllocs := testing.AllocsPerRun(200, func() {
+		if st := m.WriteElement(0, id, local[1], 9); st != StatusOK {
+			t.Errorf("WriteElement: %v", st)
+		}
+	})
+	if scatterAllocs != 0 {
+		t.Errorf("local ScatterElements: %v allocs/op, want 0", scatterAllocs)
+	}
+	if gatherAllocs != 0 {
+		t.Errorf("local GatherElementsInto: %v allocs/op, want 0", gatherAllocs)
+	}
+	if readAllocs != 0 {
+		t.Errorf("local ReadElement: %v allocs/op, want 0", readAllocs)
+	}
+	if writeAllocs != 0 {
+		t.Errorf("local WriteElement: %v allocs/op, want 0", writeAllocs)
+	}
+	if sent := machine.Router().Sent() - before; sent != 0 {
+		t.Errorf("local indexed fast path sent %d messages, want 0", sent)
+	}
+
+	// The fast path preserves semantics: values land where a write_element
+	// loop puts them (the repeated {3,7} takes its last value).
+	for i, idx := range local {
+		want := vals[i]
+		if i == 2 {
+			want = vals[3]
+		}
+		if idx[0] == 15 && idx[1] == 15 {
+			want = 9 // the WriteElement pin above
+		}
+		got, st := m.ReadElement(0, id, idx)
+		if st != StatusOK || got != want {
+			t.Errorf("element %v = %v (%v), want %v", idx, got, st, want)
+		}
+	}
+
+	// A vector with any remote index declines the fast path but still
+	// succeeds through the coordinator.
+	mixed := [][]int{{0, 0}, {20, 20}}
+	before = machine.Router().Sent()
+	if st := m.GatherElementsInto(0, id, mixed, make([]float64, 2)); st != StatusOK {
+		t.Fatalf("mixed GatherElementsInto: %v", st)
+	}
+	if sent := machine.Router().Sent() - before; sent == 0 {
+		t.Error("mixed-owner gather sent no messages; fast path must decline")
+	}
+	// Malformed requests keep their authoritative statuses.
+	if st := m.GatherElementsInto(0, id, [][]int{{0, 0}}, make([]float64, 2)); st != StatusInvalid {
+		t.Errorf("wrong-size destination: %v", st)
+	}
+	if _, st := m.ReadElement(0, id, []int{32, 0}); st != StatusInvalid {
+		t.Errorf("out-of-range element: %v", st)
+	}
+}
+
 // TestReadBlockIntoMatchesReadBlock checks the buffer-reuse read against
 // the allocating read on local, remote and owner-spanning rectangles,
 // including the fallback cases the fast path must decline.

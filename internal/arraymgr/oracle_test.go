@@ -1,0 +1,293 @@
+package arraymgr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/darray"
+	"repro/internal/grid"
+)
+
+// The oracle property harness: every data path of the array manager —
+// dense blocks, strided blocks, indexed gathers and indexed scatters, plus
+// the per-element ops they degenerate to — is driven with random requests
+// against a sequential reference array that mirrors each write
+// element-for-element. Whatever the decomposition, borders, indexing
+// order, element type or requesting processor, the distributed array must
+// be indistinguishable from the flat row-major array the oracle holds.
+
+// oracle is the sequential reference: a dense row-major array applying the
+// same writes the manager receives.
+type oracle struct {
+	dims []int
+	typ  darray.ElemType
+	data []float64
+}
+
+func newOracle(dims []int, typ darray.ElemType) *oracle {
+	return &oracle{dims: dims, typ: typ, data: make([]float64, grid.Size(dims))}
+}
+
+func (o *oracle) at(idx []int) int {
+	lin := 0
+	for i := range idx {
+		lin = lin*o.dims[i] + idx[i]
+	}
+	return lin
+}
+
+// set mirrors one element write, truncating for Int arrays the way the
+// section storage does.
+func (o *oracle) set(idx []int, v float64) {
+	if o.typ == darray.Int {
+		v = float64(int64(v))
+	}
+	o.data[o.at(idx)] = v
+}
+
+func (o *oracle) get(idx []int) float64 { return o.data[o.at(idx)] }
+
+// oracleCase is one point of the configuration space the harness sweeps.
+type oracleCase struct {
+	name string
+	p    int
+	spec CreateSpec
+}
+
+// oracleCases crosses decompositions (well beyond the required three) with
+// both indexing orders; borders and element types vary across entries.
+func oracleCases() []oracleCase {
+	procs := func(ps ...int) []int { return ps }
+	var out []oracleCase
+	for _, ix := range []grid.Indexing{grid.RowMajor, grid.ColMajor} {
+		out = append(out,
+			oracleCase{"1d/block", 4, CreateSpec{
+				Type: darray.Double, Dims: []int{24}, Procs: procs(0, 1, 2, 3),
+				Distrib: []grid.Decomp{grid.BlockDefault()},
+				Borders: NoBorderSpec{}, Indexing: ix,
+			}},
+			oracleCase{"2d/block-block", 4, CreateSpec{
+				Type: darray.Double, Dims: []int{12, 8}, Procs: procs(0, 1, 2, 3),
+				Distrib: []grid.Decomp{grid.BlockDefault(), grid.BlockDefault()},
+				Borders: ExplicitBorders{1, 2, 0, 1}, Indexing: ix,
+			}},
+			oracleCase{"2d/rows-star", 4, CreateSpec{
+				Type: darray.Int, Dims: []int{16, 6}, Procs: procs(0, 1, 2, 3),
+				Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+				Borders: ExplicitBorders{1, 1, 0, 0}, Indexing: ix,
+			}},
+			oracleCase{"2d/cols-fixed/subset", 6, CreateSpec{
+				Type: darray.Double, Dims: []int{6, 12}, Procs: procs(5, 1, 3, 0),
+				Distrib: []grid.Decomp{grid.BlockOf(1), grid.BlockOf(4)},
+				Borders: NoBorderSpec{}, Indexing: ix,
+			}},
+			oracleCase{"3d/mixed", 8, CreateSpec{
+				Type: darray.Double, Dims: []int{4, 6, 4}, Procs: procs(0, 1, 2, 3, 4, 5, 6, 7),
+				Distrib: []grid.Decomp{grid.BlockOf(2), grid.BlockOf(3), grid.NoDecomp()},
+				Borders: ExplicitBorders{1, 0, 0, 1, 1, 1}, Indexing: ix,
+			}},
+		)
+	}
+	for i := range out {
+		out[i].name = fmt.Sprintf("%s/%s", out[i].name, out[i].spec.Indexing)
+	}
+	return out
+}
+
+// randomRect draws a non-empty rectangle within dims, strided with
+// probability ~2/3 (step 1..3 per dimension).
+func randomRect(rng *rand.Rand, dims []int) (lo, hi, step []int) {
+	lo = make([]int, len(dims))
+	hi = make([]int, len(dims))
+	step = make([]int, len(dims))
+	for i, d := range dims {
+		lo[i] = rng.Intn(d)
+		hi[i] = lo[i] + 1 + rng.Intn(d-lo[i])
+		step[i] = 1
+	}
+	if rng.Intn(3) > 0 {
+		for i := range step {
+			step[i] = 1 + rng.Intn(3)
+		}
+	}
+	return lo, hi, step
+}
+
+// randomIndices draws k global index tuples, roughly one in eight a
+// duplicate of an earlier one (so scatters exercise last-writer-wins).
+func randomIndices(rng *rand.Rand, dims []int, k int) [][]int {
+	out := make([][]int, k)
+	for i := range out {
+		if i > 0 && rng.Intn(8) == 0 {
+			out[i] = out[rng.Intn(i)]
+			continue
+		}
+		idx := make([]int, len(dims))
+		for d := range idx {
+			idx[d] = rng.Intn(dims[d])
+		}
+		out[i] = idx
+	}
+	return out
+}
+
+// TestOracleAllPaths drives a random operation sequence through all four
+// transfer paths — dense blocks, strided blocks, gathers, scatters — and
+// the per-element degenerate case, from varying requesting processors,
+// checking every read against the oracle and every write through a
+// subsequent full dense readback.
+func TestOracleAllPaths(t *testing.T) {
+	const ops = 80
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range oracleCases() {
+		t.Run(c.name, func(t *testing.T) {
+			_, m := newTestManager(t, c.p)
+			id := mustCreate(t, m, 0, c.spec)
+			ref := newOracle(c.spec.Dims, c.spec.Type)
+			dims := c.spec.Dims
+			nd := len(dims)
+
+			// Requests may originate anywhere an entry lives: the creator
+			// or any processor holding a section.
+			meta, st := m.Meta(0, id)
+			if st != StatusOK {
+				t.Fatalf("Meta: %v", st)
+			}
+			origins := append([]int{0}, meta.SectionProcs()...)
+			origin := func() int { return origins[rng.Intn(len(origins))] }
+
+			nextVal := 1.0
+			value := func() float64 {
+				nextVal++
+				return nextVal
+			}
+
+			for op := 0; op < ops; op++ {
+				switch rng.Intn(7) {
+				case 0: // dense write
+					lo, hi, _ := randomRect(rng, dims)
+					vals := make([]float64, grid.RectSize(lo, hi))
+					for i := range vals {
+						vals[i] = value()
+					}
+					if st := m.WriteBlock(origin(), id, lo, hi, vals); st != StatusOK {
+						t.Fatalf("op %d: WriteBlock: %v", op, st)
+					}
+					_ = grid.ForEachRect(lo, hi, func(idx []int, k int) error {
+						ref.set(idx, vals[k])
+						return nil
+					})
+				case 1: // dense read
+					lo, hi, _ := randomRect(rng, dims)
+					got, st := m.ReadBlock(origin(), id, lo, hi)
+					if st != StatusOK {
+						t.Fatalf("op %d: ReadBlock: %v", op, st)
+					}
+					_ = grid.ForEachRect(lo, hi, func(idx []int, k int) error {
+						if got[k] != ref.get(idx) {
+							t.Fatalf("op %d: ReadBlock[%v] = %v, oracle %v", op, idx, got[k], ref.get(idx))
+						}
+						return nil
+					})
+				case 2: // strided write
+					lo, hi, step := randomRect(rng, dims)
+					vals := make([]float64, grid.StridedRectSize(lo, hi, step))
+					for i := range vals {
+						vals[i] = value()
+					}
+					if st := m.WriteBlockStrided(origin(), id, lo, hi, step, vals); st != StatusOK {
+						t.Fatalf("op %d: WriteBlockStrided: %v", op, st)
+					}
+					_ = grid.ForEachStridedRect(lo, hi, step, func(idx []int, k int) error {
+						ref.set(idx, vals[k])
+						return nil
+					})
+				case 3: // strided read (alternating allocating / into)
+					lo, hi, step := randomRect(rng, dims)
+					var got []float64
+					if op%2 == 0 {
+						var st Status
+						got, st = m.ReadBlockStrided(origin(), id, lo, hi, step)
+						if st != StatusOK {
+							t.Fatalf("op %d: ReadBlockStrided: %v", op, st)
+						}
+					} else {
+						got = make([]float64, grid.StridedRectSize(lo, hi, step))
+						if st := m.ReadBlockStridedInto(origin(), id, lo, hi, step, got); st != StatusOK {
+							t.Fatalf("op %d: ReadBlockStridedInto: %v", op, st)
+						}
+					}
+					_ = grid.ForEachStridedRect(lo, hi, step, func(idx []int, k int) error {
+						if got[k] != ref.get(idx) {
+							t.Fatalf("op %d: strided read [%v] = %v, oracle %v", op, idx, got[k], ref.get(idx))
+						}
+						return nil
+					})
+				case 4: // scatter (duplicates included: last writer wins)
+					indices := randomIndices(rng, dims, 1+rng.Intn(20))
+					vals := make([]float64, len(indices))
+					for i := range vals {
+						vals[i] = value()
+					}
+					if st := m.ScatterElements(origin(), id, indices, vals); st != StatusOK {
+						t.Fatalf("op %d: ScatterElements: %v", op, st)
+					}
+					for i, idx := range indices {
+						ref.set(idx, vals[i])
+					}
+				case 5: // gather (alternating allocating / into)
+					indices := randomIndices(rng, dims, 1+rng.Intn(20))
+					got := make([]float64, len(indices))
+					if op%2 == 0 {
+						if st := m.GatherElementsInto(origin(), id, indices, got); st != StatusOK {
+							t.Fatalf("op %d: GatherElementsInto: %v", op, st)
+						}
+					} else {
+						var st Status
+						got, st = m.GatherElements(origin(), id, indices)
+						if st != StatusOK {
+							t.Fatalf("op %d: GatherElements: %v", op, st)
+						}
+					}
+					for i, idx := range indices {
+						if got[i] != ref.get(idx) {
+							t.Fatalf("op %d: gather[%d] (%v) = %v, oracle %v", op, i, idx, got[i], ref.get(idx))
+						}
+					}
+				case 6: // per-element probe (the k=1 degenerate case)
+					idx := randomIndices(rng, dims, 1)[0]
+					if rng.Intn(2) == 0 {
+						v := value()
+						if st := m.WriteElement(origin(), id, idx, v); st != StatusOK {
+							t.Fatalf("op %d: WriteElement: %v", op, st)
+						}
+						ref.set(idx, v)
+					} else {
+						got, st := m.ReadElement(origin(), id, idx)
+						if st != StatusOK {
+							t.Fatalf("op %d: ReadElement: %v", op, st)
+						}
+						if got != ref.get(idx) {
+							t.Fatalf("op %d: ReadElement(%v) = %v, oracle %v", op, idx, got, ref.get(idx))
+						}
+					}
+				}
+			}
+
+			// Final full dense readback: the distributed array and the
+			// oracle must be identical element-for-element.
+			lo := make([]int, nd)
+			snap, st := m.ReadBlock(0, id, lo, dims)
+			if st != StatusOK {
+				t.Fatalf("final ReadBlock: %v", st)
+			}
+			_ = grid.ForEachRect(lo, dims, func(idx []int, k int) error {
+				if snap[k] != ref.get(idx) {
+					t.Fatalf("final state diverges at %v: %v vs oracle %v", idx, snap[k], ref.get(idx))
+				}
+				return nil
+			})
+		})
+	}
+}

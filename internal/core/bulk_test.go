@@ -290,6 +290,110 @@ func TestReadBlockInto(t *testing.T) {
 	}
 }
 
+// TestStridedBlockOps drives the strided plane at the public API across
+// the bulk-case configuration space: ReadBlockStrided (both variants) must
+// agree with per-element reads over the lattice, and WriteBlockStrided
+// must change exactly the lattice.
+func TestStridedBlockOps(t *testing.T) {
+	for _, c := range bulkCases() {
+		t.Run(c.name, func(t *testing.T) {
+			m := newMachine(t, c.p)
+			a, err := m.NewArray(c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			value := func(idx []int) float64 {
+				v := 5.0
+				for _, x := range idx {
+					v = 13*v + float64(x)
+				}
+				if c.spec.Type == darray.Int {
+					v = float64(int64(v))
+				}
+				return v
+			}
+			if err := a.Fill(value); err != nil {
+				t.Fatal(err)
+			}
+			step := make([]int, len(c.subLo))
+			for i := range step {
+				step[i] = 2 + i%2
+			}
+
+			want := make(map[int]float64) // lattice position -> value
+			got, err := a.ReadBlockStrided(c.subLo, c.subHi, step)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := grid.StridedRectSize(c.subLo, c.subHi, step); len(got) != n {
+				t.Fatalf("strided read returned %d values, lattice has %d", len(got), n)
+			}
+			if err := grid.ForEachStridedRect(c.subLo, c.subHi, step, func(idx []int, k int) error {
+				if got[k] != value(idx) {
+					t.Fatalf("strided[%d] (%v) = %v, want %v", k, idx, got[k], value(idx))
+				}
+				want[k] = value(idx) - 100
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]float64, len(got))
+			if err := a.ReadBlockStridedInto(c.subLo, c.subHi, step, dst); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if dst[i] != got[i] {
+					t.Fatalf("dst[%d] = %v, want %v", i, dst[i], got[i])
+				}
+			}
+
+			// Strided write: lattice elements take the new values,
+			// everything else keeps the fill pattern.
+			vals := make([]float64, len(got))
+			for k, v := range want {
+				vals[k] = v
+			}
+			if err := a.WriteBlockStrided(c.subLo, c.subHi, step, vals); err != nil {
+				t.Fatal(err)
+			}
+			meta, err := a.Meta()
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := wholeRect(meta)
+			onLattice := func(idx []int) (int, bool) {
+				pos := 0
+				for i := range idx {
+					if idx[i] < c.subLo[i] || idx[i] >= c.subHi[i] || (idx[i]-c.subLo[i])%step[i] != 0 {
+						return 0, false
+					}
+					pos = pos*((c.subHi[i]-c.subLo[i]+step[i]-1)/step[i]) + (idx[i]-c.subLo[i])/step[i]
+				}
+				return pos, true
+			}
+			if err := grid.ForEachRect(lo, hi, func(idx []int, k int) error {
+				el, err := a.Read(idx...)
+				if err != nil {
+					return err
+				}
+				expect := value(idx)
+				if pos, ok := onLattice(idx); ok {
+					expect = vals[pos]
+					if c.spec.Type == darray.Int {
+						expect = float64(int64(expect))
+					}
+				}
+				if el != expect {
+					t.Fatalf("element %v = %v after strided write, want %v", idx, el, expect)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestGatherScatterElements drives the indexed gather/scatter plane at the
 // public API across the bulk-case configuration space: ScatterElements
 // followed by GatherElements and GatherElementsInto must agree with the

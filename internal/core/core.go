@@ -230,6 +230,37 @@ func (a *Array) WriteBlock(lo, hi []int, vals []float64) error {
 	return statusErr("write_block", a.m.AM.WriteBlock(a.onProc, a.id, lo, hi, vals))
 }
 
+// ReadBlockStrided reads every step[i]-th element of the global rectangle
+// [lo, hi) into a dense buffer packed row-major over the lattice
+// (am_user_read_block_strided): one concurrent message per owning
+// processor holding a lattice point, however many rows or columns the
+// stride selects — the structured companion of GatherElements for
+// sub-sampled access (every k-th row: down-sampling, multigrid
+// restriction). A unit step in every dimension delegates to the dense
+// ReadBlock path.
+func (a *Array) ReadBlockStrided(lo, hi, step []int) ([]float64, error) {
+	vals, st := a.m.AM.ReadBlockStrided(a.onProc, a.id, lo, hi, step)
+	return vals, statusErr("read_block_strided", st)
+}
+
+// ReadBlockStridedInto is the buffer-reuse variant of ReadBlockStrided:
+// dst must hold exactly the lattice's point count and receives the packed
+// data in place. The buffer is owned by the caller throughout; a wholly
+// local lattice is copied straight out of section storage with no message
+// and zero heap allocations.
+func (a *Array) ReadBlockStridedInto(lo, hi, step []int, dst []float64) error {
+	return statusErr("read_block_strided", a.m.AM.ReadBlockStridedInto(a.onProc, a.id, lo, hi, step, dst))
+}
+
+// WriteBlockStrided writes a dense buffer packed row-major over the
+// lattice onto every step[i]-th element of the global rectangle [lo, hi)
+// (am_user_write_block_strided). Elements off the lattice are untouched;
+// vals is never retained, so the caller may reuse it as soon as the call
+// returns.
+func (a *Array) WriteBlockStrided(lo, hi, step []int, vals []float64) error {
+	return statusErr("write_block_strided", a.m.AM.WriteBlockStrided(a.onProc, a.id, lo, hi, step, vals))
+}
+
 // GatherElements reads the elements at the given global index tuples in
 // one operation, returning their values in request order
 // (am_user_gather_elements). The transfer is split by owning processor —

@@ -305,6 +305,60 @@ func (m *Meta) OwnerBlocks(lo, hi []int) ([]OwnerBlock, error) {
 	return out, nil
 }
 
+// OwnerBlocksStrided splits the strided rectangle (lo, hi, step) — the
+// lattice of every step[i]-th index within [lo, hi) — into the sub-lattices
+// owned by each local section, in slot order. Every lattice point appears
+// in exactly one returned block; each block's GlobalLo lies on the request
+// lattice, so the block's points are exactly the request lattice restricted
+// to [GlobalLo, GlobalHi) (the step is uniform across blocks and is not
+// repeated in them). Sections holding no lattice point are omitted.
+func (m *Meta) OwnerBlocksStrided(lo, hi, step []int) ([]OwnerBlock, error) {
+	if err := grid.CheckStridedRect(lo, hi, step, m.Dims); err != nil {
+		return nil, err
+	}
+	// Only cells between the first and last lattice point per dimension can
+	// hold a point; enumerate just that sub-grid.
+	local := m.LocalDims
+	cellLo := make([]int, len(lo))
+	cellHi := make([]int, len(lo))
+	for i := range lo {
+		last := lo[i] + ((hi[i]-1-lo[i])/step[i])*step[i]
+		cellLo[i] = lo[i] / local[i]
+		cellHi[i] = last/local[i] + 1
+	}
+	var out []OwnerBlock
+	err := grid.ForEachRect(cellLo, cellHi, func(coord []int, _ int) error {
+		slot, err := grid.ProcSlot(coord, m.GridDims, m.GridIndexing)
+		if err != nil {
+			return err
+		}
+		cLo, cHi, err := grid.CellRect(coord, m.Dims, m.GridDims)
+		if err != nil {
+			return err
+		}
+		subLo, subHi, ok := grid.IntersectStridedRect(lo, hi, step, cLo, cHi)
+		if !ok {
+			return nil // the stride skips this cell entirely
+		}
+		localLo := make([]int, len(lo))
+		localHi := make([]int, len(lo))
+		for i := range lo {
+			localLo[i] = subLo[i] - cLo[i]
+			localHi[i] = subHi[i] - cLo[i]
+		}
+		out = append(out, OwnerBlock{
+			Proc:     m.Procs[slot],
+			GlobalLo: subLo, GlobalHi: subHi,
+			LocalLo: localLo, LocalHi: localHi,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // OwnerIndexSet describes the elements of a scattered-index vector held by
 // one local section: the owning processor, the flat storage offsets of the
 // elements within that processor's bordered section storage, and the
@@ -315,6 +369,40 @@ type OwnerIndexSet struct {
 	Proc int
 	Offs []int // storage offsets, border-displaced, in the section's indexing
 	Pos  []int // positions within the request vector, in request order
+}
+
+// ResolveIndex maps one global index tuple to its owning slot and the
+// border-displaced flat storage offset within that slot's section — the
+// inlined composition of GlobalToLocal + ProcSlot + StorageOffset, the
+// single source of the per-index ownership arithmetic. strides must be the
+// per-dimension storage strides of the bordered section
+// (grid.Strides(m.LocalDimsPlus, m.Indexing)); the caller supplies them so
+// resolving k indices costs no per-index allocation. ok is false when gidx
+// has the wrong rank or is out of range.
+func (m *Meta) ResolveIndex(gidx, strides []int) (slot, off int, ok bool) {
+	n := m.NDims()
+	if len(gidx) != n || len(strides) != n {
+		return 0, 0, false
+	}
+	if m.GridIndexing == grid.RowMajor {
+		for i := 0; i < n; i++ {
+			if gidx[i] < 0 || gidx[i] >= m.Dims[i] {
+				return 0, 0, false
+			}
+			slot = slot*m.GridDims[i] + gidx[i]/m.LocalDims[i]
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			if gidx[i] < 0 || gidx[i] >= m.Dims[i] {
+				return 0, 0, false
+			}
+			slot = slot*m.GridDims[i] + gidx[i]/m.LocalDims[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		off += (gidx[i]%m.LocalDims[i] + m.Borders[2*i]) * strides[i]
+	}
+	return slot, off, true
 }
 
 // OwnerIndices splits a vector of global index tuples by owning local
@@ -328,27 +416,15 @@ func (m *Meta) OwnerIndices(indices [][]int) ([]OwnerIndexSet, error) {
 		return nil, nil
 	}
 	strides := grid.Strides(m.LocalDimsPlus, m.Indexing)
-	n := m.NDims()
 	bySlot := make(map[int]int) // slot -> index into sets
 	var sets []OwnerIndexSet
 	for pos, gidx := range indices {
-		if err := grid.CheckIndex(gidx, m.Dims); err != nil {
-			return nil, err
-		}
-		// Inline GlobalToLocal + ProcSlot + StorageOffset so resolving k
-		// indices costs no per-index allocation.
-		slot, off := 0, 0
-		if m.GridIndexing == grid.RowMajor {
-			for i := 0; i < n; i++ {
-				slot = slot*m.GridDims[i] + gidx[i]/m.LocalDims[i]
+		slot, off, ok := m.ResolveIndex(gidx, strides)
+		if !ok {
+			if err := grid.CheckIndex(gidx, m.Dims); err != nil {
+				return nil, err
 			}
-		} else {
-			for i := n - 1; i >= 0; i-- {
-				slot = slot*m.GridDims[i] + gidx[i]/m.LocalDims[i]
-			}
-		}
-		for i := 0; i < n; i++ {
-			off += (gidx[i]%m.LocalDims[i] + m.Borders[2*i]) * strides[i]
+			return nil, fmt.Errorf("darray: unresolvable index %v", gidx)
 		}
 		si, ok := bySlot[slot]
 		if !ok {
@@ -452,6 +528,78 @@ func (s *Section) WriteBlock(vals []float64, lo, hi, localDims, borders []int, i
 	return s.blockCopy(false, vals, lo, hi, localDims, borders, ix)
 }
 
+// ReadBlockStridedInto copies the lattice of every step[i]-th element of
+// the interior rectangle [lo, hi) into dst, packed densely in row-major
+// lattice order; dst must hold exactly StridedRectSize(lo, hi, step)
+// elements and stays caller-owned. Like ReadBlockInto it performs no heap
+// allocation for rectangles of at most MaxFastDims dimensions — the strided
+// copy rides the same incremental-odometer machinery with the storage
+// stride scaled by the step.
+func (s *Section) ReadBlockStridedInto(dst []float64, lo, hi, step, localDims, borders []int, ix grid.Indexing) error {
+	if err := grid.CheckStridedRect(lo, hi, step, localDims); err != nil {
+		return err
+	}
+	if len(dst) != grid.StridedRectSize(lo, hi, step) {
+		return fmt.Errorf("darray: buffer of %d elements for a strided rectangle of %d", len(dst), grid.StridedRectSize(lo, hi, step))
+	}
+	return s.blockCopyStrided(true, dst, lo, hi, step, localDims, borders, ix)
+}
+
+// WriteBlockStrided copies vals — packed densely in row-major lattice
+// order — onto the lattice of every step[i]-th element of the interior
+// rectangle [lo, hi). vals must hold exactly StridedRectSize(lo, hi, step)
+// elements; elements off the lattice are untouched.
+func (s *Section) WriteBlockStrided(vals []float64, lo, hi, step, localDims, borders []int, ix grid.Indexing) error {
+	if err := grid.CheckStridedRect(lo, hi, step, localDims); err != nil {
+		return err
+	}
+	if len(vals) != grid.StridedRectSize(lo, hi, step) {
+		return fmt.Errorf("darray: %d values for a strided rectangle of %d elements", len(vals), grid.StridedRectSize(lo, hi, step))
+	}
+	return s.blockCopyStrided(false, vals, lo, hi, step, localDims, borders, ix)
+}
+
+// denseStep is the all-ones step vector the dense block paths pass to the
+// shared copy machinery; it must never be written.
+var denseStep = func() (s [MaxFastDims]int) {
+	for i := range s {
+		s[i] = 1
+	}
+	return
+}()
+
+// blockCopyStrided is blockCopy for a strided rectangle: the lattice
+// (lo, hi, step) moves between the bordered storage and vals (a packed
+// row-major lattice buffer). Up to MaxFastDims dimensions it shares the
+// allocation-free fastCopy path; beyond that it falls back to per-element
+// enumeration.
+func (s *Section) blockCopyStrided(read bool, vals []float64, lo, hi, step, localDims, borders []int, ix grid.Indexing) error {
+	if err := CheckBorders(borders, len(localDims)); err != nil {
+		return err
+	}
+	if len(lo) <= MaxFastDims {
+		s.fastCopy(read, vals, lo, hi, step, localDims, borders, ix)
+		return nil
+	}
+	plus, err := DimsPlus(localDims, borders)
+	if err != nil {
+		return err
+	}
+	strides := grid.Strides(plus, ix)
+	return grid.ForEachStridedRect(lo, hi, step, func(idx []int, k int) error {
+		off := 0
+		for i := range idx {
+			off += (idx[i] + borders[2*i]) * strides[i]
+		}
+		if read {
+			vals[k] = s.GetFloat(off)
+		} else {
+			s.SetFloat(off, vals[k])
+		}
+		return nil
+	})
+}
+
 // blockCopy moves data between vals and the rectangle [lo, hi) of the
 // bordered storage. With row-major storage the rectangle's innermost runs
 // are contiguous, so whole rows move with copy; otherwise elements move one
@@ -463,7 +611,7 @@ func (s *Section) blockCopy(read bool, vals []float64, lo, hi, localDims, border
 		return err
 	}
 	if len(lo) <= MaxFastDims {
-		s.fastCopy(read, vals, lo, hi, localDims, borders, ix)
+		s.fastCopy(read, vals, lo, hi, denseStep[:len(lo)], localDims, borders, ix)
 		return nil
 	}
 	plus, err := DimsPlus(localDims, borders)
@@ -502,13 +650,18 @@ func (s *Section) blockCopy(read bool, vals []float64, lo, hi, localDims, border
 	})
 }
 
-// fastCopy is blockCopy specialised to at most MaxFastDims dimensions: all
-// scratch state lives in fixed-size stack arrays and the odometer walks
-// offsets incrementally, so the copy performs no heap allocation. Bounds,
-// borders and buffer length must already be validated.
-func (s *Section) fastCopy(read bool, vals []float64, lo, hi, localDims, borders []int, ix grid.Indexing) {
+// fastCopy is the shared block/strided copy specialised to at most
+// MaxFastDims dimensions: all scratch state lives in fixed-size stack
+// arrays and the odometer walks offsets incrementally, so the copy performs
+// no heap allocation. step scales the storage stride per dimension (the
+// dense paths pass denseStep). Bounds, steps, borders and buffer length
+// must already be validated.
+func (s *Section) fastCopy(read bool, vals []float64, lo, hi, step, localDims, borders []int, ix grid.Indexing) {
 	n := len(lo)
-	var plus, strides, idx [MaxFastDims]int
+	var plus, strides [MaxFastDims]int
+	// cnt is the per-dimension lattice count, estride the storage distance
+	// between consecutive lattice points, pos the odometer position.
+	var cnt, estride, pos [MaxFastDims]int
 	for i := 0; i < n; i++ {
 		plus[i] = localDims[i] + borders[2*i] + borders[2*i+1]
 	}
@@ -528,11 +681,12 @@ func (s *Section) fastCopy(read bool, vals []float64, lo, hi, localDims, borders
 	off := 0
 	for i := 0; i < n; i++ {
 		off += (lo[i] + borders[2*i]) * strides[i]
-		idx[i] = lo[i]
+		cnt[i] = (hi[i] - lo[i] + step[i] - 1) / step[i]
+		estride[i] = step[i] * strides[i]
 	}
 	last := n - 1
-	run := hi[last] - lo[last]
-	contiguous := ix == grid.RowMajor && s.Type == Double // strides[last] == 1
+	run := cnt[last]
+	contiguous := ix == grid.RowMajor && s.Type == Double && step[last] == 1 // strides[last] == 1
 	k := 0
 	for {
 		if contiguous {
@@ -551,19 +705,19 @@ func (s *Section) fastCopy(read bool, vals []float64, lo, hi, localDims, borders
 					s.SetFloat(o, vals[k])
 				}
 				k++
-				o += strides[last]
+				o += estride[last]
 			}
 		}
 		// Advance the outer-dimension odometer, keeping off in step.
 		i := last - 1
 		for ; i >= 0; i-- {
-			idx[i]++
-			off += strides[i]
-			if idx[i] < hi[i] {
+			pos[i]++
+			off += estride[i]
+			if pos[i] < cnt[i] {
 				break
 			}
-			off -= (hi[i] - lo[i]) * strides[i]
-			idx[i] = lo[i]
+			off -= cnt[i] * estride[i]
+			pos[i] = 0
 		}
 		if i < 0 {
 			return

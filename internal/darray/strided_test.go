@@ -1,0 +1,251 @@
+package darray
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// refSection builds a bordered section whose interior element at lidx
+// holds value(lidx), with borders poisoned to -1 so border leaks are
+// visible.
+func refSection(t *testing.T, typ ElemType, localDims, borders []int, ix grid.Indexing, value func(lidx []int) float64) *Section {
+	t.Helper()
+	plus, err := DimsPlus(localDims, borders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSection(typ, grid.Size(plus))
+	for i := 0; i < s.Len(); i++ {
+		s.SetFloat(i, -1)
+	}
+	if err := grid.ForEachRect(make([]int, len(localDims)), localDims, func(lidx []int, k int) error {
+		off, err := StorageOffset(lidx, localDims, borders, ix)
+		if err != nil {
+			return err
+		}
+		s.SetFloat(off, value(lidx))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSectionStridedReadWrite checks the strided section copies against
+// per-element enumeration across border widths, indexing orders and
+// element types.
+func TestSectionStridedReadWrite(t *testing.T) {
+	value := func(lidx []int) float64 {
+		v := 2.0
+		for _, x := range lidx {
+			v = 23*v + float64(x)
+		}
+		return v
+	}
+	cases := []struct {
+		name      string
+		typ       ElemType
+		localDims []int
+		borders   []int
+		ix        grid.Indexing
+		lo, hi    []int
+		step      []int
+	}{
+		{"1d/plain", Double, []int{17}, []int{0, 0}, grid.RowMajor, []int{2}, []int{16}, []int{3}},
+		{"2d/row", Double, []int{8, 9}, []int{0, 0, 0, 0}, grid.RowMajor, []int{1, 0}, []int{8, 9}, []int{2, 3}},
+		{"2d/row/unit-last", Double, []int{8, 9}, []int{1, 1, 2, 0}, grid.RowMajor, []int{0, 2}, []int{7, 9}, []int{3, 1}},
+		{"2d/col/bordered", Double, []int{6, 5}, []int{2, 1, 0, 2}, grid.ColMajor, []int{1, 1}, []int{6, 5}, []int{2, 2}},
+		{"2d/int", Int, []int{5, 5}, []int{1, 0, 1, 0}, grid.RowMajor, []int{0, 0}, []int{5, 5}, []int{2, 4}},
+		{"3d/mixed", Double, []int{4, 5, 6}, []int{1, 1, 0, 0, 2, 1}, grid.RowMajor, []int{0, 1, 2}, []int{4, 5, 6}, []int{3, 2, 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := refSection(t, c.typ, c.localDims, c.borders, c.ix, value)
+			n := grid.StridedRectSize(c.lo, c.hi, c.step)
+			dst := make([]float64, n)
+			if err := s.ReadBlockStridedInto(dst, c.lo, c.hi, c.step, c.localDims, c.borders, c.ix); err != nil {
+				t.Fatal(err)
+			}
+			if err := grid.ForEachStridedRect(c.lo, c.hi, c.step, func(lidx []int, k int) error {
+				want := value(lidx)
+				if c.typ == Int {
+					want = float64(int64(want))
+				}
+				if dst[k] != want {
+					t.Fatalf("dst[%d] (%v) = %v, want %v", k, lidx, dst[k], want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Write the lattice back shifted; only lattice elements change.
+			for i := range dst {
+				dst[i] += 1000
+			}
+			if err := s.WriteBlockStrided(dst, c.lo, c.hi, c.step, c.localDims, c.borders, c.ix); err != nil {
+				t.Fatal(err)
+			}
+			onLattice := func(lidx []int) bool {
+				for i := range lidx {
+					if lidx[i] < c.lo[i] || lidx[i] >= c.hi[i] || (lidx[i]-c.lo[i])%c.step[i] != 0 {
+						return false
+					}
+				}
+				return true
+			}
+			if err := grid.ForEachRect(make([]int, len(c.localDims)), c.localDims, func(lidx []int, k int) error {
+				off, err := StorageOffset(lidx, c.localDims, c.borders, c.ix)
+				if err != nil {
+					return err
+				}
+				want := value(lidx)
+				if c.typ == Int {
+					want = float64(int64(want))
+				}
+				if onLattice(lidx) {
+					want += 1000
+					if c.typ == Int {
+						want = float64(int64(want))
+					}
+				}
+				if got := s.GetFloat(off); got != want {
+					t.Fatalf("element %v = %v after strided write, want %v", lidx, got, want)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSectionStridedErrors covers the validation of the strided section
+// copies.
+func TestSectionStridedErrors(t *testing.T) {
+	s := NewSection(Double, 16)
+	localDims := []int{4, 4}
+	borders := NoBorders(2)
+	if err := s.ReadBlockStridedInto(make([]float64, 4), []int{0, 0}, []int{4, 4}, []int{0, 2}, localDims, borders, grid.RowMajor); err == nil {
+		t.Error("zero step accepted")
+	}
+	if err := s.ReadBlockStridedInto(make([]float64, 3), []int{0, 0}, []int{4, 4}, []int{2, 2}, localDims, borders, grid.RowMajor); err == nil {
+		t.Error("wrong-size buffer accepted")
+	}
+	if err := s.WriteBlockStrided(make([]float64, 4), []int{0, 0}, []int{5, 4}, []int{2, 2}, localDims, borders, grid.RowMajor); err == nil {
+		t.Error("out-of-range rectangle accepted")
+	}
+	if err := s.WriteBlockStrided(make([]float64, 5), []int{0, 0}, []int{4, 4}, []int{2, 2}, localDims, borders, grid.RowMajor); err == nil {
+		t.Error("wrong-size values accepted")
+	}
+}
+
+// TestSectionStridedZeroAllocs pins the strided section copies at zero
+// heap allocations, like the dense fast path they share machinery with.
+func TestSectionStridedZeroAllocs(t *testing.T) {
+	localDims := []int{16, 16}
+	borders := []int{1, 1, 2, 0}
+	s := refSection(t, Double, localDims, borders, grid.RowMajor, func(lidx []int) float64 { return float64(lidx[0]) })
+	lo, hi, step := []int{0, 0}, []int{16, 16}, []int{2, 3}
+	buf := make([]float64, grid.StridedRectSize(lo, hi, step))
+	read := testing.AllocsPerRun(200, func() {
+		if err := s.ReadBlockStridedInto(buf, lo, hi, step, localDims, borders, grid.RowMajor); err != nil {
+			t.Error(err)
+		}
+	})
+	write := testing.AllocsPerRun(200, func() {
+		if err := s.WriteBlockStrided(buf, lo, hi, step, localDims, borders, grid.RowMajor); err != nil {
+			t.Error(err)
+		}
+	})
+	if read != 0 {
+		t.Errorf("ReadBlockStridedInto: %v allocs/op, want 0", read)
+	}
+	if write != 0 {
+		t.Errorf("WriteBlockStrided: %v allocs/op, want 0", write)
+	}
+}
+
+// TestOwnerBlocksStrided checks the strided owner split: blocks partition
+// the lattice exactly, each block's bounds stay lattice-aligned, and cells
+// the stride skips produce no block.
+func TestOwnerBlocksStrided(t *testing.T) {
+	meta := &Meta{
+		ID: ID{}, Type: Double,
+		Dims:          []int{12, 8},
+		Procs:         []int{0, 1, 2, 3, 4, 5},
+		GridDims:      []int{3, 2},
+		LocalDims:     []int{4, 4},
+		Borders:       NoBorders(2),
+		LocalDimsPlus: []int{4, 4},
+		Indexing:      grid.RowMajor,
+		GridIndexing:  grid.RowMajor,
+	}
+	cases := []struct {
+		name         string
+		lo, hi, step []int
+	}{
+		{"every-2nd-row", []int{0, 0}, []int{12, 8}, []int{2, 1}},
+		{"every-3rd-both", []int{1, 1}, []int{12, 8}, []int{3, 3}},
+		{"skip-middle-cells", []int{0, 0}, []int{12, 8}, []int{8, 5}},
+		{"single-point", []int{5, 3}, []int{6, 4}, []int{1, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			blocks, err := meta.OwnerBlocksStrided(c.lo, c.hi, c.step)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[int]int) // flattened global index -> hits
+			for _, b := range blocks {
+				if _, ok := meta.HoldsSection(b.Proc); !ok {
+					t.Fatalf("block on processor %d holding no section", b.Proc)
+				}
+				if err := grid.ForEachStridedRect(b.GlobalLo, b.GlobalHi, c.step, func(gidx []int, k int) error {
+					// Lattice-aligned with the request anchor.
+					for i := range gidx {
+						if (gidx[i]-c.lo[i])%c.step[i] != 0 {
+							t.Fatalf("block point %v off the request lattice", gidx)
+						}
+					}
+					// Owned by the block's processor.
+					proc, _, err := meta.Owner(gidx)
+					if err != nil {
+						return err
+					}
+					if proc != b.Proc {
+						t.Fatalf("point %v in block of proc %d, owner says %d", gidx, b.Proc, proc)
+					}
+					// Local translation is consistent.
+					lin, err := grid.Flatten(gidx, meta.Dims, grid.RowMajor)
+					if err != nil {
+						return err
+					}
+					seen[lin]++
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				// Local bounds are the global ones minus the cell origin.
+				for i := range b.GlobalLo {
+					if b.GlobalHi[i]-b.GlobalLo[i] != b.LocalHi[i]-b.LocalLo[i] {
+						t.Fatalf("block global/local extents differ: %v", b)
+					}
+					if b.LocalLo[i] < 0 || b.LocalHi[i] > meta.LocalDims[i] {
+						t.Fatalf("block local bounds outside the section: %v", b)
+					}
+				}
+			}
+			want := grid.StridedRectSize(c.lo, c.hi, c.step)
+			if len(seen) != want {
+				t.Fatalf("blocks cover %d points, lattice has %d", len(seen), want)
+			}
+			for lin, n := range seen {
+				if n != 1 {
+					t.Fatalf("point %d covered %d times", lin, n)
+				}
+			}
+		})
+	}
+}

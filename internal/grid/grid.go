@@ -420,6 +420,112 @@ func ForEachRect(lo, hi []int, f func(idx []int, k int) error) error {
 	}
 }
 
+// --- strided rectangles (the sub-sampled bulk data plane) ---
+//
+// A strided rectangle is the lattice of index tuples {lo + k*step | k >= 0}
+// within the half-open box [lo, hi): every index idx with
+// lo[i] <= idx[i] < hi[i] and (idx[i]-lo[i]) divisible by step[i]. step = 1
+// in every dimension recovers the dense rectangle. Strided rectangles are
+// the transfer unit for regular sub-sampled access (every k-th row/column:
+// animation down-sampling, multigrid restriction); like dense rectangles
+// they split by owning section into one message per owner.
+
+// CheckStridedRect validates the strided rectangle (lo, hi, step) against
+// dims: the bounds must satisfy CheckRect and every step must be >= 1.
+func CheckStridedRect(lo, hi, step, dims []int) error {
+	if err := CheckRect(lo, hi, dims); err != nil {
+		return err
+	}
+	if len(step) != len(dims) {
+		return fmt.Errorf("%w: %d steps for %d dimensions", ErrBadRect, len(step), len(dims))
+	}
+	for i, s := range step {
+		if s < 1 {
+			return fmt.Errorf("%w: dimension %d: step %d (want >= 1)", ErrBadRect, i, s)
+		}
+	}
+	return nil
+}
+
+// StridedRectDims returns the per-dimension lattice counts
+// ceil((hi[i]-lo[i]) / step[i]): the shape of the dense buffer a strided
+// rectangle packs into.
+func StridedRectDims(lo, hi, step []int) []int {
+	out := make([]int, len(lo))
+	for i := range lo {
+		out[i] = (hi[i] - lo[i] + step[i] - 1) / step[i]
+	}
+	return out
+}
+
+// StridedRectSize returns the number of lattice points of (lo, hi, step).
+// It allocates nothing, so owner-side service routines may call it per
+// request.
+func StridedRectSize(lo, hi, step []int) int {
+	s := 1
+	for i := range lo {
+		s *= (hi[i] - lo[i] + step[i] - 1) / step[i]
+	}
+	return s
+}
+
+// IntersectStridedRect intersects the strided rectangle (lo, hi, step) with
+// the dense box [blo, bhi). The intersection is itself a strided rectangle
+// with the same step whose olo lies on the original lattice (so anchors
+// stay congruent: a point is in the result iff it is in both inputs); ok
+// reports whether it is non-empty.
+func IntersectStridedRect(lo, hi, step, blo, bhi []int) (olo, ohi []int, ok bool) {
+	olo = make([]int, len(lo))
+	ohi = make([]int, len(lo))
+	for i := range lo {
+		l := max(lo[i], blo[i])
+		h := min(hi[i], bhi[i])
+		// Align l up to the lattice anchored at lo[i].
+		if rem := (l - lo[i]) % step[i]; rem != 0 {
+			l += step[i] - rem
+		}
+		if l >= h {
+			return nil, nil, false
+		}
+		olo[i] = l
+		ohi[i] = h
+	}
+	return olo, ohi, true
+}
+
+// ForEachStridedRect enumerates the lattice points of (lo, hi, step) in
+// row-major order (last dimension fastest), calling f with each tuple and
+// its position k in that order — the canonical linearization of packed
+// strided buffers, matching Flatten(…, StridedRectDims, RowMajor) of the
+// per-dimension lattice coordinates. The tuple is reused between calls; f
+// must not retain it. An empty rectangle is visited zero times; a
+// zero-dimensional one exactly once.
+func ForEachStridedRect(lo, hi, step []int, f func(idx []int, k int) error) error {
+	n := len(lo)
+	for i := range lo {
+		if hi[i] <= lo[i] {
+			return nil
+		}
+	}
+	idx := append([]int(nil), lo...)
+	for k := 0; ; k++ {
+		if err := f(idx, k); err != nil {
+			return err
+		}
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i] += step[i]
+			if idx[i] < hi[i] {
+				break
+			}
+			idx[i] = lo[i]
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
 // Strides returns the per-dimension storage strides of a dims-shaped box
 // under the given indexing order (stride 1 on the fastest-varying
 // dimension).
