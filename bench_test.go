@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps/innerproduct"
 	"repro/internal/apps/polymult"
 	"repro/internal/apps/reactor"
+	"repro/internal/apps/triangular"
 	"repro/internal/arraymgr"
 	"repro/internal/compose"
 	"repro/internal/core"
@@ -975,6 +976,48 @@ func BenchmarkE24_StridedRestriction(b *testing.B) {
 				})
 			}
 			m.Close()
+		}
+	}
+}
+
+// --- E25: cyclic vs block decomposition on a triangular update ---
+
+// BenchmarkE25_TriangularUpdate measures the load-balance payoff of the
+// cyclic decomposition layer on the LU-style triangular update: each
+// variant factors the same matrix with a modeled per-active-row cost, so
+// the benchmark time tracks the busiest copy (sleeps overlap across copies
+// the way compute overlaps across dedicated processors). Cyclic rows keep
+// the shrinking active region spread over every processor; block rows
+// drain from the top and serialize on the trailing block's owner.
+func BenchmarkE25_TriangularUpdate(b *testing.B) {
+	for _, layout := range []struct {
+		name string
+		dist grid.Decomp
+	}{
+		{"block", grid.BlockDefault()},
+		{"cyclic", grid.CyclicDefault()},
+	} {
+		for _, c := range []struct{ n, p int }{{32, 4}, {32, 16}} {
+			b.Run(fmt.Sprintf("%s/n=%d/P=%d", layout.name, c.n, c.p), func(b *testing.B) {
+				m := core.New(c.p)
+				defer m.Close()
+				if err := triangular.RegisterPrograms(m); err != nil {
+					b.Fatal(err)
+				}
+				m.VM.Router().SetLatency(20 * time.Microsecond)
+				cfg := triangular.Config{N: c.n, Dist: layout.dist, WorkPerRow: time.Millisecond}
+				want := triangular.RunSequential(cfg)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := triangular.Run(m, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if dev := triangular.MaxDeviation(res.Factors, want); dev > 1e-12 {
+						b.Fatalf("factors deviate by %g", dev)
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,20 +1,24 @@
 // Command tdplab runs the reproduction's experiment suite: one experiment
 // per figure of the paper (see DESIGN.md's per-experiment index and
-// EXPERIMENTS.md for recorded results).
+// EXPERIMENTS.md for recorded results), and exposes the decomposition
+// layer for inspection.
 //
 // Usage:
 //
-//	tdplab list           # list experiments
-//	tdplab all            # run everything
-//	tdplab E10 E12 ...    # run selected experiments
+//	tdplab list                     # list experiments
+//	tdplab all                      # run everything
+//	tdplab E10 E12 ...              # run selected experiments
+//	tdplab decomp 10x8 4 block,cyclic   # show a decomposition's layout
 package main
 
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/grid"
 )
 
 func main() {
@@ -26,6 +30,17 @@ func main() {
 	if args[0] == "list" {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %-9s %s\n", e.ID, e.Figure, e.Title)
+		}
+		return
+	}
+	if args[0] == "decomp" {
+		if len(args) != 4 {
+			fmt.Fprintln(os.Stderr, "usage: tdplab decomp <dims e.g. 10x8> <P> <distrib e.g. block,cyclic>")
+			os.Exit(2)
+		}
+		if err := showDecomp(args[1], args[2], args[3]); err != nil {
+			fmt.Fprintf(os.Stderr, "tdplab: %v\n", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -63,7 +78,87 @@ func usage() {
 	fmt.Println(`tdplab — experiment harness for the task/data-parallel integration reproduction
 
 usage:
-  tdplab list            list experiments (one per figure of the paper)
-  tdplab all             run the full suite
-  tdplab E10 E12 ...     run selected experiments`)
+  tdplab list                        list experiments (one per figure of the paper)
+  tdplab all                         run the full suite
+  tdplab E10 E12 ...                 run selected experiments
+  tdplab decomp <dims> <P> <spec>    show a decomposition's grid, storage and
+                                     ownership (e.g. tdplab decomp 10x8 4 block,cyclic;
+                                     specs: block, block(N), *, cyclic, cyclic(N),
+                                     block_cyclic(B), block_cyclic(B,N))`)
+}
+
+// showDecomp resolves one decomposition specification and prints the
+// processor grid, per-dimension distributions, uniform storage shape,
+// per-cell element counts, and (for 1-D and 2-D arrays) the ownership map
+// — the paper's Fig 3.5/3.6 tables, generalized to cyclic layouts.
+func showDecomp(dimsArg, pArg, distribArg string) error {
+	var dims []int
+	for _, part := range strings.Split(dimsArg, "x") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 1 {
+			return fmt.Errorf("bad dimensions %q", dimsArg)
+		}
+		dims = append(dims, d)
+	}
+	p, err := strconv.Atoi(pArg)
+	if err != nil || p < 1 {
+		return fmt.Errorf("bad processor count %q", pArg)
+	}
+	specs, err := grid.ParseDistrib(distribArg)
+	if err != nil {
+		return err
+	}
+	if len(specs) != len(dims) {
+		return fmt.Errorf("%d specifications for %d dimensions", len(specs), len(dims))
+	}
+	gridDims, err := grid.GridDims(p, specs)
+	if err != nil {
+		return err
+	}
+	dists, err := grid.ResolveDists(dims, gridDims, specs)
+	if err != nil {
+		return err
+	}
+	storage, err := grid.StorageDims(dims, gridDims, dists)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("array %v over %d processors, distribution (%s)\n", dims, p, distribArg)
+	fmt.Printf("  processor grid   %v (%d of %d processors hold sections)\n", gridDims, grid.Size(gridDims), p)
+	for i := range dims {
+		fmt.Printf("  dimension %d      %v: cycle width %d, storage extent %d\n", i, dists[i], dists[i].B, storage[i])
+	}
+	// Per-cell element counts, dimension by dimension.
+	for i := range dims {
+		counts := make([]string, gridDims[i])
+		for c := range counts {
+			counts[c] = strconv.Itoa(dists[i].Count(dims[i], gridDims[i], c))
+		}
+		fmt.Printf("  dim %d cell counts %s\n", i, strings.Join(counts, " "))
+	}
+	if len(dims) > 2 || grid.Size(dims) > 4096 {
+		return nil
+	}
+	fmt.Println("  ownership map (slot per element, row-major grid):")
+	cell := func(i, d int) int {
+		c, _ := dists[d].Owner(i, gridDims[d])
+		return c
+	}
+	if len(dims) == 1 {
+		row := make([]string, dims[0])
+		for i := range row {
+			row[i] = strconv.Itoa(cell(i, 0))
+		}
+		fmt.Printf("    %s\n", strings.Join(row, " "))
+		return nil
+	}
+	for i := 0; i < dims[0]; i++ {
+		row := make([]string, dims[1])
+		for j := range row {
+			slot := cell(i, 0)*gridDims[1] + cell(j, 1)
+			row[j] = strconv.Itoa(slot)
+		}
+		fmt.Printf("    %s\n", strings.Join(row, " "))
+	}
+	return nil
 }

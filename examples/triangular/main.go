@@ -1,0 +1,55 @@
+// Command triangular runs the triangular-update workload (the k-loop of an
+// LU factorization) under block and cyclic row distributions and reports
+// the modeled makespan of each: the load-balance payoff of the cyclic
+// decomposition layer.
+//
+//	go run ./examples/triangular -p 8 -n 48 -work 100us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps/triangular"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func main() {
+	p := flag.Int("p", 8, "virtual processors")
+	n := flag.Int("n", 48, "matrix order")
+	work := flag.Duration("work", 100*time.Microsecond, "modeled cost per active row per step")
+	flag.Parse()
+
+	fmt.Printf("triangular update: n=%d, P=%d, %v per active row\n", *n, *p, *work)
+	var ref []float64
+	for _, c := range []struct {
+		name string
+		dist grid.Decomp
+	}{
+		{"block ", grid.BlockDefault()},
+		{"cyclic", grid.CyclicDefault()},
+	} {
+		m := core.New(*p)
+		if err := triangular.RegisterPrograms(m); err != nil {
+			log.Fatal(err)
+		}
+		cfg := triangular.Config{N: *n, Dist: c.dist, WorkPerRow: *work}
+		res, err := triangular.Run(m, cfg)
+		m.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ref == nil {
+			ref = triangular.RunSequential(cfg)
+		}
+		if dev := triangular.MaxDeviation(res.Factors, ref); dev > 1e-12 {
+			log.Fatalf("%s factors deviate from sequential by %g", c.name, dev)
+		}
+		fmt.Printf("  %s  makespan %8.0f row-steps   wall %-12v factors match sequential\n",
+			c.name, res.WorkUnits, res.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Println("cyclic keeps every processor busy as the active region shrinks; block drains from the top.")
+}

@@ -175,6 +175,23 @@ func (e *Env) VerifyArray(onProc int, id darray.ID, ndims int, borders arraymgr.
 	return e.AM.VerifyArray(onProc, id, ndims, borders, ix)
 }
 
+// ParseDistrib builds a decomposition vector from the textual
+// per-dimension specifications of the paper's create_array examples,
+// extended with the cyclic forms of the distribution layer: each element
+// is one of "block", "block(N)", "*", "cyclic", "cyclic(N)",
+// "block_cyclic(B)" or "block_cyclic(B,N)".
+func ParseDistrib(specs ...string) ([]grid.Decomp, error) {
+	out := make([]grid.Decomp, len(specs))
+	for i, s := range specs {
+		d, err := grid.ParseDecomp(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
 // --- §C utilities ---
 
 // TupleToIntArray is am_util_tuple_to_int_array (§C.1): it creates a

@@ -127,3 +127,52 @@ func TestAtomicPrintIsAtomic(t *testing.T) {
 		}
 	}
 }
+
+// TestParseDistrib covers the textual decomposition specifications,
+// including the cyclic forms of the distribution layer.
+func TestParseDistrib(t *testing.T) {
+	got, err := ParseDistrib("block", "cyclic(2)", "block_cyclic(3)", "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []grid.Decomp{grid.BlockDefault(), grid.CyclicOf(2), grid.BlockCyclicOf(3), grid.NoDecomp()}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseDistrib = %v, want %v", got, want)
+	}
+	if _, err := ParseDistrib("block", "diagonal"); err == nil {
+		t.Fatal("unknown specification accepted")
+	}
+}
+
+// TestCreateCyclicThroughAm drives the §4 library shape end to end on a
+// cyclic array: create, element writes, bulk read, free.
+func TestCreateCyclicThroughAm(t *testing.T) {
+	machine := vp.NewMachine(4)
+	defer machine.Shutdown()
+	e := LoadAll(machine)
+	distrib, err := ParseDistrib("cyclic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, st := e.CreateArray(0, "double", []int{10}, []int{0, 1, 2, 3}, distrib, arraymgr.NoBorderSpec{}, "row")
+	if st != StatusOK {
+		t.Fatalf("CreateArray: %v", st)
+	}
+	for i := 0; i < 10; i++ {
+		if st := e.WriteElement(0, id, []int{i}, float64(i*i)); st != StatusOK {
+			t.Fatalf("WriteElement(%d): %v", i, st)
+		}
+	}
+	vals, st := e.ReadBlock(0, id, []int{0}, []int{10})
+	if st != StatusOK {
+		t.Fatalf("ReadBlock: %v", st)
+	}
+	for i, v := range vals {
+		if v != float64(i*i) {
+			t.Fatalf("element %d = %v, want %v", i, v, float64(i*i))
+		}
+	}
+	if st := e.FreeArray(0, id); st != StatusOK {
+		t.Fatalf("FreeArray: %v", st)
+	}
+}

@@ -1,0 +1,75 @@
+package triangular
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// TestFactorsMatchSequential checks the distributed elimination against
+// the sequential reference under every row distribution, including the
+// cyclic layouts whose data plane rides the offset-set coordinators.
+func TestFactorsMatchSequential(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		dist grid.Decomp
+		n, p int
+	}{
+		{"block", grid.BlockDefault(), 12, 4},
+		{"block/uneven", grid.BlockDefault(), 13, 4},
+		{"cyclic", grid.CyclicDefault(), 12, 4},
+		{"cyclic/uneven", grid.CyclicDefault(), 13, 4},
+		{"blockcyclic", grid.BlockCyclicOf(2), 14, 4},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			m := core.New(c.p)
+			defer m.Close()
+			if err := RegisterPrograms(m); err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{N: c.n, Dist: c.dist}
+			res, err := Run(m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := RunSequential(cfg)
+			if dev := MaxDeviation(res.Factors, want); dev > 1e-12 {
+				t.Fatalf("factors deviate from sequential by %g", dev)
+			}
+			if res.WorkUnits <= 0 {
+				t.Fatalf("work units %v", res.WorkUnits)
+			}
+		})
+	}
+}
+
+// TestCyclicBalancesWork pins the load-balance argument deterministically:
+// the modeled makespan (max active-row steps over copies) of the cyclic
+// layout is strictly below the block layout's on every swept shape.
+func TestCyclicBalancesWork(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{16, 4}, {32, 8}} {
+		t.Run(fmt.Sprintf("n=%d/P=%d", c.n, c.p), func(t *testing.T) {
+			units := map[string]float64{}
+			for name, dist := range map[string]grid.Decomp{
+				"block": grid.BlockDefault(), "cyclic": grid.CyclicDefault(),
+			} {
+				m := core.New(c.p)
+				if err := RegisterPrograms(m); err != nil {
+					m.Close()
+					t.Fatal(err)
+				}
+				res, err := Run(m, Config{N: c.n, Dist: dist})
+				m.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				units[name] = res.WorkUnits
+			}
+			if units["cyclic"] >= units["block"] {
+				t.Fatalf("cyclic makespan %v not below block %v", units["cyclic"], units["block"])
+			}
+		})
+	}
+}

@@ -331,6 +331,38 @@ func (m *Manager) handle(proc int, req *request) {
 
 // --- coordinator operations ---
 
+// bordersAllowed reports whether the resolved borders are permitted for
+// the layout. Borders exist to back halo exchanges between grid-adjacent
+// sections, which assume every cell holds a full-size, index-adjacent
+// interior; so nonzero borders require an exactly even block
+// decomposition — no cyclic dimensions (cell adjacency is not index
+// adjacency there; spmd.HaloExchange carries the matching guard) and no
+// uneven trailing blocks (a short or empty trailing cell would exchange
+// unused storage as if it were data). Bordered fields keep exactly the
+// shapes the paper's prototype accepted; borderless arrays get the full
+// distribution layer.
+func bordersAllowed(borders, dims, gridDims []int, dists []grid.Dist) bool {
+	nonzero := false
+	for _, b := range borders {
+		if b != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		return true
+	}
+	if !grid.Regular(gridDims, dists) {
+		return false
+	}
+	for i := range dims {
+		if dists[i].Storage(dims[i], gridDims[i])*gridDims[i] != dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // resolveBorders turns a BorderSpec into concrete border sizes.
 func (m *Manager) resolveBorders(spec BorderSpec, ndims int) ([]int, Status) {
 	switch b := spec.(type) {
@@ -383,13 +415,23 @@ func (m *Manager) doCreate(proc int, req *request) response {
 	if err != nil {
 		return response{status: StatusInvalid}
 	}
-	localDims, err := grid.LocalDims(spec.Dims, gridDims)
+	dists, err := grid.ResolveDists(spec.Dims, gridDims, spec.Distrib)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	// Sections are sized uniformly at the fullest cell's extent; the
+	// divide-evenly restriction of the paper's prototype (§3.2.1.1) is
+	// gone — trailing blocks may be short or empty.
+	localDims, err := grid.StorageDims(spec.Dims, gridDims, dists)
 	if err != nil {
 		return response{status: StatusInvalid}
 	}
 	borders, st := m.resolveBorders(spec.Borders, len(spec.Dims))
 	if st != StatusOK {
 		return response{status: st}
+	}
+	if !bordersAllowed(borders, spec.Dims, gridDims, dists) {
+		return response{status: StatusInvalid}
 	}
 	plus, err := darray.DimsPlus(localDims, borders)
 	if err != nil {
@@ -408,6 +450,7 @@ func (m *Manager) doCreate(proc int, req *request) response {
 		Dims:          append([]int(nil), spec.Dims...),
 		Procs:         append([]int(nil), spec.Procs...),
 		GridDims:      gridDims,
+		Dists:         dists,
 		LocalDims:     localDims,
 		Borders:       borders,
 		LocalDimsPlus: plus,
@@ -586,13 +629,27 @@ func (m *Manager) doReadVector(proc int, req *request) response {
 	if out == nil {
 		out = make([]float64, len(req.gidxs))
 	}
+	if st := m.readSets(proc, req.id, sets, out); st != StatusOK {
+		return response{status: st}
+	}
+	return response{status: StatusOK, vals: out}
+}
+
+// readSets drives the gather half of the offset-set transfer: one
+// concurrent read_vector_local request per remote owner in sets (all
+// scattered before any reply is awaited), the local set serviced in place,
+// and each reply's values placed at their request positions in out. It is
+// shared by the indexed coordinators and by the rectangle coordinators of
+// irregular (cyclic/block-cyclic) arrays, whose owner shares are offset
+// sets rather than rectangles.
+func (m *Manager) readSets(proc int, id darray.ID, sets []darray.OwnerIndexSet, out []float64) Status {
 	replies := make([]chan response, len(sets))
 	for i, s := range sets {
 		if s.Proc == proc {
 			continue
 		}
 		replies[i] = m.sendAsync(proc, s.Proc,
-			&request{op: "read_vector_local", id: req.id, offs: s.Offs})
+			&request{op: "read_vector_local", id: id, offs: s.Offs})
 	}
 	status := StatusOK
 	// scatter places one owner's reply values at their request positions
@@ -611,7 +668,7 @@ func (m *Manager) doReadVector(proc int, req *request) response {
 		if replies[i] != nil {
 			continue
 		}
-		scatter(i, m.doReadVectorLocal(proc, &request{id: req.id, offs: s.Offs}))
+		scatter(i, m.doReadVectorLocal(proc, &request{id: id, offs: s.Offs}))
 	}
 	for i := range sets {
 		if replies[i] == nil {
@@ -619,10 +676,7 @@ func (m *Manager) doReadVector(proc int, req *request) response {
 		}
 		scatter(i, <-replies[i])
 	}
-	if status != StatusOK {
-		return response{status: status}
-	}
-	return response{status: StatusOK, vals: out}
+	return status
 }
 
 // doReadVectorLocal services one owner's share of an indexed gather: the
@@ -667,14 +721,25 @@ func (m *Manager) doWriteVector(proc int, req *request) response {
 	if err != nil {
 		return response{status: StatusInvalid}
 	}
-	// pack builds one owner's value vector in set order — a fresh snapshot,
-	// since messages between address spaces carry copies, never views.
+	return response{status: m.writeSets(proc, req.id, sets, req.vals)}
+}
+
+// writeSets drives the scatter half of the offset-set transfer: each
+// remote owner in sets receives one write_vector_local request carrying
+// its offsets and a fresh snapshot of its values (messages between address
+// spaces carry copies, never views), all posted before any reply is
+// awaited; the local set is written in place and the statuses gathered.
+// Offsets within a set preserve request order, so repeated positions keep
+// last-writer-wins semantics. Shared by the indexed coordinators and the
+// irregular rectangle coordinators.
+func (m *Manager) writeSets(proc int, id darray.ID, sets []darray.OwnerIndexSet, vals []float64) Status {
+	// pack builds one owner's value vector in set order.
 	pack := func(s darray.OwnerIndexSet) []float64 {
-		vals := make([]float64, len(s.Pos))
+		out := make([]float64, len(s.Pos))
 		for j, p := range s.Pos {
-			vals[j] = req.vals[p]
+			out[j] = vals[p]
 		}
-		return vals
+		return out
 	}
 	replies := make([]chan response, len(sets))
 	localIdx := -1
@@ -684,12 +749,12 @@ func (m *Manager) doWriteVector(proc int, req *request) response {
 			continue
 		}
 		replies[i] = m.sendAsync(proc, s.Proc,
-			&request{op: "write_vector_local", id: req.id, offs: s.Offs, vals: pack(s)})
+			&request{op: "write_vector_local", id: id, offs: s.Offs, vals: pack(s)})
 	}
 	status := StatusOK
 	if localIdx >= 0 {
 		s := sets[localIdx]
-		if r := m.doWriteVectorLocal(proc, &request{id: req.id, offs: s.Offs, vals: pack(s)}); r.status != StatusOK {
+		if r := m.doWriteVectorLocal(proc, &request{id: id, offs: s.Offs, vals: pack(s)}); r.status != StatusOK {
 			status = r.status
 		}
 	}
@@ -701,7 +766,51 @@ func (m *Manager) doWriteVector(proc int, req *request) response {
 			status = r.status
 		}
 	}
-	return response{status: status}
+	return status
+}
+
+// readLattice is the rectangle-read coordinator for irregular
+// (cyclic/block-cyclic) arrays: a cell's share of the (lo, hi, step)
+// lattice — dense when step is nil — is not a rectangle, so the transfer
+// rides the offset-set machinery instead: one request per owner, served by
+// the same zero-allocation owner routine as indexed gathers, with values
+// landing at their packed lattice positions in the dense result buffer.
+func (m *Manager) readLattice(proc int, meta *darray.Meta, req *request, step []int) response {
+	sets, err := meta.OwnerLattice(req.lo, req.hi, step)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	size := grid.RectSize(req.lo, req.hi)
+	if step != nil {
+		size = grid.StridedRectSize(req.lo, req.hi, step)
+	}
+	out := req.vals
+	if out != nil && len(out) != size {
+		return response{status: StatusInvalid}
+	}
+	if out == nil {
+		out = make([]float64, size)
+	}
+	if st := m.readSets(proc, req.id, sets, out); st != StatusOK {
+		return response{status: st}
+	}
+	return response{status: StatusOK, vals: out}
+}
+
+// writeLattice is readLattice's write-side companion.
+func (m *Manager) writeLattice(proc int, meta *darray.Meta, req *request, step []int) response {
+	sets, err := meta.OwnerLattice(req.lo, req.hi, step)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	size := grid.RectSize(req.lo, req.hi)
+	if step != nil {
+		size = grid.StridedRectSize(req.lo, req.hi, step)
+	}
+	if len(req.vals) != size {
+		return response{status: StatusInvalid}
+	}
+	return response{status: m.writeSets(proc, req.id, sets, req.vals)}
 }
 
 // doWriteVectorLocal services one owner's share of an indexed scatter,
@@ -758,6 +867,9 @@ func (m *Manager) doReadBlock(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
 		return response{status: st}
+	}
+	if !e.meta.Regular() {
+		return m.readLattice(proc, e.meta, req, nil)
 	}
 	blocks, err := e.meta.OwnerBlocks(req.lo, req.hi)
 	if err != nil {
@@ -822,6 +934,32 @@ func (m *Manager) doReadBlockSerial(proc int, req *request) response {
 	if st != StatusOK {
 		return response{status: st}
 	}
+	if !e.meta.Regular() {
+		// Serial ablation of the irregular path: one owner at a time, a
+		// full round trip each, through the same offset sets.
+		sets, err := e.meta.OwnerLattice(req.lo, req.hi, nil)
+		if err != nil {
+			return response{status: StatusInvalid}
+		}
+		out := make([]float64, grid.RectSize(req.lo, req.hi))
+		for _, s := range sets {
+			sub := &request{op: "read_vector_local", id: req.id, offs: s.Offs}
+			var r response
+			if s.Proc == proc {
+				r = m.doReadVectorLocal(proc, sub)
+			} else {
+				r = m.send(proc, s.Proc, sub)
+			}
+			if r.status != StatusOK {
+				return response{status: r.status}
+			}
+			for j, p := range s.Pos {
+				out[p] = r.vals[j]
+			}
+			m.servers[s.Proc].putBuf(r.vals)
+		}
+		return response{status: StatusOK, vals: out}
+	}
 	blocks, err := e.meta.OwnerBlocks(req.lo, req.hi)
 	if err != nil {
 		return response{status: StatusInvalid}
@@ -879,6 +1017,9 @@ func (m *Manager) doWriteBlock(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
 		return response{status: st}
+	}
+	if !e.meta.Regular() {
+		return m.writeLattice(proc, e.meta, req, nil)
 	}
 	blocks, err := e.meta.OwnerBlocks(req.lo, req.hi)
 	if err != nil {
@@ -977,6 +1118,9 @@ func (m *Manager) doReadBlockStrided(proc int, req *request) response {
 	if st != StatusOK {
 		return response{status: st}
 	}
+	if !e.meta.Regular() {
+		return m.readLattice(proc, e.meta, req, req.step)
+	}
 	blocks, err := e.meta.OwnerBlocksStrided(req.lo, req.hi, req.step)
 	if err != nil {
 		return response{status: StatusInvalid}
@@ -1062,6 +1206,9 @@ func (m *Manager) doWriteBlockStrided(proc int, req *request) response {
 	e, st := m.lookup(proc, req.id)
 	if st != StatusOK {
 		return response{status: st}
+	}
+	if !e.meta.Regular() {
+		return m.writeLattice(proc, e.meta, req, req.step)
 	}
 	blocks, err := e.meta.OwnerBlocksStrided(req.lo, req.hi, req.step)
 	if err != nil {
@@ -1155,6 +1302,8 @@ func (m *Manager) doFindInfo(proc int, req *request) response {
 		out = append([]int(nil), meta.Procs...)
 	case "grid_dimensions":
 		out = append([]int(nil), meta.GridDims...)
+	case "distribution":
+		out = meta.ResolvedDists()
 	case "local_dimensions":
 		out = append([]int(nil), meta.LocalDims...)
 	case "borders":
@@ -1190,6 +1339,12 @@ func (m *Manager) doVerify(proc int, req *request) response {
 	expected, bst := m.resolveBorders(req.borders, meta.NDims())
 	if bst != StatusOK {
 		return response{status: bst}
+	}
+	// Verification may not retrofit borders onto a layout that could not
+	// have been created with them (the same block-only contract as
+	// create_array).
+	if !bordersAllowed(expected, meta.Dims, meta.GridDims, meta.ResolvedDists()) {
+		return response{status: StatusInvalid}
 	}
 	if darray.EqualInts(expected, meta.Borders) {
 		return response{status: StatusOK}
@@ -1638,7 +1793,8 @@ func (m *Manager) FindLocal(onProc int, id darray.ID) (*darray.Section, Status) 
 // FindInfo returns information about the array; which is one of the §4.2.6
 // selector strings ("type", "dimensions", "processors", "grid_dimensions",
 // "local_dimensions", "borders", "local_dimensions_plus", "indexing_type",
-// "grid_indexing_type") or "meta" for the full metadata.
+// "grid_indexing_type"), "distribution" for the per-dimension
+// distributions ([]grid.Dist), or "meta" for the full metadata.
 func (m *Manager) FindInfo(onProc int, id darray.ID, which string) (any, Status) {
 	if m.machine.CheckProc(onProc) != nil {
 		return nil, StatusInvalid

@@ -251,16 +251,61 @@ func TestInvalidCreates(t *testing.T) {
 		t.Fatalf("distrib arity: %v", st)
 	}
 
-	bad = base
-	bad.Dims = []int{5, 4} // 5 not divisible by grid dim 2
-	if _, st := m.CreateArray(0, bad); st != StatusInvalid {
-		t.Fatalf("divisibility: %v", st)
+	// 5 rows over a grid dimension of 2 used to be rejected (the paper's
+	// divide-evenly restriction); the distribution layer handles the
+	// uneven trailing block, so this now succeeds.
+	uneven := base
+	uneven.Dims = []int{5, 4}
+	if id, st := m.CreateArray(0, uneven); st != StatusOK {
+		t.Fatalf("uneven block create: %v", st)
+	} else if st := m.FreeArray(0, id); st != StatusOK {
+		t.Fatalf("uneven block free: %v", st)
 	}
 
 	bad = base
 	bad.Borders = ExplicitBorders{1} // wrong length
 	if _, st := m.CreateArray(0, bad); st != StatusInvalid {
 		t.Fatalf("bad borders: %v", st)
+	}
+
+	// Bordered fields keep the paper's exactly-even block shapes: borders
+	// on a cyclic dimension or an uneven block layout are rejected at
+	// creation (halo exchange assumes full-size, index-adjacent
+	// interiors), and verification may not retrofit them later.
+	bad = base
+	bad.Distrib = []grid.Decomp{grid.CyclicDefault(), grid.BlockDefault()}
+	bad.Borders = ExplicitBorders{1, 1, 0, 0}
+	if _, st := m.CreateArray(0, bad); st != StatusInvalid {
+		t.Fatalf("bordered cyclic create: %v", st)
+	}
+
+	bad = base
+	bad.Dims = []int{5, 4} // 5 over a grid dimension of 2: uneven
+	bad.Borders = ExplicitBorders{1, 1, 0, 0}
+	if _, st := m.CreateArray(0, bad); st != StatusInvalid {
+		t.Fatalf("bordered uneven create: %v", st)
+	}
+
+	cyc := base
+	cyc.Distrib = []grid.Decomp{grid.CyclicDefault(), grid.BlockDefault()}
+	if id, st := m.CreateArray(0, cyc); st != StatusOK {
+		t.Fatalf("borderless cyclic create: %v", st)
+	} else {
+		if st := m.VerifyArray(0, id, 2, ExplicitBorders{1, 1, 0, 0}, grid.RowMajor); st != StatusInvalid {
+			t.Fatalf("verify retrofitting borders onto a cyclic array: %v", st)
+		}
+		if st := m.VerifyArray(0, id, 2, NoBorderSpec{}, grid.RowMajor); st != StatusOK {
+			t.Fatalf("borderless verify of a cyclic array: %v", st)
+		}
+		if st := m.FreeArray(0, id); st != StatusOK {
+			t.Fatalf("free cyclic: %v", st)
+		}
+	}
+
+	bad = base
+	bad.Distrib = []grid.Decomp{grid.BlockCyclicOf(0), grid.BlockDefault()}
+	if _, st := m.CreateArray(0, bad); st != StatusInvalid {
+		t.Fatalf("block_cyclic(0): %v", st)
 	}
 }
 

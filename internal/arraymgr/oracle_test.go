@@ -87,6 +87,34 @@ func oracleCases() []oracleCase {
 				Distrib: []grid.Decomp{grid.BlockOf(2), grid.BlockOf(3), grid.NoDecomp()},
 				Borders: ExplicitBorders{1, 0, 0, 1, 1, 1}, Indexing: ix,
 			}},
+			// Beyond the paper's prototype: uneven trailing blocks (shapes
+			// the divide-evenly restriction used to reject) and cyclic /
+			// block-cyclic layouts through the distribution layer.
+			oracleCase{"2d/uneven-block", 4, CreateSpec{
+				Type: darray.Double, Dims: []int{13, 7}, Procs: procs(0, 1, 2, 3),
+				Distrib: []grid.Decomp{grid.BlockOf(2), grid.BlockOf(2)},
+				Borders: NoBorderSpec{}, Indexing: ix,
+			}},
+			oracleCase{"1d/cyclic", 4, CreateSpec{
+				Type: darray.Double, Dims: []int{23}, Procs: procs(0, 1, 2, 3),
+				Distrib: []grid.Decomp{grid.CyclicDefault()},
+				Borders: NoBorderSpec{}, Indexing: ix,
+			}},
+			oracleCase{"2d/cyclic-star", 4, CreateSpec{
+				Type: darray.Int, Dims: []int{13, 5}, Procs: procs(2, 0, 3, 1),
+				Distrib: []grid.Decomp{grid.CyclicOf(4), grid.NoDecomp()},
+				Borders: NoBorderSpec{}, Indexing: ix,
+			}},
+			oracleCase{"2d/blockcyclic-block", 6, CreateSpec{
+				Type: darray.Double, Dims: []int{16, 9}, Procs: procs(5, 1, 3, 0, 2, 4),
+				Distrib: []grid.Decomp{grid.BlockCyclicOfN(3, 3), grid.BlockOf(2)},
+				Borders: NoBorderSpec{}, Indexing: ix,
+			}},
+			oracleCase{"3d/cyclic-mixed", 8, CreateSpec{
+				Type: darray.Double, Dims: []int{5, 7, 4}, Procs: procs(0, 1, 2, 3, 4, 5, 6, 7),
+				Distrib: []grid.Decomp{grid.CyclicOf(2), grid.BlockCyclicOfN(2, 2), grid.BlockOf(2)},
+				Borders: NoBorderSpec{}, Indexing: ix,
+			}},
 		)
 	}
 	for i := range out {

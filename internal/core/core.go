@@ -108,6 +108,15 @@ func (m *Machine) Wait() { m.VM.Wait() }
 
 // ArraySpec describes a distributed array to create. Zero values choose
 // the defaults noted on each field.
+//
+// Distrib accepts the full decomposition vocabulary of the distribution
+// layer: grid.BlockDefault/BlockOf/NoDecomp (the paper's block, block(N)
+// and *), plus grid.CyclicDefault/CyclicOf and
+// grid.BlockCyclicOf/BlockCyclicOfN for cyclic and block-cyclic layouts
+// (load-balanced LU-style workloads). Dimensions need not divide evenly;
+// trailing blocks may be short. Nonzero Borders require an exactly even
+// block decomposition — halo exchange assumes full-size, index-adjacent
+// interiors — at creation and at Verify alike.
 type ArraySpec struct {
 	Type     darray.ElemType     // default Double
 	Dims     []int               // required

@@ -83,8 +83,21 @@ func TestDefaultsApplied(t *testing.T) {
 
 func TestCreateErrors(t *testing.T) {
 	m := newMachine(t, 4)
-	if _, err := m.NewArray(ArraySpec{Dims: []int{5}, Procs: []int{0, 1}}); !IsStatus(err, arraymgr.StatusInvalid) {
-		t.Fatalf("indivisible dims: %v", err)
+	// Indivisible shapes are no longer errors: the trailing block is
+	// simply short (here processor 0 holds 3 elements, processor 1 two).
+	a, err := m.NewArray(ArraySpec{Dims: []int{5}, Procs: []int{0, 1}})
+	if err != nil {
+		t.Fatalf("uneven dims: %v", err)
+	}
+	if err := a.Fill(func(idx []int) float64 { return float64(idx[0] + 1) }); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, []float64{1, 2, 3, 4, 5}) {
+		t.Fatalf("uneven snapshot = %v", snap)
 	}
 	if _, err := m.NewArray(ArraySpec{}); !IsStatus(err, arraymgr.StatusInvalid) {
 		t.Fatalf("missing dims: %v", err)

@@ -65,15 +65,23 @@ func (id ID) String() string { return fmt.Sprintf("{%d,%d}", id.Proc, id.Seq) }
 // array-representation tuple). The representation deliberately stores
 // derivable quantities (local dimensions etc.): "we choose to compute the
 // information once and store it rather than computing it repeatedly".
+//
+// LocalDims is the uniform per-cell storage extent (grid.Dist.Storage per
+// dimension): every section is allocated with that shape, and with uneven
+// or cyclic distributions a cell may own fewer elements than its storage
+// provides (LocalDimsOf reports the actual counts). For exactly divisible
+// block arrays — everything the paper's prototype supports — storage and
+// ownership coincide.
 type Meta struct {
 	ID            ID
 	Type          ElemType
-	Dims          []int // global array dimensions
-	Procs         []int // processor numbers over which the array is distributed
-	GridDims      []int // processor-grid dimensions
-	LocalDims     []int // local-section dimensions, excluding borders
-	Borders       []int // length 2*N: leading/trailing border per dimension
-	LocalDimsPlus []int // local-section dimensions including borders
+	Dims          []int       // global array dimensions
+	Procs         []int       // processor numbers over which the array is distributed
+	GridDims      []int       // processor-grid dimensions
+	Dists         []grid.Dist // per-dimension distributions; nil means pure block
+	LocalDims     []int       // local-section storage dimensions, excluding borders
+	Borders       []int       // length 2*N: leading/trailing border per dimension
+	LocalDimsPlus []int       // local-section dimensions including borders
 	Indexing      grid.Indexing
 	GridIndexing  grid.Indexing
 }
@@ -115,10 +123,77 @@ func (m *Meta) Clone() *Meta {
 	c.Dims = append([]int(nil), m.Dims...)
 	c.Procs = append([]int(nil), m.Procs...)
 	c.GridDims = append([]int(nil), m.GridDims...)
+	if m.Dists != nil {
+		c.Dists = append([]grid.Dist(nil), m.Dists...)
+	}
 	c.LocalDims = append([]int(nil), m.LocalDims...)
 	c.Borders = append([]int(nil), m.Borders...)
 	c.LocalDimsPlus = append([]int(nil), m.LocalDimsPlus...)
 	return &c
+}
+
+// Dist returns dimension i's distribution. Metadata predating the
+// distribution layer (nil Dists) is pure block with the storage width.
+func (m *Meta) Dist(i int) grid.Dist {
+	if m.Dists == nil {
+		return grid.Dist{Kind: grid.DistBlock, B: m.LocalDims[i]}
+	}
+	return m.Dists[i]
+}
+
+// Regular reports whether every dimension leaves each cell one contiguous
+// run of global indices — block in every dimension, or cyclic only over
+// 1-cell grid dimensions — so that the rectangle-based owner split
+// (OwnerBlocks, OwnerBlocksStrided, LocalRect's block case) applies.
+// Irregular arrays route rectangle transfers through OwnerLattice instead.
+func (m *Meta) Regular() bool {
+	if m.Dists == nil {
+		return true
+	}
+	return grid.Regular(m.GridDims, m.Dists)
+}
+
+// ResolvedDists returns the per-dimension distributions as a fresh slice,
+// materializing the block defaults of pre-distribution metadata.
+func (m *Meta) ResolvedDists() []grid.Dist {
+	out := make([]grid.Dist, m.NDims())
+	for i := range out {
+		out[i] = m.Dist(i)
+	}
+	return out
+}
+
+// dimOwner resolves one dimension: the grid cell owning global index g and
+// the index within that cell's local storage. It allocates nothing — this
+// is the per-dimension kernel under ResolveIndex, Owner and LocalRect,
+// deferring to grid.Dist.Owner (the fuzzed single source of the
+// arithmetic) on cyclic dimensions.
+func (m *Meta) dimOwner(i, g int) (cell, local int) {
+	if m.Dists != nil && m.Dists[i].Kind != grid.DistBlock && m.GridDims[i] > 1 {
+		return m.Dists[i].Owner(g, m.GridDims[i])
+	}
+	// Block (including uneven trailing blocks, where LocalDims[i] is the
+	// ceil width) and any distribution over a 1-cell grid dimension, where
+	// local storage order equals global order.
+	b := m.LocalDims[i]
+	return g / b, g % b
+}
+
+// LocalDimsOf returns the actual interior extent, per dimension, of the
+// section at the given grid slot. With uneven or cyclic distributions this
+// may be smaller than the uniform LocalDims storage shape (possibly zero
+// in a dimension); data-parallel programs iterating their section should
+// use it rather than LocalDims when the array may be unevenly distributed.
+func (m *Meta) LocalDimsOf(slot int) ([]int, error) {
+	coord, err := grid.Unflatten(slot, m.GridDims, m.GridIndexing)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, m.NDims())
+	for i := range out {
+		out[i] = m.Dist(i).Count(m.Dims[i], m.GridDims[i], coord[i])
+	}
+	return out, nil
 }
 
 // ErrBadBorders reports malformed border specifications.
@@ -171,19 +246,17 @@ func StorageOffset(lidx, localDims, borders []int, ix grid.Indexing) (int, error
 // Owner resolves a global index tuple to the owning processor number and
 // the flat storage offset of the element within that processor's (bordered)
 // local section — the {processor-reference, local-indices} pair of
-// §3.2.1.1, composed with border displacement.
+// §3.2.1.1, composed with border displacement and generalized from block
+// to cyclic and block-cyclic distributions through the per-dimension
+// distribution arithmetic (ResolveIndex).
 func (m *Meta) Owner(gidx []int) (proc, storageOff int, err error) {
-	coord, lidx, err := grid.GlobalToLocal(gidx, m.Dims, m.GridDims)
-	if err != nil {
-		return 0, 0, err
-	}
-	slot, err := grid.ProcSlot(coord, m.GridDims, m.GridIndexing)
-	if err != nil {
-		return 0, 0, err
-	}
-	off, err := StorageOffset(lidx, m.LocalDims, m.Borders, m.Indexing)
-	if err != nil {
-		return 0, 0, err
+	strides := grid.Strides(m.LocalDimsPlus, m.Indexing)
+	slot, off, ok := m.ResolveIndex(gidx, strides)
+	if !ok {
+		if err := grid.CheckIndex(gidx, m.Dims); err != nil {
+			return 0, 0, err
+		}
+		return 0, 0, fmt.Errorf("darray: unresolvable index %v", gidx)
 	}
 	return m.Procs[slot], off, nil
 }
@@ -232,11 +305,32 @@ func (m *Meta) LocalRect(proc int, lo, hi, dstLo, dstHi []int) bool {
 
 // localRectDim handles one dimension of LocalRect: it peels this
 // dimension's grid coordinate off lin and checks/translates the bounds.
+// Block dimensions translate by the cell origin; cyclic dimensions accept
+// a range only when it lies within one owned cycle block (where the
+// global→local map is a unit-slope translation, so dense and strided
+// copies remain valid on the translated bounds).
 func (m *Meta) localRectDim(i int, lin *int, lo, hi, dstLo, dstHi []int) bool {
 	c := *lin % m.GridDims[i]
 	*lin /= m.GridDims[i]
+	if m.Dists != nil && m.Dists[i].Kind != grid.DistBlock && m.GridDims[i] > 1 {
+		// The range lies in one owned cycle block iff both endpoints
+		// resolve to this cell with their local distance equal to the
+		// global distance (the map is a unit-slope translation there).
+		cLo, lLo := m.Dists[i].Owner(lo[i], m.GridDims[i])
+		cHi, lHi := m.Dists[i].Owner(hi[i]-1, m.GridDims[i])
+		if cLo != c || cHi != c || lHi-lLo != hi[i]-1-lo[i] {
+			return false
+		}
+		dstLo[i] = lLo
+		dstHi[i] = lHi + 1
+		return true
+	}
 	cellLo := c * m.LocalDims[i]
-	if lo[i] < cellLo || hi[i] > cellLo+m.LocalDims[i] {
+	cellHi := cellLo + m.LocalDims[i]
+	if cellHi > m.Dims[i] {
+		cellHi = m.Dims[i] // uneven trailing block
+	}
+	if lo[i] < cellLo || hi[i] > cellHi {
 		return false
 	}
 	dstLo[i] = lo[i] - cellLo
@@ -254,17 +348,42 @@ type OwnerBlock struct {
 	LocalLo, LocalHi   []int
 }
 
+// ErrIrregular reports a rectangle owner-split requested on an array whose
+// distribution leaves cells non-contiguous holdings (a cyclic or
+// block-cyclic dimension over more than one cell). Coordinators route such
+// arrays through OwnerLattice instead.
+var ErrIrregular = errors.New("darray: rectangle owner-split requires contiguous (block) cells")
+
+// cellRect writes the global region [cLo, cHi) owned by the block-regular
+// cell at grid coordinate coord: blocks of the per-dimension storage
+// width, with the trailing cell clamped to the array extent (uneven last
+// block). Valid only for Regular metadata.
+func (m *Meta) cellRect(coord, cLo, cHi []int) {
+	for i := range coord {
+		cLo[i] = coord[i] * m.LocalDims[i]
+		cHi[i] = cLo[i] + m.LocalDims[i]
+		if cHi[i] > m.Dims[i] {
+			cHi[i] = m.Dims[i]
+		}
+	}
+}
+
 // OwnerBlocks splits the global rectangle [lo, hi) into the sub-rectangles
 // owned by each local section, in slot order. Every index tuple of the
 // rectangle appears in exactly one returned block; sections the rectangle
-// does not touch are omitted.
+// does not touch are omitted. It requires a Regular distribution (each
+// cell one contiguous run per dimension) and reports ErrIrregular
+// otherwise — cyclic arrays split rectangles with OwnerLattice.
 func (m *Meta) OwnerBlocks(lo, hi []int) ([]OwnerBlock, error) {
 	if err := grid.CheckRect(lo, hi, m.Dims); err != nil {
 		return nil, err
 	}
-	// Cell c owns [c*local, (c+1)*local) per dimension, so only the cells
-	// in [lo/local, (hi-1)/local] can intersect the rectangle; enumerate
-	// just that sub-grid rather than every cell.
+	if !m.Regular() {
+		return nil, ErrIrregular
+	}
+	// Cell c owns [c*local, min((c+1)*local, dims)) per dimension, so only
+	// the cells in [lo/local, (hi-1)/local] can intersect the rectangle;
+	// enumerate just that sub-grid rather than every cell.
 	local := m.LocalDims
 	cellLo := make([]int, len(lo))
 	cellHi := make([]int, len(lo))
@@ -272,16 +391,15 @@ func (m *Meta) OwnerBlocks(lo, hi []int) ([]OwnerBlock, error) {
 		cellLo[i] = lo[i] / local[i]
 		cellHi[i] = (hi[i]-1)/local[i] + 1
 	}
+	cLo := make([]int, len(lo))
+	cHi := make([]int, len(lo))
 	var out []OwnerBlock
 	err := grid.ForEachRect(cellLo, cellHi, func(coord []int, _ int) error {
 		slot, err := grid.ProcSlot(coord, m.GridDims, m.GridIndexing)
 		if err != nil {
 			return err
 		}
-		cLo, cHi, err := grid.CellRect(coord, m.Dims, m.GridDims)
-		if err != nil {
-			return err
-		}
+		m.cellRect(coord, cLo, cHi)
 		subLo, subHi, ok := grid.IntersectRect(lo, hi, cLo, cHi)
 		if !ok {
 			return fmt.Errorf("darray: cell %v in range but disjoint from [%v,%v)", coord, lo, hi)
@@ -311,10 +429,14 @@ func (m *Meta) OwnerBlocks(lo, hi []int) ([]OwnerBlock, error) {
 // in exactly one returned block; each block's GlobalLo lies on the request
 // lattice, so the block's points are exactly the request lattice restricted
 // to [GlobalLo, GlobalHi) (the step is uniform across blocks and is not
-// repeated in them). Sections holding no lattice point are omitted.
+// repeated in them). Sections holding no lattice point are omitted. Like
+// OwnerBlocks it requires a Regular distribution (ErrIrregular otherwise).
 func (m *Meta) OwnerBlocksStrided(lo, hi, step []int) ([]OwnerBlock, error) {
 	if err := grid.CheckStridedRect(lo, hi, step, m.Dims); err != nil {
 		return nil, err
+	}
+	if !m.Regular() {
+		return nil, ErrIrregular
 	}
 	// Only cells between the first and last lattice point per dimension can
 	// hold a point; enumerate just that sub-grid.
@@ -326,16 +448,15 @@ func (m *Meta) OwnerBlocksStrided(lo, hi, step []int) ([]OwnerBlock, error) {
 		cellLo[i] = lo[i] / local[i]
 		cellHi[i] = last/local[i] + 1
 	}
+	cLo := make([]int, len(lo))
+	cHi := make([]int, len(lo))
 	var out []OwnerBlock
 	err := grid.ForEachRect(cellLo, cellHi, func(coord []int, _ int) error {
 		slot, err := grid.ProcSlot(coord, m.GridDims, m.GridIndexing)
 		if err != nil {
 			return err
 		}
-		cLo, cHi, err := grid.CellRect(coord, m.Dims, m.GridDims)
-		if err != nil {
-			return err
-		}
+		m.cellRect(coord, cLo, cHi)
 		subLo, subHi, ok := grid.IntersectStridedRect(lo, hi, step, cLo, cHi)
 		if !ok {
 			return nil // the stride skips this cell entirely
@@ -373,9 +494,10 @@ type OwnerIndexSet struct {
 
 // ResolveIndex maps one global index tuple to its owning slot and the
 // border-displaced flat storage offset within that slot's section — the
-// inlined composition of GlobalToLocal + ProcSlot + StorageOffset, the
-// single source of the per-index ownership arithmetic. strides must be the
-// per-dimension storage strides of the bordered section
+// single source of the per-index ownership arithmetic, composed from the
+// per-dimension distribution kernel (dimOwner) so it covers block, cyclic
+// and block-cyclic dimensions uniformly. strides must be the per-dimension
+// storage strides of the bordered section
 // (grid.Strides(m.LocalDimsPlus, m.Indexing)); the caller supplies them so
 // resolving k indices costs no per-index allocation. ok is false when gidx
 // has the wrong rank or is out of range.
@@ -389,18 +511,19 @@ func (m *Meta) ResolveIndex(gidx, strides []int) (slot, off int, ok bool) {
 			if gidx[i] < 0 || gidx[i] >= m.Dims[i] {
 				return 0, 0, false
 			}
-			slot = slot*m.GridDims[i] + gidx[i]/m.LocalDims[i]
+			cell, l := m.dimOwner(i, gidx[i])
+			slot = slot*m.GridDims[i] + cell
+			off += (l + m.Borders[2*i]) * strides[i]
 		}
 	} else {
 		for i := n - 1; i >= 0; i-- {
 			if gidx[i] < 0 || gidx[i] >= m.Dims[i] {
 				return 0, 0, false
 			}
-			slot = slot*m.GridDims[i] + gidx[i]/m.LocalDims[i]
+			cell, l := m.dimOwner(i, gidx[i])
+			slot = slot*m.GridDims[i] + cell
+			off += (l + m.Borders[2*i]) * strides[i]
 		}
-	}
-	for i := 0; i < n; i++ {
-		off += (gidx[i]%m.LocalDims[i] + m.Borders[2*i]) * strides[i]
 	}
 	return slot, off, true
 }
@@ -434,6 +557,54 @@ func (m *Meta) OwnerIndices(indices [][]int) ([]OwnerIndexSet, error) {
 		}
 		sets[si].Offs = append(sets[si].Offs, off)
 		sets[si].Pos = append(sets[si].Pos, pos)
+	}
+	return sets, nil
+}
+
+// OwnerLattice splits the lattice points of the strided rectangle
+// (lo, hi, step) — dense when step is nil — by owning local section, sets
+// ordered by first appearance in packed row-major lattice order. It is the
+// owner split for distributions where a cell's holdings are not
+// contiguous (a cyclic or block-cyclic dimension spanning several cells):
+// the result carries explicit storage offsets the way OwnerIndices does,
+// with Pos holding each point's packed lattice position, so the rectangle
+// coordinators can move values between per-owner messages and the dense
+// request buffer — still one message per owner, whatever the layout.
+func (m *Meta) OwnerLattice(lo, hi, step []int) ([]OwnerIndexSet, error) {
+	var err error
+	if step == nil {
+		err = grid.CheckRect(lo, hi, m.Dims)
+	} else {
+		err = grid.CheckStridedRect(lo, hi, step, m.Dims)
+	}
+	if err != nil {
+		return nil, err
+	}
+	strides := grid.Strides(m.LocalDimsPlus, m.Indexing)
+	bySlot := make(map[int]int) // slot -> index into sets
+	var sets []OwnerIndexSet
+	visit := func(idx []int, k int) error {
+		slot, off, ok := m.ResolveIndex(idx, strides)
+		if !ok {
+			return fmt.Errorf("darray: unresolvable index %v", idx)
+		}
+		si, seen := bySlot[slot]
+		if !seen {
+			si = len(sets)
+			bySlot[slot] = si
+			sets = append(sets, OwnerIndexSet{Proc: m.Procs[slot]})
+		}
+		sets[si].Offs = append(sets[si].Offs, off)
+		sets[si].Pos = append(sets[si].Pos, k)
+		return nil
+	}
+	if step == nil {
+		err = grid.ForEachRect(lo, hi, visit)
+	} else {
+		err = grid.ForEachStridedRect(lo, hi, step, visit)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return sets, nil
 }

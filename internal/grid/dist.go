@@ -1,0 +1,281 @@
+// Per-dimension distributions: the generalization of §3.2.1.1's pure
+// block decomposition to cyclic and block-cyclic layouts.
+//
+// One array dimension of extent N mapped onto a grid dimension of P cells
+// is described by a Dist — a distribution kind plus a cycle width B. All
+// three kinds share one formula family, the standard block-cyclic
+// arithmetic: global index g lies in cycle block j = g/B; block j belongs
+// to cell j mod P; within the cell it is the (j div P)-th local block.
+//
+//   - block:        B = ceil(N/P), so every cell owns at most one block —
+//     the contiguous layout of the paper, now with an uneven (possibly
+//     empty) trailing block instead of the divide-evenly restriction;
+//   - cyclic:       B = 1, elements dealt round-robin;
+//   - block-cyclic: B chosen by the user, blocks dealt round-robin.
+//
+// Local sections are allocated uniformly: every cell's storage extent
+// along the dimension is Storage() = ceil(nb/P)*B (nb = ceil(N/B)), the
+// extent of the fullest cell, so cells short a block (or holding a
+// truncated trailing block) simply leave trailing storage unused. Count()
+// reports the number of elements a cell actually owns.
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DistKind is how one array dimension maps onto its grid dimension.
+type DistKind uint8
+
+const (
+	// DistBlock is the contiguous layout: cell c owns the single run
+	// [c*B, min((c+1)*B, N)) with B = ceil(N/P).
+	DistBlock DistKind = iota
+	// DistCyclic deals single elements round-robin: cell c owns
+	// {c, c+P, c+2P, ...}.
+	DistCyclic
+	// DistBlockCyclic deals blocks of width B round-robin: cell c owns
+	// cycle blocks c, c+P, c+2P, ...
+	DistBlockCyclic
+)
+
+func (k DistKind) String() string {
+	switch k {
+	case DistBlock:
+		return "block"
+	case DistCyclic:
+		return "cyclic"
+	case DistBlockCyclic:
+		return "block_cyclic"
+	default:
+		return "?"
+	}
+}
+
+// Dist is one dimension's resolved distribution: the kind and the concrete
+// cycle width B (>= 1). For DistBlock, B is ceil(N/P); for DistCyclic it
+// is 1. A zero Dist is not valid; distributions are produced by
+// ResolveDist from a Decomp specification.
+type Dist struct {
+	Kind DistKind
+	B    int
+}
+
+func (d Dist) String() string {
+	if d.Kind == DistBlockCyclic {
+		return fmt.Sprintf("block_cyclic(%d)", d.B)
+	}
+	return d.Kind.String()
+}
+
+// ResolveDist turns one dimension's Decomp specification into a concrete
+// Dist for extent n over p grid cells.
+func ResolveDist(spec Decomp, n, p int) (Dist, error) {
+	if n < 1 || p < 1 {
+		return Dist{}, fmt.Errorf("%w: extent %d over %d cells", ErrBadDecomp, n, p)
+	}
+	switch spec.Kind {
+	case Block, BlockN, Star:
+		return Dist{Kind: DistBlock, B: (n + p - 1) / p}, nil
+	case Cyclic:
+		return Dist{Kind: DistCyclic, B: 1}, nil
+	case BlockCyclic:
+		if spec.B < 1 {
+			return Dist{}, fmt.Errorf("%w: block_cyclic width %d", ErrBadDecomp, spec.B)
+		}
+		return Dist{Kind: DistBlockCyclic, B: spec.B}, nil
+	default:
+		return Dist{}, fmt.Errorf("%w: unknown kind %d", ErrBadDecomp, spec.Kind)
+	}
+}
+
+// ResolveDists resolves a full specification vector against array and grid
+// dimensions.
+func ResolveDists(dims, gridDims []int, specs []Decomp) ([]Dist, error) {
+	if len(dims) != len(gridDims) || len(dims) != len(specs) {
+		return nil, fmt.Errorf("%w: %d dims, %d grid dims, %d specs", ErrBadDecomp, len(dims), len(gridDims), len(specs))
+	}
+	out := make([]Dist, len(dims))
+	for i := range dims {
+		d, err := ResolveDist(specs[i], dims[i], gridDims[i])
+		if err != nil {
+			return nil, fmt.Errorf("dimension %d: %w", i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// blocks returns nb = ceil(n/B), the number of cycle blocks of extent n.
+func (d Dist) blocks(n int) int { return (n + d.B - 1) / d.B }
+
+// Owner maps global index g to its owning cell and the index within that
+// cell's local storage, for extent n over p cells. It allocates nothing.
+func (d Dist) Owner(g, p int) (cell, local int) {
+	j := g / d.B
+	return j % p, (j/p)*d.B + g%d.B
+}
+
+// Global is the inverse of Owner: the global index of cell's local element
+// l. The result is meaningful only for l < Count(n, p, cell); larger l
+// address the cell's unused trailing storage.
+func (d Dist) Global(cell, l, p int) int {
+	j := (l/d.B)*p + cell
+	return j*d.B + l%d.B
+}
+
+// Count returns the number of elements of an extent-n dimension owned by
+// cell (0 <= cell < p). Cells may own zero elements when n < p*B.
+func (d Dist) Count(n, p, cell int) int {
+	nb := d.blocks(n)
+	if cell >= nb {
+		return 0
+	}
+	owned := (nb - cell + p - 1) / p // cycle blocks owned by this cell
+	c := owned * d.B
+	if (nb-1)%p == cell {
+		c -= nb*d.B - n // the trailing block is truncated to the extent
+	}
+	return c
+}
+
+// Storage returns the uniform per-cell storage extent along the dimension:
+// ceil(nb/p) cycle blocks of width B, the extent of the fullest cell. Every
+// local index Owner produces is < Storage.
+func (d Dist) Storage(n, p int) int {
+	return (d.blocks(n) + p - 1) / p * d.B
+}
+
+// StorageDims returns the uniform local-section storage dimensions for
+// dims distributed over gridDims with the given per-dimension
+// distributions — the generalization of LocalDims without the
+// divide-evenly restriction.
+func StorageDims(dims, gridDims []int, dists []Dist) ([]int, error) {
+	if len(dims) != len(gridDims) || len(dims) != len(dists) {
+		return nil, fmt.Errorf("%w: %d dims, %d grid dims, %d dists", ErrBadDecomp, len(dims), len(gridDims), len(dists))
+	}
+	out := make([]int, len(dims))
+	for i := range dims {
+		if dims[i] < 1 || gridDims[i] < 1 || dists[i].B < 1 {
+			return nil, fmt.Errorf("%w: dim %d: extent %d, grid %d, width %d", ErrBadDecomp, i, dims[i], gridDims[i], dists[i].B)
+		}
+		out[i] = dists[i].Storage(dims[i], gridDims[i])
+	}
+	return out, nil
+}
+
+// Regular reports whether the distribution leaves every cell a single
+// contiguous run of global indices, so rectangle-based owner splitting
+// applies: block dimensions always, cyclic dimensions only when their grid
+// dimension is 1.
+func Regular(gridDims []int, dists []Dist) bool {
+	for i, d := range dists {
+		if d.Kind != DistBlock && gridDims[i] > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseDecomp parses one dimension's decomposition specification:
+//
+//	"block"              the paper's default block
+//	"block(N)"           block with the grid dimension fixed to N
+//	"*"                  not decomposed
+//	"cyclic"             element round-robin
+//	"cyclic(N)"          cyclic with the grid dimension fixed to N
+//	"block_cyclic(B)"    width-B blocks dealt round-robin
+//	"block_cyclic(B,N)"  block-cyclic with the grid dimension fixed to N
+func ParseDecomp(s string) (Decomp, error) {
+	s = strings.TrimSpace(s)
+	name, args := s, ""
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return Decomp{}, fmt.Errorf("%w: %q", ErrBadDecomp, s)
+		}
+		name, args = s[:i], s[i+1:len(s)-1]
+	}
+	argv, err := parseDecompArgs(args)
+	if err != nil {
+		return Decomp{}, fmt.Errorf("%w: %q", ErrBadDecomp, s)
+	}
+	for _, v := range argv {
+		// Explicit arguments must be positive: "cyclic(0)" is a typo, not
+		// a request for the default grid dimension.
+		if v < 1 {
+			return Decomp{}, fmt.Errorf("%w: %q", ErrBadDecomp, s)
+		}
+	}
+	switch {
+	case name == "*" && len(argv) == 0:
+		return NoDecomp(), nil
+	case name == "block" && len(argv) == 0:
+		return BlockDefault(), nil
+	case name == "block" && len(argv) == 1:
+		return BlockOf(argv[0]), nil
+	case name == "cyclic" && len(argv) == 0:
+		return CyclicDefault(), nil
+	case name == "cyclic" && len(argv) == 1:
+		return CyclicOf(argv[0]), nil
+	case name == "block_cyclic" && len(argv) == 1:
+		return BlockCyclicOf(argv[0]), nil
+	case name == "block_cyclic" && len(argv) == 2:
+		return BlockCyclicOfN(argv[0], argv[1]), nil
+	default:
+		return Decomp{}, fmt.Errorf("%w: %q", ErrBadDecomp, s)
+	}
+}
+
+func parseDecompArgs(args string) ([]int, error) {
+	if args == "" {
+		return nil, nil
+	}
+	parts := strings.Split(args, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ParseDistrib parses a comma-separated decomposition vector such as
+// "block,cyclic" or "block_cyclic(2),*". Parenthesized arguments may not
+// themselves contain commas followed by new specifications, so the
+// splitter tracks nesting depth.
+func ParseDistrib(s string) ([]Decomp, error) {
+	var out []Decomp
+	depth, start := 0, 0
+	emit := func(tok string) error {
+		d, err := ParseDecomp(tok)
+		if err != nil {
+			return err
+		}
+		out = append(out, d)
+		return nil
+	}
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				if err := emit(s[start:i]); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if err := emit(s[start:]); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package grid
+
+import (
+	"reflect"
+	"testing"
+)
+
+// distCases sweeps extents, cell counts and widths across all three kinds,
+// including extents smaller than the grid (empty cells) and widths that do
+// not divide the extent (truncated trailing blocks).
+func distCases() []struct {
+	name string
+	d    Dist
+	n, p int
+} {
+	return []struct {
+		name string
+		d    Dist
+		n, p int
+	}{
+		{"block/exact", Dist{DistBlock, 6}, 24, 4},
+		{"block/uneven", Dist{DistBlock, 3}, 10, 4},
+		{"block/empty-cell", Dist{DistBlock, 2}, 5, 4},
+		{"block/p1", Dist{DistBlock, 7}, 7, 1},
+		{"cyclic", Dist{DistCyclic, 1}, 23, 4},
+		{"cyclic/short", Dist{DistCyclic, 1}, 3, 5},
+		{"cyclic/p1", Dist{DistCyclic, 1}, 9, 1},
+		{"blockcyclic/exact", Dist{DistBlockCyclic, 2}, 16, 4},
+		{"blockcyclic/truncated", Dist{DistBlockCyclic, 3}, 17, 2},
+		{"blockcyclic/wide", Dist{DistBlockCyclic, 5}, 12, 3},
+		{"blockcyclic/p1", Dist{DistBlockCyclic, 4}, 10, 1},
+	}
+}
+
+// TestDistBijection checks that Owner maps every global index to exactly
+// one (cell, local) pair within bounds, that Global inverts it, that Count
+// sums to the extent, and that a cell's elements appear at strictly
+// increasing local indices (the layout is order-preserving per cell).
+func TestDistBijection(t *testing.T) {
+	for _, c := range distCases() {
+		t.Run(c.name, func(t *testing.T) {
+			storage := c.d.Storage(c.n, c.p)
+			perCell := make(map[int][]int) // cell -> locals in global order
+			for g := 0; g < c.n; g++ {
+				cell, l := c.d.Owner(g, c.p)
+				if cell < 0 || cell >= c.p {
+					t.Fatalf("g=%d: cell %d out of [0,%d)", g, cell, c.p)
+				}
+				if l < 0 || l >= storage {
+					t.Fatalf("g=%d: local %d outside storage %d", g, l, storage)
+				}
+				if back := c.d.Global(cell, l, c.p); back != g {
+					t.Fatalf("g=%d -> (%d,%d) -> %d", g, cell, l, back)
+				}
+				locals := perCell[cell]
+				if len(locals) > 0 && l <= locals[len(locals)-1] {
+					t.Fatalf("g=%d: local %d not increasing within cell %d (%v)", g, l, cell, locals)
+				}
+				perCell[cell] = append(locals, l)
+			}
+			total := 0
+			for cell := 0; cell < c.p; cell++ {
+				count := c.d.Count(c.n, c.p, cell)
+				if count != len(perCell[cell]) {
+					t.Fatalf("cell %d: Count %d, enumeration found %d", cell, count, len(perCell[cell]))
+				}
+				if count > storage {
+					t.Fatalf("cell %d: count %d exceeds storage %d", cell, count, storage)
+				}
+				total += count
+			}
+			if total != c.n {
+				t.Fatalf("counts sum to %d, extent %d", total, c.n)
+			}
+		})
+	}
+}
+
+// TestDistBlockMatchesLegacy pins the block case against the original
+// exact-divisible arithmetic: for divisible shapes, Owner agrees with
+// g/local, g%local.
+func TestDistBlockMatchesLegacy(t *testing.T) {
+	n, p := 24, 4
+	d, err := ResolveDist(BlockDefault(), n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.B != n/p {
+		t.Fatalf("block width %d, want %d", d.B, n/p)
+	}
+	for g := 0; g < n; g++ {
+		cell, l := d.Owner(g, p)
+		if cell != g/(n/p) || l != g%(n/p) {
+			t.Fatalf("g=%d: (%d,%d), legacy (%d,%d)", g, cell, l, g/(n/p), g%(n/p))
+		}
+	}
+}
+
+func TestResolveDists(t *testing.T) {
+	dists, err := ResolveDists([]int{10, 23, 16}, []int{4, 4, 2},
+		[]Decomp{BlockDefault(), CyclicDefault(), BlockCyclicOf(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Dist{{DistBlock, 3}, {DistCyclic, 1}, {DistBlockCyclic, 3}}
+	if !reflect.DeepEqual(dists, want) {
+		t.Fatalf("ResolveDists = %v, want %v", dists, want)
+	}
+	storage, err := StorageDims([]int{10, 23, 16}, []int{4, 4, 2}, dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 over 4 cells width 3 -> 3; 23 cyclic over 4 -> 6; 16 in width-3
+	// blocks (6 blocks) over 2 -> 3 blocks of 3 = 9.
+	if !reflect.DeepEqual(storage, []int{3, 6, 9}) {
+		t.Fatalf("StorageDims = %v", storage)
+	}
+	if _, err := ResolveDists([]int{4}, []int{2}, []Decomp{BlockCyclicOf(0)}); err == nil {
+		t.Fatal("zero-width block_cyclic accepted")
+	}
+	if _, err := ResolveDists([]int{4, 4}, []int{2}, []Decomp{BlockDefault()}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestRegular(t *testing.T) {
+	if !Regular([]int{4, 1}, []Dist{{DistBlock, 2}, {DistCyclic, 1}}) {
+		t.Fatal("cyclic over a 1-cell grid must count as regular")
+	}
+	if Regular([]int{4, 2}, []Dist{{DistBlock, 2}, {DistCyclic, 1}}) {
+		t.Fatal("cyclic over 2 cells is not regular")
+	}
+	if !Regular([]int{4}, []Dist{{DistBlock, 3}}) {
+		t.Fatal("uneven block is still regular")
+	}
+}
+
+// TestGridDimsCyclic checks the new kinds in GridDims: cyclic defaults like
+// block, fixed grid dimensions are honored, malformed specs rejected.
+func TestGridDimsCyclic(t *testing.T) {
+	g, err := GridDims(16, []Decomp{CyclicDefault(), BlockCyclicOf(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, []int{4, 4}) {
+		t.Fatalf("GridDims = %v, want [4 4]", g)
+	}
+	g, err = GridDims(16, []Decomp{CyclicOf(2), BlockCyclicOfN(3, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, []int{2, 8}) {
+		t.Fatalf("GridDims = %v, want [2 8]", g)
+	}
+	if _, err := GridDims(4, []Decomp{BlockCyclicOf(0)}); err == nil {
+		t.Fatal("block_cyclic(0) accepted")
+	}
+	if _, err := GridDims(4, []Decomp{CyclicOf(8)}); err == nil {
+		t.Fatal("cyclic(8) over 4 processors accepted")
+	}
+}
+
+func TestParseDecomp(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Decomp
+	}{
+		{"block", BlockDefault()},
+		{"block(4)", BlockOf(4)},
+		{"*", NoDecomp()},
+		{"cyclic", CyclicDefault()},
+		{"cyclic(3)", CyclicOf(3)},
+		{"block_cyclic(2)", BlockCyclicOf(2)},
+		{"block_cyclic(2, 4)", BlockCyclicOfN(2, 4)},
+		{" block ", BlockDefault()},
+	}
+	for _, c := range cases {
+		got, err := ParseDecomp(c.in)
+		if err != nil {
+			t.Fatalf("ParseDecomp(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseDecomp(%q) = %v, want %v", c.in, got, c.want)
+		}
+		// String round-trips back through the parser.
+		back, err := ParseDecomp(got.String())
+		if err != nil || back != got {
+			t.Fatalf("round trip %q -> %v -> %v (%v)", c.in, got, back, err)
+		}
+	}
+	for _, bad := range []string{"", "blocky", "block(", "block(x)", "cyclic(1,2,3)", "block_cyclic", "cyclic(0)", "block_cyclic(2,0)", "block(-1)"} {
+		if _, err := ParseDecomp(bad); err == nil {
+			t.Fatalf("ParseDecomp(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseDistrib(t *testing.T) {
+	got, err := ParseDistrib("block,cyclic(2),block_cyclic(3,4),*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Decomp{BlockDefault(), CyclicOf(2), BlockCyclicOfN(3, 4), NoDecomp()}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseDistrib = %v, want %v", got, want)
+	}
+	if _, err := ParseDistrib("block,,cyclic"); err == nil {
+		t.Fatal("empty component accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package grid
+
+import (
+	"testing"
+)
+
+// FuzzDistRoundTrip pins the global↔(cell, local-offset) bijection of the
+// distribution arithmetic behind every data path: for any extent, cell
+// count, width and kind, Owner must land within bounds, Global must invert
+// it, and the per-cell Counts must partition the extent. CI runs this as
+// part of the fuzz-smoke job; the seed corpus keeps plain `go test`
+// covering the same property deterministically.
+func FuzzDistRoundTrip(f *testing.F) {
+	f.Add(uint8(24), uint8(4), uint8(6), uint8(0), uint16(7))
+	f.Add(uint8(10), uint8(4), uint8(1), uint8(1), uint16(9))
+	f.Add(uint8(17), uint8(3), uint8(3), uint8(2), uint16(16))
+	f.Add(uint8(5), uint8(7), uint8(2), uint8(0), uint16(4))
+	f.Fuzz(func(t *testing.T, rawN, rawP, rawB, rawKind uint8, rawG uint16) {
+		n := int(rawN%64) + 1
+		p := int(rawP%8) + 1
+		var d Dist
+		switch rawKind % 3 {
+		case 0:
+			d = Dist{Kind: DistBlock, B: (n + p - 1) / p}
+		case 1:
+			d = Dist{Kind: DistCyclic, B: 1}
+		case 2:
+			d = Dist{Kind: DistBlockCyclic, B: int(rawB%8) + 1}
+		}
+		storage := d.Storage(n, p)
+		g := int(rawG) % n
+		cell, l := d.Owner(g, p)
+		if cell < 0 || cell >= p {
+			t.Fatalf("%v n=%d p=%d: g=%d -> cell %d", d, n, p, g, cell)
+		}
+		if l < 0 || l >= storage {
+			t.Fatalf("%v n=%d p=%d: g=%d -> local %d outside storage %d", d, n, p, g, l, storage)
+		}
+		if back := d.Global(cell, l, p); back != g {
+			t.Fatalf("%v n=%d p=%d: g=%d -> (%d,%d) -> %d", d, n, p, g, cell, l, back)
+		}
+		// Counts partition the extent, and each cell's count stays within
+		// its uniform storage.
+		total := 0
+		for c := 0; c < p; c++ {
+			cnt := d.Count(n, p, c)
+			if cnt < 0 || cnt > storage {
+				t.Fatalf("%v n=%d p=%d: cell %d count %d outside [0,%d]", d, n, p, c, cnt, storage)
+			}
+			// Every owned local index round-trips through Global/Owner.
+			if cnt > 0 {
+				lastG := d.Global(c, cnt-1, p)
+				if lastG < 0 || lastG >= n {
+					t.Fatalf("%v n=%d p=%d: cell %d last element maps to %d", d, n, p, c, lastG)
+				}
+				if bc, bl := d.Owner(lastG, p); bc != c || bl != cnt-1 {
+					t.Fatalf("%v n=%d p=%d: cell %d local %d -> g=%d -> (%d,%d)", d, n, p, c, cnt-1, lastG, bc, bl)
+				}
+			}
+			total += cnt
+		}
+		if total != n {
+			t.Fatalf("%v n=%d p=%d: counts sum to %d", d, n, p, total)
+		}
+	})
+}

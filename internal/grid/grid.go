@@ -60,12 +60,20 @@ const (
 	// Star specifies that the array is not decomposed along this dimension
 	// (processor-grid dimension 1; the paper's "*").
 	Star
+	// Cyclic deals single elements round-robin over the grid dimension
+	// ("cyclic"; "cyclic(N)" fixes the grid dimension to N). It goes
+	// beyond the paper's prototype, which supports only block layouts.
+	Cyclic
+	// BlockCyclic deals blocks of a given width round-robin
+	// ("block_cyclic(B)"; "block_cyclic(B,N)" fixes the grid dimension).
+	BlockCyclic
 )
 
 // Decomp is a per-dimension decomposition specification.
 type Decomp struct {
 	Kind DecompKind
-	N    int // used only when Kind == BlockN
+	N    int // grid-dimension constraint; 0 means unspecified (default)
+	B    int // cycle block width, used only when Kind == BlockCyclic
 }
 
 // BlockDefault returns the "block" specification.
@@ -77,6 +85,22 @@ func BlockOf(n int) Decomp { return Decomp{Kind: BlockN, N: n} }
 // NoDecomp returns the "*" specification.
 func NoDecomp() Decomp { return Decomp{Kind: Star} }
 
+// CyclicDefault returns the "cyclic" specification (default grid
+// dimension).
+func CyclicDefault() Decomp { return Decomp{Kind: Cyclic} }
+
+// CyclicOf returns the "cyclic(n)" specification (grid dimension fixed to
+// n).
+func CyclicOf(n int) Decomp { return Decomp{Kind: Cyclic, N: n} }
+
+// BlockCyclicOf returns the "block_cyclic(b)" specification: width-b
+// blocks dealt round-robin, default grid dimension.
+func BlockCyclicOf(b int) Decomp { return Decomp{Kind: BlockCyclic, B: b} }
+
+// BlockCyclicOfN returns the "block_cyclic(b, n)" specification with the
+// grid dimension fixed to n.
+func BlockCyclicOfN(b, n int) Decomp { return Decomp{Kind: BlockCyclic, B: b, N: n} }
+
 func (d Decomp) String() string {
 	switch d.Kind {
 	case Block:
@@ -85,6 +109,16 @@ func (d Decomp) String() string {
 		return fmt.Sprintf("block(%d)", d.N)
 	case Star:
 		return "*"
+	case Cyclic:
+		if d.N > 0 {
+			return fmt.Sprintf("cyclic(%d)", d.N)
+		}
+		return "cyclic"
+	case BlockCyclic:
+		if d.N > 0 {
+			return fmt.Sprintf("block_cyclic(%d,%d)", d.B, d.N)
+		}
+		return fmt.Sprintf("block_cyclic(%d)", d.B)
 	default:
 		return "?"
 	}
@@ -153,6 +187,23 @@ func GridDims(p int, specs []Decomp) ([]int, error) {
 		case Star:
 			dims[i] = 1
 			q *= 1
+		case Cyclic, BlockCyclic:
+			// Cyclic layouts size their grid dimension exactly like block:
+			// default (unspecified) or fixed to N. Block-cyclic additionally
+			// needs a positive cycle width.
+			if s.Kind == BlockCyclic && s.B < 1 {
+				return nil, fmt.Errorf("%w: block_cyclic(%d)", ErrBadDecomp, s.B)
+			}
+			if s.N < 0 {
+				return nil, fmt.Errorf("%w: %s", ErrBadDecomp, s)
+			}
+			if s.N == 0 {
+				dims[i] = 0
+				unspecified++
+			} else {
+				dims[i] = s.N
+				q *= s.N
+			}
 		default:
 			return nil, fmt.Errorf("%w: unknown kind %d", ErrBadDecomp, s.Kind)
 		}
@@ -184,10 +235,14 @@ func Size(dims []int) int {
 	return s
 }
 
-// LocalDims returns the dimensions of one local section: dims[i]/grid[i]
-// per dimension. Per §3.2.1.1 each grid dimension must divide the
-// corresponding array dimension; otherwise an error is returned (the array
-// manager reports STATUS_INVALID).
+// LocalDims returns the dimensions of one local section of an exactly
+// divisible block decomposition: dims[i]/grid[i] per dimension, with an
+// error when a grid dimension does not divide its array dimension — the
+// restriction of the paper's prototype (§3.2.1.1). The array manager no
+// longer carries that restriction: it sizes sections with StorageDims,
+// which handles uneven trailing blocks and cyclic layouts. LocalDims
+// remains the helper for the block-exact arithmetic below (GlobalToLocal,
+// CellRect, OwnerSlot).
 func LocalDims(dims, gridDims []int) ([]int, error) {
 	if len(dims) != len(gridDims) {
 		return nil, fmt.Errorf("%w: %d array dims vs %d grid dims", ErrBadDecomp, len(dims), len(gridDims))

@@ -36,6 +36,12 @@ type Halo struct {
 	// GridIndexing maps ranks to grid coordinates (the array's
 	// grid-indexing type; equal to Indexing for arrays the paper creates).
 	GridIndexing grid.Indexing
+	// Dists carries the field's per-dimension distributions (darray
+	// Meta.Dists). Borders are a neighbour relation between grid-adjacent
+	// cells, which with a cyclic or block-cyclic dimension is not index
+	// adjacency, so HaloExchange rejects such fields — borders stay
+	// block-only for now. nil means pure block (the historical layout).
+	Dists []grid.Dist
 }
 
 // Reserved kind base for halo traffic; dimension d direction dir uses
@@ -77,6 +83,16 @@ func (w *World) HaloExchange(h Halo) error {
 	}
 	if len(h.GridDims) != n || grid.Size(h.GridDims) != len(w.procs) {
 		return fmt.Errorf("spmd: halo grid %v does not cover the %d-member group", h.GridDims, len(w.procs))
+	}
+	if h.Dists != nil {
+		if len(h.Dists) != n {
+			return fmt.Errorf("spmd: halo has %d distributions for %d dimensions", len(h.Dists), n)
+		}
+		for i, d := range h.Dists {
+			if d.Kind != grid.DistBlock && h.GridDims[i] > 1 {
+				return fmt.Errorf("spmd: halo exchange requires a block distribution, dimension %d is %v (bordered fields stay block-only)", i, d)
+			}
+		}
 	}
 	coord, err := grid.Unflatten(w.index, h.GridDims, h.GridIndexing)
 	if err != nil {

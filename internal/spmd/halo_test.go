@@ -2,6 +2,7 @@ package spmd
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/darray"
@@ -272,4 +273,65 @@ func TestHaloExchangeValidation(t *testing.T) {
 	if err := w.HaloExchange(Halo{Section: sec, LocalDims: []int{2, 2}, Borders: []int{1, 1, 0, 0}, GridDims: []int{4, 1}}); err == nil {
 		t.Error("grid not covering the group must fail")
 	}
+}
+
+// TestHaloExchangeRejectsNonBlock pins the block-only contract of bordered
+// fields: an exchange on a field carrying a cyclic or block-cyclic
+// dimension fails with a clear error before any message is sent, while an
+// explicit block (or 1-cell cyclic) distribution vector is accepted.
+func TestHaloExchangeRejectsNonBlock(t *testing.T) {
+	const p = 2
+	const l, cols = 3, 4
+	borders := []int{1, 1, 0, 0}
+	r := msg.NewRouter(p)
+	defer r.Close()
+	procs := []int{0, 1}
+	secs := []*darray.Section{
+		haloSection([]int{l, cols}, borders, grid.RowMajor, -1, func(idx []int) float64 { return 1 }),
+		haloSection([]int{l, cols}, borders, grid.RowMajor, -1, func(idx []int) float64 { return 2 }),
+	}
+	halo := func(me int, dists []grid.Dist) Halo {
+		return Halo{
+			Section:      secs[me],
+			LocalDims:    []int{l, cols},
+			Borders:      borders,
+			GridDims:     []int{p, 1},
+			Indexing:     grid.RowMajor,
+			GridIndexing: grid.RowMajor,
+			Dists:        dists,
+		}
+	}
+
+	for name, dists := range map[string][]grid.Dist{
+		"cyclic":       {{Kind: grid.DistCyclic, B: 1}, {Kind: grid.DistBlock, B: cols}},
+		"block-cyclic": {{Kind: grid.DistBlockCyclic, B: 2}, {Kind: grid.DistBlock, B: cols}},
+		"wrong-arity":  {{Kind: grid.DistBlock, B: l}},
+	} {
+		before := r.Sent()
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		for i := range procs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = NewWorld(r, procs, i, 21).HaloExchange(halo(i, dists))
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err == nil {
+				t.Fatalf("%s: rank %d accepted a non-block halo", name, i)
+			}
+		}
+		if sent := r.Sent() - before; sent != 0 {
+			t.Errorf("%s: rejected exchange still sent %d messages", name, sent)
+		}
+	}
+
+	// An explicit all-block distribution vector (and a cyclic dimension
+	// over a 1-cell grid, which is block in disguise) still exchanges.
+	ok := []grid.Dist{{Kind: grid.DistBlock, B: l}, {Kind: grid.DistCyclic, B: 1}}
+	runGroup(t, r, procs, 23, func(w *World) error {
+		return w.HaloExchange(halo(w.Rank(), ok))
+	})
 }
