@@ -1022,6 +1022,46 @@ func BenchmarkE25_TriangularUpdate(b *testing.B) {
 	}
 }
 
+// --- E26: direct redistribution vs gather-then-scatter panel handoff ---
+
+// BenchmarkE26_PanelHandoff measures the block→cyclic panel handoff of an
+// LU-style pipeline through the direct owner↔owner redistribution plane
+// against the gather-then-scatter bounce through the calling processor.
+// Under a modeled 20µs interconnect hop the direct path ships each remote
+// panel in one hop instead of two and sends P-1 fewer messages total.
+func BenchmarkE26_PanelHandoff(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		bounce bool
+	}{
+		{"direct", false},
+		{"bounce", true},
+	} {
+		for _, c := range []struct{ n, p int }{{64, 16}, {128, 64}} {
+			b.Run(fmt.Sprintf("%s/n=%d/P=%d", mode.name, c.n, c.p), func(b *testing.B) {
+				m := core.New(c.p)
+				defer m.Close()
+				if err := triangular.RegisterPrograms(m); err != nil {
+					b.Fatal(err)
+				}
+				m.VM.Router().SetLatency(20 * time.Microsecond)
+				cfg := triangular.PanelConfig{N: c.n, Bounce: mode.bounce}
+				want := triangular.RunSequential(triangular.Config{N: c.n})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := triangular.RunPanelHandoff(m, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if dev := triangular.MaxDeviation(res.Factors, want); dev > 1e-12 {
+						b.Fatalf("factors deviate by %g", dev)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkE22_HaloExchange measures the shared border-exchange primitive
 // across group sizes: one distributed call performing b.N face exchanges
 // on a block-row field with one-cell borders (the climate/stencil shape).

@@ -9,6 +9,7 @@
 //	tdplab all                      # run everything
 //	tdplab E10 E12 ...              # run selected experiments
 //	tdplab decomp 10x8 4 block,cyclic   # show a decomposition's layout
+//	tdplab redist 16x16 4 "*,block" "cyclic,*"   # show a transfer schedule
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/darray"
 	"repro/internal/experiments"
 	"repro/internal/grid"
 )
@@ -39,6 +41,17 @@ func main() {
 			os.Exit(2)
 		}
 		if err := showDecomp(args[1], args[2], args[3]); err != nil {
+			fmt.Fprintf(os.Stderr, "tdplab: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if args[0] == "redist" {
+		if len(args) != 5 {
+			fmt.Fprintln(os.Stderr, "usage: tdplab redist <dims e.g. 16x16> <P> <src distrib> <dst distrib>")
+			os.Exit(2)
+		}
+		if err := showRedist(args[1], args[2], args[3], args[4]); err != nil {
 			fmt.Fprintf(os.Stderr, "tdplab: %v\n", err)
 			os.Exit(2)
 		}
@@ -84,7 +97,157 @@ usage:
   tdplab decomp <dims> <P> <spec>    show a decomposition's grid, storage and
                                      ownership (e.g. tdplab decomp 10x8 4 block,cyclic;
                                      specs: block, block(N), *, cyclic, cyclic(N),
-                                     block_cyclic(B), block_cyclic(B,N))`)
+                                     block_cyclic(B), block_cyclic(B,N))
+  tdplab redist <dims> <P> <src> <dst>
+                                     show the owner-pair transfer schedule for
+                                     redistributing the whole array between two
+                                     distributions (pairs, bytes, messages) without
+                                     running it (e.g. tdplab redist 16x16 4 "*,block" "cyclic,*")`)
+}
+
+// parseDims parses a "10x8"-style dimension list.
+func parseDims(dimsArg string) ([]int, error) {
+	var dims []int
+	for _, part := range strings.Split(dimsArg, "x") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad dimensions %q", dimsArg)
+		}
+		dims = append(dims, d)
+	}
+	return dims, nil
+}
+
+// offlineMeta builds the array representation the manager would hold for
+// one specification, without starting a machine — enough for the
+// schedule arithmetic, which never touches storage.
+func offlineMeta(seq int, dims []int, p int, distribArg string) (*darray.Meta, []grid.Decomp, error) {
+	specs, err := grid.ParseDistrib(distribArg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(specs) != len(dims) {
+		return nil, nil, fmt.Errorf("%d specifications for %d dimensions", len(specs), len(dims))
+	}
+	gridDims, err := grid.GridDims(p, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	dists, err := grid.ResolveDists(dims, gridDims, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	storage, err := grid.StorageDims(dims, gridDims, dists)
+	if err != nil {
+		return nil, nil, err
+	}
+	procs := make([]int, grid.Size(gridDims))
+	for i := range procs {
+		procs[i] = i
+	}
+	return &darray.Meta{
+		ID: darray.ID{Proc: 0, Seq: seq}, Type: darray.Double,
+		Dims: dims, Procs: procs, GridDims: gridDims, Dists: dists,
+		LocalDims: storage, Borders: darray.NoBorders(len(dims)), LocalDimsPlus: storage,
+		Indexing: grid.RowMajor, GridIndexing: grid.RowMajor,
+	}, specs, nil
+}
+
+// showRedist computes and prints the owner-pair transfer schedule for
+// redistributing a whole array from one distribution to another: which
+// processor ships how much to which, and the resulting message budget of
+// the direct plane against the gather-then-scatter bounce — all static
+// arithmetic, no machine and no data movement.
+func showRedist(dimsArg, pArg, srcArg, dstArg string) error {
+	dims, err := parseDims(dimsArg)
+	if err != nil {
+		return err
+	}
+	p, err := strconv.Atoi(pArg)
+	if err != nil || p < 1 {
+		return fmt.Errorf("bad processor count %q", pArg)
+	}
+	src, srcSpecs, err := offlineMeta(1, dims, p, srcArg)
+	if err != nil {
+		return fmt.Errorf("src: %w", err)
+	}
+	dst, dstSpecs, err := offlineMeta(2, dims, p, dstArg)
+	if err != nil {
+		return fmt.Errorf("dst: %w", err)
+	}
+	zero := make([]int, len(dims))
+	sched, err := dst.TransferSchedule(src, zero, zero, dims, nil)
+	if err != nil {
+		return err
+	}
+	const elemBytes = 8
+	fmt.Printf("redistribute %v: (%s) -> (%s) over %d processors\n",
+		dims, grid.DistribString(srcSpecs), grid.DistribString(dstSpecs), p)
+	kind := "irregular offset sets"
+	if len(sched.Sets) == 0 {
+		kind = "regular strided blocks"
+	}
+	fmt.Printf("  schedule: %d owner pairs (%s)\n", sched.NPairs(), kind)
+	fmt.Println("  src -> dst   elements      bytes  transport")
+	type edge struct{ srcProc, dstProc, elems int }
+	edges := make([]edge, 0, sched.NPairs())
+	for _, b := range sched.Blocks {
+		elems := grid.RectSize(b.SrcLo, b.SrcHi)
+		if sched.Step != nil {
+			elems = grid.StridedRectSize(b.SrcLo, b.SrcHi, sched.Step)
+		}
+		edges = append(edges, edge{b.SrcProc, b.DstProc, elems})
+	}
+	for _, s := range sched.Sets {
+		edges = append(edges, edge{s.SrcProc, s.DstProc, len(s.SrcOffs)})
+	}
+	totalElems, crossPairs := 0, 0
+	srcOwners, dstOwners := map[int]bool{}, map[int]bool{}
+	for _, e := range edges {
+		transport := "local copy (0 messages)"
+		if e.srcProc != e.dstProc {
+			transport = "1 message"
+			crossPairs++
+		}
+		srcOwners[e.srcProc] = true
+		dstOwners[e.dstProc] = true
+		totalElems += e.elems
+		fmt.Printf("  %3d -> %-3d %10d %10d  %s\n",
+			e.srcProc, e.dstProc, e.elems, e.elems*elemBytes, transport)
+	}
+	// The direct plane's budget for a caller on processor 0: the
+	// coordinator request, one ship order per remote source owner, one
+	// ship per cross-processor pair (the pinned formula of
+	// arraymgr.TestRedistributeMessageBudget).
+	remoteSrc, remoteDst := 0, 0
+	for o := range srcOwners {
+		if o != 0 {
+			remoteSrc++
+		}
+	}
+	for o := range dstOwners {
+		if o != 0 {
+			remoteDst++
+		}
+	}
+	direct := 1 + remoteSrc + crossPairs
+	if len(srcOwners) == 1 && len(dstOwners) == 1 && crossPairs == 0 && srcOwners[0] && dstOwners[0] {
+		direct = 0 // wholly local on the caller: the zero-message fast path
+	}
+	// The bounce pays a read (coordinator + remote source owners) plus a
+	// write (coordinator + remote destination owners), each phase free
+	// only when wholly local to the caller.
+	bounce := 0
+	if remoteSrc > 0 || len(srcOwners) > 1 || !srcOwners[0] {
+		bounce += 1 + remoteSrc
+	}
+	if remoteDst > 0 || len(dstOwners) > 1 || !dstOwners[0] {
+		bounce += 1 + remoteDst
+	}
+	fmt.Printf("  total: %d elements, %d bytes, %d source owner(s), %d destination owner(s)\n",
+		totalElems, totalElems*elemBytes, len(srcOwners), len(dstOwners))
+	fmt.Printf("  messages (caller on processor 0): direct %d, gather-then-scatter bounce %d\n", direct, bounce)
+	return nil
 }
 
 // showDecomp resolves one decomposition specification and prints the
@@ -92,13 +255,9 @@ usage:
 // per-cell element counts, and (for 1-D and 2-D arrays) the ownership map
 // — the paper's Fig 3.5/3.6 tables, generalized to cyclic layouts.
 func showDecomp(dimsArg, pArg, distribArg string) error {
-	var dims []int
-	for _, part := range strings.Split(dimsArg, "x") {
-		d, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || d < 1 {
-			return fmt.Errorf("bad dimensions %q", dimsArg)
-		}
-		dims = append(dims, d)
+	dims, err := parseDims(dimsArg)
+	if err != nil {
+		return err
 	}
 	p, err := strconv.Atoi(pArg)
 	if err != nil || p < 1 {
@@ -123,7 +282,7 @@ func showDecomp(dimsArg, pArg, distribArg string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("array %v over %d processors, distribution (%s)\n", dims, p, distribArg)
+	fmt.Printf("array %v over %d processors, distribution (%s)\n", dims, p, grid.DistribString(specs))
 	fmt.Printf("  processor grid   %v (%d of %d processors hold sections)\n", gridDims, grid.Size(gridDims), p)
 	for i := range dims {
 		fmt.Printf("  dimension %d      %v: cycle width %d, storage extent %d\n", i, dists[i], dists[i].B, storage[i])

@@ -135,6 +135,33 @@ func (e *Env) WriteBlockStrided(onProc int, id darray.ID, lo, hi, step []int, va
 	return e.AM.WriteBlockStrided(onProc, id, lo, hi, step, vals)
 }
 
+// Redistribute is am_user_redistribute: it copies the global rectangle
+// [lo, hi) of array src onto the same rectangle of array dst, the two
+// arrays possibly distributed entirely differently. Every non-empty
+// src-owner/dst-owner intersection travels owner-to-owner in at most one
+// message — no gather-then-scatter bounce through the requesting
+// processor — and a wholly-local transfer moves section-to-section with
+// no message at all.
+func (e *Env) Redistribute(onProc int, dst, src darray.ID, lo, hi []int) arraymgr.Status {
+	return e.AM.Redistribute(onProc, dst, src, lo, hi)
+}
+
+// RedistributeRect is am_user_redistribute_rect, the offset variant of
+// Redistribute: source element srcLo+j moves to destination element
+// dstLo+j for every componentwise 0 <= j < dims, so the rectangle may
+// land at a different origin in the destination array.
+func (e *Env) RedistributeRect(onProc int, dst, src darray.ID, dstLo, srcLo, dims []int) arraymgr.Status {
+	return e.AM.RedistributeRect(onProc, dst, src, dstLo, srcLo, dims)
+}
+
+// RedistributeStrided is am_user_redistribute_strided: it copies every
+// step[i]-th element of the global rectangle [lo, hi) of src onto the
+// matching lattice of dst. A unit step in every dimension delegates to
+// the dense path.
+func (e *Env) RedistributeStrided(onProc int, dst, src darray.ID, lo, hi, step []int) arraymgr.Status {
+	return e.AM.RedistributeStrided(onProc, dst, src, lo, hi, step)
+}
+
 // GatherElements is am_user_gather_elements, the indexed companion of
 // ReadElement: it reads the elements at the given global index tuples in
 // one operation, returning their values in request order. The array

@@ -118,3 +118,50 @@ func TestUserBlockProcedures(t *testing.T) {
 		t.Fatalf("freed WriteBlock: %v", st)
 	}
 }
+
+// TestUserRedistribute drives am_user_redistribute end to end with
+// status codes: block→cyclic, the strided variant, and the error path.
+func TestUserRedistribute(t *testing.T) {
+	machine := vp.NewMachine(4)
+	t.Cleanup(machine.Shutdown)
+	e := LoadAll(machine)
+
+	src, st := e.CreateArray(0, "double", []int{16}, NodeArray(0, 1, 4),
+		[]grid.Decomp{grid.BlockDefault()}, arraymgr.NoBorderSpec{}, "row")
+	if st != StatusOK {
+		t.Fatalf("CreateArray(src): %v", st)
+	}
+	dst, st := e.CreateArray(0, "double", []int{16}, NodeArray(0, 1, 4),
+		[]grid.Decomp{grid.CyclicDefault()}, arraymgr.NoBorderSpec{}, "row")
+	if st != StatusOK {
+		t.Fatalf("CreateArray(dst): %v", st)
+	}
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i + 100)
+	}
+	if st := e.WriteBlock(0, src, []int{0}, []int{16}, vals); st != StatusOK {
+		t.Fatalf("WriteBlock: %v", st)
+	}
+	if st := e.Redistribute(0, dst, src, []int{2}, []int{14}); st != StatusOK {
+		t.Fatalf("Redistribute: %v", st)
+	}
+	got, st := e.ReadBlock(0, dst, []int{2}, []int{14})
+	if st != StatusOK {
+		t.Fatalf("ReadBlock: %v", st)
+	}
+	for i, v := range got {
+		if v != float64(2+i+100) {
+			t.Fatalf("dst[%d] = %v, want %v", 2+i, v, float64(2+i+100))
+		}
+	}
+	if st := e.RedistributeRect(0, dst, src, []int{0}, []int{8}, []int{2}); st != StatusOK {
+		t.Fatalf("RedistributeRect: %v", st)
+	}
+	if st := e.RedistributeStrided(0, dst, src, []int{0}, []int{16}, []int{4}); st != StatusOK {
+		t.Fatalf("RedistributeStrided: %v", st)
+	}
+	if st := e.Redistribute(0, dst, dst, []int{0}, []int{4}); st != StatusInvalid {
+		t.Fatalf("aliasing redistribute: %v, want STATUS_INVALID", st)
+	}
+}

@@ -172,6 +172,142 @@ func Run(m *core.Machine, cfg Config) (*Result, error) {
 	}, nil
 }
 
+// --- block→cyclic panel handoff: the redistribution plane's workload ---
+
+// PanelConfig describes one panel-handoff run. The matrix is born in
+// column-panel form — A is (*, block), so panel k (columns [k·b, (k+1)·b))
+// lives wholly on processor k, the layout a panel factorization produces —
+// but the triangular update wants row-cyclic balance, so every panel is
+// copied into W, a (cyclic, *) matrix, before the update runs. Bounce
+// selects the gather-then-scatter baseline: read each panel back to the
+// calling processor and write it out again, instead of the direct
+// owner↔owner redistribution.
+type PanelConfig struct {
+	N          int           // matrix order; must be a multiple of P
+	Bounce     bool          // use the read-then-write baseline
+	WorkPerRow time.Duration // modeled cost forwarded to the update
+}
+
+// PanelResult reports one run. HandoffMsgs counts the router messages the
+// P panel transfers actually sent; HandoffHops is the modeled
+// critical-path hop count of the same transfers — what an interconnect
+// charging per-hop latency (the E22/E26 20µs regime) makes the caller
+// wait for, with concurrent messages of one phase overlapped into a
+// single hop and request replies riding in-process channels for free.
+type PanelResult struct {
+	N, P        int
+	HandoffMsgs uint64
+	HandoffHops int
+	HandoffTime time.Duration // wall time of the handoff loop
+	WorkUnits   float64       // modeled makespan of the update on W
+	Factors     []float64     // dense row-major LU factors from W
+}
+
+// RunPanelHandoff creates A as (*, block) column panels, fills it with the
+// test pattern, moves each panel into the (cyclic, *) matrix W — directly
+// via Redistribute or through the bounce baseline — and then factors W
+// in place with the update program, returning the handoff cost and the
+// verified factors.
+func RunPanelHandoff(m *core.Machine, cfg PanelConfig) (*PanelResult, error) {
+	p := m.P()
+	if cfg.N < 2 || cfg.N%p != 0 {
+		return nil, fmt.Errorf("triangular: order %d must be a positive multiple of P=%d", cfg.N, p)
+	}
+	n := cfg.N
+	b := n / p
+	procs := m.AllProcs()
+	a, err := m.NewArray(core.ArraySpec{
+		Dims:    []int{n, n},
+		Procs:   procs,
+		Distrib: []grid.Decomp{grid.NoDecomp(), grid.BlockDefault()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer a.Free()
+	if err := a.Fill(func(idx []int) float64 { return Element(n, idx[0], idx[1]) }); err != nil {
+		return nil, err
+	}
+	w, err := m.NewArray(core.ArraySpec{
+		Dims:    []int{n, n},
+		Procs:   procs,
+		Distrib: []grid.Decomp{grid.CyclicDefault(), grid.NoDecomp()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Free()
+
+	router := m.VM.Router()
+	var buf []float64
+	if cfg.Bounce {
+		buf = make([]float64, n*b)
+	}
+	before := router.Sent()
+	hops := 0
+	t0 := time.Now()
+	for k := 0; k < p; k++ {
+		lo, hi := []int{0, k * b}, []int{n, (k + 1) * b}
+		srcLocal := k == 0 // panel 0 lives on the calling processor
+		if cfg.Bounce {
+			if err := a.ReadBlockInto(lo, hi, buf); err != nil {
+				return nil, err
+			}
+			if err := w.WriteBlock(lo, hi, buf); err != nil {
+				return nil, err
+			}
+			// Read: the wholly-local fast path is free; a remote panel
+			// costs the coordinator self-send plus the owner request
+			// (replies ride in-process channels, not the router).
+			if !srcLocal {
+				hops += 2
+			}
+			// Write: coordinator self-send, then the per-owner writes
+			// overlap into one hop.
+			hops += 2
+		} else {
+			if err := w.RedistributeFrom(a, lo, hi); err != nil {
+				return nil, err
+			}
+			// Coordinator self-send, then (for a remote panel) the ship
+			// order to the source owner, then the overlapped
+			// owner-to-owner ships.
+			hops += 2
+			if !srcLocal {
+				hops++
+			}
+		}
+	}
+	handoffTime := time.Since(t0)
+	msgs := router.Sent() - before
+
+	meta, err := w.Meta()
+	if err != nil {
+		return nil, err
+	}
+	maxUnits := defval.New[[]float64]()
+	maxCombine := func(x, y []float64) []float64 {
+		if y[0] > x[0] {
+			return y
+		}
+		return x
+	}
+	if err := m.Call(procs, ProgramName,
+		dcall.Const(n), dcall.Const(meta.Dist(0)), dcall.Const(cfg.WorkPerRow),
+		w.Param(), dcall.Reduce(1, maxCombine, maxUnits)); err != nil {
+		return nil, err
+	}
+	factors, err := w.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &PanelResult{
+		N: n, P: p,
+		HandoffMsgs: msgs, HandoffHops: hops, HandoffTime: handoffTime,
+		WorkUnits: maxUnits.Value()[0], Factors: factors,
+	}, nil
+}
+
 // RunSequential performs the same elimination on a dense matrix — the
 // reference the distributed factors must match exactly (identical
 // floating-point operation order per row).

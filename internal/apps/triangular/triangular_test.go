@@ -45,6 +45,53 @@ func TestFactorsMatchSequential(t *testing.T) {
 	}
 }
 
+// TestPanelHandoff pins the redistribution plane's payoff on the
+// block→cyclic panel pipeline: both modes reproduce the sequential
+// factors exactly, and the direct owner↔owner handoff beats the
+// gather-then-scatter bounce on actual message count and on modeled
+// critical-path hops. The counts are exact: per panel the direct path
+// sends 1 coordinator request + (remote source ? 1 ship order : 0) +
+// (P-1) owner-to-owner ships, while the bounce sends the read
+// coordinator+owner pair (free for the caller-local panel 0) plus the
+// write coordinator + (P-1) owner writes.
+func TestPanelHandoff(t *testing.T) {
+	const n, p = 16, 4
+	results := map[bool]*PanelResult{}
+	for _, bounce := range []bool{false, true} {
+		m := core.New(p)
+		if err := RegisterPrograms(m); err != nil {
+			m.Close()
+			t.Fatal(err)
+		}
+		res, err := RunPanelHandoff(m, PanelConfig{N: n, Bounce: bounce})
+		m.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := RunSequential(Config{N: n})
+		if dev := MaxDeviation(res.Factors, want); dev > 1e-12 {
+			t.Fatalf("bounce=%v factors deviate from sequential by %g", bounce, dev)
+		}
+		results[bounce] = res
+	}
+	direct, bounce := results[false], results[true]
+	// direct: panel 0 costs P msgs, each of the P-1 remote panels P+1.
+	if want := uint64(p + (p-1)*(p+1)); direct.HandoffMsgs != want {
+		t.Fatalf("direct messages = %d, want %d", direct.HandoffMsgs, want)
+	}
+	// bounce: panel 0 costs P msgs (local read is free), remote panels P+2.
+	if want := uint64(p + (p-1)*(p+2)); bounce.HandoffMsgs != want {
+		t.Fatalf("bounce messages = %d, want %d", bounce.HandoffMsgs, want)
+	}
+	if wd, wb := 2+3*(p-1), 2+4*(p-1); direct.HandoffHops != wd || bounce.HandoffHops != wb {
+		t.Fatalf("hops = %d/%d, want %d/%d", direct.HandoffHops, bounce.HandoffHops, wd, wb)
+	}
+	if direct.HandoffMsgs >= bounce.HandoffMsgs || direct.HandoffHops >= bounce.HandoffHops {
+		t.Fatalf("direct (%d msgs, %d hops) does not beat bounce (%d msgs, %d hops)",
+			direct.HandoffMsgs, direct.HandoffHops, bounce.HandoffMsgs, bounce.HandoffHops)
+	}
+}
+
 // TestCyclicBalancesWork pins the load-balance argument deterministically:
 // the modeled makespan (max active-row steps over copies) of the cyclic
 // layout is strictly below the block layout's on every swept shape.

@@ -193,6 +193,16 @@ type request struct {
 	ndims    int
 	borders  BorderSpec
 	indexing grid.Indexing
+	// redistribution parameters: the coordinator request names the
+	// destination array in id and the source in id2, with lo/hi the
+	// destination rectangle and lo2 the source origin; redist_src
+	// requests carry the per-pair ships and the shared ack channel
+	// (acks ride in-process channels like replies, so they cost no
+	// messages — see redist.go).
+	id2   darray.ID
+	lo2   []int
+	ships []redistShip
+	ack   chan response
 
 	reply chan response
 }
@@ -237,12 +247,19 @@ func (m *Manager) serve(proc int) {
 	router := m.machine.Router()
 	for {
 		message, err := router.Recv(proc, func(mm msg.Message) bool {
-			return mm.Tag.Class == msg.ClassTask && mm.Tag.Kind == kindAMRequest
+			return mm.Tag.Class == msg.ClassTask &&
+				(mm.Tag.Kind == kindAMRequest || mm.Tag.Kind == kindAMShip)
 		})
 		if err != nil {
 			return // router closed: machine shutdown
 		}
 		req := message.Data.(*request)
+		if message.Tag.Kind == kindAMShip {
+			// One-way redistribution traffic: no reply channel, so it
+			// must not flow through handle's unconditional reply send.
+			go m.handleShip(proc, req)
+			continue
+		}
 		go m.handle(proc, req)
 	}
 }
@@ -311,6 +328,8 @@ func (m *Manager) handle(proc int, req *request) {
 		resp = m.doWriteBlockStrided(proc, req)
 	case "write_block_strided_local":
 		resp = m.doWriteBlockStridedLocal(proc, req)
+	case "redistribute":
+		resp = m.doRedistribute(proc, req)
 	case "find_local":
 		resp = m.doFindLocal(proc, req)
 	case "find_info":
@@ -772,17 +791,23 @@ func (m *Manager) writeSets(proc int, id darray.ID, sets []darray.OwnerIndexSet,
 // readLattice is the rectangle-read coordinator for irregular
 // (cyclic/block-cyclic) arrays: a cell's share of the (lo, hi, step)
 // lattice — dense when step is nil — is not a rectangle, so the transfer
-// rides the offset-set machinery instead: one request per owner, served by
-// the same zero-allocation owner routine as indexed gathers, with values
-// landing at their packed lattice positions in the dense result buffer.
+// cannot ride the owner-block split. When every owner share is a
+// per-dimension arithmetic progression (pure-cyclic and block
+// dimensions), the request travels as bounds+step descriptors
+// (StridedShares, O(ndims) payload per owner); block-cyclic shares fall
+// back to materialized offset sets served by the indexed-gather owner
+// routine. Either way it is one request per owner, with values landing
+// at their packed lattice positions in the dense result buffer.
 func (m *Manager) readLattice(proc int, meta *darray.Meta, req *request, step []int) response {
-	sets, err := meta.OwnerLattice(req.lo, req.hi, step)
+	shares, descriptors, err := meta.StridedShares(req.lo, req.hi, step)
 	if err != nil {
 		return response{status: StatusInvalid}
 	}
 	size := grid.RectSize(req.lo, req.hi)
+	sdims := grid.RectDims(req.lo, req.hi)
 	if step != nil {
 		size = grid.StridedRectSize(req.lo, req.hi, step)
+		sdims = grid.StridedRectDims(req.lo, req.hi, step)
 	}
 	out := req.vals
 	if out != nil && len(out) != size {
@@ -791,23 +816,43 @@ func (m *Manager) readLattice(proc int, meta *darray.Meta, req *request, step []
 	if out == nil {
 		out = make([]float64, size)
 	}
-	if st := m.readSets(proc, req.id, sets, out); st != StatusOK {
+	var st Status
+	if descriptors {
+		st = m.readShares(proc, req.id, shares, sdims, out)
+	} else {
+		sets, err := meta.OwnerLattice(req.lo, req.hi, step)
+		if err != nil {
+			return response{status: StatusInvalid}
+		}
+		st = m.readSets(proc, req.id, sets, out)
+	}
+	if st != StatusOK {
 		return response{status: st}
 	}
 	return response{status: StatusOK, vals: out}
 }
 
-// writeLattice is readLattice's write-side companion.
+// writeLattice is readLattice's write-side companion, with the same
+// descriptor-first split.
 func (m *Manager) writeLattice(proc int, meta *darray.Meta, req *request, step []int) response {
-	sets, err := meta.OwnerLattice(req.lo, req.hi, step)
+	shares, descriptors, err := meta.StridedShares(req.lo, req.hi, step)
 	if err != nil {
 		return response{status: StatusInvalid}
 	}
 	size := grid.RectSize(req.lo, req.hi)
+	sdims := grid.RectDims(req.lo, req.hi)
 	if step != nil {
 		size = grid.StridedRectSize(req.lo, req.hi, step)
+		sdims = grid.StridedRectDims(req.lo, req.hi, step)
 	}
 	if len(req.vals) != size {
+		return response{status: StatusInvalid}
+	}
+	if descriptors {
+		return response{status: m.writeShares(proc, req.id, shares, sdims, req.vals)}
+	}
+	sets, err := meta.OwnerLattice(req.lo, req.hi, step)
+	if err != nil {
 		return response{status: StatusInvalid}
 	}
 	return response{status: m.writeSets(proc, req.id, sets, req.vals)}

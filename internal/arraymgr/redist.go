@@ -1,0 +1,479 @@
+// The redistribution plane: direct owner↔owner copies between two
+// distributed arrays. The classic path for a phase change (a block LU
+// panel feeding a cyclic solve, a transpose between FFT stages) is the
+// client bounce — gather the rectangle to one process, scatter it back
+// out under the new distribution — which doubles the messages and bytes
+// and funnels everything through a single process's bandwidth. Here the
+// coordinator instead computes the owner-pair intersection schedule from
+// both arrays' distributions (darray.Meta.TransferSchedule) and ships
+// every non-empty src-owner→dst-owner piece directly:
+//
+//   - one redist_src message per remote source owner, carrying that
+//     owner's ships (the coordinator's own ships are serviced inline);
+//   - one redist_ship message per cross-process pair, carrying the
+//     packed piece from source owner to destination owner;
+//   - zero messages for a pair whose source and destination cells land
+//     on the same process — the piece moves with darray.CopyRect or
+//     CopyOffsets under that server's lock.
+//
+// That is ≤1 message per non-empty owner pair (plus the per-owner
+// redist_src fan-out), against read+write coordinator rounds for the
+// bounce. Completion travels on an in-process ack channel shared by all
+// pairs — acks ride channels like request replies, so they cost no
+// messages. Ship traffic is one-way (no reply channel), so it travels
+// under its own reserved message kind and bypasses handle's
+// unconditional reply send.
+package arraymgr
+
+import (
+	"sync"
+
+	"repro/internal/darray"
+	"repro/internal/grid"
+	"repro/internal/msg"
+	"repro/internal/trace"
+)
+
+// kindAMShip is the reserved task-class message kind carrying one-way
+// redistribution traffic (redist_src, redist_ship): requests that are
+// acknowledged through the coordinator's shared ack channel rather than
+// a per-request reply (-101 is dcall's combine kind).
+const kindAMShip = -102
+
+// redistShip is one owner pair's piece of a redistribution, as shipped
+// to the source owner: either matching strided local rectangles on both
+// sides (regular×regular schedules) or paired storage offsets (srcOffs
+// non-nil marks the irregular form).
+type redistShip struct {
+	dstProc      int
+	srcLo, srcHi []int
+	dstLo, dstHi []int
+	step         []int
+	srcOffs      []int
+	dstOffs      []int
+}
+
+// The ship-request free list. Ship requests are created by one process
+// and released by another after a one-way send, so they cannot ride a
+// per-server pool; a deterministic shared free list (rather than a
+// sync.Pool, whose GC interaction would flake the 0 allocs/op pins)
+// keeps the steady state allocation-free.
+var (
+	shipReqMu   sync.Mutex
+	shipReqFree []*request
+)
+
+// getShipReq draws a recycled request for one-way ship traffic.
+func getShipReq() *request {
+	shipReqMu.Lock()
+	if n := len(shipReqFree); n > 0 {
+		r := shipReqFree[n-1]
+		shipReqFree = shipReqFree[:n-1]
+		shipReqMu.Unlock()
+		return r
+	}
+	shipReqMu.Unlock()
+	return new(request)
+}
+
+// putShipReq returns a ship request to the free list. Callers must not
+// touch the request afterwards.
+func putShipReq(r *request) {
+	*r = request{}
+	shipReqMu.Lock()
+	if len(shipReqFree) < maxPooledBufs {
+		shipReqFree = append(shipReqFree, r)
+	}
+	shipReqMu.Unlock()
+}
+
+// handleShip dispatches one-way redistribution traffic at the server on
+// proc: redist_src (this processor is a source owner; read and forward
+// each piece) and redist_ship (this processor is a destination owner;
+// write the piece and acknowledge).
+func (m *Manager) handleShip(proc int, req *request) {
+	if trace.Enabled(trace.Ops) {
+		trace.Logf(trace.Ops, proc, "am: %s %v", req.op, req.id)
+	}
+	switch req.op {
+	case "redist_src":
+		m.doRedistSrc(proc, req)
+		putShipReq(req)
+	case "redist_ship":
+		m.doRedistShip(proc, req)
+	}
+}
+
+// doRedistribute is the redistribution coordinator: it computes the
+// owner-pair schedule for copying the source rectangle (origin req.lo2)
+// of array req.id2 onto the destination rectangle (req.lo, req.hi) of
+// array req.id, groups the pairs by source owner, sends each remote
+// source owner one redist_src request (servicing its own group inline),
+// and waits for exactly one ack per pair on a shared buffered channel.
+// Sends never block and the ack channel holds every ack, so the
+// protocol cannot deadlock; the merged status is the worst any pair
+// reported.
+func (m *Manager) doRedistribute(proc int, req *request) response {
+	if req.id == req.id2 {
+		return response{status: StatusInvalid} // aliasing copies are undefined
+	}
+	de, st := m.lookup(proc, req.id)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	se, st := m.lookup(proc, req.id2)
+	if st != StatusOK {
+		return response{status: st}
+	}
+	if len(req.hi) != len(req.lo) || len(req.lo2) != len(req.lo) {
+		return response{status: StatusInvalid}
+	}
+	dims := make([]int, len(req.lo))
+	for i := range dims {
+		dims[i] = req.hi[i] - req.lo[i]
+	}
+	sched, err := de.meta.TransferSchedule(se.meta, req.lo, req.lo2, dims, req.step)
+	if err != nil {
+		return response{status: StatusInvalid}
+	}
+	npairs := sched.NPairs()
+	if npairs == 0 {
+		return response{status: StatusOK}
+	}
+	ack := make(chan response, npairs)
+	// Group the pairs by source owner, preserving schedule order.
+	order := make([]int, 0, 8)
+	bySrc := make(map[int][]redistShip)
+	add := func(sp int, sh redistShip) {
+		if _, ok := bySrc[sp]; !ok {
+			order = append(order, sp)
+		}
+		bySrc[sp] = append(bySrc[sp], sh)
+	}
+	for _, pb := range sched.Blocks {
+		add(pb.SrcProc, redistShip{
+			dstProc: pb.DstProc,
+			srcLo:   pb.SrcLo, srcHi: pb.SrcHi,
+			dstLo: pb.DstLo, dstHi: pb.DstHi,
+			step: sched.Step,
+		})
+	}
+	for _, ps := range sched.Sets {
+		add(ps.SrcProc, redistShip{
+			dstProc: ps.DstProc,
+			srcOffs: ps.SrcOffs, dstOffs: ps.DstOffs,
+		})
+	}
+	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMShip}
+	router := m.machine.Router()
+	for _, sp := range order {
+		if sp == proc {
+			continue
+		}
+		sreq := getShipReq()
+		*sreq = request{op: "redist_src", id: req.id2, id2: req.id, ships: bySrc[sp], ack: ack}
+		if err := router.Send(proc, sp, tag, sreq); err != nil {
+			for range bySrc[sp] {
+				ack <- response{status: StatusError}
+			}
+			putShipReq(sreq)
+		}
+	}
+	if ships, ok := bySrc[proc]; ok {
+		m.doRedistSrc(proc, &request{op: "redist_src", id: req.id2, id2: req.id, ships: ships, ack: ack})
+	}
+	status := StatusOK
+	for i := 0; i < npairs; i++ {
+		if r := <-ack; r.status > status {
+			status = r.status
+		}
+	}
+	return response{status: status}
+}
+
+// doRedistSrc services one source owner's group of a redistribution
+// (req.id names the source array, req.id2 the destination): each pair
+// whose destination is this same processor is copied in place under the
+// server lock; every other pair is read into a pooled buffer and
+// forwarded to its destination owner as one redist_ship message.
+// Exactly one ack is produced per pair — by this routine on a local
+// copy or any failure, by the destination owner otherwise.
+func (m *Manager) doRedistSrc(proc int, req *request) {
+	e, st := m.lookup(proc, req.id)
+	srv := m.servers[proc]
+	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMShip}
+	router := m.machine.Router()
+	for _, sh := range req.ships {
+		if st != StatusOK {
+			req.ack <- response{status: st}
+			continue
+		}
+		if sh.dstProc == proc {
+			req.ack <- response{status: m.redistLocalPair(proc, req.id2, e, sh)}
+			continue
+		}
+		var vals []float64
+		fail := StatusOK
+		srv.mu.Lock()
+		switch {
+		case e.section == nil:
+			fail = StatusError
+		case sh.srcOffs != nil:
+			vals = srv.getBuf(len(sh.srcOffs))
+			if e.section.GatherInto(vals, sh.srcOffs) != nil {
+				fail = StatusError
+			}
+		case sh.step != nil:
+			// Validate before sizing the buffer: getBuf of a bogus extent
+			// must not happen.
+			if grid.CheckStridedRect(sh.srcLo, sh.srcHi, sh.step, e.meta.LocalDims) != nil {
+				fail = StatusInvalid
+			} else {
+				vals = srv.getBuf(grid.StridedRectSize(sh.srcLo, sh.srcHi, sh.step))
+				if e.section.ReadBlockStridedInto(vals, sh.srcLo, sh.srcHi, sh.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
+					fail = StatusInvalid
+				}
+			}
+		default:
+			if grid.CheckRect(sh.srcLo, sh.srcHi, e.meta.LocalDims) != nil {
+				fail = StatusInvalid
+			} else {
+				vals = srv.getBuf(grid.RectSize(sh.srcLo, sh.srcHi))
+				if e.section.ReadBlockInto(vals, sh.srcLo, sh.srcHi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
+					fail = StatusInvalid
+				}
+			}
+		}
+		srv.mu.Unlock()
+		if fail != StatusOK {
+			srv.putBuf(vals)
+			req.ack <- response{status: fail}
+			continue
+		}
+		dreq := getShipReq()
+		*dreq = request{op: "redist_ship", id: req.id2,
+			lo: sh.dstLo, hi: sh.dstHi, step: sh.step, offs: sh.dstOffs,
+			vals: vals, node: proc, ack: req.ack}
+		if router.Send(proc, sh.dstProc, tag, dreq) != nil {
+			srv.putBuf(vals)
+			putShipReq(dreq)
+			req.ack <- response{status: StatusError}
+		}
+	}
+}
+
+// redistLocalPair moves one pair whose source and destination cells
+// live on the same processor: no message and no intermediate buffer,
+// just CopyRect/CopyOffsets between the two sections under the server
+// lock — the zero-copy fast path of the redistribution plane.
+func (m *Manager) redistLocalPair(proc int, dstID darray.ID, srcE *entry, sh redistShip) Status {
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	de, ok := srv.entries[dstID]
+	if !ok || de.freed {
+		return StatusNotFound
+	}
+	if de.section == nil || srcE.section == nil {
+		return StatusError
+	}
+	if sh.srcOffs != nil {
+		if darray.CopyOffsets(de.section, srcE.section, sh.dstOffs, sh.srcOffs) != nil {
+			return StatusError
+		}
+		return StatusOK
+	}
+	if darray.CopyRect(de.section, de.meta, sh.dstLo, srcE.section, srcE.meta, sh.srcLo, sh.srcHi, sh.step) != nil {
+		return StatusInvalid
+	}
+	return StatusOK
+}
+
+// doRedistShip lands one shipped piece at its destination owner: the
+// packed values are written to the destination rectangle (or scattered
+// to the destination offsets), the pair is acknowledged, and the buffer
+// is returned to the pool of the source owner that drew it.
+func (m *Manager) doRedistShip(proc int, req *request) {
+	ack, node, vals := req.ack, req.node, req.vals
+	e, st := m.lookup(proc, req.id)
+	if st == StatusOK {
+		srv := m.servers[proc]
+		srv.mu.Lock()
+		switch {
+		case e.section == nil:
+			st = StatusError
+		case req.offs != nil:
+			if e.section.ScatterFrom(vals, req.offs) != nil {
+				st = StatusError
+			}
+		case req.step != nil:
+			if e.section.WriteBlockStrided(vals, req.lo, req.hi, req.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
+				st = StatusInvalid
+			}
+		default:
+			if e.section.WriteBlock(vals, req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
+				st = StatusInvalid
+			}
+		}
+		srv.mu.Unlock()
+	}
+	ack <- response{status: st}
+	m.servers[node].putBuf(vals)
+	putShipReq(req)
+}
+
+// localRedistFast attempts the wholly-local fast path of the
+// redistribution plane: when both arrays have entries with sections on
+// proc and both rectangles resolve to single local rectangles there,
+// the data moves section-to-section with darray.CopyRect under one
+// server lock — no message, no intermediate buffer, and no heap
+// allocation up to darray.MaxFastDims dimensions. Validation mirrors
+// the coordinator's, so a malformed request is declined (ok=false) and
+// falls through for the authoritative status. ok reports whether the
+// fast path applied.
+func (m *Manager) localRedistFast(proc int, dstID, srcID darray.ID, dstLo, srcLo, dims, step []int) (Status, bool) {
+	if dstID == srcID {
+		return StatusOK, false
+	}
+	srv := m.servers[proc]
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	de, ok := srv.entries[dstID]
+	if !ok || de.freed || de.section == nil {
+		return StatusOK, false
+	}
+	se, ok := srv.entries[srcID]
+	if !ok || se.freed || se.section == nil {
+		return StatusOK, false
+	}
+	n := de.meta.NDims()
+	if n > darray.MaxFastDims || se.meta.NDims() != n ||
+		len(dstLo) != n || len(srcLo) != n || len(dims) != n {
+		return StatusOK, false
+	}
+	if step != nil && len(step) != n {
+		return StatusOK, false
+	}
+	var srcHi, dstHi, hiEffS, hiEffD [darray.MaxFastDims]int
+	for i := 0; i < n; i++ {
+		if dims[i] < 1 {
+			return StatusOK, false
+		}
+		st := 1
+		if step != nil {
+			st = step[i]
+			if st < 1 {
+				return StatusOK, false
+			}
+		}
+		srcHi[i] = srcLo[i] + dims[i]
+		dstHi[i] = dstLo[i] + dims[i]
+		// Locality is decided by the lattice's bounding box: clamp each
+		// bound to just past the last lattice point.
+		lastOff := (dims[i] - 1) / st * st
+		hiEffS[i] = srcLo[i] + lastOff + 1
+		hiEffD[i] = dstLo[i] + lastOff + 1
+	}
+	if step == nil {
+		if grid.CheckRect(srcLo, srcHi[:n], se.meta.Dims) != nil ||
+			grid.CheckRect(dstLo, dstHi[:n], de.meta.Dims) != nil {
+			return StatusOK, false
+		}
+	} else if grid.CheckStridedRect(srcLo, srcHi[:n], step, se.meta.Dims) != nil ||
+		grid.CheckStridedRect(dstLo, dstHi[:n], step, de.meta.Dims) != nil {
+		return StatusOK, false
+	}
+	var sLo, sHi, dLo, dHi [darray.MaxFastDims]int
+	if !se.meta.LocalRect(proc, srcLo, hiEffS[:n], sLo[:n], sHi[:n]) {
+		return StatusOK, false
+	}
+	if !de.meta.LocalRect(proc, dstLo, hiEffD[:n], dLo[:n], dHi[:n]) {
+		return StatusOK, false
+	}
+	if darray.CopyRect(de.section, de.meta, dLo[:n], se.section, se.meta, sLo[:n], sHi[:n], step) != nil {
+		return StatusInvalid, true
+	}
+	return StatusOK, true
+}
+
+// Redistribute copies the global rectangle [lo, hi) of array src onto
+// the same rectangle of array dst — the two arrays may have entirely
+// different distributions (block↔cyclic↔block-cyclic, uneven trailing
+// blocks). Each non-empty src-owner/dst-owner intersection travels
+// owner-to-owner in at most one message, with no client bounce; a
+// wholly-local transfer moves section-to-section with no message and
+// zero heap allocations.
+func (m *Manager) Redistribute(onProc int, dst, src darray.ID, lo, hi []int) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	n := len(lo)
+	if len(hi) == n && n <= darray.MaxFastDims {
+		var dims [darray.MaxFastDims]int
+		okDims := true
+		for i := 0; i < n; i++ {
+			dims[i] = hi[i] - lo[i]
+			if dims[i] < 1 {
+				okDims = false
+				break
+			}
+		}
+		if okDims {
+			if st, ok := m.localRedistFast(onProc, dst, src, lo, lo, dims[:n], nil); ok {
+				return st
+			}
+		}
+	}
+	return m.send(onProc, onProc, &request{op: "redistribute", id: dst, id2: src, lo: lo, hi: hi, lo2: lo}).status
+}
+
+// RedistributeRect is the offset variant of Redistribute: source
+// element srcLo+j moves to destination element dstLo+j for every
+// componentwise 0 <= j < dims, so the rectangle may land at a different
+// origin in the destination array (a panel handoff into column 0, a
+// shifted copy).
+func (m *Manager) RedistributeRect(onProc int, dst, src darray.ID, dstLo, srcLo, dims []int) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	if st, ok := m.localRedistFast(onProc, dst, src, dstLo, srcLo, dims, nil); ok {
+		return st
+	}
+	hi := make([]int, len(dstLo))
+	for i := range hi {
+		if i < len(dims) {
+			hi[i] = dstLo[i] + dims[i]
+		}
+	}
+	return m.send(onProc, onProc, &request{op: "redistribute", id: dst, id2: src, lo: dstLo, hi: hi, lo2: srcLo}).status
+}
+
+// RedistributeStrided copies every step[i]-th element of the global
+// rectangle [lo, hi) of array src onto the matching lattice of array
+// dst. A unit step in every dimension delegates to the dense path.
+func (m *Manager) RedistributeStrided(onProc int, dst, src darray.ID, lo, hi, step []int) Status {
+	if m.machine.CheckProc(onProc) != nil {
+		return StatusInvalid
+	}
+	if len(step) == len(lo) && unitStep(step) {
+		return m.Redistribute(onProc, dst, src, lo, hi)
+	}
+	n := len(lo)
+	if len(hi) == n && len(step) == n && n <= darray.MaxFastDims {
+		var dims [darray.MaxFastDims]int
+		okDims := true
+		for i := 0; i < n; i++ {
+			dims[i] = hi[i] - lo[i]
+			if dims[i] < 1 || step[i] < 1 {
+				okDims = false
+				break
+			}
+		}
+		if okDims {
+			if st, ok := m.localRedistFast(onProc, dst, src, lo, lo, dims[:n], step); ok {
+				return st
+			}
+		}
+	}
+	return m.send(onProc, onProc, &request{op: "redistribute", id: dst, id2: src, lo: lo, hi: hi, lo2: lo, step: step}).status
+}

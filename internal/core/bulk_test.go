@@ -536,3 +536,61 @@ func TestLocalBlockOpsAllocationFree(t *testing.T) {
 		t.Errorf("local block ops sent %d messages, want 0", sent)
 	}
 }
+
+// TestArrayRedistribute drives the redistribution facade: a block
+// array's rectangle lands on a cyclic twin directly, matching the
+// read-then-write bounce it replaces, including the offset variant.
+func TestArrayRedistribute(t *testing.T) {
+	m := newMachine(t, 4)
+	src, err := m.NewArray(ArraySpec{Dims: []int{18}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := m.NewArray(ArraySpec{Dims: []int{18},
+		Distrib: []grid.Decomp{grid.CyclicDefault()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Fill(func(idx []int) float64 { return float64(idx[0] * 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.RedistributeFrom(src, []int{3}, []int{15}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 15; i++ {
+		v, err := dst.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != float64(i*2) {
+			t.Fatalf("dst[%d] = %v, want %v", i, v, float64(i*2))
+		}
+	}
+	if err := dst.RedistributeRectFrom(src, []int{0}, []int{16}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		v, err := dst.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != float64((16+i)*2) {
+			t.Fatalf("shifted dst[%d] = %v, want %v", i, v, float64((16+i)*2))
+		}
+	}
+	if err := dst.RedistributeStridedFrom(src, []int{4}, []int{12}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{4, 6, 8, 10} {
+		v, err := dst.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != float64(i*2) {
+			t.Fatalf("strided dst[%d] = %v, want %v", i, v, float64(i*2))
+		}
+	}
+	if err := dst.RedistributeFrom(dst, []int{0}, []int{4}); err == nil {
+		t.Fatal("aliasing redistribute accepted")
+	}
+}

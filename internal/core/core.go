@@ -270,6 +270,33 @@ func (a *Array) WriteBlockStrided(lo, hi, step []int, vals []float64) error {
 	return statusErr("write_block_strided", a.m.AM.WriteBlockStrided(a.onProc, a.id, lo, hi, step, vals))
 }
 
+// RedistributeFrom copies the global rectangle [lo, hi) of array src onto
+// the same rectangle of a (am_user_redistribute) — the two arrays may be
+// distributed entirely differently (block↔cyclic↔block-cyclic, uneven
+// trailing blocks). Each non-empty src-owner/dst-owner intersection
+// travels owner-to-owner in at most one message, with no
+// gather-then-scatter bounce through the requesting processor; a
+// wholly-local transfer moves section-to-section with no message and zero
+// heap allocations.
+func (a *Array) RedistributeFrom(src *Array, lo, hi []int) error {
+	return statusErr("redistribute", a.m.AM.Redistribute(a.onProc, a.id, src.id, lo, hi))
+}
+
+// RedistributeRectFrom is the offset variant of RedistributeFrom: source
+// element srcLo+j moves to destination element dstLo+j for every
+// componentwise 0 <= j < dims, so a panel may land at a different origin
+// in the destination array.
+func (a *Array) RedistributeRectFrom(src *Array, dstLo, srcLo, dims []int) error {
+	return statusErr("redistribute", a.m.AM.RedistributeRect(a.onProc, a.id, src.id, dstLo, srcLo, dims))
+}
+
+// RedistributeStridedFrom copies every step[i]-th element of the global
+// rectangle [lo, hi) of src onto the matching lattice of a. A unit step
+// in every dimension delegates to the dense path.
+func (a *Array) RedistributeStridedFrom(src *Array, lo, hi, step []int) error {
+	return statusErr("redistribute", a.m.AM.RedistributeStrided(a.onProc, a.id, src.id, lo, hi, step))
+}
+
 // GatherElements reads the elements at the given global index tuples in
 // one operation, returning their values in request order
 // (am_user_gather_elements). The transfer is split by owning processor —

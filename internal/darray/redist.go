@@ -1,0 +1,561 @@
+// The redistribution schedule: planning direct owner↔owner transfers
+// between two distributed arrays. Phase-changing algorithms (a block LU
+// panel feeding a cyclic solve, a transpose between FFT stages) move a
+// rectangle from one array to another with a different distribution;
+// the schedule computed here is the set of non-empty src-owner/dst-owner
+// intersections of that rectangle, each translated to interior-local
+// coordinates on both sides, so a coordinator can ship every piece
+// owner-to-owner in one message instead of bouncing the whole rectangle
+// through a single client process.
+//
+// This file also holds the owner-side copy kernels the redistribution
+// plane runs on (CopyRect, CopyOffsets) and the bounds+step owner split
+// (StridedShares) that replaces materialized offset vectors on the
+// cyclic rectangle path.
+package darray
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// PairBlock is one regular piece of a transfer schedule: the lattice
+// points held by SrcProc on the source array and DstProc on the
+// destination, as matching strided local rectangles on both sides (the
+// shared step lives on the Schedule). Row-major enumeration of
+// (SrcLo, SrcHi) and (DstLo, DstHi) visits corresponding elements in
+// the same order, so the piece moves with one packed buffer.
+type PairBlock struct {
+	SrcProc, DstProc int
+	SrcLo, SrcHi     []int // interior-local strided bounds at the source owner
+	DstLo, DstHi     []int // the same lattice at the destination owner
+}
+
+// PairSet is one irregular piece of a transfer schedule: the lattice
+// points held by SrcProc on the source array and DstProc on the
+// destination, as paired border-displaced storage offsets — element
+// SrcOffs[i] of the source section moves to element DstOffs[i] of the
+// destination section.
+type PairSet struct {
+	SrcProc, DstProc int
+	SrcOffs, DstOffs []int
+}
+
+// Schedule is an owner-pair transfer schedule produced by
+// TransferSchedule. Every lattice point of the transferred rectangle
+// appears in exactly one pair (a Block when both arrays are Regular, a
+// Set otherwise), so shipping each pair once moves the whole rectangle:
+// the ≤1-message-per-owner-pair budget of the redistribution plane.
+type Schedule struct {
+	Blocks []PairBlock
+	Sets   []PairSet
+	Step   []int // shared lattice step of the Blocks; nil = dense
+}
+
+// NPairs returns the number of non-empty owner pairs in the schedule.
+func (s *Schedule) NPairs() int { return len(s.Blocks) + len(s.Sets) }
+
+// TransferSchedule computes the owner-pair intersection schedule for
+// copying a lattice of elements from array src onto array dst: lattice
+// offset j (componentwise 0 <= j < dims, every step[i]-th per
+// dimension; step nil = dense) moves source element srcLo+j to
+// destination element dstLo+j. When both arrays are Regular the
+// intersections are computed by pairwise rectangle intersection of the
+// two owner splits in offset space; any irregular side routes through
+// the per-point ownership arithmetic (ResolveIndex), bucketing the
+// lattice by owner pair into paired storage-offset vectors. Ranks must
+// match and both rectangles are validated against their arrays; element
+// types may differ (values convert on write).
+func (dst *Meta) TransferSchedule(src *Meta, dstLo, srcLo, dims, step []int) (*Schedule, error) {
+	n := dst.NDims()
+	if src.NDims() != n || len(dstLo) != n || len(srcLo) != n || len(dims) != n {
+		return nil, fmt.Errorf("darray: transfer schedule rank mismatch: dst %d, src %d, bounds %d/%d/%d",
+			n, src.NDims(), len(dstLo), len(srcLo), len(dims))
+	}
+	if step != nil && len(step) != n {
+		return nil, fmt.Errorf("darray: transfer schedule step of rank %d for %d dimensions", len(step), n)
+	}
+	srcHi := make([]int, n)
+	dstHi := make([]int, n)
+	for i := 0; i < n; i++ {
+		srcHi[i] = srcLo[i] + dims[i]
+		dstHi[i] = dstLo[i] + dims[i]
+	}
+	var err error
+	if step == nil {
+		err = grid.CheckRect(srcLo, srcHi, src.Dims)
+		if err == nil {
+			err = grid.CheckRect(dstLo, dstHi, dst.Dims)
+		}
+	} else {
+		err = grid.CheckStridedRect(srcLo, srcHi, step, src.Dims)
+		if err == nil {
+			err = grid.CheckStridedRect(dstLo, dstHi, step, dst.Dims)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	sched := &Schedule{}
+	if step != nil {
+		sched.Step = append([]int(nil), step...)
+	}
+	if src.Regular() && dst.Regular() {
+		var sBlocks, dBlocks []OwnerBlock
+		if step == nil {
+			sBlocks, err = src.OwnerBlocks(srcLo, srcHi)
+		} else {
+			sBlocks, err = src.OwnerBlocksStrided(srcLo, srcHi, step)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if step == nil {
+			dBlocks, err = dst.OwnerBlocks(dstLo, dstHi)
+		} else {
+			dBlocks, err = dst.OwnerBlocksStrided(dstLo, dstHi, step)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Intersect every source block with every destination block in
+		// offset space (global minus the rectangle origin, so the two
+		// sides share coordinates). Block origins lie on the request
+		// lattice and the per-block global→local map is a unit-slope
+		// translation, so intersections translate back to local bounds
+		// by plain differences.
+		aLo := make([]int, n)
+		aHi := make([]int, n)
+		bLo := make([]int, n)
+		bHi := make([]int, n)
+		for _, sb := range sBlocks {
+			for i := 0; i < n; i++ {
+				aLo[i] = sb.GlobalLo[i] - srcLo[i]
+				aHi[i] = sb.GlobalHi[i] - srcLo[i]
+			}
+			for _, db := range dBlocks {
+				for i := 0; i < n; i++ {
+					bLo[i] = db.GlobalLo[i] - dstLo[i]
+					bHi[i] = db.GlobalHi[i] - dstLo[i]
+				}
+				var olo, ohi []int
+				var ok bool
+				if step == nil {
+					olo, ohi, ok = grid.IntersectRect(aLo, aHi, bLo, bHi)
+				} else {
+					olo, ohi, ok = grid.IntersectStridedRect(aLo, aHi, step, bLo, bHi)
+				}
+				if !ok {
+					continue
+				}
+				pb := PairBlock{
+					SrcProc: sb.Proc, DstProc: db.Proc,
+					SrcLo: make([]int, n), SrcHi: make([]int, n),
+					DstLo: make([]int, n), DstHi: make([]int, n),
+				}
+				for i := 0; i < n; i++ {
+					pb.SrcLo[i] = sb.LocalLo[i] + olo[i] - aLo[i]
+					pb.SrcHi[i] = sb.LocalLo[i] + ohi[i] - aLo[i]
+					pb.DstLo[i] = db.LocalLo[i] + olo[i] - bLo[i]
+					pb.DstHi[i] = db.LocalLo[i] + ohi[i] - bLo[i]
+				}
+				sched.Blocks = append(sched.Blocks, pb)
+			}
+		}
+		return sched, nil
+	}
+	// At least one side is irregular: resolve every lattice point on
+	// both sides and bucket by (source slot, destination slot), pairs
+	// ordered by first appearance in row-major lattice order.
+	srcStrides := grid.Strides(src.LocalDimsPlus, src.Indexing)
+	dstStrides := grid.Strides(dst.LocalDimsPlus, dst.Indexing)
+	srcIdx := make([]int, n)
+	dstIdx := make([]int, n)
+	type pairKey struct{ s, d int }
+	byPair := make(map[pairKey]int) // (srcSlot, dstSlot) -> index into Sets
+	visit := func(off []int, _ int) error {
+		for i := range off {
+			srcIdx[i] = srcLo[i] + off[i]
+			dstIdx[i] = dstLo[i] + off[i]
+		}
+		sSlot, sOff, ok := src.ResolveIndex(srcIdx, srcStrides)
+		if !ok {
+			return fmt.Errorf("darray: unresolvable source index %v", srcIdx)
+		}
+		dSlot, dOff, ok := dst.ResolveIndex(dstIdx, dstStrides)
+		if !ok {
+			return fmt.Errorf("darray: unresolvable destination index %v", dstIdx)
+		}
+		k := pairKey{sSlot, dSlot}
+		pi, seen := byPair[k]
+		if !seen {
+			pi = len(sched.Sets)
+			byPair[k] = pi
+			sched.Sets = append(sched.Sets, PairSet{SrcProc: src.Procs[sSlot], DstProc: dst.Procs[dSlot]})
+		}
+		ps := &sched.Sets[pi]
+		ps.SrcOffs = append(ps.SrcOffs, sOff)
+		ps.DstOffs = append(ps.DstOffs, dOff)
+		return nil
+	}
+	zero := make([]int, n)
+	if step == nil {
+		err = grid.ForEachRect(zero, dims, visit)
+	} else {
+		err = grid.ForEachStridedRect(zero, dims, step, visit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+// CopyRect copies the strided interior rectangle (srcLo, srcHi, step) —
+// dense when step is nil — of the source section onto the same-shaped
+// lattice anchored at dstLo in the destination section, the two
+// sections belonging to (possibly different) arrays described by their
+// metadata. This is the zero-message service routine of the
+// redistribution plane's same-process pairs: for rectangles of at most
+// MaxFastDims dimensions the dual-odometer walk performs no heap
+// allocation, moving contiguous runs with copy when both sections are
+// row-major doubles with a unit innermost step. Element types may
+// differ (values convert). Both rectangles are validated against the
+// sections' interior dimensions.
+func CopyRect(dst *Section, dstMeta *Meta, dstLo []int, src *Section, srcMeta *Meta, srcLo, srcHi, step []int) error {
+	n := len(srcLo)
+	if dstMeta.NDims() != n || srcMeta.NDims() != n || len(dstLo) != n || len(srcHi) != n {
+		return fmt.Errorf("darray: copy-rect rank mismatch: dst %d, src %d, bounds %d/%d/%d",
+			dstMeta.NDims(), srcMeta.NDims(), len(dstLo), len(srcLo), len(srcHi))
+	}
+	if step != nil && len(step) != n {
+		return fmt.Errorf("darray: copy-rect step of rank %d for %d dimensions", len(step), n)
+	}
+	if step == nil {
+		if err := grid.CheckRect(srcLo, srcHi, srcMeta.LocalDims); err != nil {
+			return err
+		}
+	} else if err := grid.CheckStridedRect(srcLo, srcHi, step, srcMeta.LocalDims); err != nil {
+		return err
+	}
+	if n <= MaxFastDims {
+		return copyRectFast(dst, dstMeta, dstLo, src, srcMeta, srcLo, srcHi, step)
+	}
+	st := step
+	if st == nil {
+		st = make([]int, n)
+		for i := range st {
+			st[i] = 1
+		}
+	}
+	cnt := make([]int, n)
+	dstHi := make([]int, n)
+	for i := 0; i < n; i++ {
+		cnt[i] = (srcHi[i] - srcLo[i] + st[i] - 1) / st[i]
+		dstHi[i] = dstLo[i] + (cnt[i]-1)*st[i] + 1
+	}
+	if err := grid.CheckStridedRect(dstLo, dstHi, st, dstMeta.LocalDims); err != nil {
+		return err
+	}
+	sStr := grid.Strides(srcMeta.LocalDimsPlus, srcMeta.Indexing)
+	dStr := grid.Strides(dstMeta.LocalDimsPlus, dstMeta.Indexing)
+	sBase, dBase := 0, 0
+	for i := 0; i < n; i++ {
+		sBase += (srcLo[i] + srcMeta.Borders[2*i]) * sStr[i]
+		dBase += (dstLo[i] + dstMeta.Borders[2*i]) * dStr[i]
+		sStr[i] *= st[i]
+		dStr[i] *= st[i]
+	}
+	zero := make([]int, n)
+	return grid.ForEachRect(zero, cnt, func(idx []int, _ int) error {
+		so, do := sBase, dBase
+		for i := range idx {
+			so += idx[i] * sStr[i]
+			do += idx[i] * dStr[i]
+		}
+		dst.SetFloat(do, src.GetFloat(so))
+		return nil
+	})
+}
+
+// copyRectFast is CopyRect specialised to at most MaxFastDims
+// dimensions: all scratch lives in fixed-size stack arrays and a dual
+// odometer advances both sections' storage offsets incrementally, so
+// the copy performs no heap allocation. The source bounds are already
+// validated; the destination bounds are validated here from the lattice
+// counts.
+func copyRectFast(dst *Section, dstMeta *Meta, dstLo []int, src *Section, srcMeta *Meta, srcLo, srcHi, step []int) error {
+	n := len(srcLo)
+	if step == nil {
+		step = denseStep[:n]
+	}
+	var dstHi [MaxFastDims]int
+	var cnt, sStride, dStride, pos [MaxFastDims]int
+	for i := 0; i < n; i++ {
+		cnt[i] = (srcHi[i] - srcLo[i] + step[i] - 1) / step[i]
+		dstHi[i] = dstLo[i] + (cnt[i]-1)*step[i] + 1
+	}
+	if err := grid.CheckStridedRect(dstLo, dstHi[:n], step, dstMeta.LocalDims); err != nil {
+		return err
+	}
+	var sPlus, dPlus [MaxFastDims]int
+	for i := 0; i < n; i++ {
+		sPlus[i] = srcMeta.LocalDimsPlus[i]
+		dPlus[i] = dstMeta.LocalDimsPlus[i]
+	}
+	fill := func(strides *[MaxFastDims]int, plus *[MaxFastDims]int, ix grid.Indexing) {
+		st := 1
+		if ix == grid.RowMajor {
+			for i := n - 1; i >= 0; i-- {
+				strides[i] = st
+				st *= plus[i]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				strides[i] = st
+				st *= plus[i]
+			}
+		}
+	}
+	fill(&sStride, &sPlus, srcMeta.Indexing)
+	fill(&dStride, &dPlus, dstMeta.Indexing)
+	sOff, dOff := 0, 0
+	for i := 0; i < n; i++ {
+		sOff += (srcLo[i] + srcMeta.Borders[2*i]) * sStride[i]
+		dOff += (dstLo[i] + dstMeta.Borders[2*i]) * dStride[i]
+		sStride[i] *= step[i]
+		dStride[i] *= step[i]
+	}
+	last := n - 1
+	run := cnt[last]
+	contiguous := srcMeta.Indexing == grid.RowMajor && dstMeta.Indexing == grid.RowMajor &&
+		src.Type == Double && dst.Type == Double && step[last] == 1
+	for {
+		if contiguous {
+			copy(dst.F[dOff:dOff+run], src.F[sOff:sOff+run])
+		} else {
+			so, do := sOff, dOff
+			for j := 0; j < run; j++ {
+				dst.SetFloat(do, src.GetFloat(so))
+				so += sStride[last]
+				do += dStride[last]
+			}
+		}
+		i := last - 1
+		for ; i >= 0; i-- {
+			pos[i]++
+			sOff += sStride[i]
+			dOff += dStride[i]
+			if pos[i] < cnt[i] {
+				break
+			}
+			sOff -= cnt[i] * sStride[i]
+			dOff -= cnt[i] * dStride[i]
+			pos[i] = 0
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// CopyOffsets copies the elements at the paired storage offsets of a
+// transfer-schedule Set between two sections on the same process:
+// source element srcOffs[i] moves to destination element dstOffs[i], in
+// order (last writer wins on repeated destinations). Offsets are
+// bounds-checked against both sections; the copy performs no heap
+// allocation. Element types may differ (values convert).
+func CopyOffsets(dst, src *Section, dstOffs, srcOffs []int) error {
+	if len(dstOffs) != len(srcOffs) {
+		return fmt.Errorf("darray: %d destination offsets for %d source offsets", len(dstOffs), len(srcOffs))
+	}
+	sn, dn := src.Len(), dst.Len()
+	for i := range srcOffs {
+		if srcOffs[i] < 0 || srcOffs[i] >= sn {
+			return fmt.Errorf("darray: copy offset %d outside source section of %d elements", srcOffs[i], sn)
+		}
+		if dstOffs[i] < 0 || dstOffs[i] >= dn {
+			return fmt.Errorf("darray: copy offset %d outside destination section of %d elements", dstOffs[i], dn)
+		}
+	}
+	if src.Type == Double && dst.Type == Double {
+		for i, off := range srcOffs {
+			dst.F[dstOffs[i]] = src.F[off]
+		}
+		return nil
+	}
+	for i, off := range srcOffs {
+		dst.SetFloat(dstOffs[i], src.GetFloat(off))
+	}
+	return nil
+}
+
+// StridedShare describes one owner's holding of a strided-rectangle
+// request as arithmetic progressions rather than materialized offsets:
+// the owner's piece is the interior-local strided rectangle
+// (Lo, Hi, Step), and element t (per-dimension t[i], row-major) of that
+// piece sits at position PosLo[i] + t[i]*PosStep[i] of the request
+// lattice. It is the compact descriptor of the cyclic rectangle path —
+// a coordinator sends O(ndims) bounds instead of O(k) offset vectors.
+type StridedShare struct {
+	Proc           int
+	Lo, Hi, Step   []int // interior-local strided rectangle at the owner
+	PosLo, PosStep []int // placement of the piece on the request lattice
+}
+
+// dimShare is one dimension's owner progression inside StridedShares:
+// the cell, its local strided run, and the run's placement on the
+// request lattice along that dimension.
+type dimShare struct {
+	cell           int
+	lo, hi, step   int
+	posLo, posStep int
+}
+
+// StridedShares splits the lattice of the strided rectangle
+// (lo, hi, step) — dense when step is nil — by owner, each owner's
+// piece expressed as a strided local rectangle plus its placement on
+// the request lattice. That representation exists exactly when every
+// dimension maps the request lattice onto each cell as an arithmetic
+// progression: block dimensions (clamped runs, posStep 1) and width-1
+// cyclic dimensions (residue progressions with period
+// GridDims/gcd(step, GridDims)) qualify; a block-cyclic dimension of
+// width > 1 over several cells does not, and the call reports ok=false
+// so callers fall back to OwnerLattice. Shares appear in row-major cell
+// order; every lattice point lies in exactly one share.
+func (m *Meta) StridedShares(lo, hi, step []int) (shares []StridedShare, ok bool, err error) {
+	if step == nil {
+		err = grid.CheckRect(lo, hi, m.Dims)
+	} else {
+		err = grid.CheckStridedRect(lo, hi, step, m.Dims)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	n := m.NDims()
+	for i := 0; i < n; i++ {
+		if m.Dists != nil && m.GridDims[i] > 1 && m.Dists[i].Kind != grid.DistBlock && m.Dists[i].B > 1 {
+			return nil, false, nil // block-cyclic holdings are not single progressions
+		}
+	}
+	dims := make([][]dimShare, n)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		st := 1
+		if step != nil {
+			st = step[i]
+		}
+		cnt := (hi[i] - lo[i] + st - 1) / st
+		if m.Dists != nil && m.GridDims[i] > 1 && m.Dists[i].Kind != grid.DistBlock {
+			dims[i] = cyclicDimShares(lo[i], st, cnt, m.GridDims[i])
+		} else {
+			dims[i] = blockDimShares(lo[i], st, cnt, m.LocalDims[i], m.Dims[i])
+		}
+		counts[i] = len(dims[i])
+	}
+	shares = make([]StridedShare, 0, grid.Size(counts))
+	idx := make([]int, n)
+	cells := make([]int, n)
+	for {
+		sh := StridedShare{
+			Lo: make([]int, n), Hi: make([]int, n), Step: make([]int, n),
+			PosLo: make([]int, n), PosStep: make([]int, n),
+		}
+		for i := 0; i < n; i++ {
+			ds := dims[i][idx[i]]
+			cells[i] = ds.cell
+			sh.Lo[i], sh.Hi[i], sh.Step[i] = ds.lo, ds.hi, ds.step
+			sh.PosLo[i], sh.PosStep[i] = ds.posLo, ds.posStep
+		}
+		slot, err := grid.ProcSlot(cells, m.GridDims, m.GridIndexing)
+		if err != nil {
+			return nil, false, err
+		}
+		sh.Proc = m.Procs[slot]
+		shares = append(shares, sh)
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < counts[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return shares, true, nil
+		}
+	}
+}
+
+// cyclicDimShares computes the per-cell progressions of the lattice
+// {lo + j*st : 0 <= j < cnt} along one width-1 cyclic dimension of p
+// cells. The lattice visits cells with period p/gcd(st, p); a cell
+// holding any point holds every period-th lattice point from its first,
+// and consecutive held points are st/gcd(st, p) apart in local storage
+// (their global distance is the multiple st*p/gcd of p).
+func cyclicDimShares(lo, st, cnt, p int) []dimShare {
+	d := gcd(st, p)
+	period := p / d
+	out := make([]dimShare, 0, period)
+	for c := 0; c < p; c++ {
+		j0 := -1
+		for j := 0; j < period; j++ {
+			if (lo+j*st)%p == c {
+				j0 = j
+				break
+			}
+		}
+		if j0 < 0 || j0 >= cnt {
+			continue
+		}
+		k := (cnt-1-j0)/period + 1
+		lLo := (lo + j0*st) / p
+		lStep := st / d
+		out = append(out, dimShare{
+			cell: c, lo: lLo, hi: lLo + (k-1)*lStep + 1, step: lStep,
+			posLo: j0, posStep: period,
+		})
+	}
+	return out
+}
+
+// blockDimShares computes the per-cell runs of the lattice
+// {lo + j*st : 0 <= j < cnt} along one block dimension of cell width b
+// and extent n (the trailing cell possibly truncated): each touched
+// cell holds a contiguous stretch of consecutive lattice points.
+func blockDimShares(lo, st, cnt, b, n int) []dimShare {
+	last := lo + (cnt-1)*st
+	out := make([]dimShare, 0, last/b-lo/b+1)
+	for c := lo / b; c <= last/b; c++ {
+		cellLo, cellHi := c*b, (c+1)*b
+		if cellHi > n {
+			cellHi = n
+		}
+		jFirst := 0
+		if cellLo > lo {
+			jFirst = (cellLo - lo + st - 1) / st
+		}
+		jLast := (cellHi - 1 - lo) / st
+		if jLast > cnt-1 {
+			jLast = cnt - 1
+		}
+		if jFirst > jLast {
+			continue // the stride skips this cell entirely
+		}
+		lLo := lo + jFirst*st - cellLo
+		k := jLast - jFirst + 1
+		out = append(out, dimShare{
+			cell: c, lo: lLo, hi: lLo + (k-1)*st + 1, step: st,
+			posLo: jFirst, posStep: 1,
+		})
+	}
+	return out
+}
+
+// gcd returns the greatest common divisor of two positive integers.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,388 @@
+package darray
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// The transfer-schedule property harness: whatever pair of layouts the
+// schedule spans, applying its pieces with the owner-side copy kernels
+// must land every lattice point of the source rectangle at its
+// destination position, and touch nothing else.
+
+// sectionsFor allocates one local section per processor of the array.
+func sectionsFor(m *Meta) map[int]*Section {
+	out := make(map[int]*Section, len(m.Procs))
+	for _, p := range m.Procs {
+		out[p] = NewSection(m.Type, m.LocalStorageSize())
+	}
+	return out
+}
+
+// fillGlobal writes encode(g) to every global index of the array.
+func fillGlobal(t *testing.T, m *Meta, secs map[int]*Section, encode func([]int) float64) {
+	t.Helper()
+	strides := grid.Strides(m.LocalDimsPlus, m.Indexing)
+	idx := make([]int, m.NDims())
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(idx) {
+			slot, off, ok := m.ResolveIndex(idx, strides)
+			if !ok {
+				t.Fatalf("unresolvable index %v", idx)
+			}
+			secs[m.Procs[slot]].SetFloat(off, encode(idx))
+			return
+		}
+		for i := 0; i < m.Dims[d]; i++ {
+			idx[d] = i
+			walk(d + 1)
+		}
+	}
+	walk(0)
+}
+
+// applySchedule runs every pair of the schedule through the owner-side
+// copy kernels, exactly as the redistribution plane's same-process pairs
+// and shipped pieces do.
+func applySchedule(t *testing.T, sched *Schedule, dst *Meta, dstSecs map[int]*Section, src *Meta, srcSecs map[int]*Section) {
+	t.Helper()
+	for _, pb := range sched.Blocks {
+		err := CopyRect(dstSecs[pb.DstProc], dst, pb.DstLo, srcSecs[pb.SrcProc], src, pb.SrcLo, pb.SrcHi, sched.Step)
+		if err != nil {
+			t.Fatalf("CopyRect(%+v): %v", pb, err)
+		}
+	}
+	for _, ps := range sched.Sets {
+		if len(ps.SrcOffs) == 0 || len(ps.SrcOffs) != len(ps.DstOffs) {
+			t.Fatalf("malformed pair set: %d src offsets, %d dst offsets", len(ps.SrcOffs), len(ps.DstOffs))
+		}
+		if err := CopyOffsets(dstSecs[ps.DstProc], srcSecs[ps.SrcProc], ps.DstOffs, ps.SrcOffs); err != nil {
+			t.Fatalf("CopyOffsets: %v", err)
+		}
+	}
+}
+
+// redistLayouts is the layout sweep of the schedule tests: all three
+// distribution kinds, uneven trailing blocks, subset/star dimensions and
+// both indexing orders appear.
+func redistLayouts(t *testing.T, dims []int) map[string]*Meta {
+	t.Helper()
+	switch len(dims) {
+	case 1:
+		return map[string]*Meta{
+			"block":       metaForDist(t, dims, []int{4}, []grid.Decomp{grid.BlockDefault()}, []int{0, 0}, grid.RowMajor),
+			"cyclic":      metaForDist(t, dims, []int{4}, []grid.Decomp{grid.CyclicDefault()}, []int{0, 0}, grid.RowMajor),
+			"blockcyclic": metaForDist(t, dims, []int{3}, []grid.Decomp{grid.BlockCyclicOf(3)}, []int{1, 2}, grid.RowMajor),
+		}
+	case 2:
+		return map[string]*Meta{
+			"block-star": metaForDist(t, dims, []int{4, 1},
+				[]grid.Decomp{grid.BlockOf(4), grid.NoDecomp()}, []int{0, 0, 0, 0}, grid.RowMajor),
+			"star-cyclic": metaForDist(t, dims, []int{1, 3},
+				[]grid.Decomp{grid.NoDecomp(), grid.CyclicOf(3)}, []int{0, 0, 0, 0}, grid.ColMajor),
+			"cyclic-block": metaForDist(t, dims, []int{2, 2},
+				[]grid.Decomp{grid.CyclicOf(2), grid.BlockOf(2)}, []int{1, 0, 0, 1}, grid.RowMajor),
+			"blockcyclic-block": metaForDist(t, dims, []int{3, 2},
+				[]grid.Decomp{grid.BlockCyclicOf(2), grid.BlockOf(2)}, []int{0, 0, 0, 0}, grid.RowMajor),
+		}
+	default:
+		t.Fatalf("unsupported rank %d", len(dims))
+		return nil
+	}
+}
+
+// TestTransferScheduleCompleteness drives every ordered pair of layouts
+// (regular×regular through the block path, every other mix through the
+// offset-set path) with random dense and strided rectangles and checks
+// element-for-element delivery.
+func TestTransferScheduleCompleteness(t *testing.T) {
+	for _, dims := range [][]int{{29}, {11, 10}} {
+		encode := func(g []int) float64 {
+			v := 1.0
+			for i := range g {
+				v = v*64 + float64(g[i])
+			}
+			return v
+		}
+		layouts := redistLayouts(t, dims)
+		rng := rand.New(rand.NewSource(int64(len(dims))))
+		for sname, src := range layouts {
+			for dname, dst := range layouts {
+				for trial := 0; trial < 6; trial++ {
+					// A random lattice that fits both arrays at independent
+					// random origins.
+					n := len(dims)
+					cnt := make([]int, n)
+					srcLo := make([]int, n)
+					dstLo := make([]int, n)
+					step := make([]int, n)
+					strided := trial%2 == 1
+					for i := 0; i < n; i++ {
+						step[i] = 1
+						if strided {
+							step[i] = 1 + rng.Intn(3)
+						}
+						maxSpan := dims[i] // both arrays share global dims here
+						cnt[i] = 1 + rng.Intn((maxSpan-1)/step[i]+1)
+						span := (cnt[i]-1)*step[i] + 1
+						srcLo[i] = rng.Intn(dims[i] - span + 1)
+						dstLo[i] = rng.Intn(dims[i] - span + 1)
+					}
+					// TransferSchedule takes dims as lattice extents, not
+					// point counts: extent = (cnt-1)*step + 1 rounded to the
+					// request convention hi-lo.
+					ext := make([]int, n)
+					for i := 0; i < n; i++ {
+						ext[i] = (cnt[i]-1)*step[i] + 1
+					}
+					var stepArg []int
+					if strided {
+						stepArg = step
+					}
+					sched, err := dst.TransferSchedule(src, dstLo, srcLo, ext, stepArg)
+					if err != nil {
+						t.Fatalf("%s->%s: TransferSchedule: %v", sname, dname, err)
+					}
+					if src.Regular() && dst.Regular() {
+						if len(sched.Sets) != 0 {
+							t.Fatalf("%s->%s: regular pair produced %d offset sets", sname, dname, len(sched.Sets))
+						}
+					} else if len(sched.Blocks) != 0 {
+						t.Fatalf("%s->%s: irregular pair produced %d blocks", sname, dname, len(sched.Blocks))
+					}
+					srcSecs := sectionsFor(src)
+					dstSecs := sectionsFor(dst)
+					fillGlobal(t, src, srcSecs, encode)
+					for _, s := range dstSecs {
+						for i := 0; i < s.Len(); i++ {
+							s.SetFloat(i, -1)
+						}
+					}
+					applySchedule(t, sched, dst, dstSecs, src, srcSecs)
+					// Every lattice point must have landed; everything else
+					// must still be the sentinel.
+					want := make(map[int]map[int]float64) // proc -> off -> value
+					dStrides := grid.Strides(dst.LocalDimsPlus, dst.Indexing)
+					gSrc := make([]int, n)
+					gDst := make([]int, n)
+					zero := make([]int, n)
+					err = grid.ForEachStridedRect(zero, ext, step, func(off []int, _ int) error {
+						for i := range off {
+							gSrc[i] = srcLo[i] + off[i]
+							gDst[i] = dstLo[i] + off[i]
+						}
+						slot, o, ok := dst.ResolveIndex(gDst, dStrides)
+						if !ok {
+							t.Fatalf("unresolvable destination %v", gDst)
+						}
+						p := dst.Procs[slot]
+						if want[p] == nil {
+							want[p] = make(map[int]float64)
+						}
+						want[p][o] = encode(gSrc)
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for p, s := range dstSecs {
+						for off := 0; off < s.Len(); off++ {
+							v := s.GetFloat(off)
+							if w, hit := want[p][off]; hit {
+								if v != w {
+									t.Fatalf("%s->%s trial %d: proc %d off %d = %v, want %v", sname, dname, trial, p, off, v, w)
+								}
+							} else if v != -1 {
+								t.Fatalf("%s->%s trial %d: proc %d off %d clobbered to %v", sname, dname, trial, p, off, v)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransferScheduleErrors pins schedule validation: rank mismatches
+// and out-of-bounds rectangles are rejected.
+func TestTransferScheduleErrors(t *testing.T) {
+	a := metaForDist(t, []int{16}, []int{4}, []grid.Decomp{grid.BlockDefault()}, []int{0, 0}, grid.RowMajor)
+	b := metaForDist(t, []int{16, 4}, []int{4, 1},
+		[]grid.Decomp{grid.BlockDefault(), grid.NoDecomp()}, []int{0, 0, 0, 0}, grid.RowMajor)
+	if _, err := a.TransferSchedule(b, []int{0}, []int{0, 0}, []int{4}, nil); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := a.TransferSchedule(a, []int{8}, []int{0}, []int{12}, nil); err == nil {
+		t.Error("destination rectangle past the extent accepted")
+	}
+	if _, err := a.TransferSchedule(a, []int{0}, []int{0}, []int{8}, []int{0}); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+// TestStridedSharesMatchOwnerLattice checks the descriptor split against
+// the materialized offset sets point for point: enumerating each share's
+// local lattice and placement must reproduce exactly the (proc, offset,
+// position) triples OwnerLattice produces.
+func TestStridedSharesMatchOwnerLattice(t *testing.T) {
+	for name, m := range distMetas(t, grid.RowMajor) {
+		blockCyclic := false
+		for i, d := range m.ResolvedDists() {
+			if d.Kind == grid.DistBlockCyclic && m.GridDims[i] > 1 && d.B > 1 {
+				blockCyclic = true
+			}
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 8; trial++ {
+			lo, hi, step := randomDistRect(rng, m.Dims)
+			var stepArg []int
+			if trial%2 == 1 {
+				stepArg = step
+			}
+			shares, ok, err := m.StridedShares(lo, hi, stepArg)
+			if err != nil {
+				t.Fatalf("%s: StridedShares(%v,%v,%v): %v", name, lo, hi, stepArg, err)
+			}
+			if blockCyclic {
+				if ok {
+					t.Fatalf("%s: block-cyclic layout reported descriptor-eligible", name)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("%s: progression layout reported ineligible", name)
+			}
+			sets, err := m.OwnerLattice(lo, hi, stepArg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[int]map[int]int) // proc -> position -> offset
+			for _, s := range sets {
+				pm := make(map[int]int, len(s.Offs))
+				for i, off := range s.Offs {
+					pm[s.Pos[i]] = off
+				}
+				want[s.Proc] = pm
+			}
+			sdims := grid.RectDims(lo, hi)
+			if stepArg != nil {
+				sdims = grid.StridedRectDims(lo, hi, stepArg)
+			}
+			got := make(map[int]map[int]int)
+			strides := grid.Strides(m.LocalDimsPlus, m.Indexing)
+			n := m.NDims()
+			for _, sh := range shares {
+				pm := got[sh.Proc]
+				if pm == nil {
+					pm = make(map[int]int)
+					got[sh.Proc] = pm
+				}
+				cnt := make([]int, n)
+				for i := 0; i < n; i++ {
+					cnt[i] = (sh.Hi[i] - sh.Lo[i] + sh.Step[i] - 1) / sh.Step[i]
+				}
+				zero := make([]int, n)
+				lidx := make([]int, n)
+				pidx := make([]int, n)
+				err := grid.ForEachRect(zero, cnt, func(idx []int, _ int) error {
+					off := 0
+					for i := range idx {
+						lidx[i] = sh.Lo[i] + idx[i]*sh.Step[i]
+						pidx[i] = sh.PosLo[i] + idx[i]*sh.PosStep[i]
+						off += (lidx[i] + m.Borders[2*i]) * strides[i]
+					}
+					pos, err := grid.Flatten(pidx, sdims, grid.RowMajor)
+					if err != nil {
+						return err
+					}
+					if old, dup := pm[pos]; dup {
+						t.Fatalf("%s: position %d claimed twice (offsets %d, %d)", name, pos, old, off)
+					}
+					pm[pos] = off
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for proc, pm := range want {
+				gm := got[proc]
+				if len(gm) != len(pm) {
+					t.Fatalf("%s: proc %d holds %d positions via shares, %d via offset sets", name, proc, len(gm), len(pm))
+				}
+				for pos, off := range pm {
+					if gm[pos] != off {
+						t.Fatalf("%s: proc %d position %d -> offset %d via shares, %d via offset sets", name, proc, pos, gm[pos], off)
+					}
+				}
+			}
+			for proc := range got {
+				if _, okp := want[proc]; !okp && len(got[proc]) > 0 {
+					t.Fatalf("%s: shares invented holdings on proc %d", name, proc)
+				}
+			}
+		}
+	}
+}
+
+// TestCopyRectConverts exercises the allocating >MaxFastDims dispatch
+// indirectly by crossing element types and indexing orders through the
+// fast path (conversion and non-contiguous walks).
+func TestCopyRectConverts(t *testing.T) {
+	src := metaForDist(t, []int{6, 4}, []int{1, 1},
+		[]grid.Decomp{grid.NoDecomp(), grid.NoDecomp()}, []int{0, 0, 0, 0}, grid.RowMajor)
+	dst := metaForDist(t, []int{6, 4}, []int{1, 1},
+		[]grid.Decomp{grid.NoDecomp(), grid.NoDecomp()}, []int{1, 1, 0, 0}, grid.ColMajor)
+	dst.Type = Int
+	s := NewSection(Double, src.LocalStorageSize())
+	d := NewSection(Int, dst.LocalStorageSize())
+	for i := 0; i < s.Len(); i++ {
+		s.SetFloat(i, float64(i)+0.5)
+	}
+	if err := CopyRect(d, dst, []int{1, 0}, s, src, []int{0, 1}, []int{5, 4}, []int{2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	strides := grid.Strides(dst.LocalDimsPlus, dst.Indexing)
+	sStrides := grid.Strides(src.LocalDimsPlus, src.Indexing)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			sOff := (2*r)*sStrides[0] + (1+c)*sStrides[1]
+			dOff := (1+2*r+dst.Borders[0])*strides[0] + c*strides[1]
+			want := float64(int64(s.GetFloat(sOff))) // Int storage truncates
+			if got := d.GetFloat(dOff); got != want {
+				t.Fatalf("dst[%d,%d] = %v, want %v", 1+2*r, c, got, want)
+			}
+		}
+	}
+}
+
+// TestCopyOffsetsBounds pins the kernel's bounds checks.
+func TestCopyOffsetsBounds(t *testing.T) {
+	a := NewSection(Double, 4)
+	b := NewSection(Double, 4)
+	if err := CopyOffsets(a, b, []int{0}, []int{4}); err == nil {
+		t.Error("source offset out of bounds accepted")
+	}
+	if err := CopyOffsets(a, b, []int{-1}, []int{0}); err == nil {
+		t.Error("negative destination offset accepted")
+	}
+	if err := CopyOffsets(a, b, []int{0, 1}, []int{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// randomDistRect draws a random rectangle plus step fitting dims.
+func randomDistRect(rng *rand.Rand, dims []int) (lo, hi, step []int) {
+	lo = make([]int, len(dims))
+	hi = make([]int, len(dims))
+	step = make([]int, len(dims))
+	for i, d := range dims {
+		lo[i] = rng.Intn(d)
+		hi[i] = lo[i] + 1 + rng.Intn(d-lo[i])
+		step[i] = 1 + rng.Intn(3)
+	}
+	return lo, hi, step
+}

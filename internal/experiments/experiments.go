@@ -65,6 +65,7 @@ func All() []Experiment {
 		{"E19", "§7.2.1", "Extension: channel-coupled data-parallel programs", E19Channels},
 		{"E20", "ablation", "Combine tree vs linear merge", E20CombineAblation},
 		{"E25", "extension", "Cyclic vs block decomposition on a triangular update", E25TriangularCyclic},
+		{"E26", "extension", "Direct redistribution vs gather-then-scatter panel handoff", E26PanelHandoff},
 	}
 }
 
@@ -1133,6 +1134,70 @@ func E25TriangularCyclic(w io.Writer) error {
 			c.p, units["block"]/units["cyclic"], float64(wall["block"])/float64(wall["cyclic"]))
 	}
 	fmt.Fprintln(w, "both layouts reproduce the sequential factors exactly; cyclic wins as P grows.")
+	return nil
+}
+
+// --- E26: direct redistribution vs gather-then-scatter panel handoff ---
+
+// E26PanelHandoff measures the redistribution plane on the workload it
+// exists for: an LU-style pipeline whose panels are factored in place on a
+// (*, block) matrix (panel k wholly on processor k) and then moved into a
+// (cyclic, *) matrix for the load-balanced triangular update. The direct
+// path computes the src-owner/dst-owner intersection lattice and ships
+// every non-empty pair owner-to-owner in at most one message; the baseline
+// bounces each panel through the calling processor as a block read
+// followed by a block write. Under a modeled 20µs interconnect hop the
+// direct path wins on both actual message count (P-1 fewer: the panel's
+// elements never visit the caller) and modeled critical-path hops (one
+// hop per remote panel instead of two: ship straight to the destinations
+// instead of in and out of the caller). Numerics are verified: both modes
+// must reproduce the sequential elimination exactly, the direct mode's
+// factors riding the redistributed panels end to end.
+func E26PanelHandoff(w io.Writer) error {
+	fmt.Fprintln(w, "E26 direct redistribution vs gather-then-scatter: block→cyclic panel handoff")
+	fmt.Fprintln(w, "n    P   mode    messages  hops  modeled makespan")
+	const hop = 20 * time.Microsecond
+	for _, c := range []struct{ n, p int }{{64, 16}, {128, 64}} {
+		msgs := map[string]uint64{}
+		hops := map[string]int{}
+		for _, mode := range []struct {
+			name   string
+			bounce bool
+		}{
+			{"direct", false},
+			{"bounce", true},
+		} {
+			m := core.New(c.p)
+			if err := triangular.RegisterPrograms(m); err != nil {
+				m.Close()
+				return err
+			}
+			m.VM.Router().SetLatency(hop)
+			res, err := triangular.RunPanelHandoff(m, triangular.PanelConfig{N: c.n, Bounce: mode.bounce})
+			m.Close()
+			if err != nil {
+				return err
+			}
+			if dev := triangular.MaxDeviation(res.Factors, triangular.RunSequential(triangular.Config{N: c.n})); dev > 1e-12 {
+				return fmt.Errorf("E26: %s factors deviate from sequential by %g", mode.name, dev)
+			}
+			msgs[mode.name] = res.HandoffMsgs
+			hops[mode.name] = res.HandoffHops
+			fmt.Fprintf(w, "%-4d %-3d %-7s %8d %5d  %v\n",
+				c.n, c.p, mode.name, res.HandoffMsgs, res.HandoffHops,
+				time.Duration(res.HandoffHops)*hop)
+		}
+		if msgs["direct"] >= msgs["bounce"] {
+			return fmt.Errorf("E26: P=%d direct messages %d not below bounce %d", c.p, msgs["direct"], msgs["bounce"])
+		}
+		if hops["direct"] >= hops["bounce"] {
+			return fmt.Errorf("E26: P=%d direct hops %d not below bounce %d", c.p, hops["direct"], hops["bounce"])
+		}
+		fmt.Fprintf(w, "     P=%d: direct saves %d messages and %d hops (%v of modeled latency)\n",
+			c.p, msgs["bounce"]-msgs["direct"], hops["bounce"]-hops["direct"],
+			time.Duration(hops["bounce"]-hops["direct"])*hop)
+	}
+	fmt.Fprintln(w, "both modes reproduce the sequential factors; the panels never bounce through the caller.")
 	return nil
 }
 

@@ -244,6 +244,18 @@ func parseDecompArgs(args string) ([]int, error) {
 	return out, nil
 }
 
+// DistribString renders a decomposition vector in the canonical
+// comma-separated form ParseDistrib accepts, so printed specifications can
+// be copy-pasted back in: DistribString(ParseDistrib(s)) normalizes s, and
+// ParseDistrib(DistribString(specs)) reproduces specs exactly.
+func DistribString(specs []Decomp) string {
+	parts := make([]string, len(specs))
+	for i, d := range specs {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, ",")
+}
+
 // ParseDistrib parses a comma-separated decomposition vector such as
 // "block,cyclic" or "block_cyclic(2),*". Parenthesized arguments may not
 // themselves contain commas followed by new specifications, so the

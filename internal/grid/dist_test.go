@@ -208,3 +208,41 @@ func TestParseDistrib(t *testing.T) {
 		t.Fatal("empty component accepted")
 	}
 }
+
+// TestDistribStringRoundTrip pins the canonical form both ways:
+// ParseDistrib(DistribString(specs)) reproduces specs exactly, and
+// DistribString(ParseDistrib(s)) normalizes whitespace and argument
+// spelling to the copy-pasteable form the tdplab tooling prints.
+func TestDistribStringRoundTrip(t *testing.T) {
+	vectors := [][]Decomp{
+		{BlockDefault()},
+		{NoDecomp(), BlockDefault()},
+		{CyclicDefault(), NoDecomp()},
+		{BlockOf(4), CyclicOf(3)},
+		{BlockCyclicOf(2), BlockDefault(), NoDecomp()},
+		{BlockCyclicOfN(3, 4), CyclicOf(2)},
+	}
+	for _, specs := range vectors {
+		s := DistribString(specs)
+		back, err := ParseDistrib(s)
+		if err != nil {
+			t.Fatalf("ParseDistrib(DistribString(%v) = %q): %v", specs, s, err)
+		}
+		if !reflect.DeepEqual(back, specs) {
+			t.Fatalf("round trip %v -> %q -> %v", specs, s, back)
+		}
+	}
+	for in, want := range map[string]string{
+		" block , cyclic(2) ":        "block,cyclic(2)",
+		"block_cyclic(2, 4),*":       "block_cyclic(2,4),*",
+		"cyclic , block_cyclic( 3 )": "cyclic,block_cyclic(3)",
+	} {
+		specs, err := ParseDistrib(in)
+		if err != nil {
+			t.Fatalf("ParseDistrib(%q): %v", in, err)
+		}
+		if got := DistribString(specs); got != want {
+			t.Fatalf("DistribString(ParseDistrib(%q)) = %q, want %q", in, got, want)
+		}
+	}
+}
