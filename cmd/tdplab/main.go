@@ -10,6 +10,7 @@
 //	tdplab E10 E12 ...              # run selected experiments
 //	tdplab decomp 10x8 4 block,cyclic   # show a decomposition's layout
 //	tdplab redist 16x16 4 "*,block" "cyclic,*"   # show a transfer schedule
+//	tdplab chaos [seed]             # run a verified workload under a fault plan
 package main
 
 import (
@@ -54,6 +55,26 @@ func main() {
 		if err := showRedist(args[1], args[2], args[3], args[4]); err != nil {
 			fmt.Fprintf(os.Stderr, "tdplab: %v\n", err)
 			os.Exit(2)
+		}
+		return
+	}
+	if args[0] == "chaos" {
+		seed := int64(1)
+		if len(args) > 2 {
+			fmt.Fprintln(os.Stderr, "usage: tdplab chaos [seed]")
+			os.Exit(2)
+		}
+		if len(args) == 2 {
+			s, err := strconv.ParseInt(args[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tdplab: bad seed %q\n", args[1])
+				os.Exit(2)
+			}
+			seed = s
+		}
+		if err := experiments.RunChaosSample(os.Stdout, seed); err != nil {
+			fmt.Fprintf(os.Stderr, "tdplab: chaos: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -102,7 +123,11 @@ usage:
                                      show the owner-pair transfer schedule for
                                      redistributing the whole array between two
                                      distributions (pairs, bytes, messages) without
-                                     running it (e.g. tdplab redist 16x16 4 "*,block" "cyclic,*")`)
+                                     running it (e.g. tdplab redist 16x16 4 "*,block" "cyclic,*")
+  tdplab chaos [seed]                run a mixed block/element/redistribute workload
+                                     under a seeded drop+dup+jitter+reorder fault plan,
+                                     verify it against a sequential reference, and print
+                                     the observed fault and retransmit/timeout counters`)
 }
 
 // parseDims parses a "10x8"-style dimension list.

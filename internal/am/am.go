@@ -25,12 +25,15 @@ import (
 	"repro/internal/vp"
 )
 
-// Re-exported status codes (§4.1.2).
+// Re-exported status codes (§4.1.2, plus the failure-model statuses of
+// the recovery machinery).
 const (
 	StatusOK       = arraymgr.StatusOK
 	StatusInvalid  = arraymgr.StatusInvalid
 	StatusNotFound = arraymgr.StatusNotFound
 	StatusError    = arraymgr.StatusError
+	StatusTimeout  = arraymgr.StatusTimeout
+	StatusDown     = arraymgr.StatusDown
 )
 
 // Env bundles the machine and its array manager: what a PCN program sees
@@ -47,6 +50,12 @@ type Env struct {
 func LoadAll(machine *vp.Machine) *Env {
 	return &Env{Machine: machine, AM: arraymgr.New(machine)}
 }
+
+// SetCallPolicy installs (or, with nil, removes) the manager's
+// timeout/retry policy for coordinator waits — required for operations
+// to survive an unreliable router (fault plans, killed processors)
+// instead of blocking forever.
+func (e *Env) SetCallPolicy(p *arraymgr.CallPolicy) { e.AM.SetCallPolicy(p) }
 
 // CreateArray is am_user_create_array (§4.2.1): it creates a distributed
 // array of the given element type ("int" or "double"), dimensions,

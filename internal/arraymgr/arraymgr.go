@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/darray"
 	"repro/internal/grid"
@@ -53,6 +54,10 @@ func (s Status) String() string {
 		return "STATUS_NOT_FOUND"
 	case StatusError:
 		return "STATUS_ERROR"
+	case StatusTimeout:
+		return "STATUS_TIMEOUT"
+	case StatusDown:
+		return "STATUS_DOWN"
 	default:
 		return fmt.Sprintf("STATUS(%d)", int(s))
 	}
@@ -164,6 +169,14 @@ type Manager struct {
 	servers  []*server
 	resolver BorderResolver
 
+	// Recovery state (resilient.go): the installed retry policy, the
+	// request-id counter, and the recovery counters. All zero-cost when
+	// no policy is installed.
+	policy      atomic.Pointer[CallPolicy]
+	seq         atomic.Uint64
+	retransmits atomic.Uint64
+	timeouts    atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -204,6 +217,17 @@ type request struct {
 	ships []redistShip
 	ack   chan response
 
+	// Recovery identity (resilient.go): seq is the per-request dedup id
+	// (0 in reliable mode), call/pair identify one redistribution ship,
+	// and src/dst let await retransmit the same request object. Handlers
+	// treat requests as read-only, so a retransmitted delivery may alias
+	// the original safely.
+	seq  uint64
+	call uint64
+	pair int
+	src  int
+	dst  int
+
 	reply chan response
 }
 
@@ -212,6 +236,7 @@ type response struct {
 	vals    []float64
 	section *darray.Section
 	info    any
+	pair    int // redistribution acks: which ship this acknowledges
 }
 
 // New starts an array manager on every processor of the machine (the
@@ -245,15 +270,24 @@ func (m *Manager) borderResolver() BorderResolver {
 // server).
 func (m *Manager) serve(proc int) {
 	router := m.machine.Router()
+	var dedup deduper
 	for {
 		message, err := router.Recv(proc, func(mm msg.Message) bool {
 			return mm.Tag.Class == msg.ClassTask &&
 				(mm.Tag.Kind == kindAMRequest || mm.Tag.Kind == kindAMShip)
 		})
 		if err != nil {
-			return // router closed: machine shutdown
+			return // router closed (or this processor killed)
 		}
 		req := message.Data.(*request)
+		// Retransmits and router-injected duplicates of an already
+		// dispatched request are dropped here, before any handler runs —
+		// at-most-once execution is what keeps the data-plane ops
+		// idempotent. The filter is owned by this goroutine (no lock)
+		// and engages only for requests carrying a recovery id.
+		if k, ok := dedupKeyOf(req); ok && dedup.dup(k) {
+			continue
+		}
 		if message.Tag.Kind == kindAMShip {
 			// One-way redistribution traffic: no reply channel, so it
 			// must not flow through handle's unconditional reply send.
@@ -265,24 +299,34 @@ func (m *Manager) serve(proc int) {
 }
 
 // sendAsync routes a request to the server on processor dst and returns
-// immediately; the server's response arrives on the returned one-shot
-// channel. Router sends never block, so a coordinator can scatter requests
-// to any number of owners before gathering a single reply — the async
-// request/reply facility behind the concurrent block-transfer coordinators
-// and the control fan-out tree.
-func (m *Manager) sendAsync(src, dst int, req *request) chan response {
+// immediately; the server's response is collected with await. Router
+// sends never block, so a coordinator can scatter requests to any number
+// of owners before gathering a single reply — the async request/reply
+// facility behind the concurrent block-transfer coordinators and the
+// control fan-out tree. Under a call policy the request is stamped with
+// a fresh dedup id and a known-dead destination is refused up front
+// (saving a full timeout per tree level when an owner is down).
+func (m *Manager) sendAsync(src, dst int, req *request) *request {
 	req.reply = make(chan response, 1)
+	req.src, req.dst = src, dst
+	if m.policy.Load() != nil {
+		req.seq = m.nextSeq()
+		if m.machine.Router().Down(dst) {
+			req.reply <- response{status: StatusDown}
+			return req
+		}
+	}
 	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMRequest}
 	if err := m.machine.Router().Send(src, dst, tag, req); err != nil {
 		req.reply <- response{status: StatusError}
 	}
-	return req.reply
+	return req
 }
 
 // send routes a request to the server on processor dst and waits for its
 // response.
 func (m *Manager) send(src, dst int, req *request) response {
-	return <-m.sendAsync(src, dst, req)
+	return m.await(m.sendAsync(src, dst, req))
 }
 
 // handle dispatches one request at the server on proc. With tracing at
@@ -344,6 +388,16 @@ func (m *Manager) handle(proc int, req *request) {
 		resp = m.doUpdateMeta(proc, req)
 	default:
 		resp = response{status: StatusError}
+	}
+	if req.seq != 0 {
+		// Recovery mode: the coordinator may have abandoned this call
+		// (timeout, dead peer) with a late reply already buffered; never
+		// let a server goroutine block on the one-shot channel.
+		select {
+		case req.reply <- resp:
+		default:
+		}
+		return
 	}
 	req.reply <- resp
 }
@@ -532,7 +586,7 @@ func (m *Manager) doTree(proc int, req *request) response {
 	if trace.Enabled(trace.Ops) {
 		trace.Logf(trace.Ops, proc, "am: %s %v", req.which, req.id)
 	}
-	var left, right chan response
+	var left, right *request
 	if c := 2*req.node + 1; c < len(req.procs) {
 		left = m.sendAsync(proc, req.procs[c],
 			&request{op: "tree", which: req.which, id: req.id, meta: req.meta, gidx: req.gidx, procs: req.procs, node: c})
@@ -557,11 +611,11 @@ func (m *Manager) doTree(proc int, req *request) response {
 	if req.which == "free_local" && st == StatusNotFound {
 		st = StatusOK // freeing is idempotent per target (§5.1.3)
 	}
-	for _, c := range []chan response{left, right} {
+	for _, c := range []*request{left, right} {
 		if c == nil {
 			continue
 		}
-		if cr := <-c; cr.status > st {
+		if cr := m.await(c); cr.status > st {
 			st = cr.status
 		}
 	}
@@ -662,7 +716,7 @@ func (m *Manager) doReadVector(proc int, req *request) response {
 // irregular (cyclic/block-cyclic) arrays, whose owner shares are offset
 // sets rather than rectangles.
 func (m *Manager) readSets(proc int, id darray.ID, sets []darray.OwnerIndexSet, out []float64) Status {
-	replies := make([]chan response, len(sets))
+	replies := make([]*request, len(sets))
 	for i, s := range sets {
 		if s.Proc == proc {
 			continue
@@ -693,7 +747,7 @@ func (m *Manager) readSets(proc int, id darray.ID, sets []darray.OwnerIndexSet, 
 		if replies[i] == nil {
 			continue
 		}
-		scatter(i, <-replies[i])
+		scatter(i, m.await(replies[i]))
 	}
 	return status
 }
@@ -760,7 +814,7 @@ func (m *Manager) writeSets(proc int, id darray.ID, sets []darray.OwnerIndexSet,
 		}
 		return out
 	}
-	replies := make([]chan response, len(sets))
+	replies := make([]*request, len(sets))
 	localIdx := -1
 	for i, s := range sets {
 		if s.Proc == proc {
@@ -781,7 +835,7 @@ func (m *Manager) writeSets(proc int, id darray.ID, sets []darray.OwnerIndexSet,
 		if replies[i] == nil {
 			continue
 		}
-		if r := <-replies[i]; r.status != StatusOK {
+		if r := m.await(replies[i]); r.status != StatusOK {
 			status = r.status
 		}
 	}
@@ -929,7 +983,7 @@ func (m *Manager) doReadBlock(proc int, req *request) response {
 		out = make([]float64, grid.RectSize(req.lo, req.hi))
 	}
 	// Scatter: post every remote request up front (sends never block).
-	replies := make([]chan response, len(blocks))
+	replies := make([]*request, len(blocks))
 	for i, b := range blocks {
 		if b.Proc == proc {
 			continue
@@ -957,7 +1011,7 @@ func (m *Manager) doReadBlock(proc int, req *request) response {
 		if replies[i] == nil {
 			continue
 		}
-		r := <-replies[i]
+		r := m.await(replies[i])
 		if r.status != StatusOK {
 			status = r.status
 			continue
@@ -1074,7 +1128,7 @@ func (m *Manager) doWriteBlock(proc int, req *request) response {
 	if len(req.vals) != grid.RectSize(req.lo, req.hi) {
 		return response{status: StatusInvalid}
 	}
-	replies := make([]chan response, len(blocks))
+	replies := make([]*request, len(blocks))
 	localIdx := -1
 	for i, b := range blocks {
 		if b.Proc == proc {
@@ -1102,7 +1156,7 @@ func (m *Manager) doWriteBlock(proc int, req *request) response {
 		if replies[i] == nil {
 			continue
 		}
-		if r := <-replies[i]; r.status != StatusOK {
+		if r := m.await(replies[i]); r.status != StatusOK {
 			status = r.status
 		}
 	}
@@ -1178,7 +1232,7 @@ func (m *Manager) doReadBlockStrided(proc int, req *request) response {
 	if out == nil {
 		out = make([]float64, grid.StridedRectSize(req.lo, req.hi, req.step))
 	}
-	replies := make([]chan response, len(blocks))
+	replies := make([]*request, len(blocks))
 	for i, b := range blocks {
 		if b.Proc == proc {
 			continue
@@ -1203,7 +1257,7 @@ func (m *Manager) doReadBlockStrided(proc int, req *request) response {
 		if replies[i] == nil {
 			continue
 		}
-		r := <-replies[i]
+		r := m.await(replies[i])
 		if r.status != StatusOK {
 			status = r.status
 			continue
@@ -1263,7 +1317,7 @@ func (m *Manager) doWriteBlockStrided(proc int, req *request) response {
 	if len(req.vals) != grid.StridedRectSize(req.lo, req.hi, req.step) {
 		return response{status: StatusInvalid}
 	}
-	replies := make([]chan response, len(blocks))
+	replies := make([]*request, len(blocks))
 	localIdx := -1
 	for i, b := range blocks {
 		if b.Proc == proc {
@@ -1291,7 +1345,7 @@ func (m *Manager) doWriteBlockStrided(proc int, req *request) response {
 		if replies[i] == nil {
 			continue
 		}
-		if r := <-replies[i]; r.status != StatusOK {
+		if r := m.await(replies[i]); r.status != StatusOK {
 			status = r.status
 		}
 	}

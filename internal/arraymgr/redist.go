@@ -27,6 +27,7 @@ package arraymgr
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/darray"
 	"repro/internal/grid"
@@ -51,6 +52,10 @@ type redistShip struct {
 	step         []int
 	srcOffs      []int
 	dstOffs      []int
+	// pair is this ship's index in the coordinator's flattened pair
+	// list: the ack identity of the resilient protocol and, with the
+	// coordinator's call id, the dedup identity at the destination.
+	pair int
 }
 
 // The ship-request free list. Ship requests are created by one process
@@ -87,6 +92,26 @@ func putShipReq(r *request) {
 	shipReqMu.Unlock()
 }
 
+// newShipReq draws a ship request, bypassing the free list under an
+// active fault plan: the router may re-deliver the same *request pointer
+// (duplication) or hold it queued past this call (jitter), so a recycled
+// object could alias a later send. Faulty mode trades the 0 allocs/op
+// pin for aliasing safety; reliable mode keeps the pooled path bitwise
+// intact.
+func newShipReq(faulty bool) *request {
+	if faulty {
+		return new(request)
+	}
+	return getShipReq()
+}
+
+// recycleShipReq is putShipReq's faulty-aware counterpart.
+func recycleShipReq(faulty bool, r *request) {
+	if !faulty {
+		putShipReq(r)
+	}
+}
+
 // handleShip dispatches one-way redistribution traffic at the server on
 // proc: redist_src (this processor is a source owner; read and forward
 // each piece) and redist_ship (this processor is a destination owner;
@@ -98,7 +123,7 @@ func (m *Manager) handleShip(proc int, req *request) {
 	switch req.op {
 	case "redist_src":
 		m.doRedistSrc(proc, req)
-		putShipReq(req)
+		recycleShipReq(m.machine.Router().Faulty(), req)
 	case "redist_ship":
 		m.doRedistShip(proc, req)
 	}
@@ -140,55 +165,170 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 	if npairs == 0 {
 		return response{status: StatusOK}
 	}
-	ack := make(chan response, npairs)
-	// Group the pairs by source owner, preserving schedule order.
-	order := make([]int, 0, 8)
-	bySrc := make(map[int][]redistShip)
-	add := func(sp int, sh redistShip) {
-		if _, ok := bySrc[sp]; !ok {
-			order = append(order, sp)
-		}
-		bySrc[sp] = append(bySrc[sp], sh)
+	pol := m.policy.Load()
+	router := m.machine.Router()
+	faulty := router.Faulty()
+	// The pair list, flattened in schedule order; a pair's index is its
+	// ack identity. Under a call policy the whole operation also gets a
+	// call id, which with the pair index lets destination owners dedup
+	// re-shipped pieces across retransmit attempts.
+	var call uint64
+	ackCap := npairs
+	if pol != nil {
+		call = m.nextSeq()
+		// Every attempt can produce at most one ack per pair; size the
+		// channel so even a fully retried run (plus stragglers landing
+		// after abandonment) can never block a server goroutine.
+		ackCap = npairs * (pol.Retries + 3)
 	}
+	ack := make(chan response, ackCap)
+	type pairRec struct {
+		srcProc int
+		ship    redistShip
+	}
+	pairs := make([]pairRec, 0, npairs)
 	for _, pb := range sched.Blocks {
-		add(pb.SrcProc, redistShip{
+		pairs = append(pairs, pairRec{pb.SrcProc, redistShip{
 			dstProc: pb.DstProc,
 			srcLo:   pb.SrcLo, srcHi: pb.SrcHi,
 			dstLo: pb.DstLo, dstHi: pb.DstHi,
 			step: sched.Step,
-		})
+		}})
 	}
 	for _, ps := range sched.Sets {
-		add(ps.SrcProc, redistShip{
+		pairs = append(pairs, pairRec{ps.SrcProc, redistShip{
 			dstProc: ps.DstProc,
 			srcOffs: ps.SrcOffs, dstOffs: ps.DstOffs,
-		})
+		}})
+	}
+	for i := range pairs {
+		pairs[i].ship.pair = i
 	}
 	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMShip}
-	router := m.machine.Router()
-	for _, sp := range order {
-		if sp == proc {
-			continue
-		}
-		sreq := getShipReq()
-		*sreq = request{op: "redist_src", id: req.id2, id2: req.id, ships: bySrc[sp], ack: ack}
-		if err := router.Send(proc, sp, tag, sreq); err != nil {
-			for range bySrc[sp] {
-				ack <- response{status: StatusError}
+	// sendGroups (re)issues the listed pairs, grouped by source owner in
+	// schedule order: one redist_src per remote owner, the local group
+	// serviced inline. A send refused up front (dead or closed) acks its
+	// pairs immediately so the gather never waits on it.
+	sendGroups := func(todo []int) {
+		order := make([]int, 0, 8)
+		bySrc := make(map[int][]redistShip)
+		for _, pi := range todo {
+			sp := pairs[pi].srcProc
+			if _, ok := bySrc[sp]; !ok {
+				order = append(order, sp)
 			}
-			putShipReq(sreq)
+			bySrc[sp] = append(bySrc[sp], pairs[pi].ship)
+		}
+		for _, sp := range order {
+			if sp == proc {
+				m.doRedistSrc(proc, &request{op: "redist_src", id: req.id2, id2: req.id, ships: bySrc[sp], ack: ack, call: call})
+				continue
+			}
+			sreq := newShipReq(faulty)
+			*sreq = request{op: "redist_src", id: req.id2, id2: req.id, ships: bySrc[sp], ack: ack, call: call}
+			if pol != nil {
+				sreq.seq = m.nextSeq()
+			}
+			if router.Down(sp) {
+				for _, sh := range bySrc[sp] {
+					ack <- response{status: StatusDown, pair: sh.pair}
+				}
+				recycleShipReq(faulty, sreq)
+				continue
+			}
+			if err := router.Send(proc, sp, tag, sreq); err != nil {
+				for _, sh := range bySrc[sp] {
+					ack <- response{status: StatusError, pair: sh.pair}
+				}
+				recycleShipReq(faulty, sreq)
+			}
 		}
 	}
-	if ships, ok := bySrc[proc]; ok {
-		m.doRedistSrc(proc, &request{op: "redist_src", id: req.id2, id2: req.id, ships: ships, ack: ack})
+	all := make([]int, npairs)
+	for i := range all {
+		all[i] = i
 	}
+	sendGroups(all)
+	if pol == nil {
+		// Reliable mode: exactly one ack arrives per pair; selecting on
+		// Done keeps a mid-call shutdown from deadlocking the gather.
+		status := StatusOK
+		for i := 0; i < npairs; i++ {
+			select {
+			case r := <-ack:
+				if r.status > status {
+					status = r.status
+				}
+			case <-router.Done():
+				return response{status: StatusError}
+			}
+		}
+		return response{status: status}
+	}
+	// Resilient mode: gather acks by pair identity with a per-attempt
+	// deadline; unacked pairs with a dead endpoint fail as StatusDown,
+	// the rest are re-sent (bounded exponential backoff) until the retry
+	// budget is spent.
+	acked := make([]bool, npairs)
+	remaining := npairs
 	status := StatusOK
-	for i := 0; i < npairs; i++ {
-		if r := <-ack; r.status > status {
-			status = r.status
+	backoff := pol.Backoff
+	timer := time.NewTimer(pol.Timeout)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		expired := false
+		for remaining > 0 && !expired {
+			select {
+			case r := <-ack:
+				if r.pair >= 0 && r.pair < npairs && !acked[r.pair] {
+					acked[r.pair] = true
+					remaining--
+					if r.status > status {
+						status = r.status
+					}
+				}
+			case <-router.Done():
+				return response{status: StatusError}
+			case <-timer.C:
+				expired = true
+			}
 		}
+		if remaining == 0 {
+			return response{status: status}
+		}
+		m.timeouts.Add(1)
+		todo := make([]int, 0, remaining)
+		for i := range pairs {
+			if acked[i] {
+				continue
+			}
+			if router.Down(pairs[i].srcProc) || router.Down(pairs[i].ship.dstProc) {
+				acked[i] = true
+				remaining--
+				if StatusDown > status {
+					status = StatusDown
+				}
+				continue
+			}
+			todo = append(todo, i)
+		}
+		if remaining == 0 {
+			return response{status: status}
+		}
+		if attempt >= pol.Retries {
+			if StatusTimeout > status {
+				status = StatusTimeout
+			}
+			return response{status: status}
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		m.retransmits.Add(uint64(len(todo)))
+		sendGroups(todo)
+		timer.Reset(pol.Timeout)
 	}
-	return response{status: status}
 }
 
 // doRedistSrc services one source owner's group of a redistribution
@@ -203,13 +343,23 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 	srv := m.servers[proc]
 	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMShip}
 	router := m.machine.Router()
+	// Under a fault plan, shipped buffers and ship requests must not come
+	// from (or return to) the pools: the router may duplicate a delivery
+	// or hold one queued past the destination's release of the object.
+	faulty := router.Faulty()
+	alloc := func(n int) []float64 {
+		if faulty {
+			return make([]float64, n)
+		}
+		return srv.getBuf(n)
+	}
 	for _, sh := range req.ships {
 		if st != StatusOK {
-			req.ack <- response{status: st}
+			req.ack <- response{status: st, pair: sh.pair}
 			continue
 		}
 		if sh.dstProc == proc {
-			req.ack <- response{status: m.redistLocalPair(proc, req.id2, e, sh)}
+			req.ack <- response{status: m.redistLocalPair(proc, req.id2, e, sh), pair: sh.pair}
 			continue
 		}
 		var vals []float64
@@ -219,7 +369,7 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 		case e.section == nil:
 			fail = StatusError
 		case sh.srcOffs != nil:
-			vals = srv.getBuf(len(sh.srcOffs))
+			vals = alloc(len(sh.srcOffs))
 			if e.section.GatherInto(vals, sh.srcOffs) != nil {
 				fail = StatusError
 			}
@@ -229,7 +379,7 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 			if grid.CheckStridedRect(sh.srcLo, sh.srcHi, sh.step, e.meta.LocalDims) != nil {
 				fail = StatusInvalid
 			} else {
-				vals = srv.getBuf(grid.StridedRectSize(sh.srcLo, sh.srcHi, sh.step))
+				vals = alloc(grid.StridedRectSize(sh.srcLo, sh.srcHi, sh.step))
 				if e.section.ReadBlockStridedInto(vals, sh.srcLo, sh.srcHi, sh.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
 					fail = StatusInvalid
 				}
@@ -238,7 +388,7 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 			if grid.CheckRect(sh.srcLo, sh.srcHi, e.meta.LocalDims) != nil {
 				fail = StatusInvalid
 			} else {
-				vals = srv.getBuf(grid.RectSize(sh.srcLo, sh.srcHi))
+				vals = alloc(grid.RectSize(sh.srcLo, sh.srcHi))
 				if e.section.ReadBlockInto(vals, sh.srcLo, sh.srcHi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
 					fail = StatusInvalid
 				}
@@ -247,17 +397,17 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 		srv.mu.Unlock()
 		if fail != StatusOK {
 			srv.putBuf(vals)
-			req.ack <- response{status: fail}
+			req.ack <- response{status: fail, pair: sh.pair}
 			continue
 		}
-		dreq := getShipReq()
+		dreq := newShipReq(faulty)
 		*dreq = request{op: "redist_ship", id: req.id2,
 			lo: sh.dstLo, hi: sh.dstHi, step: sh.step, offs: sh.dstOffs,
-			vals: vals, node: proc, ack: req.ack}
+			vals: vals, node: proc, ack: req.ack, call: req.call, pair: sh.pair}
 		if router.Send(proc, sh.dstProc, tag, dreq) != nil {
 			srv.putBuf(vals)
-			putShipReq(dreq)
-			req.ack <- response{status: StatusError}
+			recycleShipReq(faulty, dreq)
+			req.ack <- response{status: StatusError, pair: sh.pair}
 		}
 	}
 }
@@ -317,9 +467,11 @@ func (m *Manager) doRedistShip(proc int, req *request) {
 		}
 		srv.mu.Unlock()
 	}
-	ack <- response{status: st}
-	m.servers[node].putBuf(vals)
-	putShipReq(req)
+	ack <- response{status: st, pair: req.pair}
+	if !m.machine.Router().Faulty() {
+		m.servers[node].putBuf(vals)
+		putShipReq(req)
+	}
 }
 
 // localRedistFast attempts the wholly-local fast path of the

@@ -83,7 +83,7 @@ func copyShare(toFull bool, full, sub []float64, sh darray.StridedShare, sdims [
 // in place, and each reply repacked into its request-lattice positions
 // in out.
 func (m *Manager) readShares(proc int, id darray.ID, shares []darray.StridedShare, sdims []int, out []float64) Status {
-	replies := make([]chan response, len(shares))
+	replies := make([]*request, len(shares))
 	for i, sh := range shares {
 		if sh.Proc == proc {
 			continue
@@ -112,7 +112,7 @@ func (m *Manager) readShares(proc int, id darray.ID, shares []darray.StridedShar
 		if replies[i] == nil {
 			continue
 		}
-		unpack(i, <-replies[i])
+		unpack(i, m.await(replies[i]))
 	}
 	return status
 }
@@ -131,7 +131,7 @@ func (m *Manager) writeShares(proc int, id darray.ID, shares []darray.StridedSha
 		copyShare(false, vals, sub, sh, sdims)
 		return sub
 	}
-	replies := make([]chan response, len(shares))
+	replies := make([]*request, len(shares))
 	localIdx := -1
 	for i, sh := range shares {
 		if sh.Proc == proc {
@@ -152,7 +152,7 @@ func (m *Manager) writeShares(proc int, id darray.ID, shares []darray.StridedSha
 		if replies[i] == nil {
 			continue
 		}
-		if r := <-replies[i]; r.status != StatusOK {
+		if r := m.await(replies[i]); r.status != StatusOK {
 			status = r.status
 		}
 	}

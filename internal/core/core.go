@@ -49,11 +49,16 @@ func (e *StatusError) Is(target error) bool {
 	return ok && t.Status == e.Status && (t.Op == "" || t.Op == e.Op)
 }
 
-// Sentinel errors for the three failure statuses.
+// Sentinel errors for the failure statuses.
 var (
 	ErrInvalid  = &StatusError{Status: arraymgr.StatusInvalid}
 	ErrNotFound = &StatusError{Status: arraymgr.StatusNotFound}
 	ErrSystem   = &StatusError{Status: arraymgr.StatusError}
+	// ErrTimeout: a peer did not answer within the installed
+	// CallPolicy's retry budget.
+	ErrTimeout = &StatusError{Status: arraymgr.StatusTimeout}
+	// ErrDown: a peer the operation needed has been killed.
+	ErrDown = &StatusError{Status: arraymgr.StatusDown}
 )
 
 func statusErr(op string, st arraymgr.Status) error {
@@ -82,6 +87,18 @@ func New(p int) *Machine {
 
 // Close shuts the machine down, releasing all blocked processes.
 func (m *Machine) Close() { m.VM.Shutdown() }
+
+// SetCallPolicy installs (or, with nil, removes) the array manager's
+// timeout/retry policy. Install one — alongside any Router fault plan —
+// before traffic starts; without it, operations against an unreliable
+// or partially dead machine block instead of failing with ErrTimeout /
+// ErrDown.
+func (m *Machine) SetCallPolicy(p *arraymgr.CallPolicy) { m.AM.SetCallPolicy(p) }
+
+// Kill marks processor proc dead mid-call: its mailbox discards traffic
+// and in-flight operations that need it fail with ErrDown/ErrTimeout
+// under the installed CallPolicy instead of hanging.
+func (m *Machine) Kill(proc int) error { return m.VM.Router().KillProcessor(proc) }
 
 // P returns the number of virtual processors.
 func (m *Machine) P() int { return m.VM.P() }
@@ -432,7 +449,7 @@ func callStatusErr(program string, st int) error {
 	if st == dcall.StatusOK {
 		return nil
 	}
-	if st == dcall.StatusInvalid || st == dcall.StatusNotFound || st == dcall.StatusError {
+	if st >= dcall.StatusInvalid && st <= int(arraymgr.StatusDown) {
 		return fmt.Errorf("core: distributed call %s: %w", program, statusErr("distributed_call", arraymgr.Status(st)))
 	}
 	return fmt.Errorf("core: distributed call %s: status %d", program, st)

@@ -79,12 +79,25 @@ var ErrClosed = errors.New("msg: router closed")
 // ErrBadProcessor is returned for out-of-range processor numbers.
 var ErrBadProcessor = errors.New("msg: processor number out of range")
 
+// ErrTimeout is returned by the deadline-aware receives when no matching
+// message becomes deliverable before the deadline.
+var ErrTimeout = errors.New("msg: receive timed out")
+
+// ErrProcessorDown is returned by receives at a processor that has been
+// killed with KillProcessor.
+var ErrProcessorDown = errors.New("msg: processor down")
+
 // Router connects P virtual processors, each with one mailbox. It is the
 // only channel through which distinct (virtual) address spaces interact.
 type Router struct {
 	boxes   []*mailbox
 	sent    atomic.Uint64
 	latency atomic.Int64 // simulated per-message delivery latency, ns
+	fault   atomic.Pointer[faultState]
+	stats   faultCounters
+	done    chan struct{}
+	closeMu sync.Mutex
+	closed  bool
 }
 
 // NewRouter creates a router for p virtual processors numbered 0..p-1.
@@ -92,7 +105,7 @@ func NewRouter(p int) *Router {
 	if p <= 0 {
 		panic("msg: router needs at least one processor")
 	}
-	r := &Router{boxes: make([]*mailbox, p)}
+	r := &Router{boxes: make([]*mailbox, p), done: make(chan struct{})}
 	for i := range r.boxes {
 		r.boxes[i] = newMailbox()
 	}
@@ -113,8 +126,16 @@ func (r *Router) Send(src, dst int, tag Tag, data any) error {
 	if d := r.latency.Load(); d > 0 {
 		m.readyAt = time.Now().Add(time.Duration(d))
 	}
-	if err := r.boxes[dst].put(m); err != nil {
+	if fs := r.fault.Load(); fs != nil {
+		return r.sendFaulty(fs, r.boxes[dst], m)
+	}
+	stored, _, err := r.boxes[dst].put(m, false)
+	if err != nil {
 		return err
+	}
+	if !stored {
+		r.stats.downDropped.Add(1)
+		return nil
 	}
 	r.sent.Add(1)
 	return nil
@@ -145,7 +166,21 @@ func (r *Router) Recv(dst int, match func(Message) bool) (Message, error) {
 	if dst < 0 || dst >= len(r.boxes) {
 		return Message{}, fmt.Errorf("%w: recv at %d (P=%d)", ErrBadProcessor, dst, len(r.boxes))
 	}
-	return r.boxes[dst].get(match)
+	return r.boxes[dst].get(match, time.Time{})
+}
+
+// RecvTimeout is Recv with a deadline: if no matching message becomes
+// deliverable within d it returns ErrTimeout. d <= 0 waits forever
+// (identical to Recv).
+func (r *Router) RecvTimeout(dst int, match func(Message) bool, d time.Duration) (Message, error) {
+	if dst < 0 || dst >= len(r.boxes) {
+		return Message{}, fmt.Errorf("%w: recv at %d (P=%d)", ErrBadProcessor, dst, len(r.boxes))
+	}
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	return r.boxes[dst].get(match, deadline)
 }
 
 // RecvFrom receives the oldest message at dst with exactly the given source
@@ -155,6 +190,13 @@ func (r *Router) RecvFrom(dst, src int, tag Tag) (Message, error) {
 	return r.Recv(dst, func(m Message) bool {
 		return m.Tag == tag && (src == AnySource || m.Src == src)
 	})
+}
+
+// RecvFromTimeout is RecvFrom with a deadline; see RecvTimeout.
+func (r *Router) RecvFromTimeout(dst, src int, tag Tag, d time.Duration) (Message, error) {
+	return r.RecvTimeout(dst, func(m Message) bool {
+		return m.Tag == tag && (src == AnySource || m.Src == src)
+	}, d)
 }
 
 // AnySource matches any sending processor in RecvFrom.
@@ -170,12 +212,24 @@ func (r *Router) Pending(dst int) int {
 }
 
 // Close shuts the router down: queued messages are discarded and all
-// blocked and future Recv/Send calls return ErrClosed.
+// blocked and future Recv/Send calls return ErrClosed. Close is
+// idempotent.
 func (r *Router) Close() {
+	r.closeMu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.done)
+	}
+	r.closeMu.Unlock()
 	for _, b := range r.boxes {
 		b.close()
 	}
 }
+
+// Done returns a channel closed when the router is closed. Coordinators
+// blocked on in-process reply channels select on it so a mid-call
+// shutdown surfaces as a clean error instead of a deadlock.
+func (r *Router) Done() <-chan struct{} { return r.done }
 
 // mailbox is an unbounded queue with predicate-based removal.
 type mailbox struct {
@@ -183,6 +237,11 @@ type mailbox struct {
 	cond   *sync.Cond
 	queue  []Message
 	closed bool
+	down   bool // processor killed: senders drop, receivers error
+	// timers is a free list of stopped wake-up timers whose callback
+	// broadcasts on cond; get reuses one per wait loop instead of
+	// allocating a time.AfterFunc per iteration. Guarded by mu.
+	timers []*time.Timer
 }
 
 func newMailbox() *mailbox {
@@ -191,27 +250,78 @@ func newMailbox() *mailbox {
 	return b
 }
 
-func (b *mailbox) put(m Message) error {
+// put enqueues one message. It reports stored=false (and no error) when
+// the processor is down: a dead peer silently eats traffic. reorder asks
+// for the fault plane's one-slot swap with the previously queued message;
+// swapped reports whether the swap actually happened.
+func (b *mailbox) put(m Message, reorder bool) (stored, swapped bool, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
-		return ErrClosed
+		return false, false, ErrClosed
+	}
+	if b.down {
+		return false, false, nil
 	}
 	b.queue = append(b.queue, m)
+	if reorder && len(b.queue) >= 2 {
+		n := len(b.queue)
+		b.queue[n-1], b.queue[n-2] = b.queue[n-2], b.queue[n-1]
+		swapped = true
+	}
 	b.cond.Broadcast()
-	return nil
+	return true, swapped, nil
 }
 
-func (b *mailbox) get(match func(Message) bool) (Message, error) {
+// waitTimer pops (or creates) a stopped timer whose callback broadcasts
+// on b.cond. The callback takes b.mu before broadcasting so it cannot
+// fire in the window between arming the timer and Wait registering the
+// receiving goroutine (a lost wakeup would hang the receiver until the
+// next unrelated put). Callers hold b.mu.
+func (b *mailbox) waitTimer() *time.Timer {
+	if n := len(b.timers); n > 0 {
+		t := b.timers[n-1]
+		b.timers = b.timers[:n-1]
+		return t
+	}
+	t := time.AfterFunc(time.Hour, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.cond.Broadcast()
+	})
+	t.Stop()
+	return t
+}
+
+// releaseTimer returns a wait timer to the free list (a stray pending
+// broadcast from it is a tolerated spurious wakeup). Callers hold b.mu.
+func (b *mailbox) releaseTimer(t *time.Timer) {
+	t.Stop()
+	if len(b.timers) < 8 {
+		b.timers = append(b.timers, t)
+	}
+}
+
+func (b *mailbox) get(match func(Message) bool, deadline time.Time) (Message, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			b.releaseTimer(timer)
+		}
+	}()
 	for {
 		if b.closed {
 			return Message{}, ErrClosed
 		}
-		// Find the oldest matching message. One that is matched but not
-		// yet deliverable (simulated latency) arms a wake-up for its
-		// delivery time instead.
+		if b.down {
+			return Message{}, ErrProcessorDown
+		}
+		// Find the oldest deliverable matching message. Jitter makes
+		// per-message delay non-uniform, so a later match may become
+		// deliverable earlier than an earlier one: scan all matches and
+		// arm a wake-up at the earliest matched delivery time.
 		found := -1
 		var now, wakeAt time.Time
 		for i, m := range b.queue {
@@ -229,30 +339,56 @@ func (b *mailbox) get(match func(Message) bool) (Message, error) {
 				found = i
 				break
 			}
-			wakeAt = m.readyAt
-			break // constant latency: later matches are ready no earlier
+			if wakeAt.IsZero() || m.readyAt.Before(wakeAt) {
+				wakeAt = m.readyAt
+			}
 		}
 		if found >= 0 {
 			m := b.queue[found]
 			b.queue = append(b.queue[:found], b.queue[found+1:]...)
 			return m, nil
 		}
+		if !deadline.IsZero() {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			if !now.Before(deadline) {
+				return Message{}, ErrTimeout
+			}
+			if wakeAt.IsZero() || deadline.Before(wakeAt) {
+				wakeAt = deadline
+			}
+		}
 		if !wakeAt.IsZero() {
-			// The callback takes b.mu before broadcasting so it cannot
-			// fire in the window between arming the timer and Wait
-			// registering this goroutine (a lost wakeup would hang the
-			// receiver until the next unrelated put).
-			t := time.AfterFunc(time.Until(wakeAt), func() {
-				b.mu.Lock()
-				defer b.mu.Unlock()
-				b.cond.Broadcast()
-			})
+			if timer == nil {
+				timer = b.waitTimer()
+			}
+			timer.Reset(time.Until(wakeAt))
 			b.cond.Wait()
-			t.Stop()
+			timer.Stop()
 		} else {
 			b.cond.Wait()
 		}
 	}
+}
+
+// kill marks the processor dead: queued messages are discarded, blocked
+// and future receives return ErrProcessorDown, future puts are dropped.
+func (b *mailbox) kill() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.down {
+		return
+	}
+	b.down = true
+	b.queue = nil
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) isDown() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.down
 }
 
 func (b *mailbox) pending() int {

@@ -44,16 +44,27 @@ type Halo struct {
 	Dists []grid.Dist
 }
 
-// Reserved kind base for halo traffic; dimension d direction dir uses
-// kindHalo - (2*d + dir), below every other reserved collective kind.
-const kindHalo = -16
+// Reserved kind base for halo traffic, below every other reserved
+// collective kind. Each (dimension, direction) slot is salted with the
+// exchange epoch modulo haloEpochs so that a slab delayed or reordered
+// past its own exchange (a faulty router can do both) can never be
+// consumed by a neighbouring exchange's receive: neighbours drift at most
+// one exchange apart (an exchange's receives gate on the peers' sends),
+// so adjacent epochs always carry distinct kinds. Duplicated halo
+// messages are NOT survivable — a stale duplicate would alias its epoch
+// again haloEpochs exchanges later — which is why the data-parallel
+// failure model (DESIGN.md) restricts halo fault plans to delay/reorder.
+const (
+	kindHalo   = -16
+	haloEpochs = 4
+)
 
 const (
 	haloToLow  = 0 // slab travelling toward the lower-coordinate neighbour
 	haloToHigh = 1 // slab travelling toward the higher-coordinate neighbour
 )
 
-func haloKind(d, dir int) int { return kindHalo - (2*d + dir) }
+func haloKind(epoch, d, dir int) int { return kindHalo - haloEpochs*(2*d+dir) - epoch }
 
 // HaloExchange fills the section's border locations along every decomposed
 // dimension with the neighbouring copies' edge slabs, and sends this
@@ -98,6 +109,12 @@ func (w *World) HaloExchange(h Halo) error {
 	if err != nil {
 		return err
 	}
+	// Advance the exchange epoch only once validation has passed: a
+	// rejected call sends nothing, and every copy sees the same inputs, so
+	// the copies' epoch counters stay in lockstep (the documented
+	// same-number-of-calls contract).
+	epoch := w.haloEpoch % haloEpochs
+	w.haloEpoch++
 	plus, err := darray.DimsPlus(h.LocalDims, h.Borders)
 	if err != nil {
 		return err
@@ -137,12 +154,12 @@ func (w *World) HaloExchange(h Halo) error {
 		if err != nil {
 			return err
 		}
-		return w.sendInternal(rank, haloKind(d, dir), vals)
+		return w.sendInternal(rank, haloKind(epoch, d, dir), vals)
 	}
 	// recvSlab receives a neighbour slab and writes it straight into the
 	// border storage rectangle with dimension-d storage extent [from, to).
 	recvSlab := func(d, from, to, dir, rank int) error {
-		m, err := w.recvInternal(rank, haloKind(d, dir))
+		m, err := w.recvInternal(rank, haloKind(epoch, d, dir))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,174 @@
+package spmd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/msg"
+)
+
+// The data-parallel plane's half of the failure model: halo exchanges
+// must survive delay/reorder fault plans (the epoch-salted kinds keep
+// overlapping exchanges from consuming each other's slabs), and a copy
+// with a receive deadline must surface a dead peer as an error rather
+// than block the distributed call forever. Drops and duplicates are
+// deliberately excluded — SPMD copies are peers, not retransmitting
+// servers; see halo.go and DESIGN.md.
+
+// TestHaloExchangeUnderJitterReorder runs repeated 1d halo exchanges
+// under a delay+reorder plan. Without epoch-salted kinds a fast
+// neighbour's next-round slab can overtake this round's delayed slab and
+// be consumed one round early; the per-round border check catches any
+// such mis-sequencing.
+func TestHaloExchangeUnderJitterReorder(t *testing.T) {
+	const p = 4
+	const l, cols = 3, 5
+	const rounds = 6
+	borders := []int{1, 1, 0, 0}
+	const sentinel = -99.0
+	r := msg.NewRouter(p)
+	defer r.Close()
+	r.SetFaultPlan(&msg.FaultPlan{
+		Seed: 1234,
+		Rule: msg.FaultRule{Jitter: 200 * time.Microsecond, Reorder: 0.3},
+	})
+	procs := []int{0, 1, 2, 3}
+
+	// Round q gives interior row i at rank me the value
+	// 1000*q + 100*(me*l+i) + col.
+	value := func(q, me, row, col int) float64 {
+		return float64(1000*q + 100*(me*l+row) + col)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			w := NewWorld(r, procs, me, 31)
+			sec := haloSection([]int{l, cols}, borders, grid.RowMajor, sentinel,
+				func(idx []int) float64 { return value(0, me, idx[0], idx[1]) })
+			lo := []int{0, 0}
+			for q := 0; q < rounds; q++ {
+				vals := make([]float64, l*cols)
+				for row := 0; row < l; row++ {
+					for col := 0; col < cols; col++ {
+						vals[row*cols+col] = value(q, me, row, col)
+					}
+				}
+				if err := sec.WriteBlock(vals, lo, []int{l, cols}, []int{l, cols}, borders, grid.RowMajor); err != nil {
+					errs[me] = err
+					return
+				}
+				if err := w.HaloExchange(Halo{
+					Section: sec, LocalDims: []int{l, cols}, Borders: borders,
+					GridDims: []int{p, 1}, Indexing: grid.RowMajor, GridIndexing: grid.RowMajor,
+				}); err != nil {
+					errs[me] = err
+					return
+				}
+				// The borders must hold THIS round's neighbour edge rows.
+				f := sec.F
+				if me > 0 {
+					for col := 0; col < cols; col++ {
+						want := value(q, me-1, l-1, col)
+						if f[col] != want {
+							errs[me] = errorfHalo(me, q, "above", col, f[col], want)
+							return
+						}
+					}
+				}
+				if me < p-1 {
+					for col := 0; col < cols; col++ {
+						want := value(q, me+1, 0, col)
+						if got := f[(1+l)*cols+col]; got != want {
+							errs[me] = errorfHalo(me, q, "below", col, got, want)
+							return
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	if fs := r.FaultStats(); fs.Reordered == 0 {
+		t.Error("reorder plan swapped nothing: exchange sequencing untested")
+	}
+}
+
+func errorfHalo(me, round int, side string, col int, got, want float64) error {
+	return fmt.Errorf("halo round %d rank %d %s-border col %d: got %v, want %v",
+		round, me, side, col, got, want)
+}
+
+// TestHaloDeadPeerSurfacesError kills one member of a two-rank group
+// mid-exchange: the surviving copy's receive deadline must convert the
+// missing slab into msg.ErrTimeout (or ErrProcessorDown) instead of
+// hanging the distributed call.
+func TestHaloDeadPeerSurfacesError(t *testing.T) {
+	const l, cols = 2, 3
+	borders := []int{1, 1, 0, 0}
+	r := msg.NewRouter(2)
+	defer r.Close()
+	if err := r.KillProcessor(1); err != nil {
+		t.Fatalf("KillProcessor: %v", err)
+	}
+
+	w := NewWorld(r, []int{0, 1}, 0, 41)
+	w.SetRecvDeadline(20 * time.Millisecond)
+	sec := haloSection([]int{l, cols}, borders, grid.RowMajor, -1,
+		func(idx []int) float64 { return 1 })
+	done := make(chan error, 1)
+	go func() {
+		done <- w.HaloExchange(Halo{
+			Section: sec, LocalDims: []int{l, cols}, Borders: borders,
+			GridDims: []int{2, 1}, Indexing: grid.RowMajor, GridIndexing: grid.RowMajor,
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, msg.ErrTimeout) && !errors.Is(err, msg.ErrProcessorDown) {
+			t.Fatalf("exchange with a dead peer: err = %v, want timeout or processor-down", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("HaloExchange hung on a dead peer")
+	}
+}
+
+// TestRecvDeadline pins the plain point-to-point deadline: a Recv that
+// cannot complete returns msg.ErrTimeout within its bound, and a
+// deadline of zero still waits.
+func TestRecvDeadline(t *testing.T) {
+	r := msg.NewRouter(2)
+	defer r.Close()
+	w := NewWorld(r, []int{0, 1}, 0, 51)
+	w.SetRecvDeadline(10 * time.Millisecond)
+	start := time.Now()
+	_, err := w.Recv(1, 0)
+	if !errors.Is(err, msg.ErrTimeout) {
+		t.Fatalf("Recv past deadline: err = %v, want msg.ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline of 10ms took %v", elapsed)
+	}
+	// Deadline removed: the receive completes once the message arrives.
+	w.SetRecvDeadline(0)
+	peer := NewWorld(r, []int{0, 1}, 1, 51)
+	if err := peer.Send(0, 0, []float64{7}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := w.RecvFloats(1, 0)
+	if err != nil || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("RecvFloats = %v, %v", got, err)
+	}
+}

@@ -19,6 +19,7 @@ package spmd
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/msg"
 )
@@ -29,6 +30,11 @@ type World struct {
 	index  int   // this copy's index within procs
 	callID uint64
 	router *msg.Router
+	// deadline bounds every receive (0 = wait forever); see SetRecvDeadline.
+	deadline time.Duration
+	// haloEpoch counts HaloExchange calls so each exchange's slabs travel
+	// under epoch-salted kinds (see halo.go).
+	haloEpoch int
 }
 
 // NewWorld builds the context for group member index of the given call.
@@ -59,6 +65,16 @@ func (w *World) ProcNum() int { return w.procs[w.index] }
 
 // CallID returns the distributed-call instance identifier.
 func (w *World) CallID() uint64 { return w.callID }
+
+// SetRecvDeadline bounds every subsequent receive by this copy: a receive
+// that cannot complete within d returns msg.ErrTimeout instead of blocking
+// forever, and a receive from a killed processor's mailbox surfaces
+// msg.ErrProcessorDown. d <= 0 restores unbounded waits (the default).
+// This is the data-parallel plane's half of the failure model: SPMD
+// collectives have no retransmission machinery (a group member is not a
+// server that can deduplicate), so under faults a program bounds its waits
+// and surfaces the error to the distributed-call layer.
+func (w *World) SetRecvDeadline(d time.Duration) { w.deadline = d }
 
 func (w *World) tag(kind int) msg.Tag {
 	return msg.Tag{Class: msg.ClassData, Call: w.callID, Kind: kind}
@@ -102,6 +118,9 @@ func (w *World) recvInternal(src, kind int) (msg.Message, error) {
 			return msg.Message{}, fmt.Errorf("spmd: rank %d outside group of size %d", src, len(w.procs))
 		}
 		srcProc = w.procs[src]
+	}
+	if w.deadline > 0 {
+		return w.router.RecvFromTimeout(w.ProcNum(), srcProc, w.tag(kind), w.deadline)
 	}
 	return w.router.RecvFrom(w.ProcNum(), srcProc, w.tag(kind))
 }
@@ -249,10 +268,11 @@ func (w *World) rotated(root int) *World {
 		procs[i] = w.procs[(i+root)%p]
 	}
 	return &World{
-		procs:  procs,
-		index:  (w.index - root + p) % p,
-		callID: w.callID,
-		router: w.router,
+		procs:    procs,
+		index:    (w.index - root + p) % p,
+		callID:   w.callID,
+		router:   w.router,
+		deadline: w.deadline,
 	}
 }
 
