@@ -1103,3 +1103,34 @@ func BenchmarkE22_HaloExchange(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE28_ReplicatedWrite measures the healthy-path cost of buddy
+// replication: whole-array bulk writes with k=0 (plain) vs k=1 (every
+// write-side owner mirrors its piece to one buddy). Reads are priced in
+// E22/E21 and are unchanged by replication.
+func BenchmarkE28_ReplicatedWrite(b *testing.B) {
+	const n = 4096
+	for _, k := range []int{0, 1} {
+		for _, p := range []int{4, 16} {
+			b.Run(fmt.Sprintf("k=%d/P=%d", k, p), func(b *testing.B) {
+				m := core.New(p)
+				defer m.Close()
+				a, err := m.NewArray(core.ArraySpec{Dims: []int{n}, Replicas: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				vals := make([]float64, n)
+				for i := range vals {
+					vals[i] = float64(i)
+				}
+				b.SetBytes(8 * n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := a.WriteBlock([]int{0}, []int{n}, vals); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	tdplab decomp 10x8 4 block,cyclic   # show a decomposition's layout
 //	tdplab redist 16x16 4 "*,block" "cyclic,*"   # show a transfer schedule
 //	tdplab chaos [seed]             # run a verified workload under a fault plan
+//	tdplab heal [seed]              # kill processors mid-run and watch the machine heal
 package main
 
 import (
@@ -58,10 +59,15 @@ func main() {
 		}
 		return
 	}
-	if args[0] == "chaos" {
+	if args[0] == "chaos" || args[0] == "heal" {
+		name := args[0]
+		run := experiments.RunChaosSample
+		if name == "heal" {
+			run = experiments.RunHealSample
+		}
 		seed := int64(1)
 		if len(args) > 2 {
-			fmt.Fprintln(os.Stderr, "usage: tdplab chaos [seed]")
+			fmt.Fprintf(os.Stderr, "usage: tdplab %s [seed]\n", name)
 			os.Exit(2)
 		}
 		if len(args) == 2 {
@@ -72,8 +78,8 @@ func main() {
 			}
 			seed = s
 		}
-		if err := experiments.RunChaosSample(os.Stdout, seed); err != nil {
-			fmt.Fprintf(os.Stderr, "tdplab: chaos: %v\n", err)
+		if err := run(os.Stdout, seed); err != nil {
+			fmt.Fprintf(os.Stderr, "tdplab: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		return
@@ -127,7 +133,12 @@ usage:
   tdplab chaos [seed]                run a mixed block/element/redistribute workload
                                      under a seeded drop+dup+jitter+reorder fault plan,
                                      verify it against a sequential reference, and print
-                                     the observed fault and retransmit/timeout counters`)
+                                     the observed fault and retransmit/timeout counters
+  tdplab heal [seed]                 kill processors mid-run under a seeded schedule:
+                                     a replicated array heals by buddy promotion, an
+                                     unreplicated one by checkpoint/restore; prints the
+                                     membership transitions, promotion counters, and a
+                                     verified checksum`)
 }
 
 // parseDims parses a "10x8"-style dimension list.

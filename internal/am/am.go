@@ -77,6 +77,44 @@ func (e *Env) CreateArray(onProc int, typ string, dims, procs []int, distrib []g
 	})
 }
 
+// CreateReplicatedArray is CreateArray with k buddy copies per grid
+// section: every write is mirrored to the buddies, and after a fail-stop
+// kill RecoverArray (or a transparent replay under a call policy)
+// promotes a buddy to primary instead of losing the section.
+func (e *Env) CreateReplicatedArray(onProc int, typ string, dims, procs []int, distrib []grid.Decomp,
+	borders arraymgr.BorderSpec, indexing string, replicas int) (darray.ID, arraymgr.Status) {
+	et, err := darray.ParseElemType(typ)
+	if err != nil {
+		return darray.ID{}, StatusInvalid
+	}
+	ix, err := grid.ParseIndexing(indexing)
+	if err != nil {
+		return darray.ID{}, StatusInvalid
+	}
+	return e.AM.CreateArray(onProc, arraymgr.CreateSpec{
+		Type: et, Dims: dims, Procs: procs, Distrib: distrib,
+		Borders: borders, Indexing: ix, Replicas: replicas,
+	})
+}
+
+// RecoverArray promotes buddy copies to primaries for every dead owner
+// of a replicated array; see CreateReplicatedArray.
+func (e *Env) RecoverArray(onProc int, id darray.ID) arraymgr.Status {
+	return e.AM.RecoverArray(onProc, id)
+}
+
+// Checkpoint drains an array into a self-contained restart image — the
+// recovery path for arrays created without replicas.
+func (e *Env) Checkpoint(onProc int, id darray.ID) (*arraymgr.CheckpointImage, arraymgr.Status) {
+	return e.AM.Checkpoint(onProc, id)
+}
+
+// Restore recreates an array from a checkpoint image on procs (nil: the
+// image's surviving processors), returning the fresh array's ID.
+func (e *Env) Restore(onProc int, img *arraymgr.CheckpointImage, procs []int) (darray.ID, arraymgr.Status) {
+	return e.AM.Restore(onProc, img, procs)
+}
+
 // FreeArray is am_user_free_array (§4.2.2).
 func (e *Env) FreeArray(onProc int, id darray.ID) arraymgr.Status {
 	return e.AM.FreeArray(onProc, id)

@@ -19,6 +19,7 @@ package arraymgr
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -96,7 +97,11 @@ func (ForeignBorders) isBorderSpec() {}
 // sizes. The distributed-call registry provides one.
 type BorderResolver func(program string, parmNum, ndims int) ([]int, error)
 
-// CreateSpec collects the parameters of create_array (§4.2.1).
+// CreateSpec collects the parameters of create_array (§4.2.1), extended
+// with the replication option of the recovery plane: Replicas = k keeps k
+// buddy copies of every local section (on the owners of the k grid slots
+// following it, darray.Meta.BuddyOwner), so the array survives up to k
+// fail-stop kills via promotion instead of checkpoint/restart.
 type CreateSpec struct {
 	Type     darray.ElemType
 	Dims     []int
@@ -104,6 +109,7 @@ type CreateSpec struct {
 	Distrib  []grid.Decomp
 	Borders  BorderSpec
 	Indexing grid.Indexing
+	Replicas int
 }
 
 // entry is one array's record at one server. Metadata is cloned per
@@ -111,7 +117,23 @@ type CreateSpec struct {
 type entry struct {
 	meta    *darray.Meta
 	section *darray.Section // nil when this processor holds no local section
-	freed   bool
+	slot    int             // grid slot of section (-1 when none)
+	// replicas holds this processor's buddy copies, keyed by the grid
+	// slot each one mirrors. After a promotion the promoted slot's data
+	// stays here — sectionFor routes by slot, so nothing moves.
+	replicas map[int]*darray.Section
+	freed    bool
+}
+
+// sectionFor returns the storage backing the given grid slot at this
+// entry: the primary section, a buddy copy, or nil when this processor
+// holds nothing for the slot. Non-replicated entries ignore slot — every
+// request is for the one section this processor serves.
+func (e *entry) sectionFor(slot int) *darray.Section {
+	if slot == e.slot || e.replicas == nil {
+		return e.section
+	}
+	return e.replicas[slot]
 }
 
 // server is the per-processor array-manager state.
@@ -177,6 +199,20 @@ type Manager struct {
 	retransmits atomic.Uint64
 	timeouts    atomic.Uint64
 
+	// Failover state (recover.go): the optional membership view consulted
+	// before sending, and the recovery-plane counters.
+	membership      atomic.Pointer[msg.Membership]
+	promotions      atomic.Uint64
+	replays         atomic.Uint64
+	mirrors         atomic.Uint64
+	mirrorFailures  atomic.Uint64
+	checkpointBytes atomic.Uint64
+
+	// Seeded backoff jitter (resilient.go): guarded by jmu, installed by
+	// SetCallPolicy.
+	jmu  sync.Mutex
+	jrng *rand.Rand
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -199,9 +235,12 @@ type request struct {
 	hi    []int        // coordinator, interior-local at the owner)
 	step  []int        // strided block ops: per-dimension stride (>= 1)
 	vals  []float64    // write data; read: optional caller buffer
-	which string       // find_info selector; tree fan-out inner op
-	procs []int        // tree fan-out: the target processors, in tree order
-	node  int          // tree fan-out: this request's node index within procs
+	slot  int          // owner ops: the grid slot the payload addresses,
+	// set by every coordinator split site so a processor serving several
+	// slots after a promotion routes to the right storage (sectionFor)
+	which string // find_info selector; tree fan-out inner op
+	procs []int  // tree fan-out: the target processors, in tree order
+	node  int    // tree fan-out: this request's node index within procs
 	// verify parameters
 	ndims    int
 	borders  BorderSpec
@@ -315,6 +354,13 @@ func (m *Manager) sendAsync(src, dst int, req *request) *request {
 			req.reply <- response{status: StatusDown}
 			return req
 		}
+		// A membership view fails known-dead destinations proactively,
+		// without waiting for a per-call timeout against a peer the
+		// heartbeat already declared dead.
+		if mem := m.membership.Load(); mem != nil && mem.State(dst) == msg.StateDead {
+			req.reply <- response{status: StatusDown}
+			return req
+		}
 	}
 	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMRequest}
 	if err := m.machine.Router().Send(src, dst, tag, req); err != nil {
@@ -372,6 +418,8 @@ func (m *Manager) handle(proc int, req *request) {
 		resp = m.doWriteBlockStrided(proc, req)
 	case "write_block_strided_local":
 		resp = m.doWriteBlockStridedLocal(proc, req)
+	case "mirror_write":
+		resp = m.doMirrorWrite(proc, req)
 	case "redistribute":
 		resp = m.doRedistribute(proc, req)
 	case "find_local":
@@ -510,6 +558,11 @@ func (m *Manager) doCreate(proc int, req *request) response {
 	if err != nil {
 		return response{status: StatusInvalid}
 	}
+	// Replication needs k distinct buddy slots following each slot, so k
+	// must leave at least one non-buddy: 0 <= k < grid size.
+	if spec.Replicas < 0 || spec.Replicas >= grid.Size(gridDims) {
+		return response{status: StatusInvalid}
+	}
 
 	srv := m.servers[proc]
 	srv.mu.Lock()
@@ -529,6 +582,7 @@ func (m *Manager) doCreate(proc int, req *request) response {
 		LocalDimsPlus: plus,
 		Indexing:      spec.Indexing,
 		GridIndexing:  spec.Indexing, // the paper ties grid indexing to array indexing
+		Replicas:      spec.Replicas,
 	}
 
 	// An entry is created on every processor holding a local section, and
@@ -626,15 +680,29 @@ func (m *Manager) doCreateLocal(proc int, req *request) response {
 	srv := m.servers[proc]
 	meta := req.meta.Clone() // each address space keeps its own copy
 	var section *darray.Section
-	if _, holds := meta.HoldsSection(proc); holds {
+	slot := -1
+	if s, holds := meta.HoldsSection(proc); holds {
+		slot = s
 		section = darray.NewSection(meta.Type, meta.LocalStorageSize())
+	}
+	// With Replicas = k, the owner of slot i also keeps a buddy copy of
+	// each of the k slots preceding it (it is those slots' BuddyOwner).
+	// Sections are sized uniformly, so every copy has the same extent.
+	var replicas map[int]*darray.Section
+	if meta.Replicas > 0 && slot >= 0 {
+		g := meta.GridSize()
+		replicas = make(map[int]*darray.Section, meta.Replicas)
+		for j := 1; j <= meta.Replicas; j++ {
+			rs := ((slot-j)%g + g) % g
+			replicas[rs] = darray.NewSection(meta.Type, meta.LocalStorageSize())
+		}
 	}
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
 	if _, dup := srv.entries[req.id]; dup {
 		return response{status: StatusError}
 	}
-	srv.entries[req.id] = &entry{meta: meta, section: section}
+	srv.entries[req.id] = &entry{meta: meta, section: section, slot: slot, replicas: replicas}
 	return response{status: StatusOK}
 }
 
@@ -675,6 +743,7 @@ func (m *Manager) doFreeLocal(proc int, req *request) response {
 	}
 	e.freed = true
 	e.section = nil // release the storage (the paper's explicit free)
+	e.replicas = nil
 	return response{status: StatusOK}
 }
 
@@ -722,7 +791,7 @@ func (m *Manager) readSets(proc int, id darray.ID, sets []darray.OwnerIndexSet, 
 			continue
 		}
 		replies[i] = m.sendAsync(proc, s.Proc,
-			&request{op: "read_vector_local", id: id, offs: s.Offs})
+			&request{op: "read_vector_local", id: id, offs: s.Offs, slot: s.Slot})
 	}
 	status := StatusOK
 	// scatter places one owner's reply values at their request positions
@@ -741,7 +810,7 @@ func (m *Manager) readSets(proc int, id darray.ID, sets []darray.OwnerIndexSet, 
 		if replies[i] != nil {
 			continue
 		}
-		scatter(i, m.doReadVectorLocal(proc, &request{id: id, offs: s.Offs}))
+		scatter(i, m.doReadVectorLocal(proc, &request{id: id, offs: s.Offs, slot: s.Slot}))
 	}
 	for i := range sets {
 		if replies[i] == nil {
@@ -764,11 +833,12 @@ func (m *Manager) doReadVectorLocal(proc int, req *request) response {
 	srv := m.servers[proc]
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
-	if e.section == nil {
+	sec := e.sectionFor(req.slot)
+	if sec == nil {
 		return response{status: StatusError}
 	}
 	vals := srv.getBuf(len(req.offs))
-	if err := e.section.GatherInto(vals, req.offs); err != nil {
+	if err := sec.GatherInto(vals, req.offs); err != nil {
 		srv.putBuf(vals)
 		return response{status: StatusError}
 	}
@@ -815,19 +885,21 @@ func (m *Manager) writeSets(proc int, id darray.ID, sets []darray.OwnerIndexSet,
 		return out
 	}
 	replies := make([]*request, len(sets))
-	localIdx := -1
 	for i, s := range sets {
 		if s.Proc == proc {
-			localIdx = i
 			continue
 		}
 		replies[i] = m.sendAsync(proc, s.Proc,
-			&request{op: "write_vector_local", id: id, offs: s.Offs, vals: pack(s)})
+			&request{op: "write_vector_local", id: id, offs: s.Offs, vals: pack(s), slot: s.Slot})
 	}
 	status := StatusOK
-	if localIdx >= 0 {
-		s := sets[localIdx]
-		if r := m.doWriteVectorLocal(proc, &request{id: id, offs: s.Offs, vals: pack(s)}); r.status != StatusOK {
+	// Service every local set: after a failover promotion one processor
+	// can own several slots, so "local" is not necessarily unique.
+	for i, s := range sets {
+		if replies[i] != nil {
+			continue
+		}
+		if r := m.doWriteVectorLocal(proc, &request{id: id, offs: s.Offs, vals: pack(s), slot: s.Slot}); r.status != StatusOK {
 			status = r.status
 		}
 	}
@@ -921,14 +993,18 @@ func (m *Manager) doWriteVectorLocal(proc int, req *request) response {
 	}
 	srv := m.servers[proc]
 	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	if e.section == nil {
+	sec := e.sectionFor(req.slot)
+	if sec == nil {
+		srv.mu.Unlock()
 		return response{status: StatusError}
 	}
-	if err := e.section.ScatterFrom(req.vals, req.offs); err != nil {
+	err := sec.ScatterFrom(req.vals, req.offs)
+	meta := e.meta
+	srv.mu.Unlock()
+	if err != nil {
 		return response{status: StatusError}
 	}
-	return response{status: StatusOK}
+	return response{status: m.mirrorWrite(proc, meta, req)}
 }
 
 // copyRuns moves the dense data of owner block b between full (the buffer
@@ -989,7 +1065,7 @@ func (m *Manager) doReadBlock(proc int, req *request) response {
 			continue
 		}
 		replies[i] = m.sendAsync(proc, b.Proc,
-			&request{op: "read_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi})
+			&request{op: "read_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, slot: b.Slot})
 	}
 	// Service the local piece while the remote owners work.
 	status := StatusOK
@@ -997,7 +1073,7 @@ func (m *Manager) doReadBlock(proc int, req *request) response {
 		if replies[i] != nil {
 			continue
 		}
-		r := m.doReadBlockLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi})
+		r := m.doReadBlockLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, slot: b.Slot})
 		if r.status != StatusOK {
 			status = r.status
 			continue
@@ -1042,7 +1118,7 @@ func (m *Manager) doReadBlockSerial(proc int, req *request) response {
 		}
 		out := make([]float64, grid.RectSize(req.lo, req.hi))
 		for _, s := range sets {
-			sub := &request{op: "read_vector_local", id: req.id, offs: s.Offs}
+			sub := &request{op: "read_vector_local", id: req.id, offs: s.Offs, slot: s.Slot}
 			var r response
 			if s.Proc == proc {
 				r = m.doReadVectorLocal(proc, sub)
@@ -1066,7 +1142,7 @@ func (m *Manager) doReadBlockSerial(proc int, req *request) response {
 	rectDims := grid.RectDims(req.lo, req.hi)
 	out := make([]float64, grid.RectSize(req.lo, req.hi))
 	for _, b := range blocks {
-		sub := &request{op: "read_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi}
+		sub := &request{op: "read_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, slot: b.Slot}
 		var r response
 		if b.Proc == proc {
 			r = m.doReadBlockLocal(proc, sub)
@@ -1094,14 +1170,15 @@ func (m *Manager) doReadBlockLocal(proc int, req *request) response {
 	srv := m.servers[proc]
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
-	if e.section == nil {
+	sec := e.sectionFor(req.slot)
+	if sec == nil {
 		return response{status: StatusError}
 	}
 	if grid.CheckRect(req.lo, req.hi, e.meta.LocalDims) != nil {
 		return response{status: StatusInvalid}
 	}
 	vals := srv.getBuf(grid.RectSize(req.lo, req.hi))
-	if err := e.section.ReadBlockInto(vals, req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
+	if err := sec.ReadBlockInto(vals, req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
 		srv.putBuf(vals)
 		return response{status: StatusInvalid}
 	}
@@ -1129,10 +1206,8 @@ func (m *Manager) doWriteBlock(proc int, req *request) response {
 		return response{status: StatusInvalid}
 	}
 	replies := make([]*request, len(blocks))
-	localIdx := -1
 	for i, b := range blocks {
 		if b.Proc == proc {
-			localIdx = i
 			continue
 		}
 		// Each remote owner gets its own dense snapshot of its piece —
@@ -1140,14 +1215,18 @@ func (m *Manager) doWriteBlock(proc int, req *request) response {
 		vals := make([]float64, grid.RectSize(b.GlobalLo, b.GlobalHi))
 		copyRuns(false, req.vals, vals, b, req.lo, rectDims)
 		replies[i] = m.sendAsync(proc, b.Proc,
-			&request{op: "write_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, vals: vals})
+			&request{op: "write_block_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, vals: vals, slot: b.Slot})
 	}
 	status := StatusOK
-	if localIdx >= 0 {
-		b := blocks[localIdx]
+	// Service every local block: after a failover promotion one processor
+	// can own several slots, so "local" is not necessarily unique.
+	for i, b := range blocks {
+		if replies[i] != nil {
+			continue
+		}
 		vals := make([]float64, grid.RectSize(b.GlobalLo, b.GlobalHi))
 		copyRuns(false, req.vals, vals, b, req.lo, rectDims)
-		r := m.doWriteBlockLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, vals: vals})
+		r := m.doWriteBlockLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, vals: vals, slot: b.Slot})
 		if r.status != StatusOK {
 			status = r.status
 		}
@@ -1170,14 +1249,18 @@ func (m *Manager) doWriteBlockLocal(proc int, req *request) response {
 	}
 	srv := m.servers[proc]
 	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	if e.section == nil {
+	sec := e.sectionFor(req.slot)
+	if sec == nil {
+		srv.mu.Unlock()
 		return response{status: StatusError}
 	}
-	if err := e.section.WriteBlock(req.vals, req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
+	err := sec.WriteBlock(req.vals, req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
+	meta := e.meta
+	srv.mu.Unlock()
+	if err != nil {
 		return response{status: StatusInvalid}
 	}
-	return response{status: StatusOK}
+	return response{status: m.mirrorWrite(proc, meta, req)}
 }
 
 // copyRunsStrided is copyRuns for a strided transfer: it moves owner block
@@ -1238,14 +1321,14 @@ func (m *Manager) doReadBlockStrided(proc int, req *request) response {
 			continue
 		}
 		replies[i] = m.sendAsync(proc, b.Proc,
-			&request{op: "read_block_strided_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step})
+			&request{op: "read_block_strided_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step, slot: b.Slot})
 	}
 	status := StatusOK
 	for i, b := range blocks {
 		if replies[i] != nil {
 			continue
 		}
-		r := m.doReadBlockStridedLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step})
+		r := m.doReadBlockStridedLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step, slot: b.Slot})
 		if r.status != StatusOK {
 			status = r.status
 			continue
@@ -1282,14 +1365,15 @@ func (m *Manager) doReadBlockStridedLocal(proc int, req *request) response {
 	srv := m.servers[proc]
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
-	if e.section == nil {
+	sec := e.sectionFor(req.slot)
+	if sec == nil {
 		return response{status: StatusError}
 	}
 	if grid.CheckStridedRect(req.lo, req.hi, req.step, e.meta.LocalDims) != nil {
 		return response{status: StatusInvalid}
 	}
 	vals := srv.getBuf(grid.StridedRectSize(req.lo, req.hi, req.step))
-	if err := e.section.ReadBlockStridedInto(vals, req.lo, req.hi, req.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
+	if err := sec.ReadBlockStridedInto(vals, req.lo, req.hi, req.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
 		srv.putBuf(vals)
 		return response{status: StatusInvalid}
 	}
@@ -1318,10 +1402,8 @@ func (m *Manager) doWriteBlockStrided(proc int, req *request) response {
 		return response{status: StatusInvalid}
 	}
 	replies := make([]*request, len(blocks))
-	localIdx := -1
 	for i, b := range blocks {
 		if b.Proc == proc {
-			localIdx = i
 			continue
 		}
 		// Each remote owner gets its own packed snapshot of its piece —
@@ -1329,14 +1411,18 @@ func (m *Manager) doWriteBlockStrided(proc int, req *request) response {
 		vals := make([]float64, grid.StridedRectSize(b.GlobalLo, b.GlobalHi, req.step))
 		copyRunsStrided(false, req.vals, vals, b, req.lo, req.step, sdims)
 		replies[i] = m.sendAsync(proc, b.Proc,
-			&request{op: "write_block_strided_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step, vals: vals})
+			&request{op: "write_block_strided_local", id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step, vals: vals, slot: b.Slot})
 	}
 	status := StatusOK
-	if localIdx >= 0 {
-		b := blocks[localIdx]
+	// Service every local block: after a failover promotion one processor
+	// can own several slots, so "local" is not necessarily unique.
+	for i, b := range blocks {
+		if replies[i] != nil {
+			continue
+		}
 		vals := make([]float64, grid.StridedRectSize(b.GlobalLo, b.GlobalHi, req.step))
 		copyRunsStrided(false, req.vals, vals, b, req.lo, req.step, sdims)
-		r := m.doWriteBlockStridedLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step, vals: vals})
+		r := m.doWriteBlockStridedLocal(proc, &request{id: req.id, lo: b.LocalLo, hi: b.LocalHi, step: req.step, vals: vals, slot: b.Slot})
 		if r.status != StatusOK {
 			status = r.status
 		}
@@ -1359,14 +1445,18 @@ func (m *Manager) doWriteBlockStridedLocal(proc int, req *request) response {
 	}
 	srv := m.servers[proc]
 	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	if e.section == nil {
+	sec := e.sectionFor(req.slot)
+	if sec == nil {
+		srv.mu.Unlock()
 		return response{status: StatusError}
 	}
-	if err := e.section.WriteBlockStrided(req.vals, req.lo, req.hi, req.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing); err != nil {
+	err := sec.WriteBlockStrided(req.vals, req.lo, req.hi, req.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing)
+	meta := e.meta
+	srv.mu.Unlock()
+	if err != nil {
 		return response{status: StatusInvalid}
 	}
-	return response{status: StatusOK}
+	return response{status: m.mirrorWrite(proc, meta, req)}
 }
 
 func (m *Manager) doFindLocal(proc int, req *request) response {
@@ -1482,6 +1572,15 @@ func (m *Manager) doCopyLocal(proc int, req *request) response {
 		}
 		e.section = fresh
 	}
+	// Buddy copies share the primary's layout, so they are reallocated
+	// the same way.
+	for slot, sec := range e.replicas {
+		fresh := darray.NewSection(e.meta.Type, grid.Size(plus))
+		if err := darray.CopyInterior(fresh, sec, e.meta.LocalDims, newBorders, e.meta.Borders, e.meta.Indexing); err != nil {
+			return response{status: StatusError}
+		}
+		e.replicas[slot] = fresh
+	}
 	e.meta.Borders = append([]int(nil), newBorders...)
 	e.meta.LocalDimsPlus = plus
 	return response{status: StatusOK}
@@ -1494,6 +1593,11 @@ func (m *Manager) doUpdateMeta(proc int, req *request) response {
 	e, ok := srv.entries[req.id]
 	if !ok || e.freed {
 		return response{status: StatusNotFound}
+	}
+	// Epoch guard: a promotion broadcast that raced a newer one (dropped,
+	// jittered, replayed) must not roll ownership back.
+	if req.meta.Epoch < e.meta.Epoch {
+		return response{status: StatusOK}
 	}
 	e.meta = req.meta.Clone()
 	return response{status: StatusOK}
@@ -1548,7 +1652,9 @@ func (m *Manager) GatherElementsInto(onProc int, id darray.ID, indices [][]int, 
 	if st, ok := m.localVectorFast(onProc, id, indices, true, dst); ok {
 		return st
 	}
-	return m.send(onProc, onProc, &request{op: "read_vector", id: id, gidxs: indices, vals: dst}).status
+	return m.sendData(onProc, []darray.ID{id}, func() *request {
+		return &request{op: "read_vector", id: id, gidxs: indices, vals: dst}
+	}).status
 }
 
 // ScatterElements writes vals[i] to the element at indices[i], split by
@@ -1565,7 +1671,9 @@ func (m *Manager) ScatterElements(onProc int, id darray.ID, indices [][]int, val
 			return st
 		}
 	}
-	return m.send(onProc, onProc, &request{op: "write_vector", id: id, gidxs: indices, vals: vals}).status
+	return m.sendData(onProc, []darray.ID{id}, func() *request {
+		return &request{op: "write_vector", id: id, gidxs: indices, vals: vals}
+	}).status
 }
 
 // ReadElement reads one element by its global indices — the k=1 degenerate
@@ -1581,7 +1689,9 @@ func (m *Manager) ReadElement(onProc int, id darray.ID, indices []int) (float64,
 	s.val[0] = 0 // failed reads report 0, not a stale pooled value
 	st, ok := m.localVectorFast(onProc, id, s.gidxs, true, s.val[:])
 	if !ok {
-		st = m.send(onProc, onProc, &request{op: "read_vector", id: id, gidxs: s.gidxs, vals: s.val[:]}).status
+		st = m.sendData(onProc, []darray.ID{id}, func() *request {
+			return &request{op: "read_vector", id: id, gidxs: s.gidxs, vals: s.val[:]}
+		}).status
 	}
 	v := s.val[0]
 	if st != StatusOK {
@@ -1604,7 +1714,9 @@ func (m *Manager) WriteElement(onProc int, id darray.ID, indices []int, v float6
 	s.val[0] = v
 	st, ok := m.localVectorFast(onProc, id, s.gidxs, false, s.val[:])
 	if !ok {
-		st = m.send(onProc, onProc, &request{op: "write_vector", id: id, gidxs: s.gidxs, vals: s.val[:]}).status
+		st = m.sendData(onProc, []darray.ID{id}, func() *request {
+			return &request{op: "write_vector", id: id, gidxs: s.gidxs, vals: s.val[:]}
+		}).status
 	}
 	s.idx[0] = nil
 	elemScratchPool.Put(s)
@@ -1626,6 +1738,12 @@ func (m *Manager) localBlockFast(proc int, id darray.ID, lo, hi, step []int, rea
 	defer srv.mu.Unlock()
 	e, ok := srv.entries[id]
 	if !ok || e.freed || e.section == nil {
+		return StatusOK, false
+	}
+	// After a promotion a processor may serve several slots, so the
+	// single-section locality test below is no longer sound; writes to a
+	// replicated array must mirror, which only the coordinator path does.
+	if e.meta.Epoch > 0 || (!read && e.meta.Replicas > 0) {
 		return StatusOK, false
 	}
 	n := e.meta.NDims()
@@ -1692,6 +1810,11 @@ func (m *Manager) localVectorFast(proc int, id darray.ID, indices [][]int, read 
 	defer srv.mu.Unlock()
 	e, ok := srv.entries[id]
 	if !ok || e.freed || e.section == nil {
+		return StatusOK, false
+	}
+	// Same declines as localBlockFast: post-promotion ownership and
+	// replicated writes belong to the coordinator.
+	if e.meta.Epoch > 0 || (!read && e.meta.Replicas > 0) {
 		return StatusOK, false
 	}
 	meta := e.meta
@@ -1763,7 +1886,9 @@ func (m *Manager) ReadBlock(onProc int, id darray.ID, lo, hi []int) ([]float64, 
 	if m.machine.CheckProc(onProc) != nil {
 		return nil, StatusInvalid
 	}
-	r := m.send(onProc, onProc, &request{op: "read_block", id: id, lo: lo, hi: hi})
+	r := m.sendData(onProc, []darray.ID{id}, func() *request {
+		return &request{op: "read_block", id: id, lo: lo, hi: hi}
+	})
 	return r.vals, r.status
 }
 
@@ -1781,7 +1906,9 @@ func (m *Manager) ReadBlockInto(onProc int, id darray.ID, lo, hi []int, dst []fl
 	if st, ok := m.localBlockFast(onProc, id, lo, hi, nil, true, dst); ok {
 		return st
 	}
-	return m.send(onProc, onProc, &request{op: "read_block", id: id, lo: lo, hi: hi, vals: dst}).status
+	return m.sendData(onProc, []darray.ID{id}, func() *request {
+		return &request{op: "read_block", id: id, lo: lo, hi: hi, vals: dst}
+	}).status
 }
 
 // ReadBlockSerial is ReadBlock through the serial owner-at-a-time
@@ -1809,7 +1936,9 @@ func (m *Manager) WriteBlock(onProc int, id darray.ID, lo, hi []int, vals []floa
 	if st, ok := m.localBlockFast(onProc, id, lo, hi, nil, false, vals); ok {
 		return st
 	}
-	return m.send(onProc, onProc, &request{op: "write_block", id: id, lo: lo, hi: hi, vals: vals}).status
+	return m.sendData(onProc, []darray.ID{id}, func() *request {
+		return &request{op: "write_block", id: id, lo: lo, hi: hi, vals: vals}
+	}).status
 }
 
 // unitStep reports whether every stride is 1 — the degenerate case the
@@ -1837,7 +1966,9 @@ func (m *Manager) ReadBlockStrided(onProc int, id darray.ID, lo, hi, step []int)
 	if len(step) == len(lo) && unitStep(step) {
 		return m.ReadBlock(onProc, id, lo, hi)
 	}
-	r := m.send(onProc, onProc, &request{op: "read_block_strided", id: id, lo: lo, hi: hi, step: step})
+	r := m.sendData(onProc, []darray.ID{id}, func() *request {
+		return &request{op: "read_block_strided", id: id, lo: lo, hi: hi, step: step}
+	})
 	return r.vals, r.status
 }
 
@@ -1856,7 +1987,9 @@ func (m *Manager) ReadBlockStridedInto(onProc int, id darray.ID, lo, hi, step []
 	if st, ok := m.localBlockFast(onProc, id, lo, hi, step, true, dst); ok {
 		return st
 	}
-	return m.send(onProc, onProc, &request{op: "read_block_strided", id: id, lo: lo, hi: hi, step: step, vals: dst}).status
+	return m.sendData(onProc, []darray.ID{id}, func() *request {
+		return &request{op: "read_block_strided", id: id, lo: lo, hi: hi, step: step, vals: dst}
+	}).status
 }
 
 // WriteBlockStrided writes a dense buffer packed row-major over the
@@ -1875,7 +2008,9 @@ func (m *Manager) WriteBlockStrided(onProc int, id darray.ID, lo, hi, step []int
 	if st, ok := m.localBlockFast(onProc, id, lo, hi, step, false, vals); ok {
 		return st
 	}
-	return m.send(onProc, onProc, &request{op: "write_block_strided", id: id, lo: lo, hi: hi, step: step, vals: vals}).status
+	return m.sendData(onProc, []darray.ID{id}, func() *request {
+		return &request{op: "write_block_strided", id: id, lo: lo, hi: hi, step: step, vals: vals}
+	}).status
 }
 
 // FindLocal returns the local section of the array on onProc in a form

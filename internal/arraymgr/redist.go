@@ -52,6 +52,11 @@ type redistShip struct {
 	step         []int
 	srcOffs      []int
 	dstOffs      []int
+	// srcSlot/dstSlot are the grid slots the pair's cells belong to:
+	// after a failover promotion a processor may own several slots, so
+	// owners route each piece to the right section by slot, not by
+	// processor.
+	srcSlot, dstSlot int
 	// pair is this ship's index in the coordinator's flattened pair
 	// list: the ack identity of the resilient protocol and, with the
 	// coordinator's call id, the dedup identity at the destination.
@@ -192,13 +197,15 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 			dstProc: pb.DstProc,
 			srcLo:   pb.SrcLo, srcHi: pb.SrcHi,
 			dstLo: pb.DstLo, dstHi: pb.DstHi,
-			step: sched.Step,
+			step:    sched.Step,
+			srcSlot: pb.SrcSlot, dstSlot: pb.DstSlot,
 		}})
 	}
 	for _, ps := range sched.Sets {
 		pairs = append(pairs, pairRec{ps.SrcProc, redistShip{
 			dstProc: ps.DstProc,
 			srcOffs: ps.SrcOffs, dstOffs: ps.DstOffs,
+			srcSlot: ps.SrcSlot, dstSlot: ps.DstSlot,
 		}})
 	}
 	for i := range pairs {
@@ -322,7 +329,7 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 			return response{status: status}
 		}
 		if backoff > 0 {
-			time.Sleep(backoff)
+			time.Sleep(m.jitterBackoff(backoff))
 			backoff *= 2
 		}
 		m.retransmits.Add(uint64(len(todo)))
@@ -365,12 +372,15 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 		var vals []float64
 		fail := StatusOK
 		srv.mu.Lock()
+		// A promoted processor can source several slots of the same array;
+		// the ship's slot picks the section the piece actually lives in.
+		sec := e.sectionFor(sh.srcSlot)
 		switch {
-		case e.section == nil:
+		case sec == nil:
 			fail = StatusError
 		case sh.srcOffs != nil:
 			vals = alloc(len(sh.srcOffs))
-			if e.section.GatherInto(vals, sh.srcOffs) != nil {
+			if sec.GatherInto(vals, sh.srcOffs) != nil {
 				fail = StatusError
 			}
 		case sh.step != nil:
@@ -380,7 +390,7 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 				fail = StatusInvalid
 			} else {
 				vals = alloc(grid.StridedRectSize(sh.srcLo, sh.srcHi, sh.step))
-				if e.section.ReadBlockStridedInto(vals, sh.srcLo, sh.srcHi, sh.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
+				if sec.ReadBlockStridedInto(vals, sh.srcLo, sh.srcHi, sh.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
 					fail = StatusInvalid
 				}
 			}
@@ -389,7 +399,7 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 				fail = StatusInvalid
 			} else {
 				vals = alloc(grid.RectSize(sh.srcLo, sh.srcHi))
-				if e.section.ReadBlockInto(vals, sh.srcLo, sh.srcHi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
+				if sec.ReadBlockInto(vals, sh.srcLo, sh.srcHi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
 					fail = StatusInvalid
 				}
 			}
@@ -401,7 +411,7 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 			continue
 		}
 		dreq := newShipReq(faulty)
-		*dreq = request{op: "redist_ship", id: req.id2,
+		*dreq = request{op: "redist_ship", id: req.id2, slot: sh.dstSlot,
 			lo: sh.dstLo, hi: sh.dstHi, step: sh.step, offs: sh.dstOffs,
 			vals: vals, node: proc, ack: req.ack, call: req.call, pair: sh.pair}
 		if router.Send(proc, sh.dstProc, tag, dreq) != nil {
@@ -419,24 +429,54 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 func (m *Manager) redistLocalPair(proc int, dstID darray.ID, srcE *entry, sh redistShip) Status {
 	srv := m.servers[proc]
 	srv.mu.Lock()
-	defer srv.mu.Unlock()
 	de, ok := srv.entries[dstID]
 	if !ok || de.freed {
+		srv.mu.Unlock()
 		return StatusNotFound
 	}
-	if de.section == nil || srcE.section == nil {
+	dsec := de.sectionFor(sh.dstSlot)
+	ssec := srcE.sectionFor(sh.srcSlot)
+	if dsec == nil || ssec == nil {
+		srv.mu.Unlock()
 		return StatusError
 	}
 	if sh.srcOffs != nil {
-		if darray.CopyOffsets(de.section, srcE.section, sh.dstOffs, sh.srcOffs) != nil {
+		if darray.CopyOffsets(dsec, ssec, sh.dstOffs, sh.srcOffs) != nil {
+			srv.mu.Unlock()
 			return StatusError
 		}
-		return StatusOK
-	}
-	if darray.CopyRect(de.section, de.meta, sh.dstLo, srcE.section, srcE.meta, sh.srcLo, sh.srcHi, sh.step) != nil {
+	} else if darray.CopyRect(dsec, de.meta, sh.dstLo, ssec, srcE.meta, sh.srcLo, sh.srcHi, sh.step) != nil {
+		srv.mu.Unlock()
 		return StatusInvalid
 	}
-	return StatusOK
+	if de.meta.Replicas == 0 {
+		srv.mu.Unlock()
+		return StatusOK
+	}
+	// Replicated destination: read the landed piece back out of the
+	// section so the buddy owners receive exactly the bytes the zero-copy
+	// path just wrote, then mirror outside the lock (buddies mirror to
+	// each other, so awaiting under the lock could deadlock a ring).
+	meta := de.meta
+	var vals []float64
+	var err error
+	switch {
+	case sh.srcOffs != nil:
+		vals = make([]float64, len(sh.dstOffs))
+		err = dsec.GatherInto(vals, sh.dstOffs)
+	case sh.step != nil:
+		vals = make([]float64, grid.StridedRectSize(sh.dstLo, sh.dstHi, sh.step))
+		err = dsec.ReadBlockStridedInto(vals, sh.dstLo, sh.dstHi, sh.step, meta.LocalDims, meta.Borders, meta.Indexing)
+	default:
+		vals = make([]float64, grid.RectSize(sh.dstLo, sh.dstHi))
+		err = dsec.ReadBlockInto(vals, sh.dstLo, sh.dstHi, meta.LocalDims, meta.Borders, meta.Indexing)
+	}
+	srv.mu.Unlock()
+	if err != nil {
+		return StatusError
+	}
+	return m.mirrorWrite(proc, meta, &request{id: dstID, slot: sh.dstSlot,
+		lo: sh.dstLo, hi: sh.dstHi, step: sh.step, offs: sh.dstOffs, vals: vals})
 }
 
 // doRedistShip lands one shipped piece at its destination owner: the
@@ -445,27 +485,40 @@ func (m *Manager) redistLocalPair(proc int, dstID darray.ID, srcE *entry, sh red
 // is returned to the pool of the source owner that drew it.
 func (m *Manager) doRedistShip(proc int, req *request) {
 	ack, node, vals := req.ack, req.node, req.vals
+	var meta *darray.Meta
 	e, st := m.lookup(proc, req.id)
 	if st == StatusOK {
 		srv := m.servers[proc]
 		srv.mu.Lock()
+		sec := e.sectionFor(req.slot)
 		switch {
-		case e.section == nil:
+		case sec == nil:
 			st = StatusError
 		case req.offs != nil:
-			if e.section.ScatterFrom(vals, req.offs) != nil {
+			if sec.ScatterFrom(vals, req.offs) != nil {
 				st = StatusError
 			}
 		case req.step != nil:
-			if e.section.WriteBlockStrided(vals, req.lo, req.hi, req.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
+			if sec.WriteBlockStrided(vals, req.lo, req.hi, req.step, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
 				st = StatusInvalid
 			}
 		default:
-			if e.section.WriteBlock(vals, req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
+			if sec.WriteBlock(vals, req.lo, req.hi, e.meta.LocalDims, e.meta.Borders, e.meta.Indexing) != nil {
 				st = StatusInvalid
 			}
 		}
+		if st == StatusOK {
+			meta = e.meta
+		}
 		srv.mu.Unlock()
+	}
+	if meta != nil && meta.Replicas > 0 {
+		// Mirror before acking and before any recycling: the ack releases
+		// the coordinator, and the free lists must not reuse vals or req
+		// while a mirror is still reading them.
+		if mst := m.mirrorWrite(proc, meta, req); mst > st {
+			st = mst
+		}
 	}
 	ack <- response{status: st, pair: req.pair}
 	if !m.machine.Router().Faulty() {
@@ -496,6 +549,11 @@ func (m *Manager) localRedistFast(proc int, dstID, srcID darray.ID, dstLo, srcLo
 	}
 	se, ok := srv.entries[srcID]
 	if !ok || se.freed || se.section == nil {
+		return StatusOK, false
+	}
+	// Post-promotion ownership and replicated-destination writes belong
+	// to the coordinator, as in localBlockFast.
+	if de.meta.Epoch > 0 || se.meta.Epoch > 0 || de.meta.Replicas > 0 {
 		return StatusOK, false
 	}
 	n := de.meta.NDims()
@@ -576,7 +634,9 @@ func (m *Manager) Redistribute(onProc int, dst, src darray.ID, lo, hi []int) Sta
 			}
 		}
 	}
-	return m.send(onProc, onProc, &request{op: "redistribute", id: dst, id2: src, lo: lo, hi: hi, lo2: lo}).status
+	return m.sendData(onProc, []darray.ID{dst, src}, func() *request {
+		return &request{op: "redistribute", id: dst, id2: src, lo: lo, hi: hi, lo2: lo}
+	}).status
 }
 
 // RedistributeRect is the offset variant of Redistribute: source
@@ -597,7 +657,9 @@ func (m *Manager) RedistributeRect(onProc int, dst, src darray.ID, dstLo, srcLo,
 			hi[i] = dstLo[i] + dims[i]
 		}
 	}
-	return m.send(onProc, onProc, &request{op: "redistribute", id: dst, id2: src, lo: dstLo, hi: hi, lo2: srcLo}).status
+	return m.sendData(onProc, []darray.ID{dst, src}, func() *request {
+		return &request{op: "redistribute", id: dst, id2: src, lo: dstLo, hi: hi, lo2: srcLo}
+	}).status
 }
 
 // RedistributeStrided copies every step[i]-th element of the global
@@ -627,5 +689,7 @@ func (m *Manager) RedistributeStrided(onProc int, dst, src darray.ID, lo, hi, st
 			}
 		}
 	}
-	return m.send(onProc, onProc, &request{op: "redistribute", id: dst, id2: src, lo: lo, hi: hi, lo2: lo, step: step}).status
+	return m.sendData(onProc, []darray.ID{dst, src}, func() *request {
+		return &request{op: "redistribute", id: dst, id2: src, lo: lo, hi: hi, lo2: lo, step: step}
+	}).status
 }

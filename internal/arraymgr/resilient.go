@@ -15,9 +15,11 @@
 package arraymgr
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/msg"
+	"repro/internal/trace"
 )
 
 const (
@@ -41,8 +43,13 @@ type CallPolicy struct {
 	// Retries is the number of retransmissions after the first send.
 	Retries int
 	// Backoff is the extra sleep before the first retransmit; it doubles
-	// per attempt (bounded exponential backoff).
+	// per attempt (bounded exponential backoff). Each sleep is jittered
+	// ±20% with a seeded rng so a cohort of coordinators that timed out
+	// together does not retransmit in lockstep.
 	Backoff time.Duration
+	// Seed seeds the backoff jitter; 0 means seed 1, keeping runs
+	// reproducible by default.
+	Seed int64
 }
 
 // RetryStats counts the recovery actions the manager has taken.
@@ -59,12 +66,42 @@ func (m *Manager) SetCallPolicy(p *CallPolicy) {
 		return
 	}
 	cp := *p
+	seed := cp.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	m.jmu.Lock()
+	m.jrng = rand.New(rand.NewSource(seed))
+	m.jmu.Unlock()
 	m.policy.Store(&cp)
+}
+
+// jitterBackoff draws one ±20% jittered backoff from the policy's seeded
+// rng: the same seed yields the same sleep sequence, so faulty runs stay
+// reproducible while concurrent coordinators desynchronize.
+func (m *Manager) jitterBackoff(d time.Duration) time.Duration {
+	m.jmu.Lock()
+	rng := m.jrng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+		m.jrng = rng
+	}
+	f := 0.8 + 0.4*rng.Float64()
+	m.jmu.Unlock()
+	return time.Duration(float64(d) * f)
 }
 
 // RetryStats returns the recovery counters.
 func (m *Manager) RetryStats() RetryStats {
 	return RetryStats{Retransmits: m.retransmits.Load(), Timeouts: m.timeouts.Load()}
+}
+
+// Stats renders the retry counters as a uniform stat list.
+func (s RetryStats) Stats() []trace.Stat {
+	return []trace.Stat{
+		{Name: "retransmits", Value: s.Retransmits},
+		{Name: "timeouts", Value: s.Timeouts},
+	}
 }
 
 // nextSeq draws a fresh nonzero request id. Ids are manager-global, so a
@@ -169,7 +206,7 @@ func (m *Manager) await(req *request) response {
 			return response{status: StatusTimeout}
 		}
 		if backoff > 0 {
-			time.Sleep(backoff)
+			time.Sleep(m.jitterBackoff(backoff))
 			backoff *= 2
 		}
 		m.retransmits.Add(1)

@@ -89,7 +89,7 @@ func (m *Manager) readShares(proc int, id darray.ID, shares []darray.StridedShar
 			continue
 		}
 		replies[i] = m.sendAsync(proc, sh.Proc,
-			&request{op: "read_block_strided_local", id: id, lo: sh.Lo, hi: sh.Hi, step: sh.Step})
+			&request{op: "read_block_strided_local", id: id, lo: sh.Lo, hi: sh.Hi, step: sh.Step, slot: sh.Slot})
 	}
 	status := StatusOK
 	// unpack places one owner's reply at its request-lattice positions
@@ -106,7 +106,7 @@ func (m *Manager) readShares(proc int, id darray.ID, shares []darray.StridedShar
 		if replies[i] != nil {
 			continue
 		}
-		unpack(i, m.doReadBlockStridedLocal(proc, &request{id: id, lo: sh.Lo, hi: sh.Hi, step: sh.Step}))
+		unpack(i, m.doReadBlockStridedLocal(proc, &request{id: id, lo: sh.Lo, hi: sh.Hi, step: sh.Step, slot: sh.Slot}))
 	}
 	for i := range shares {
 		if replies[i] == nil {
@@ -132,19 +132,21 @@ func (m *Manager) writeShares(proc int, id darray.ID, shares []darray.StridedSha
 		return sub
 	}
 	replies := make([]*request, len(shares))
-	localIdx := -1
 	for i, sh := range shares {
 		if sh.Proc == proc {
-			localIdx = i
 			continue
 		}
 		replies[i] = m.sendAsync(proc, sh.Proc,
-			&request{op: "write_block_strided_local", id: id, lo: sh.Lo, hi: sh.Hi, step: sh.Step, vals: pack(sh)})
+			&request{op: "write_block_strided_local", id: id, lo: sh.Lo, hi: sh.Hi, step: sh.Step, vals: pack(sh), slot: sh.Slot})
 	}
 	status := StatusOK
-	if localIdx >= 0 {
-		sh := shares[localIdx]
-		if r := m.doWriteBlockStridedLocal(proc, &request{id: id, lo: sh.Lo, hi: sh.Hi, step: sh.Step, vals: pack(sh)}); r.status != StatusOK {
+	// Service every local share: after a failover promotion one processor
+	// can own several slots, so "local" is not necessarily unique.
+	for i, sh := range shares {
+		if replies[i] != nil {
+			continue
+		}
+		if r := m.doWriteBlockStridedLocal(proc, &request{id: id, lo: sh.Lo, hi: sh.Hi, step: sh.Step, vals: pack(sh), slot: sh.Slot}); r.status != StatusOK {
 			status = r.status
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/darray"
 	"repro/internal/dcall"
 	"repro/internal/grid"
+	"repro/internal/msg"
 	"repro/internal/vp"
 )
 
@@ -100,6 +101,63 @@ func (m *Machine) SetCallPolicy(p *arraymgr.CallPolicy) { m.AM.SetCallPolicy(p) 
 // under the installed CallPolicy instead of hanging.
 func (m *Machine) Kill(proc int) error { return m.VM.Router().KillProcessor(proc) }
 
+// StartMembership boots a heartbeat membership monitor on processor home
+// and wires it into the array manager, so coordinators fail fast against
+// peers the monitor has declared dead. The returned monitor exposes
+// Alive/Suspect/State/Watch/Stats; Stop it before Close for a quiet
+// shutdown. A zero config is valid (1ms period, 3×/8× suspect/dead
+// thresholds).
+func (m *Machine) StartMembership(cfg msg.MembershipConfig) (*msg.Membership, error) {
+	mem, err := msg.NewMembership(m.VM.Router(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.AM.UseMembership(mem)
+	return mem, nil
+}
+
+// RecoverArray promotes buddy copies to primaries for every dead owner
+// of the array (see ArraySpec.Replicas). Data-plane operations replay
+// through this transparently under a CallPolicy; it is exported for
+// explicit repair after out-of-band kills. ErrDown means some section
+// lost its primary and every buddy — Checkpoint/Restore territory.
+func (m *Machine) RecoverArray(a *Array) error {
+	return statusErr("recover_array", m.AM.RecoverArray(a.onProc, a.id))
+}
+
+// Checkpoint drains the array into a self-contained image that survives
+// any number of subsequent kills — the recovery path for arrays created
+// without replicas.
+func (m *Machine) Checkpoint(a *Array) (*arraymgr.CheckpointImage, error) {
+	img, st := m.AM.Checkpoint(a.onProc, a.id)
+	return img, statusErr("checkpoint", st)
+}
+
+// Restore recreates an array from a checkpoint image on procs (nil: the
+// image's processors that are still alive) and returns a fresh handle;
+// the dead array's handle stays dead.
+func (m *Machine) Restore(img *arraymgr.CheckpointImage, procs []int) (*Array, error) {
+	// Coordinate from a live processor: the kill that motivated the
+	// restore may well have taken processor 0.
+	router := m.VM.Router()
+	onProc := 0
+	for p := 0; p < m.P(); p++ {
+		if !router.Down(p) {
+			onProc = p
+			break
+		}
+	}
+	id, st := m.AM.Restore(onProc, img, procs)
+	if st != arraymgr.StatusOK {
+		return nil, statusErr("restore", st)
+	}
+	return &Array{m: m, id: id, onProc: onProc}, nil
+}
+
+// RecoveryStats returns the array manager's recovery-plane counters
+// (mirrors, promotions, replays, checkpoint bytes).
+func (m *Machine) RecoveryStats() arraymgr.RecoveryStats { return m.AM.RecoveryStats() }
+
 // P returns the number of virtual processors.
 func (m *Machine) P() int { return m.VM.P() }
 
@@ -142,6 +200,11 @@ type ArraySpec struct {
 	Borders  arraymgr.BorderSpec // default: no borders
 	Indexing grid.Indexing       // default: row-major
 	OnProc   int                 // processor making the request; default 0
+	// Replicas is the number of buddy copies each grid section keeps on
+	// other owners (0 = none). Every write is mirrored to the buddies,
+	// and after a fail-stop kill the machine promotes a buddy to primary
+	// (RecoverArray / transparent replay) instead of losing the section.
+	Replicas int
 }
 
 // Array is a handle to a distributed array, carrying its globally unique
@@ -174,6 +237,7 @@ func (m *Machine) NewArray(spec ArraySpec) (*Array, error) {
 	id, st := m.AM.CreateArray(spec.OnProc, arraymgr.CreateSpec{
 		Type: spec.Type, Dims: spec.Dims, Procs: procs,
 		Distrib: distrib, Borders: borders, Indexing: spec.Indexing,
+		Replicas: spec.Replicas,
 	})
 	if st != arraymgr.StatusOK {
 		return nil, statusErr("create_array", st)

@@ -84,6 +84,23 @@ type Meta struct {
 	LocalDimsPlus []int       // local-section dimensions including borders
 	Indexing      grid.Indexing
 	GridIndexing  grid.Indexing
+	// Replicas is the number of buddy copies kept of every local section
+	// (0: none). With Replicas = k, the section at grid slot s is mirrored
+	// onto the owners of the k grid slots following s (BuddyOwner), so any
+	// k fail-stop losses among distinct buddy groups leave a full copy.
+	Replicas int
+	// Epoch counts ownership promotions: it starts at 0 and is bumped each
+	// time a dead primary's slot is re-pointed at a surviving buddy
+	// (Procs[slot] rewritten). Requests carry the coordinator's epoch so a
+	// holder with stale metadata can reject nothing — promotion only ever
+	// moves slots toward live processors — but stale update_meta broadcasts
+	// (an older epoch arriving after a newer one) are ignored.
+	Epoch int
+	// Origins is the creation-time processor assignment, preserved across
+	// promotions so buddy placement stays stable however many slots have
+	// been re-pointed. nil means Procs (no promotion has happened and the
+	// array was created without replicas).
+	Origins []int
 }
 
 // NDims returns the number of dimensions.
@@ -129,7 +146,31 @@ func (m *Meta) Clone() *Meta {
 	c.LocalDims = append([]int(nil), m.LocalDims...)
 	c.Borders = append([]int(nil), m.Borders...)
 	c.LocalDimsPlus = append([]int(nil), m.LocalDimsPlus...)
+	if m.Origins != nil {
+		c.Origins = append([]int(nil), m.Origins...)
+	}
 	return &c
+}
+
+// OriginProcs returns the creation-time owner of every grid slot: Origins
+// when promotions (or replica creation) have materialized it, Procs
+// otherwise.
+func (m *Meta) OriginProcs() []int {
+	if m.Origins != nil {
+		return m.Origins[:m.GridSize()]
+	}
+	return m.SectionProcs()
+}
+
+// BuddyOwner returns the processor holding the j-th buddy copy (1 <= j <=
+// Replicas) of the section at the given grid slot: the creation-time owner
+// of the j-th following slot, wrapping around the grid. Buddy placement is
+// computed from OriginProcs, not the current Procs, so it is stable across
+// promotions — a promoted slot keeps mirroring to the same surviving
+// buddies.
+func (m *Meta) BuddyOwner(slot, j int) int {
+	origins := m.OriginProcs()
+	return origins[(slot+j)%len(origins)]
 }
 
 // Dist returns dimension i's distribution. Metadata predating the
@@ -344,6 +385,7 @@ func (m *Meta) localRectDim(i int, lin *int, lo, hi, dstLo, dstHi []int) bool {
 // unit of the bulk data plane — each OwnerBlock moves in one message.
 type OwnerBlock struct {
 	Proc               int
+	Slot               int // grid slot of the owning section
 	GlobalLo, GlobalHi []int
 	LocalLo, LocalHi   []int
 }
@@ -411,7 +453,7 @@ func (m *Meta) OwnerBlocks(lo, hi []int) ([]OwnerBlock, error) {
 			localHi[i] = subHi[i] - cLo[i]
 		}
 		out = append(out, OwnerBlock{
-			Proc:     m.Procs[slot],
+			Proc: m.Procs[slot], Slot: slot,
 			GlobalLo: subLo, GlobalHi: subHi,
 			LocalLo: localLo, LocalHi: localHi,
 		})
@@ -468,7 +510,7 @@ func (m *Meta) OwnerBlocksStrided(lo, hi, step []int) ([]OwnerBlock, error) {
 			localHi[i] = subHi[i] - cLo[i]
 		}
 		out = append(out, OwnerBlock{
-			Proc:     m.Procs[slot],
+			Proc: m.Procs[slot], Slot: slot,
 			GlobalLo: subLo, GlobalHi: subHi,
 			LocalLo: localLo, LocalHi: localHi,
 		})
@@ -488,6 +530,7 @@ func (m *Meta) OwnerBlocksStrided(lo, hi, step []int) ([]OwnerBlock, error) {
 // message, the way each OwnerBlock does on the bulk plane.
 type OwnerIndexSet struct {
 	Proc int
+	Slot int   // grid slot of the owning section
 	Offs []int // storage offsets, border-displaced, in the section's indexing
 	Pos  []int // positions within the request vector, in request order
 }
@@ -553,7 +596,7 @@ func (m *Meta) OwnerIndices(indices [][]int) ([]OwnerIndexSet, error) {
 		if !ok {
 			si = len(sets)
 			bySlot[slot] = si
-			sets = append(sets, OwnerIndexSet{Proc: m.Procs[slot]})
+			sets = append(sets, OwnerIndexSet{Proc: m.Procs[slot], Slot: slot})
 		}
 		sets[si].Offs = append(sets[si].Offs, off)
 		sets[si].Pos = append(sets[si].Pos, pos)
@@ -592,7 +635,7 @@ func (m *Meta) OwnerLattice(lo, hi, step []int) ([]OwnerIndexSet, error) {
 		if !seen {
 			si = len(sets)
 			bySlot[slot] = si
-			sets = append(sets, OwnerIndexSet{Proc: m.Procs[slot]})
+			sets = append(sets, OwnerIndexSet{Proc: m.Procs[slot], Slot: slot})
 		}
 		sets[si].Offs = append(sets[si].Offs, off)
 		sets[si].Pos = append(sets[si].Pos, k)

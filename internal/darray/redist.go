@@ -28,6 +28,7 @@ import (
 // the same order, so the piece moves with one packed buffer.
 type PairBlock struct {
 	SrcProc, DstProc int
+	SrcSlot, DstSlot int   // grid slots of the two owning sections
 	SrcLo, SrcHi     []int // interior-local strided bounds at the source owner
 	DstLo, DstHi     []int // the same lattice at the destination owner
 }
@@ -39,6 +40,7 @@ type PairBlock struct {
 // destination section.
 type PairSet struct {
 	SrcProc, DstProc int
+	SrcSlot, DstSlot int // grid slots of the two owning sections
 	SrcOffs, DstOffs []int
 }
 
@@ -151,6 +153,7 @@ func (dst *Meta) TransferSchedule(src *Meta, dstLo, srcLo, dims, step []int) (*S
 				}
 				pb := PairBlock{
 					SrcProc: sb.Proc, DstProc: db.Proc,
+					SrcSlot: sb.Slot, DstSlot: db.Slot,
 					SrcLo: make([]int, n), SrcHi: make([]int, n),
 					DstLo: make([]int, n), DstHi: make([]int, n),
 				}
@@ -192,7 +195,10 @@ func (dst *Meta) TransferSchedule(src *Meta, dstLo, srcLo, dims, step []int) (*S
 		if !seen {
 			pi = len(sched.Sets)
 			byPair[k] = pi
-			sched.Sets = append(sched.Sets, PairSet{SrcProc: src.Procs[sSlot], DstProc: dst.Procs[dSlot]})
+			sched.Sets = append(sched.Sets, PairSet{
+				SrcProc: src.Procs[sSlot], DstProc: dst.Procs[dSlot],
+				SrcSlot: sSlot, DstSlot: dSlot,
+			})
 		}
 		ps := &sched.Sets[pi]
 		ps.SrcOffs = append(ps.SrcOffs, sOff)
@@ -399,6 +405,7 @@ func CopyOffsets(dst, src *Section, dstOffs, srcOffs []int) error {
 // a coordinator sends O(ndims) bounds instead of O(k) offset vectors.
 type StridedShare struct {
 	Proc           int
+	Slot           int   // grid slot of the owning section
 	Lo, Hi, Step   []int // interior-local strided rectangle at the owner
 	PosLo, PosStep []int // placement of the piece on the request lattice
 }
@@ -472,6 +479,7 @@ func (m *Meta) StridedShares(lo, hi, step []int) (shares []StridedShare, ok bool
 			return nil, false, err
 		}
 		sh.Proc = m.Procs[slot]
+		sh.Slot = slot
 		shares = append(shares, sh)
 		i := n - 1
 		for ; i >= 0; i-- {

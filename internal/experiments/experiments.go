@@ -32,6 +32,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/msg"
 	"repro/internal/spmd"
+	"repro/internal/trace"
 )
 
 // Experiment is one runnable experiment.
@@ -68,6 +69,7 @@ func All() []Experiment {
 		{"E25", "extension", "Cyclic vs block decomposition on a triangular update", E25TriangularCyclic},
 		{"E26", "extension", "Direct redistribution vs gather-then-scatter panel handoff", E26PanelHandoff},
 		{"E27", "robustness", "Goodput vs drop probability under the fault plane", E27GoodputUnderDrops},
+		{"E28", "robustness", "Replication write overhead and time-to-recover after a kill", E28ReplicationRecovery},
 	}
 }
 
@@ -1415,11 +1417,280 @@ func RunChaosSample(w io.Writer, seed int64) error {
 			return fmt.Errorf("chaos: final state diverges at %d: %v vs %v", i, snap[i], ref[i])
 		}
 	}
-	fs := m.VM.Router().FaultStats()
-	rs := m.AM.RetryStats()
-	fmt.Fprintf(w, "router: sent=%d dropped=%d duplicated=%d reordered=%d\n",
-		m.VM.Router().Sent(), fs.Dropped, fs.Duplicated, fs.Reordered)
-	fmt.Fprintf(w, "manager: retransmits=%d timeouts=%d\n", rs.Retransmits, rs.Timeouts)
+	router := m.VM.Router()
+	trace.WriteStats(w, "router", append([]trace.Stat{{Name: "sent", Value: router.Sent()}}, router.FaultStats().Stats()...))
+	trace.WriteStats(w, "manager", m.AM.RetryStats().Stats())
+	trace.WriteStats(w, "recovery", m.AM.RecoveryStats().Stats())
 	fmt.Fprintln(w, "all transfers verified against the sequential reference.")
+	return nil
+}
+
+// E28ReplicationRecovery measures what the replication plane costs when
+// nothing fails and what it buys when something does: write-side message
+// overhead and wall time for k=1 buddy replication vs plain arrays, the
+// unchanged read path, and the time to recover — promote buddies, bump
+// the ownership epoch, replay — after a mid-workload kill, with the full
+// array verified bit-identical afterwards.
+func E28ReplicationRecovery(w io.Writer) error {
+	fmt.Fprintln(w, "E28 replication: write overhead when healthy, time-to-recover after a kill")
+	const (
+		p      = 4
+		n      = 4096
+		rounds = 32
+	)
+	type run struct {
+		writeMsgs, readMsgs uint64
+		writeWall           time.Duration
+	}
+	var plain, repl run
+	for _, replicated := range []bool{false, true} {
+		m := core.New(p)
+		spec := core.ArraySpec{Dims: []int{n}}
+		if replicated {
+			spec.Replicas = 1
+		}
+		a, err := m.NewArray(spec)
+		if err != nil {
+			m.Close()
+			return err
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		router := m.VM.Router()
+		before := router.Sent()
+		t0 := time.Now()
+		for r := 0; r < rounds; r++ {
+			if err := a.WriteBlock([]int{0}, []int{n}, vals); err != nil {
+				m.Close()
+				return fmt.Errorf("E28: write (replicated=%v): %w", replicated, err)
+			}
+		}
+		writeWall := time.Since(t0)
+		writeMsgs := router.Sent() - before
+		before = router.Sent()
+		for r := 0; r < rounds; r++ {
+			if _, err := a.ReadBlock([]int{0}, []int{n}); err != nil {
+				m.Close()
+				return fmt.Errorf("E28: read (replicated=%v): %w", replicated, err)
+			}
+		}
+		readMsgs := router.Sent() - before
+		m.Close()
+		r := run{writeMsgs: writeMsgs, readMsgs: readMsgs, writeWall: writeWall}
+		if replicated {
+			repl = r
+		} else {
+			plain = r
+		}
+	}
+	fmt.Fprintf(w, "k=0: %5d write msgs  %5d read msgs  write wall %v\n",
+		plain.writeMsgs, plain.readMsgs, plain.writeWall.Round(time.Microsecond))
+	fmt.Fprintf(w, "k=1: %5d write msgs  %5d read msgs  write wall %v\n",
+		repl.writeMsgs, repl.readMsgs, repl.writeWall.Round(time.Microsecond))
+	// The replication contract: exactly one mirror per write-side owner
+	// (p per whole-array write), and a byte-for-byte identical read path.
+	if want := plain.writeMsgs + uint64(rounds*p); repl.writeMsgs != want {
+		return fmt.Errorf("E28: replicated writes cost %d messages, want %d (plain %d + %d mirrors)",
+			repl.writeMsgs, want, plain.writeMsgs, rounds*p)
+	}
+	if repl.readMsgs != plain.readMsgs {
+		return fmt.Errorf("E28: replicated reads cost %d messages, plain %d — healthy read path must be untouched",
+			repl.readMsgs, plain.readMsgs)
+	}
+
+	// Now the payoff: kill a processor under a replicated array and time
+	// the first post-kill operation, which transparently promotes buddies
+	// and replays.
+	m := core.New(p)
+	defer m.Close()
+	m.SetCallPolicy(&arraymgr.CallPolicy{Timeout: 5 * time.Millisecond, Retries: 10, Backoff: 250 * time.Microsecond})
+	a, err := m.NewArray(core.ArraySpec{Dims: []int{n}, Replicas: 1})
+	if err != nil {
+		return err
+	}
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(3*i + 1)
+	}
+	if err := a.WriteBlock([]int{0}, []int{n}, ref); err != nil {
+		return fmt.Errorf("E28: seed write: %w", err)
+	}
+	const victim = 2
+	if err := m.Kill(victim); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	got, err := a.ReadBlock([]int{0}, []int{n})
+	recover := time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("E28: post-kill read: %w", err)
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			return fmt.Errorf("E28: post-kill element %d = %v, want %v", i, got[i], ref[i])
+		}
+	}
+	rs := m.RecoveryStats()
+	if rs.Promotions == 0 {
+		return fmt.Errorf("E28: kill survived without promoting any buddy")
+	}
+	fmt.Fprintf(w, "kill proc %d: first read recovered in %v (bit-identical, %d promotion(s), %d replay(s))\n",
+		victim, recover.Round(time.Microsecond), rs.Promotions, rs.Replays)
+	trace.WriteStats(w, "recovery", rs.Stats())
+	fmt.Fprintln(w, "replication: +1 message per write-side owner when healthy, transparent failover on kill.")
+	return nil
+}
+
+// RunHealSample is the workload behind the `tdplab heal` subcommand: a
+// heartbeat membership monitor over an 8-processor machine, a replicated
+// array under a seeded kill schedule, transparent buddy promotion on the
+// data path, and a checkpoint/restore pass for the unreplicated fallback.
+// It prints the membership transitions, the promotion counters, and a
+// verified checksum of the surviving data.
+func RunHealSample(w io.Writer, seed int64) error {
+	const (
+		p   = 8
+		n   = 1024
+		ops = 24
+	)
+	policy := &arraymgr.CallPolicy{Timeout: 5 * time.Millisecond, Retries: 10, Backoff: 250 * time.Microsecond, Seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	victims := []int{1 + rng.Intn(p-1), 1 + rng.Intn(p-1)}
+	if victims[1] == victims[0] {
+		victims[1] = (victims[0] + 1) % p
+		if victims[1] == 0 {
+			victims[1] = 1
+		}
+	}
+	killAt := []int{ops / 3, 2 * ops / 3}
+	fmt.Fprintf(w, "machine: P=%d, replicas=1, policy timeout=%v retries=%d backoff=%v seed=%d\n",
+		p, policy.Timeout, policy.Retries, policy.Backoff, seed)
+	fmt.Fprintf(w, "kill schedule: proc %d at op %d, proc %d at op %d\n",
+		victims[0], killAt[0], victims[1], killAt[1])
+
+	m := core.New(p)
+	defer m.Close()
+	m.SetCallPolicy(policy)
+	mem, err := m.StartMembership(msg.MembershipConfig{Home: 0, Period: time.Millisecond, Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer mem.Stop()
+
+	a, err := m.NewArray(core.ArraySpec{Dims: []int{n}, Replicas: 1})
+	if err != nil {
+		return err
+	}
+	ref := make([]float64, n)
+	down := map[int]bool{}
+	for op := 0; op < ops; op++ {
+		for k, at := range killAt {
+			if op == at && !down[victims[k]] {
+				if err := m.Kill(victims[k]); err != nil {
+					return err
+				}
+				down[victims[k]] = true
+				fmt.Fprintf(w, "op %2d: kill proc %d\n", op, victims[k])
+			}
+		}
+		lo := rng.Intn(n - 1)
+		hi := lo + 1 + rng.Intn(n-lo)
+		vals := make([]float64, hi-lo)
+		for i := range vals {
+			vals[i] = float64(op*n + i)
+			ref[lo+i] = vals[i]
+		}
+		if err := a.WriteBlock([]int{lo}, []int{hi}, vals); err != nil {
+			return fmt.Errorf("heal: op %d write: %w", op, err)
+		}
+	}
+	got, err := a.ReadBlock([]int{0}, []int{n})
+	if err != nil {
+		return fmt.Errorf("heal: final readback: %w", err)
+	}
+	var sum, refSum float64
+	for i := range got {
+		if got[i] != ref[i] {
+			return fmt.Errorf("heal: element %d = %v, want %v", i, got[i], ref[i])
+		}
+		sum += got[i] * float64(i+1)
+		refSum += ref[i] * float64(i+1)
+	}
+	fmt.Fprintf(w, "verified checksum: %.6g (reference %.6g, bit-identical across %d elements)\n", sum, refSum, n)
+
+	// Membership: drain the transitions the monitor observed. The kills
+	// are visible proactively, so both victims must be reported dead.
+	deadSeen := map[int]bool{}
+	for _, v := range victims {
+		if mem.State(v) == msg.StateDead {
+			deadSeen[v] = true
+		}
+	}
+	for len(deadSeen) < len(down) {
+		select {
+		case ev := <-mem.Watch():
+			fmt.Fprintf(w, "membership: proc %d -> %v\n", ev.Proc, ev.State)
+			if ev.State == msg.StateDead {
+				deadSeen[ev.Proc] = true
+			}
+		case <-time.After(2 * time.Second):
+			return fmt.Errorf("heal: membership never reported all kills dead")
+		}
+	}
+	for _, v := range victims {
+		fmt.Fprintf(w, "membership: proc %d %v\n", v, mem.State(v))
+	}
+
+	// The unreplicated fallback: checkpoint a fresh k=0 array living on
+	// the survivors, then restore it from the image — the recovery story
+	// for arrays that opted out of replication.
+	var alive []int
+	for proc := 0; proc < p; proc++ {
+		if !down[proc] {
+			alive = append(alive, proc)
+		}
+	}
+	b, err := m.NewArray(core.ArraySpec{Dims: []int{64}, Procs: alive})
+	if err != nil {
+		return err
+	}
+	cvals := make([]float64, 64)
+	for i := range cvals {
+		cvals[i] = float64(100 + i)
+	}
+	if err := b.WriteBlock([]int{0}, []int{64}, cvals); err != nil {
+		return fmt.Errorf("heal: checkpoint seed: %w", err)
+	}
+	img, err := m.Checkpoint(b)
+	if err != nil {
+		return fmt.Errorf("heal: checkpoint: %w", err)
+	}
+	restored, err := m.Restore(img, nil)
+	if err != nil {
+		return fmt.Errorf("heal: restore: %w", err)
+	}
+	rvals, err := restored.ReadBlock([]int{0}, []int{64})
+	if err != nil {
+		return fmt.Errorf("heal: restored readback: %w", err)
+	}
+	for i := range rvals {
+		if rvals[i] != cvals[i] {
+			return fmt.Errorf("heal: restored element %d = %v, want %v", i, rvals[i], cvals[i])
+		}
+	}
+	fmt.Fprintln(w, "checkpoint/restore: k=0 fallback verified on the surviving processors")
+
+	rs := m.RecoveryStats()
+	if rs.Promotions == 0 {
+		return fmt.Errorf("heal: kills triggered no promotions")
+	}
+	router := m.VM.Router()
+	trace.WriteStats(w, "router", append([]trace.Stat{{Name: "sent", Value: router.Sent()}}, router.FaultStats().Stats()...))
+	trace.WriteStats(w, "manager", m.AM.RetryStats().Stats())
+	trace.WriteStats(w, "recovery", rs.Stats())
+	trace.WriteStats(w, "membership", mem.Stats().Stats())
+	fmt.Fprintln(w, "all writes verified; every kill healed by buddy promotion or checkpoint restore.")
 	return nil
 }

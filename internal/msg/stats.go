@@ -1,0 +1,26 @@
+// Uniform stat export: the router's fault counters and the membership
+// monitor's counters reduce to trace.Stat lists so the CLI and the
+// experiment harness report every plane in the same format.
+package msg
+
+import "repro/internal/trace"
+
+// Stats renders the fault counters as a uniform stat list.
+func (s FaultStats) Stats() []trace.Stat {
+	return []trace.Stat{
+		{Name: "dropped", Value: s.Dropped},
+		{Name: "duplicated", Value: s.Duplicated},
+		{Name: "reordered", Value: s.Reordered},
+		{Name: "down_dropped", Value: s.DownDropped},
+	}
+}
+
+// Stats renders the membership counters as a uniform stat list.
+func (s MembershipStats) Stats() []trace.Stat {
+	return []trace.Stat{
+		{Name: "pings", Value: s.Pings},
+		{Name: "acks", Value: s.Acks},
+		{Name: "transitions", Value: s.Transitions},
+		{Name: "dropped_events", Value: s.DroppedEvents},
+	}
+}

@@ -172,3 +172,24 @@ func TestRecvDeadline(t *testing.T) {
 		t.Fatalf("RecvFloats = %v, %v", got, err)
 	}
 }
+
+// TestRecvDeadPeerIsProcessorDown pins the refinement over a bare
+// timeout: when the named source of a deadline-bounded Recv has been
+// killed, the error is msg.ErrProcessorDown — distinguishable from a
+// slow peer — so callers can fail over instead of retrying.
+func TestRecvDeadPeerIsProcessorDown(t *testing.T) {
+	r := msg.NewRouter(2)
+	defer r.Close()
+	if err := r.KillProcessor(1); err != nil {
+		t.Fatalf("KillProcessor: %v", err)
+	}
+	w := NewWorld(r, []int{0, 1}, 0, 61)
+	w.SetRecvDeadline(10 * time.Millisecond)
+	_, err := w.Recv(1, 0)
+	if !errors.Is(err, msg.ErrProcessorDown) {
+		t.Fatalf("Recv from killed peer: err = %v, want msg.ErrProcessorDown", err)
+	}
+	if errors.Is(err, msg.ErrTimeout) {
+		t.Fatalf("dead peer still reported as plain timeout: %v", err)
+	}
+}

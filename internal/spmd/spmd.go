@@ -18,6 +18,7 @@
 package spmd
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -120,7 +121,14 @@ func (w *World) recvInternal(src, kind int) (msg.Message, error) {
 		srcProc = w.procs[src]
 	}
 	if w.deadline > 0 {
-		return w.router.RecvFromTimeout(w.ProcNum(), srcProc, w.tag(kind), w.deadline)
+		m, err := w.router.RecvFromTimeout(w.ProcNum(), srcProc, w.tag(kind), w.deadline)
+		if errors.Is(err, msg.ErrTimeout) && srcProc != msg.AnySource && w.router.Down(srcProc) {
+			// The peer did not go quiet — it died. Distinguishing the two
+			// lets a halo exchange surface the kill instead of a generic
+			// deadline miss.
+			return m, fmt.Errorf("spmd: rank %d (proc %d): %w", src, srcProc, msg.ErrProcessorDown)
+		}
+		return m, err
 	}
 	return w.router.RecvFrom(w.ProcNum(), srcProc, w.tag(kind))
 }

@@ -62,3 +62,31 @@ func Logf(l Level, proc int, format string, args ...any) {
 	fmt.Fprintf(out, "[%8.3fms p%d] %s\n",
 		float64(time.Since(start).Microseconds())/1000, proc, fmt.Sprintf(format, args...))
 }
+
+// Stat is one named counter for uniform reporting: the fault, retry,
+// recovery, and membership planes all reduce their stats to []Stat so
+// the CLI and the experiment harness print them identically.
+type Stat struct {
+	Name  string
+	Value uint64
+}
+
+// FormatStats renders stats as one "name=value name=value ..." line,
+// preserving order; empty input renders as an empty string.
+func FormatStats(stats []Stat) string {
+	var b []byte
+	for i, s := range stats {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, s.Name...)
+		b = append(b, '=')
+		b = fmt.Appendf(b, "%d", s.Value)
+	}
+	return string(b)
+}
+
+// WriteStats writes one "prefix: formatted-stats" line to w.
+func WriteStats(w io.Writer, prefix string, stats []Stat) {
+	fmt.Fprintf(w, "%s: %s\n", prefix, FormatStats(stats))
+}
