@@ -15,17 +15,47 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/apps/climate"
+	"repro/internal/arraymgr"
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/darray"
 	"repro/internal/experiments"
 	"repro/internal/grid"
 )
 
+// partRegister is the symmetric per-part setup for cluster runs: the
+// driver and every spawned worker register the same programs and
+// install the same call policy, so cross-process spawns find their
+// program and recovery traffic behaves identically on both sides.
+func partRegister(m *core.Machine) error {
+	if err := climate.RegisterPrograms(m); err != nil {
+		return err
+	}
+	m.SetCallPolicy(&arraymgr.CallPolicy{Timeout: 2 * time.Second, Retries: 3})
+	return nil
+}
+
 func main() {
+	// Worker role first: when a cluster driver re-execs this binary, it
+	// must boot a worker part and nothing else.
+	if cfg, ok := cluster.WorkerConfig(); ok {
+		if err := cluster.RunWorker(cfg, partRegister); err != nil {
+			fmt.Fprintln(os.Stderr, "tdplab worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	cluster.EnableSelfSpawn()
+
 	args := os.Args[1:]
 	if len(args) == 0 || args[0] == "help" || args[0] == "-h" || args[0] == "--help" {
 		usage()
@@ -56,6 +86,31 @@ func main() {
 		if err := showRedist(args[1], args[2], args[3], args[4]); err != nil {
 			fmt.Fprintf(os.Stderr, "tdplab: %v\n", err)
 			os.Exit(2)
+		}
+		return
+	}
+	if args[0] == "netrun" {
+		if len(args) > 1 {
+			fmt.Fprintln(os.Stderr, "usage: tdplab netrun")
+			os.Exit(2)
+		}
+		if err := runNet(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tdplab: netrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if args[0] == "bench" {
+		out := "BENCH_pr9.json"
+		if len(args) == 2 {
+			out = args[1]
+		} else if len(args) > 2 {
+			fmt.Fprintln(os.Stderr, "usage: tdplab bench [out.json]")
+			os.Exit(2)
+		}
+		if err := runBench(os.Stdout, out); err != nil {
+			fmt.Fprintf(os.Stderr, "tdplab: bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -138,7 +193,108 @@ usage:
                                      a replicated array heals by buddy promotion, an
                                      unreplicated one by checkpoint/restore; prints the
                                      membership transitions, promotion counters, and a
-                                     verified checksum`)
+                                     verified checksum
+  tdplab netrun                      run the climate example three ways — sequential
+                                     reference, one process, and two real OS processes
+                                     over loopback TCP — and verify the fields are
+                                     bit-identical
+  tdplab bench [out.json]            measure the transport seam (E29: in-process switch
+                                     vs gob/TCP loopback on the block-transfer workload)
+                                     and write the numbers as JSON (default BENCH_pr9.json)`)
+}
+
+// runNet executes the coupled climate example on a single-process
+// machine and on a machine partitioned across two real OS processes
+// over loopback TCP, checking both against the sequential reference and
+// against each other bit for bit.
+func runNet(w *os.File) error {
+	cfg := climate.Config{Rows: 16, Cols: 16, Steps: 8, Alpha: 0.15}
+	fmt.Fprintf(w, "climate %dx%d, %d steps, alpha=%g\n", cfg.Rows, cfg.Cols, cfg.Steps, cfg.Alpha)
+
+	want := climate.RunSequential(cfg)
+
+	m := core.New(4)
+	if err := partRegister(m); err != nil {
+		m.Close()
+		return err
+	}
+	resIn, err := climate.Run(m, cfg)
+	m.Close()
+	if err != nil {
+		return fmt.Errorf("in-process run: %w", err)
+	}
+
+	node, err := cluster.StartDriver(cluster.Config{P: 4, NParts: 2}, partRegister)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	if err := node.SpawnWorkers(); err != nil {
+		return err
+	}
+	if err := node.WaitPeers(30 * time.Second); err != nil {
+		return err
+	}
+	resNet, err := climate.Run(node.M, cfg)
+	if err != nil {
+		return fmt.Errorf("cluster run: %w", err)
+	}
+
+	sum := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	same := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	fmt.Fprintf(w, "  %-22s ocean %.9f  atmosphere %.9f\n", "sequential", sum(want.Ocean), sum(want.Atmosphere))
+	fmt.Fprintf(w, "  %-22s ocean %.9f  atmosphere %.9f\n", "1 process", sum(resIn.Ocean), sum(resIn.Atmosphere))
+	fmt.Fprintf(w, "  %-22s ocean %.9f  atmosphere %.9f\n", "2 processes (TCP)", sum(resNet.Ocean), sum(resNet.Atmosphere))
+	if !same(resIn.Ocean, want.Ocean) || !same(resIn.Atmosphere, want.Atmosphere) {
+		return fmt.Errorf("in-process run differs from sequential reference")
+	}
+	if !same(resNet.Ocean, resIn.Ocean) || !same(resNet.Atmosphere, resIn.Atmosphere) {
+		return fmt.Errorf("cross-process run differs from in-process run")
+	}
+	fmt.Fprintln(w, "  fields bit-identical across all three runs")
+	return nil
+}
+
+// runBench measures the transport seam (E29) and writes the numbers as
+// a JSON artifact for cross-commit comparison.
+func runBench(w *os.File, out string) error {
+	res, err := experiments.MeasureE29()
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		PR        int                   `json:"pr"`
+		Generator string                `json:"generator"`
+		E29       experiments.E29Result `json:"E29"`
+	}{PR: 9, Generator: "tdplab bench", E29: res}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E29 (in-proc vs TCP loopback): read %d vs %d ns/op, write %d vs %d ns/op\n",
+		res.InProc.ReadNsPerOp, res.TCP.ReadNsPerOp, res.InProc.WriteNsPerOp, res.TCP.WriteNsPerOp)
+	fmt.Fprintf(w, "wrote %s\n", out)
+	return nil
 }
 
 // parseDims parses a "10x8"-style dimension list.

@@ -59,6 +59,8 @@ func (s Status) String() string {
 		return "STATUS_TIMEOUT"
 	case StatusDown:
 		return "STATUS_DOWN"
+	case StatusClosed:
+		return "STATUS_CLOSED"
 	default:
 		return fmt.Sprintf("STATUS(%d)", int(s))
 	}
@@ -213,6 +215,16 @@ type Manager struct {
 	jmu  sync.Mutex
 	jrng *rand.Rand
 
+	// Wire completion tables (wire.go): replies and acks from remote
+	// owners carry table ids instead of channels. Maps are allocated
+	// lazily, so unpartitioned managers pay nothing.
+	pendMu    sync.Mutex
+	pending   map[uint64]chan response
+	nextReply atomic.Uint64
+	ackMu     sync.Mutex
+	acks      map[uint64]chan response
+	nextAck   atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -267,6 +279,16 @@ type request struct {
 	src  int
 	dst  int
 
+	// Wire identity (wire.go): origin scopes the dedup window to the
+	// issuing processor; replyID / (ackProc, ackID) stand in for the
+	// reply and ack channels when a request crosses process boundaries;
+	// wire caches the envelope so retransmits re-send identical bytes.
+	origin  int
+	replyID uint64
+	ackProc int
+	ackID   uint64
+	wire    *wireRequest
+
 	reply chan response
 }
 
@@ -279,11 +301,19 @@ type response struct {
 }
 
 // New starts an array manager on every processor of the machine (the
-// equivalent of the paper's `load("am")` on all processors, §B.3).
+// equivalent of the paper's `load("am")` on all processors, §B.3). On a
+// partitioned router only the processors hosted by this OS process get
+// serve loops — the rest are served by their own parts, reached over
+// the wire — but the server table still covers all of them, so
+// coordinator code indexes it uniformly.
 func New(machine *vp.Machine) *Manager {
 	m := &Manager{machine: machine, servers: make([]*server, machine.P())}
+	router := machine.Router()
 	for p := 0; p < machine.P(); p++ {
 		m.servers[p] = &server{entries: make(map[darray.ID]*entry)}
+		if !router.Local(p) {
+			continue
+		}
 		p := p
 		go m.serve(p)
 	}
@@ -312,13 +342,43 @@ func (m *Manager) serve(proc int) {
 	var dedup deduper
 	for {
 		message, err := router.Recv(proc, func(mm msg.Message) bool {
-			return mm.Tag.Class == msg.ClassTask &&
-				(mm.Tag.Kind == kindAMRequest || mm.Tag.Kind == kindAMShip)
+			if mm.Tag.Class != msg.ClassTask {
+				return false
+			}
+			switch mm.Tag.Kind {
+			case kindAMRequest, kindAMShip, kindAMReply, kindAMAck:
+				return true
+			}
+			return false
 		})
 		if err != nil {
 			return // router closed (or this processor killed)
 		}
-		req := message.Data.(*request)
+		// Wire completions: replies and acks addressed to a coordinator
+		// on this processor are routed straight into their tables.
+		switch message.Tag.Kind {
+		case kindAMReply:
+			if w, ok := message.Data.(*wireResponse); ok {
+				m.deliverReply(w)
+			}
+			continue
+		case kindAMAck:
+			if w, ok := message.Data.(*wireAck); ok {
+				m.deliverAck(w)
+			}
+			continue
+		}
+		req, ok := message.Data.(*request)
+		if !ok {
+			// A request that crossed the wire arrives as its envelope;
+			// rebuild it before the dedup filter so retransmitted wire
+			// requests are filtered exactly like in-process ones.
+			w, okw := message.Data.(*wireRequest)
+			if !okw {
+				continue
+			}
+			req = w.toRequest()
+		}
 		// Retransmits and router-injected duplicates of an already
 		// dispatched request are dropped here, before any handler runs —
 		// at-most-once execution is what keeps the data-plane ops
@@ -348,9 +408,11 @@ func (m *Manager) serve(proc int) {
 func (m *Manager) sendAsync(src, dst int, req *request) *request {
 	req.reply = make(chan response, 1)
 	req.src, req.dst = src, dst
+	req.origin = src
+	router := m.machine.Router()
 	if m.policy.Load() != nil {
 		req.seq = m.nextSeq()
-		if m.machine.Router().Down(dst) {
+		if router.Down(dst) {
 			req.reply <- response{status: StatusDown}
 			return req
 		}
@@ -363,8 +425,17 @@ func (m *Manager) sendAsync(src, dst int, req *request) *request {
 		}
 	}
 	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMRequest}
-	if err := m.machine.Router().Send(src, dst, tag, req); err != nil {
-		req.reply <- response{status: StatusError}
+	if !router.Local(dst) {
+		// Remote owner: enter the reply in the pending table and ship
+		// the envelope; await unregisters when it has the answer.
+		m.registerReply(req)
+		if err := router.Send(src, dst, tag, req.wire); err != nil {
+			req.reply <- response{status: sendStatus(err)}
+		}
+		return req
+	}
+	if err := router.Send(src, dst, tag, req); err != nil {
+		req.reply <- response{status: sendStatus(err)}
 	}
 	return req
 }
@@ -437,17 +508,7 @@ func (m *Manager) handle(proc int, req *request) {
 	default:
 		resp = response{status: StatusError}
 	}
-	if req.seq != 0 {
-		// Recovery mode: the coordinator may have abandoned this call
-		// (timeout, dead peer) with a late reply already buffered; never
-		// let a server goroutine block on the one-shot channel.
-		select {
-		case req.reply <- resp:
-		default:
-		}
-		return
-	}
-	req.reply <- resp
+	m.respond(proc, req, resp)
 }
 
 // --- coordinator operations ---
@@ -804,7 +865,7 @@ func (m *Manager) readSets(proc int, id darray.ID, sets []darray.OwnerIndexSet, 
 		for j, p := range sets[i].Pos {
 			out[p] = r.vals[j]
 		}
-		m.servers[sets[i].Proc].putBuf(r.vals)
+		m.recycle(sets[i].Proc, r.vals)
 	}
 	for i, s := range sets {
 		if replies[i] != nil {
@@ -1079,7 +1140,7 @@ func (m *Manager) doReadBlock(proc int, req *request) response {
 			continue
 		}
 		copyRuns(true, out, r.vals, b, req.lo, rectDims)
-		m.servers[b.Proc].putBuf(r.vals)
+		m.recycle(b.Proc, r.vals)
 	}
 	// Gather: drain every reply even after a failure, so no owner's
 	// response is left dangling.
@@ -1093,7 +1154,7 @@ func (m *Manager) doReadBlock(proc int, req *request) response {
 			continue
 		}
 		copyRuns(true, out, r.vals, b, req.lo, rectDims)
-		m.servers[b.Proc].putBuf(r.vals)
+		m.recycle(b.Proc, r.vals)
 	}
 	if status != StatusOK {
 		return response{status: status}
@@ -1131,7 +1192,7 @@ func (m *Manager) doReadBlockSerial(proc int, req *request) response {
 			for j, p := range s.Pos {
 				out[p] = r.vals[j]
 			}
-			m.servers[s.Proc].putBuf(r.vals)
+			m.recycle(s.Proc, r.vals)
 		}
 		return response{status: StatusOK, vals: out}
 	}
@@ -1153,7 +1214,7 @@ func (m *Manager) doReadBlockSerial(proc int, req *request) response {
 			return response{status: r.status}
 		}
 		copyRuns(true, out, r.vals, b, req.lo, rectDims)
-		m.servers[b.Proc].putBuf(r.vals)
+		m.recycle(b.Proc, r.vals)
 	}
 	return response{status: StatusOK, vals: out}
 }
@@ -1334,7 +1395,7 @@ func (m *Manager) doReadBlockStrided(proc int, req *request) response {
 			continue
 		}
 		copyRunsStrided(true, out, r.vals, b, req.lo, req.step, sdims)
-		m.servers[b.Proc].putBuf(r.vals)
+		m.recycle(b.Proc, r.vals)
 	}
 	for i, b := range blocks {
 		if replies[i] == nil {
@@ -1346,7 +1407,7 @@ func (m *Manager) doReadBlockStrided(proc int, req *request) response {
 			continue
 		}
 		copyRunsStrided(true, out, r.vals, b, req.lo, req.step, sdims)
-		m.servers[b.Proc].putBuf(r.vals)
+		m.recycle(b.Proc, r.vals)
 	}
 	if status != StatusOK {
 		return response{status: status}

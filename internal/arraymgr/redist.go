@@ -31,7 +31,6 @@ import (
 
 	"repro/internal/darray"
 	"repro/internal/grid"
-	"repro/internal/msg"
 	"repro/internal/trace"
 )
 
@@ -187,6 +186,14 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 		ackCap = npairs * (pol.Retries + 3)
 	}
 	ack := make(chan response, ackCap)
+	// On a partitioned router remote owners acknowledge through the ack
+	// table (wire.go) instead of the channel; deliverAck's non-blocking
+	// send plus the acked[] filter below make straggler overflow safe.
+	var ackID uint64
+	if router.Partitioned() {
+		ackID = m.registerAck(ack)
+		defer m.unregisterAck(ackID)
+	}
 	type pairRec struct {
 		srcProc int
 		ship    redistShip
@@ -211,7 +218,6 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 	for i := range pairs {
 		pairs[i].ship.pair = i
 	}
-	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMShip}
 	// sendGroups (re)issues the listed pairs, grouped by source owner in
 	// schedule order: one redist_src per remote owner, the local group
 	// serviced inline. A send refused up front (dead or closed) acks its
@@ -228,11 +234,16 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 		}
 		for _, sp := range order {
 			if sp == proc {
-				m.doRedistSrc(proc, &request{op: "redist_src", id: req.id2, id2: req.id, ships: bySrc[sp], ack: ack, call: call})
+				// The inline group still carries (ackProc, ackID): its
+				// onward ships may target remote destination owners, which
+				// acknowledge over the wire.
+				m.doRedistSrc(proc, &request{op: "redist_src", id: req.id2, id2: req.id, ships: bySrc[sp],
+					ack: ack, call: call, origin: proc, ackProc: proc, ackID: ackID})
 				continue
 			}
 			sreq := newShipReq(faulty)
-			*sreq = request{op: "redist_src", id: req.id2, id2: req.id, ships: bySrc[sp], ack: ack, call: call}
+			*sreq = request{op: "redist_src", id: req.id2, id2: req.id, ships: bySrc[sp],
+				ack: ack, call: call, origin: proc, ackProc: proc, ackID: ackID}
 			if pol != nil {
 				sreq.seq = m.nextSeq()
 			}
@@ -243,11 +254,16 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 				recycleShipReq(faulty, sreq)
 				continue
 			}
-			if err := router.Send(proc, sp, tag, sreq); err != nil {
+			remote := !router.Local(sp)
+			if err := m.postShip(proc, sp, sreq); err != nil {
 				for _, sh := range bySrc[sp] {
-					ack <- response{status: StatusError, pair: sh.pair}
+					ack <- response{status: sendStatus(err), pair: sh.pair}
 				}
 				recycleShipReq(faulty, sreq)
+			} else if remote {
+				// A remote send serialized the envelope before returning,
+				// so the request object is already free.
+				putShipReq(sreq)
 			}
 		}
 	}
@@ -267,7 +283,7 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 					status = r.status
 				}
 			case <-router.Done():
-				return response{status: StatusError}
+				return response{status: StatusClosed}
 			}
 		}
 		return response{status: status}
@@ -295,7 +311,7 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 					}
 				}
 			case <-router.Done():
-				return response{status: StatusError}
+				return response{status: StatusClosed}
 			case <-timer.C:
 				expired = true
 			}
@@ -348,7 +364,6 @@ func (m *Manager) doRedistribute(proc int, req *request) response {
 func (m *Manager) doRedistSrc(proc int, req *request) {
 	e, st := m.lookup(proc, req.id)
 	srv := m.servers[proc]
-	tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMShip}
 	router := m.machine.Router()
 	// Under a fault plan, shipped buffers and ship requests must not come
 	// from (or return to) the pools: the router may duplicate a delivery
@@ -362,11 +377,11 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 	}
 	for _, sh := range req.ships {
 		if st != StatusOK {
-			req.ack <- response{status: st, pair: sh.pair}
+			m.shipAck(proc, req, response{status: st, pair: sh.pair})
 			continue
 		}
 		if sh.dstProc == proc {
-			req.ack <- response{status: m.redistLocalPair(proc, req.id2, e, sh), pair: sh.pair}
+			m.shipAck(proc, req, response{status: m.redistLocalPair(proc, req.id2, e, sh), pair: sh.pair})
 			continue
 		}
 		var vals []float64
@@ -407,17 +422,25 @@ func (m *Manager) doRedistSrc(proc int, req *request) {
 		srv.mu.Unlock()
 		if fail != StatusOK {
 			srv.putBuf(vals)
-			req.ack <- response{status: fail, pair: sh.pair}
+			m.shipAck(proc, req, response{status: fail, pair: sh.pair})
 			continue
 		}
 		dreq := newShipReq(faulty)
 		*dreq = request{op: "redist_ship", id: req.id2, slot: sh.dstSlot,
 			lo: sh.dstLo, hi: sh.dstHi, step: sh.step, offs: sh.dstOffs,
-			vals: vals, node: proc, ack: req.ack, call: req.call, pair: sh.pair}
-		if router.Send(proc, sh.dstProc, tag, dreq) != nil {
+			vals: vals, node: proc, ack: req.ack, call: req.call, pair: sh.pair,
+			origin: req.origin, ackProc: req.ackProc, ackID: req.ackID}
+		remote := !router.Local(sh.dstProc)
+		if err := m.postShip(proc, sh.dstProc, dreq); err != nil {
 			srv.putBuf(vals)
 			recycleShipReq(faulty, dreq)
-			req.ack <- response{status: StatusError, pair: sh.pair}
+			m.shipAck(proc, req, response{status: sendStatus(err), pair: sh.pair})
+		} else if remote {
+			// Remote ship: the transport serialized the piece before
+			// returning, so the buffer and request recycle immediately —
+			// the wire analogue of the destination owner's putBuf.
+			srv.putBuf(vals)
+			putShipReq(dreq)
 		}
 	}
 }
@@ -484,7 +507,7 @@ func (m *Manager) redistLocalPair(proc int, dstID darray.ID, srcE *entry, sh red
 // to the destination offsets), the pair is acknowledged, and the buffer
 // is returned to the pool of the source owner that drew it.
 func (m *Manager) doRedistShip(proc int, req *request) {
-	ack, node, vals := req.ack, req.node, req.vals
+	node, vals := req.node, req.vals
 	var meta *darray.Meta
 	e, st := m.lookup(proc, req.id)
 	if st == StatusOK {
@@ -520,10 +543,16 @@ func (m *Manager) doRedistShip(proc int, req *request) {
 			st = mst
 		}
 	}
-	ack <- response{status: st, pair: req.pair}
-	if !m.machine.Router().Faulty() {
-		m.servers[node].putBuf(vals)
-		putShipReq(req)
+	m.shipAck(proc, req, response{status: st, pair: req.pair})
+	router := m.machine.Router()
+	if !router.Faulty() {
+		// A piece that crossed the wire was decoded onto fresh heap, and
+		// its request was built by toRequest — neither came from (or
+		// returns to) the source owner's pools.
+		if router.Local(node) {
+			m.servers[node].putBuf(vals)
+			putShipReq(req)
+		}
 	}
 }
 

@@ -28,6 +28,8 @@ const (
 	StatusTimeout Status = 4
 	// StatusDown — a peer the operation needed has been killed.
 	StatusDown Status = 5
+	// StatusClosed — the machine was shut down mid-operation.
+	StatusClosed Status = 6
 )
 
 // CallPolicy makes coordinator waits deadline-aware: each outstanding
@@ -104,19 +106,36 @@ func (s RetryStats) Stats() []trace.Stat {
 	}
 }
 
-// nextSeq draws a fresh nonzero request id. Ids are manager-global, so a
-// (seq) pair never repeats across coordinators or processors.
-func (m *Manager) nextSeq() uint64 { return m.seq.Add(1) }
+// nextSeq draws a fresh nonzero request id. Ids are manager-global —
+// every coordinator in one process draws from the same counter — and
+// scoped by origin processor in the dedup key, so two managers in
+// different processes drawing the same number never collide. Zero is
+// skipped explicitly on wraparound: it means "no recovery id" in every
+// filter, so a wrapped counter must not mint it.
+func (m *Manager) nextSeq() uint64 {
+	for {
+		if s := m.seq.Add(1); s != 0 {
+			return s
+		}
+	}
+}
 
 // dedupWindow bounds the per-server window of recently dispatched
 // request ids; ids older than the window are forgotten (a retransmit
 // that stale would have long since been answered or abandoned).
 const dedupWindow = 4096
 
-// dedupKey identifies one logical request: {seq, 0} for request/reply
-// traffic, {call, pair+1} for one-way redistribution ships (the +1 keeps
-// the two spaces disjoint).
-type dedupKey struct{ a, b uint64 }
+// dedupKey identifies one logical request: {origin, seq, 0} for
+// request/reply traffic, {origin, call, pair+1} for one-way
+// redistribution ships (the +1 keeps the two spaces disjoint). origin —
+// the processor whose manager drew the id — scopes the window: seq
+// counters are per-process, so once managers span OS processes two
+// coordinators can legitimately mint the same number, and an unscoped
+// window would false-dedup the second arrival.
+type dedupKey struct {
+	origin int
+	a, b   uint64
+}
 
 // deduper is the owner-side retransmit filter. It is owned by a single
 // serve goroutine, so it needs no lock; state is allocated lazily so
@@ -151,10 +170,10 @@ func (d *deduper) dup(k dedupKey) bool {
 // mode: no ids assigned) disables filtering.
 func dedupKeyOf(req *request) (dedupKey, bool) {
 	if req.op == "redist_ship" && req.call != 0 {
-		return dedupKey{req.call, uint64(req.pair) + 1}, true
+		return dedupKey{req.origin, req.call, uint64(req.pair) + 1}, true
 	}
 	if req.seq != 0 {
-		return dedupKey{req.seq, 0}, true
+		return dedupKey{req.origin, req.seq, 0}, true
 	}
 	return dedupKey{}, false
 }
@@ -167,6 +186,7 @@ func dedupKeyOf(req *request) (dedupKey, bool) {
 // exhausted retry budget into StatusTimeout.
 func (m *Manager) await(req *request) response {
 	router := m.machine.Router()
+	defer m.unregisterReply(req)
 	pol := m.policy.Load()
 	if pol == nil {
 		select {
@@ -178,7 +198,7 @@ func (m *Manager) await(req *request) response {
 			case r := <-req.reply:
 				return r
 			default:
-				return response{status: StatusError}
+				return response{status: StatusClosed}
 			}
 		}
 	}
@@ -194,7 +214,7 @@ func (m *Manager) await(req *request) response {
 			case r := <-req.reply:
 				return r
 			default:
-				return response{status: StatusError}
+				return response{status: StatusClosed}
 			}
 		case <-timer.C:
 		}
@@ -211,8 +231,15 @@ func (m *Manager) await(req *request) response {
 		}
 		m.retransmits.Add(1)
 		tag := msg.Tag{Class: msg.ClassTask, Kind: kindAMRequest}
-		if err := router.Send(req.src, req.dst, tag, req); err != nil {
-			return response{status: StatusError}
+		// A remote destination gets the cached envelope — byte-identical
+		// to the first transmission, like re-sending the same *request
+		// pointer in-process.
+		var payload any = req
+		if req.wire != nil {
+			payload = req.wire
+		}
+		if err := router.Send(req.src, req.dst, tag, payload); err != nil {
+			return response{status: sendStatus(err)}
 		}
 		timer.Reset(pol.Timeout)
 	}

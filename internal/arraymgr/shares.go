@@ -100,7 +100,7 @@ func (m *Manager) readShares(proc int, id darray.ID, shares []darray.StridedShar
 			return
 		}
 		copyShare(true, out, r.vals, shares[i], sdims)
-		m.servers[shares[i].Proc].putBuf(r.vals)
+		m.recycle(shares[i].Proc, r.vals)
 	}
 	for i, sh := range shares {
 		if replies[i] != nil {

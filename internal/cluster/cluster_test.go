@@ -1,0 +1,298 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/apps/climate"
+	"repro/internal/arraymgr"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// registerPart is the symmetric per-part setup: every part — driver and
+// spawned worker alike — registers the same programs and installs the
+// same call policy, which is what makes cross-process spawns and
+// owner-originated recovery traffic work by construction.
+func registerPart(m *core.Machine) error {
+	if err := climate.RegisterPrograms(m); err != nil {
+		return err
+	}
+	m.SetCallPolicy(&arraymgr.CallPolicy{Timeout: 2 * time.Second, Retries: 3})
+	return nil
+}
+
+// TestMain is the worker hook: when the driver re-execs this test
+// binary with the cluster role variable set, boot a worker part instead
+// of running the test list.
+func TestMain(m *testing.M) {
+	if cfg, ok := cluster.WorkerConfig(); ok {
+		if err := cluster.RunWorker(cfg, registerPart); err != nil {
+			fmt.Fprintln(os.Stderr, "cluster worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	cluster.EnableSelfSpawn()
+	os.Exit(m.Run())
+}
+
+func startCluster(t *testing.T, p, nparts int) *cluster.Node {
+	t.Helper()
+	node, err := cluster.StartDriver(cluster.Config{P: p, NParts: nparts}, registerPart)
+	if err != nil {
+		t.Fatalf("StartDriver: %v", err)
+	}
+	t.Cleanup(node.Close)
+	if err := node.SpawnWorkers(); err != nil {
+		t.Fatalf("SpawnWorkers: %v", err)
+	}
+	if err := node.WaitPeers(30 * time.Second); err != nil {
+		t.Fatalf("WaitPeers: %v", err)
+	}
+	return node
+}
+
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestClimateIdenticalAcrossProcesses runs the paper's coupled climate
+// model three ways — sequential reference, one-process machine, and a
+// machine partitioned across two real OS processes over loopback TCP —
+// and requires bit-identical fields from all three.
+func TestClimateIdenticalAcrossProcesses(t *testing.T) {
+	cfg := climate.Config{Rows: 8, Cols: 8, Steps: 4, Alpha: 0.15}
+	want := climate.RunSequential(cfg)
+
+	inproc := core.New(4)
+	if err := registerPart(inproc); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	resIn, err := climate.Run(inproc, cfg)
+	inproc.Close()
+	if err != nil {
+		t.Fatalf("in-process Run: %v", err)
+	}
+
+	node := startCluster(t, 4, 2)
+	resNet, err := climate.Run(node.M, cfg)
+	if err != nil {
+		t.Fatalf("cluster Run: %v", err)
+	}
+
+	if !sameBits(resIn.Ocean, want.Ocean) || !sameBits(resIn.Atmosphere, want.Atmosphere) {
+		t.Fatal("in-process run differs from sequential reference")
+	}
+	if !sameBits(resNet.Ocean, resIn.Ocean) {
+		t.Fatal("cluster ocean field differs from in-process run")
+	}
+	if !sameBits(resNet.Atmosphere, resIn.Atmosphere) {
+		t.Fatal("cluster atmosphere field differs from in-process run")
+	}
+}
+
+// oracleOps drives one machine through a seeded randomized workload
+// covering every data-plane path — dense and strided block transfers,
+// gather/scatter, element ops, and redistribution between differently
+// distributed arrays — and returns every byte the machine produced. Two
+// machines given the same seed must return identical logs.
+func oracleOps(m *core.Machine, seed int64, iters int) ([]float64, error) {
+	const rows, cols = 12, 8
+	rng := rand.New(rand.NewSource(seed))
+
+	blockSpec := core.ArraySpec{
+		Dims:    []int{rows, cols},
+		Distrib: []grid.Decomp{grid.BlockDefault(), grid.NoDecomp()},
+	}
+	cyclicSpec := core.ArraySpec{
+		Dims:    []int{rows, cols},
+		Distrib: []grid.Decomp{grid.CyclicDefault(), grid.NoDecomp()},
+	}
+	a, err := m.NewArray(blockSpec)
+	if err != nil {
+		return nil, fmt.Errorf("create block array: %w", err)
+	}
+	defer a.Free()
+	b, err := m.NewArray(cyclicSpec)
+	if err != nil {
+		return nil, fmt.Errorf("create cyclic array: %w", err)
+	}
+	defer b.Free()
+	for _, arr := range []*core.Array{a, b} {
+		if err := arr.Fill(func(idx []int) float64 {
+			return float64(idx[0]*cols+idx[1]) / 7
+		}); err != nil {
+			return nil, fmt.Errorf("fill: %w", err)
+		}
+	}
+
+	rect := func() (lo, hi []int) {
+		l0 := rng.Intn(rows - 1)
+		l1 := rng.Intn(cols - 1)
+		return []int{l0, l1}, []int{l0 + 1 + rng.Intn(rows-l0-1), l1 + 1 + rng.Intn(cols-l1-1)}
+	}
+	indices := func(n int) [][]int {
+		out := make([][]int, n)
+		for i := range out {
+			out[i] = []int{rng.Intn(rows), rng.Intn(cols)}
+		}
+		return out
+	}
+	var log []float64
+	arrs := []*core.Array{a, b}
+	for i := 0; i < iters; i++ {
+		x := arrs[rng.Intn(2)]
+		switch rng.Intn(8) {
+		case 0:
+			lo, hi := rect()
+			vals := make([]float64, grid.RectSize(lo, hi))
+			for j := range vals {
+				vals[j] = rng.Float64()
+			}
+			if err := x.WriteBlock(lo, hi, vals); err != nil {
+				return nil, fmt.Errorf("op %d write_block: %w", i, err)
+			}
+		case 1:
+			lo, hi := rect()
+			got, err := x.ReadBlock(lo, hi)
+			if err != nil {
+				return nil, fmt.Errorf("op %d read_block: %w", i, err)
+			}
+			log = append(log, got...)
+		case 2:
+			lo, hi := rect()
+			got, err := x.ReadBlockStrided(lo, hi, []int{2, 2})
+			if err != nil {
+				return nil, fmt.Errorf("op %d read_block_strided: %w", i, err)
+			}
+			log = append(log, got...)
+		case 3:
+			idxs := indices(1 + rng.Intn(6))
+			got, err := x.GatherElements(idxs)
+			if err != nil {
+				return nil, fmt.Errorf("op %d gather: %w", i, err)
+			}
+			log = append(log, got...)
+		case 4:
+			idxs := indices(1 + rng.Intn(6))
+			vals := make([]float64, len(idxs))
+			for j := range vals {
+				vals[j] = rng.Float64()
+			}
+			if err := x.ScatterElements(idxs, vals); err != nil {
+				return nil, fmt.Errorf("op %d scatter: %w", i, err)
+			}
+		case 5:
+			if err := x.Write(rng.Float64(), rng.Intn(rows), rng.Intn(cols)); err != nil {
+				return nil, fmt.Errorf("op %d write_element: %w", i, err)
+			}
+		case 6:
+			v, err := x.Read(rng.Intn(rows), rng.Intn(cols))
+			if err != nil {
+				return nil, fmt.Errorf("op %d read_element: %w", i, err)
+			}
+			log = append(log, v)
+		case 7:
+			lo, hi := rect()
+			dst, src := a, b
+			if rng.Intn(2) == 0 {
+				dst, src = b, a
+			}
+			if err := dst.RedistributeFrom(src, lo, hi); err != nil {
+				return nil, fmt.Errorf("op %d redistribute: %w", i, err)
+			}
+		}
+	}
+	for _, arr := range arrs {
+		snap, err := arr.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		log = append(log, snap...)
+	}
+	return log, nil
+}
+
+// TestOracleAllPathsAcrossWire replays the same seeded all-paths
+// workload on an in-process machine and on a machine split across two
+// OS processes, and requires every produced byte — intermediate reads
+// and final snapshots — to be bit-identical. The wire seam must be
+// semantically invisible.
+func TestOracleAllPathsAcrossWire(t *testing.T) {
+	const seed, iters = 42, 60
+
+	inproc := core.New(4)
+	if err := registerPart(inproc); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	wantLog, err := oracleOps(inproc, seed, iters)
+	inproc.Close()
+	if err != nil {
+		t.Fatalf("in-process oracle: %v", err)
+	}
+
+	node := startCluster(t, 4, 2)
+	gotLog, err := oracleOps(node.M, seed, iters)
+	if err != nil {
+		t.Fatalf("cluster oracle: %v", err)
+	}
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("log lengths differ: cluster %d, in-process %d", len(gotLog), len(wantLog))
+	}
+	if !sameBits(gotLog, wantLog) {
+		t.Fatal("cluster oracle log differs from in-process log")
+	}
+}
+
+// TestKillRecoverAcrossWire creates a replicated array spanning both
+// parts, fail-stops a worker-hosted processor, promotes the buddy
+// copies, and requires the full contents back — the recovery plane
+// running over a real transport.
+func TestKillRecoverAcrossWire(t *testing.T) {
+	node := startCluster(t, 4, 2)
+	m := node.M
+
+	a, err := m.NewArray(core.ArraySpec{Dims: []int{16}, Replicas: 1})
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	want := make([]float64, 16)
+	for i := range want {
+		want[i] = float64(i) * 1.5
+	}
+	if err := a.WriteBlock([]int{0}, []int{16}, want); err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+
+	// Processor 3 lives in the worker process; kill it machine-wide.
+	if err := node.Kill(3); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	if !m.VM.Router().Down(3) {
+		t.Fatal("driver does not report processor 3 down")
+	}
+	if err := m.RecoverArray(a); err != nil {
+		t.Fatalf("RecoverArray: %v", err)
+	}
+	got, err := a.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot after recovery: %v", err)
+	}
+	if !sameBits(got, want) {
+		t.Fatalf("recovered contents differ: got %v, want %v", got, want)
+	}
+}

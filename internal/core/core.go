@@ -50,6 +50,23 @@ func (e *StatusError) Is(target error) bool {
 	return ok && t.Status == e.Status && (t.Op == "" || t.Op == e.Op)
 }
 
+// Unwrap chains the router-layer sentinel behind each transport-failure
+// status, so errors.Is(err, msg.ErrTimeout / msg.ErrProcessorDown /
+// msg.ErrClosed) works end to end through the am/core surface — callers
+// probing for the underlying condition need not know the status
+// vocabulary.
+func (e *StatusError) Unwrap() error {
+	switch e.Status {
+	case arraymgr.StatusTimeout:
+		return msg.ErrTimeout
+	case arraymgr.StatusDown:
+		return msg.ErrProcessorDown
+	case arraymgr.StatusClosed:
+		return msg.ErrClosed
+	}
+	return nil
+}
+
 // Sentinel errors for the failure statuses.
 var (
 	ErrInvalid  = &StatusError{Status: arraymgr.StatusInvalid}
@@ -60,6 +77,8 @@ var (
 	ErrTimeout = &StatusError{Status: arraymgr.StatusTimeout}
 	// ErrDown: a peer the operation needed has been killed.
 	ErrDown = &StatusError{Status: arraymgr.StatusDown}
+	// ErrClosed: the machine was shut down mid-operation.
+	ErrClosed = &StatusError{Status: arraymgr.StatusClosed}
 )
 
 func statusErr(op string, st arraymgr.Status) error {
@@ -77,10 +96,32 @@ type Machine struct {
 	RT *dcall.Runtime
 }
 
+// Option configures machine boot.
+type Option func(*bootConfig)
+
+type bootConfig struct {
+	routerSetup func(*msg.Router)
+}
+
+// WithRouterSetup runs f on the freshly built router before the array
+// manager and distributed-call runtime boot — the hook a transport
+// harness uses to install msg.SetTransport, so the servers start on
+// exactly the processors this OS process hosts.
+func WithRouterSetup(f func(*msg.Router)) Option {
+	return func(c *bootConfig) { c.routerSetup = f }
+}
+
 // New boots a machine with p virtual processors: the equivalent of starting
 // PCN with the array manager loaded on every processor (§B.3).
-func New(p int) *Machine {
+func New(p int, opts ...Option) *Machine {
+	var cfg bootConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	vm := vp.NewMachine(p)
+	if cfg.routerSetup != nil {
+		cfg.routerSetup(vm.Router())
+	}
 	am := arraymgr.New(vm)
 	rt := dcall.NewRuntime(vm, am)
 	return &Machine{VM: vm, AM: am, RT: rt}

@@ -189,6 +189,15 @@ func NewRuntime(machine *vp.Machine, am *arraymgr.Manager) *Runtime {
 		}
 		return p.Borders(parmNum, ndims)
 	})
+	// On a partitioned router every hosted processor runs a spawn server,
+	// so callers in other OS processes can start wrapper copies here. An
+	// in-process machine spawns wrappers directly and pays nothing.
+	if router := machine.Router(); router.Partitioned() {
+		for _, p := range router.LocalProcs() {
+			p := p
+			go r.spawnServe(p)
+		}
+	}
 	return r
 }
 
@@ -238,12 +247,19 @@ func (r *Runtime) Call(caller int, procs []int, program string, params []Param, 
 	if !ok {
 		return StatusInvalid
 	}
-	return r.CallFn(caller, procs, p.Body, params, opts...)
+	return r.call(caller, procs, program, p.Body, params, opts...)
 }
 
 // CallFn is Call for an unregistered program body (a convenience beyond
 // the paper's name-based dispatch; the call semantics are identical).
+// An anonymous body cannot cross a process boundary, so on a partitioned
+// machine the group must be wholly local — use Call with a registered
+// name to reach remote processors.
 func (r *Runtime) CallFn(caller int, procs []int, body Program, params []Param, opts ...Options) int {
+	return r.call(caller, procs, "", body, params, opts...)
+}
+
+func (r *Runtime) call(caller int, procs []int, program string, body Program, params []Param, opts ...Options) int {
 	if r.Machine.CheckProc(caller) != nil || body == nil {
 		return StatusInvalid
 	}
@@ -291,8 +307,20 @@ func (r *Runtime) CallFn(caller int, procs []int, body Program, params []Param, 
 		return StatusInvalid
 	}
 
-	callID := r.nextCall.Add(1)
 	groupProcs := append([]int(nil), procs...)
+
+	// A group with members hosted by other OS processes takes the wire
+	// path: spawn orders instead of goroutines, and the result possibly
+	// as a message (wire.go).
+	if router := r.Machine.Router(); router.Partitioned() {
+		for _, pr := range groupProcs {
+			if !router.Local(pr) {
+				return r.callRemote(caller, groupProcs, program, body, params, opt)
+			}
+		}
+	}
+
+	callID := r.nextCall.Add(1)
 
 	// Launch one wrapper per group member and wait for the merged result
 	// tuple from rank 0 — the caller "suspends execution while the copies
@@ -301,7 +329,7 @@ func (r *Runtime) CallFn(caller int, procs []int, body Program, params []Param, 
 	for i := range groupProcs {
 		i := i
 		r.Machine.Go(groupProcs[i], func(proc int) {
-			r.runWrapper(proc, groupProcs, i, callID, body, params, statusCombine, result)
+			r.runWrapper(proc, groupProcs, i, callID, body, params, statusCombine, result, caller)
 		})
 	}
 	merged := result.Value()
@@ -310,18 +338,20 @@ func (r *Runtime) CallFn(caller int, procs []int, body Program, params []Param, 
 	k := 0
 	for _, prm := range params {
 		if q, ok := prm.(reduceParam); ok {
-			q.out.MustDefine(merged.reductions[k])
+			q.out.MustDefine(merged.Reductions[k])
 			k++
 		}
 	}
-	return merged.status
+	return merged.Status
 }
 
 // tuple is the {status, reductions...} record each wrapper produces and the
-// combine tree merges (§5.2.2-§5.2.3).
+// combine tree merges (§5.2.2-§5.2.3). Fields are exported because a
+// merged tuple crosses the wire when a call's group runs in another OS
+// process (wire.go).
 type tuple struct {
-	status     int
-	reductions [][]float64
+	Status     int
+	Reductions [][]float64
 }
 
 // kindCombine is the reserved task-class message kind for wrapper merges;
@@ -331,9 +361,14 @@ const kindCombine = -101
 // runWrapper is the generated wrapper program of §5.2.2: executed once per
 // group member, it resolves local sections, declares local status and
 // reduction variables, calls the data-parallel program, and participates in
-// the pairwise merge of result tuples.
+// the pairwise merge of result tuples. Rank 0 delivers the merged tuple
+// into result when non-nil (the caller is in this process), otherwise as
+// a kindResult message to resultProc (the caller is in another one). A
+// nil body — a spawn order naming a program this process never
+// registered — contributes StatusInvalid instead of hanging the tree.
 func (r *Runtime) runWrapper(proc int, procs []int, index int, callID uint64,
-	body Program, params []Param, statusCombine func(a, b int) int, result *defval.Var[tuple]) {
+	body Program, params []Param, statusCombine func(a, b int) int,
+	result *defval.Var[tuple], resultProc int) {
 
 	world := spmd.NewWorld(r.Machine.Router(), procs, index, callID)
 
@@ -368,6 +403,9 @@ func (r *Runtime) runWrapper(proc int, procs []int, index int, callID uint64,
 		}
 	}
 
+	if body == nil && wrapperStatus == StatusOK {
+		wrapperStatus = StatusInvalid
+	}
 	if wrapperStatus == StatusOK {
 		func() {
 			defer func() {
@@ -383,14 +421,14 @@ func (r *Runtime) runWrapper(proc int, procs []int, index int, callID uint64,
 	if wrapperStatus != StatusOK {
 		st = wrapperStatus
 	}
-	mine := tuple{status: st, reductions: reductionSlices}
+	mine := tuple{Status: st, Reductions: reductionSlices}
 
 	// Pairwise merge up a binomial tree in rank order (lower rank is the
 	// left operand, so any associative combine is valid).
 	combine := func(a, b tuple) tuple {
-		out := tuple{status: statusCombine(a.status, b.status)}
-		out.reductions = make([][]float64, len(a.reductions))
-		for k := range a.reductions {
+		out := tuple{Status: statusCombine(a.Status, b.Status)}
+		out.Reductions = make([][]float64, len(a.Reductions))
+		for k := range a.Reductions {
 			var cmb func(x, y []float64) []float64
 			kk := 0
 			for _, prm := range params {
@@ -402,7 +440,7 @@ func (r *Runtime) runWrapper(proc int, procs []int, index int, callID uint64,
 					kk++
 				}
 			}
-			out.reductions[k] = cmb(a.reductions[k], b.reductions[k])
+			out.Reductions[k] = cmb(a.Reductions[k], b.Reductions[k])
 		}
 		return out
 	}
@@ -417,7 +455,7 @@ func (r *Runtime) runWrapper(proc int, procs []int, index int, callID uint64,
 			if src < p {
 				m, err := router.RecvFrom(proc, procs[src], tag)
 				if err != nil {
-					mine.status = statusCombine(mine.status, StatusError)
+					mine.Status = statusCombine(mine.Status, StatusError)
 					break
 				}
 				mine = combine(mine, m.Data.(tuple))
@@ -433,6 +471,11 @@ func (r *Runtime) runWrapper(proc int, procs []int, index int, callID uint64,
 		}
 	}
 	if me == 0 {
-		result.MustDefine(mine)
+		if result != nil {
+			result.MustDefine(mine)
+			return
+		}
+		rtag := msg.Tag{Class: msg.ClassTask, Call: callID, Kind: kindResult}
+		_ = router.Send(proc, resultProc, rtag, mine)
 	}
 }

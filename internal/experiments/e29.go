@@ -1,0 +1,183 @@
+// E29: the transport seam measured. The same E22-style block-transfer
+// workload — whole-array reads and writes against a 4-processor machine
+// — is driven twice: once on the in-process switch, once with the
+// machine partitioned across two real OS processes joined by the
+// gob/TCP loopback transport. Both runs must produce bit-identical
+// data; the numbers are measured, not modeled, and quantify what the
+// wire costs (serialization + syscalls + TCP) relative to the
+// in-process mailbox switch.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// E29Leg is one transport's measured numbers.
+type E29Leg struct {
+	ReadNsPerOp    int64   `json:"read_ns_per_op"`
+	WriteNsPerOp   int64   `json:"write_ns_per_op"`
+	ReadGoodputMB  float64 `json:"read_goodput_mb_per_s"`
+	WriteGoodputMB float64 `json:"write_goodput_mb_per_s"`
+}
+
+// E29Result carries both legs plus the workload shape, JSON-ready for
+// the bench artifact.
+type E29Result struct {
+	Workload   string `json:"workload"`
+	P          int    `json:"procs"`
+	NParts     int    `json:"parts"`
+	Elements   int    `json:"elements"`
+	BytesPerOp int    `json:"bytes_per_op"`
+	Iters      int    `json:"iters"`
+	InProc     E29Leg `json:"inproc"`
+	TCP        E29Leg `json:"tcp_loopback"`
+}
+
+const (
+	e29P        = 4
+	e29PerOwner = 256
+	e29Iters    = 300
+)
+
+// e29Measure drives the block-transfer workload on one machine and
+// returns the measured leg plus a final snapshot for cross-checking.
+func e29Measure(m *core.Machine) (E29Leg, []float64, error) {
+	n := e29P * e29PerOwner
+	bytes := 8 * n
+	a, err := m.NewArray(core.ArraySpec{Dims: []int{n}})
+	if err != nil {
+		return E29Leg{}, nil, err
+	}
+	defer a.Free()
+	if err := a.Fill(func(idx []int) float64 { return float64(idx[0]) / 3 }); err != nil {
+		return E29Leg{}, nil, err
+	}
+	lo, hi := []int{0}, []int{n}
+	buf := make([]float64, n)
+	wvals := make([]float64, n)
+	for i := range wvals {
+		wvals[i] = float64(i) / 7
+	}
+
+	for i := 0; i < 20; i++ { // warm both directions: pools, sockets, codecs
+		if err := a.ReadBlockInto(lo, hi, buf); err != nil {
+			return E29Leg{}, nil, err
+		}
+		if err := a.WriteBlock(lo, hi, wvals); err != nil {
+			return E29Leg{}, nil, err
+		}
+	}
+
+	t0 := time.Now()
+	for i := 0; i < e29Iters; i++ {
+		if err := a.ReadBlockInto(lo, hi, buf); err != nil {
+			return E29Leg{}, nil, err
+		}
+	}
+	readDur := time.Since(t0)
+
+	t0 = time.Now()
+	for i := 0; i < e29Iters; i++ {
+		if err := a.WriteBlock(lo, hi, wvals); err != nil {
+			return E29Leg{}, nil, err
+		}
+	}
+	writeDur := time.Since(t0)
+
+	snap, err := a.Snapshot()
+	if err != nil {
+		return E29Leg{}, nil, err
+	}
+	leg := E29Leg{
+		ReadNsPerOp:    readDur.Nanoseconds() / e29Iters,
+		WriteNsPerOp:   writeDur.Nanoseconds() / e29Iters,
+		ReadGoodputMB:  float64(bytes) * e29Iters / readDur.Seconds() / 1e6,
+		WriteGoodputMB: float64(bytes) * e29Iters / writeDur.Seconds() / 1e6,
+	}
+	return leg, snap, nil
+}
+
+// MeasureE29 runs both legs and cross-checks them bit-for-bit. It
+// requires a worker-capable entry point (cluster.EnableSelfSpawn):
+// the TCP leg spawns a second OS process of this same binary.
+func MeasureE29() (E29Result, error) {
+	res := E29Result{
+		Workload:   "whole-array ReadBlockInto/WriteBlock, 1-D block distribution",
+		P:          e29P,
+		NParts:     2,
+		Elements:   e29P * e29PerOwner,
+		BytesPerOp: 8 * e29P * e29PerOwner,
+		Iters:      e29Iters,
+	}
+	if !cluster.SelfSpawnEnabled() {
+		return res, fmt.Errorf("E29: requires a worker-capable binary (run through tdplab, whose entry point handles the cluster worker role)")
+	}
+
+	m := core.New(e29P)
+	inLeg, inSnap, err := e29Measure(m)
+	m.Close()
+	if err != nil {
+		return res, fmt.Errorf("E29 in-process leg: %w", err)
+	}
+
+	node, err := cluster.StartDriver(cluster.Config{P: e29P, NParts: 2}, nil)
+	if err != nil {
+		return res, fmt.Errorf("E29: start driver: %w", err)
+	}
+	defer node.Close()
+	if err := node.SpawnWorkers(); err != nil {
+		return res, fmt.Errorf("E29: spawn workers: %w", err)
+	}
+	if err := node.WaitPeers(30 * time.Second); err != nil {
+		return res, fmt.Errorf("E29: %w", err)
+	}
+	tcpLeg, tcpSnap, err := e29Measure(node.M)
+	if err != nil {
+		return res, fmt.Errorf("E29 TCP leg: %w", err)
+	}
+
+	if len(inSnap) != len(tcpSnap) {
+		return res, fmt.Errorf("E29: snapshot lengths differ: %d vs %d", len(inSnap), len(tcpSnap))
+	}
+	for i := range inSnap {
+		if math.Float64bits(inSnap[i]) != math.Float64bits(tcpSnap[i]) {
+			return res, fmt.Errorf("E29: transports disagree at element %d: %v vs %v", i, inSnap[i], tcpSnap[i])
+		}
+	}
+	res.InProc, res.TCP = inLeg, tcpLeg
+	return res, nil
+}
+
+// E29Transport is the experiment wrapper: measure, cross-check, report.
+// Outside a worker-capable binary it explains how to run it and
+// succeeds vacuously, so `go test ./internal/experiments` stays green.
+func E29Transport(w io.Writer) error {
+	fmt.Fprintln(w, "E29 transport seam: in-process switch vs gob/TCP loopback, E22 block-transfer workload")
+	if !cluster.SelfSpawnEnabled() {
+		fmt.Fprintln(w, "  skipped: requires a worker-capable binary; run `tdplab E29` (its entry point handles the cluster worker role)")
+		return nil
+	}
+	res, err := MeasureE29()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  workload: %s; %d elements (%d bytes/op), %d iters, P=%d across %d part(s)\n",
+		res.Workload, res.Elements, res.BytesPerOp, res.Iters, res.P, res.NParts)
+	fmt.Fprintf(w, "  %-12s %14s %14s %12s %12s\n", "transport", "read ns/op", "write ns/op", "read MB/s", "write MB/s")
+	row := func(name string, l E29Leg) {
+		fmt.Fprintf(w, "  %-12s %14d %14d %12.1f %12.1f\n",
+			name, l.ReadNsPerOp, l.WriteNsPerOp, l.ReadGoodputMB, l.WriteGoodputMB)
+	}
+	row("inproc", res.InProc)
+	row("tcp-loopback", res.TCP)
+	fmt.Fprintf(w, "  slowdown: read %.1fx, write %.1fx; contents bit-identical across transports\n",
+		float64(res.TCP.ReadNsPerOp)/float64(res.InProc.ReadNsPerOp),
+		float64(res.TCP.WriteNsPerOp)/float64(res.InProc.WriteNsPerOp))
+	return nil
+}

@@ -70,6 +70,7 @@ func All() []Experiment {
 		{"E26", "extension", "Direct redistribution vs gather-then-scatter panel handoff", E26PanelHandoff},
 		{"E27", "robustness", "Goodput vs drop probability under the fault plane", E27GoodputUnderDrops},
 		{"E28", "robustness", "Replication write overhead and time-to-recover after a kill", E28ReplicationRecovery},
+		{"E29", "transport", "In-process switch vs gob/TCP loopback on the block-transfer workload", E29Transport},
 	}
 }
 

@@ -122,10 +122,14 @@ func (r *Router) KillProcessor(p int) error {
 }
 
 // Down reports whether processor p has been killed. Out-of-range p
-// reports false.
+// reports false. For a processor hosted by another OS process it
+// reports the propagated kill notices recorded by MarkRemoteDown.
 func (r *Router) Down(p int) bool {
 	if p < 0 || p >= len(r.boxes) {
 		return false
+	}
+	if pt := r.part.Load(); pt != nil && !pt.hosted[p] {
+		return pt.remoteDown[p].Load()
 	}
 	return r.boxes[p].isDown()
 }

@@ -94,6 +94,7 @@ type Router struct {
 	sent    atomic.Uint64
 	latency atomic.Int64 // simulated per-message delivery latency, ns
 	fault   atomic.Pointer[faultState]
+	part    atomic.Pointer[partition] // nil: single-process (the fast path)
 	stats   faultCounters
 	done    chan struct{}
 	closeMu sync.Mutex
@@ -121,6 +122,21 @@ func (r *Router) P() int { return len(r.boxes) }
 func (r *Router) Send(src, dst int, tag Tag, data any) error {
 	if dst < 0 || dst >= len(r.boxes) || src < 0 || src >= len(r.boxes) {
 		return fmt.Errorf("%w: send %d -> %d (P=%d)", ErrBadProcessor, src, dst, len(r.boxes))
+	}
+	if pt := r.part.Load(); pt != nil && !pt.hosted[dst] {
+		// The destination lives in another OS process: hand the message to
+		// the transport, which serializes the payload before returning
+		// (see Transport). Modeled latency and the fault plane do not
+		// apply — the wire supplies the real versions.
+		if pt.remoteDown[dst].Load() {
+			r.stats.downDropped.Add(1)
+			return nil
+		}
+		if err := pt.tr.Send(Message{Src: src, Dst: dst, Tag: tag, Data: data}); err != nil {
+			return err
+		}
+		r.sent.Add(1)
+		return nil
 	}
 	m := Message{Src: src, Dst: dst, Tag: tag, Data: data}
 	if d := r.latency.Load(); d > 0 {
@@ -166,6 +182,9 @@ func (r *Router) Recv(dst int, match func(Message) bool) (Message, error) {
 	if dst < 0 || dst >= len(r.boxes) {
 		return Message{}, fmt.Errorf("%w: recv at %d (P=%d)", ErrBadProcessor, dst, len(r.boxes))
 	}
+	if pt := r.part.Load(); pt != nil && !pt.hosted[dst] {
+		return Message{}, fmt.Errorf("%w: recv at non-hosted processor %d", ErrBadProcessor, dst)
+	}
 	return r.boxes[dst].get(match, time.Time{})
 }
 
@@ -175,6 +194,9 @@ func (r *Router) Recv(dst int, match func(Message) bool) (Message, error) {
 func (r *Router) RecvTimeout(dst int, match func(Message) bool, d time.Duration) (Message, error) {
 	if dst < 0 || dst >= len(r.boxes) {
 		return Message{}, fmt.Errorf("%w: recv at %d (P=%d)", ErrBadProcessor, dst, len(r.boxes))
+	}
+	if pt := r.part.Load(); pt != nil && !pt.hosted[dst] {
+		return Message{}, fmt.Errorf("%w: recv at non-hosted processor %d", ErrBadProcessor, dst)
 	}
 	var deadline time.Time
 	if d > 0 {

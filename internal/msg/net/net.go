@@ -1,0 +1,473 @@
+// Package net implements msg.Transport over gob-encoded TCP: the wire
+// that turns the single-process machine into a set of cooperating OS
+// processes ("parts"), each hosting a contiguous slice of the P virtual
+// processors.
+//
+// Topology is a star: part 0 listens, every other part dials it, and
+// frames between two worker parts are relayed through part 0. One TCP
+// connection per worker keeps the port story trivial (one listening
+// socket for the whole machine, so spawned workers need only part 0's
+// address) and preserves the mailbox ordering contract: delivery
+// between a fixed (src, dst) pair stays FIFO because every frame of
+// that pair follows the same single path, and TCP neither drops nor
+// duplicates. Latency and loss are real, not modeled — the fault plane
+// and SetLatency stay in-process tools.
+//
+// Payload encoding is gob with interface-typed data: every concrete
+// payload type that crosses the wire must be registered (gob.Register)
+// in both processes. Since every part runs the same binary, package
+// init-time registration (this package registers the builtin slice
+// payloads; arraymgr and dcall register their envelope structs) keeps
+// the two sides agreeing by construction. Send gob-encodes the payload
+// synchronously before returning, which is the deep-copy-at-the-seam
+// contract of msg.Transport: the caller may recycle a pooled buffer the
+// moment Send returns, and the receiver still sees the pre-mutation
+// bytes.
+package net
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+)
+
+func init() {
+	// The builtin payload shapes of the data-parallel plane (spmd sends,
+	// halo slabs, reduction vectors). Protocol-specific envelopes are
+	// registered by their own packages.
+	gob.Register([]float64(nil))
+	gob.Register([][]float64(nil))
+	gob.Register([]int(nil))
+	gob.Register([][]int(nil))
+	gob.Register(float64(0))
+	gob.Register(int(0))
+	gob.Register("")
+	gob.Register(false)
+}
+
+// Frame kinds.
+const (
+	frameHello = iota + 1 // worker -> part 0: here is my rank
+	frameMsg              // one routed message
+	frameKill             // kill notice/command for one processor, flooded
+	frameBye              // orderly shutdown: part 0 -> workers
+)
+
+// frame is the unit of the wire protocol. Exported fields only: gob.
+type frame struct {
+	Kind int
+	Rank int // frameHello: sender's part rank
+	Proc int // frameKill: the killed processor
+	// frameMsg fields: the msg.Message, flattened.
+	Src, Dst int
+	Class    uint8
+	Call     uint64
+	MsgKind  int
+	Data     any
+}
+
+// peer is one live connection with a serialized gob encoder. Encoding
+// under the lock is what makes Transport.Send capture payloads before
+// returning.
+type peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+}
+
+func newPeer(conn net.Conn) *peer {
+	bw := bufio.NewWriter(conn)
+	return &peer{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+}
+
+func (p *peer) send(f *frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.enc.Encode(f); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// Transport is the gob/TCP implementation of msg.Transport for one part.
+type Transport struct {
+	p, nparts, rank int
+	owner           []int // proc -> hosting part rank
+
+	router   *msg.Router
+	attached chan struct{}
+
+	ln net.Listener // part 0 only
+
+	mu    sync.Mutex
+	peers map[int]*peer // part rank -> connection (workers: only rank 0)
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	readyMu sync.Mutex
+	ready   chan struct{} // part 0: closed when all workers said hello
+}
+
+// PartBounds returns the processor interval [lo, hi) hosted by one part
+// under the contiguous even split used throughout this package.
+func PartBounds(p, nparts, rank int) (lo, hi int) {
+	base, extra := p/nparts, p%nparts
+	lo = rank*base + min(rank, extra)
+	size := base
+	if rank < extra {
+		size++
+	}
+	return lo, lo + size
+}
+
+// HostedMap returns the hosted[] vector for one part.
+func HostedMap(p, nparts, rank int) []bool {
+	hosted := make([]bool, p)
+	lo, hi := PartBounds(p, nparts, rank)
+	for i := lo; i < hi; i++ {
+		hosted[i] = true
+	}
+	return hosted
+}
+
+func ownerMap(p, nparts int) []int {
+	owner := make([]int, p)
+	for rank := 0; rank < nparts; rank++ {
+		lo, hi := PartBounds(p, nparts, rank)
+		for i := lo; i < hi; i++ {
+			owner[i] = rank
+		}
+	}
+	return owner
+}
+
+func newTransport(p, nparts, rank int) *Transport {
+	return &Transport{
+		p: p, nparts: nparts, rank: rank,
+		owner:    ownerMap(p, nparts),
+		attached: make(chan struct{}),
+		peers:    make(map[int]*peer),
+		done:     make(chan struct{}),
+		ready:    make(chan struct{}),
+	}
+}
+
+// Listen starts part 0's side of the wire: a single listening socket the
+// workers dial. addr may use port 0; Addr reports the bound address to
+// hand to spawned workers. Call Attach once the router exists, then
+// WaitPeers before starting traffic.
+func Listen(addr string, p, nparts int) (*Transport, error) {
+	if nparts < 2 {
+		return nil, fmt.Errorf("msgnet: need at least 2 parts, got %d", nparts)
+	}
+	t := newTransport(p, nparts, 0)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Dial starts a worker part's side of the wire: one connection to part 0.
+func Dial(addr string, p, nparts, rank int) (*Transport, error) {
+	if rank <= 0 || rank >= nparts {
+		return nil, fmt.Errorf("msgnet: worker rank %d out of range (nparts=%d)", rank, nparts)
+	}
+	t := newTransport(p, nparts, rank)
+	conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	pr := newPeer(conn)
+	if err := pr.send(&frame{Kind: frameHello, Rank: rank}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t.peers[0] = pr
+	t.wg.Add(1)
+	go t.readLoop(0, pr)
+	return t, nil
+}
+
+// Addr returns the listening address (part 0 only).
+func (t *Transport) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Attach binds the transport to its router. Frames received before
+// Attach wait in the TCP buffers; nothing is delivered until the router
+// is in place.
+func (t *Transport) Attach(r *msg.Router) {
+	t.router = r
+	close(t.attached)
+}
+
+// WaitPeers blocks until every worker part has said hello (part 0), or
+// until the timeout. Workers return immediately: their single peer is
+// connected by construction.
+func (t *Transport) WaitPeers(timeout time.Duration) error {
+	if t.rank != 0 {
+		return nil
+	}
+	select {
+	case <-t.ready:
+		return nil
+	case <-t.done:
+		return fmt.Errorf("msgnet: transport closed before all parts connected")
+	case <-time.After(timeout):
+		return fmt.Errorf("msgnet: %d part(s) did not connect within %v", t.missingPeers(), timeout)
+	}
+}
+
+func (t *Transport) missingPeers() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nparts - 1 - len(t.peers)
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		t.wg.Add(1)
+		go t.handshake(conn)
+	}
+}
+
+func (t *Transport) handshake(conn net.Conn) {
+	defer t.wg.Done()
+	dec := gob.NewDecoder(conn)
+	var hello frame
+	if err := dec.Decode(&hello); err != nil || hello.Kind != frameHello ||
+		hello.Rank <= 0 || hello.Rank >= t.nparts {
+		conn.Close()
+		return
+	}
+	pr := newPeer(conn)
+	t.mu.Lock()
+	if _, dup := t.peers[hello.Rank]; dup {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	t.peers[hello.Rank] = pr
+	complete := len(t.peers) == t.nparts-1
+	t.mu.Unlock()
+	if complete {
+		t.readyMu.Lock()
+		select {
+		case <-t.ready:
+		default:
+			close(t.ready)
+		}
+		t.readyMu.Unlock()
+	}
+	t.wg.Add(1)
+	go t.readLoopDec(hello.Rank, pr, dec)
+}
+
+func (t *Transport) readLoop(rank int, pr *peer) {
+	t.readLoopDec(rank, pr, gob.NewDecoder(bufio.NewReader(pr.conn)))
+}
+
+func (t *Transport) readLoopDec(rank int, pr *peer, dec *gob.Decoder) {
+	defer t.wg.Done()
+	<-t.attached
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if t.rank != 0 && (errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)) {
+				// Part 0 went away: the machine is over for this worker.
+				t.Close()
+			}
+			return
+		}
+		t.handleFrame(rank, &f)
+	}
+}
+
+func (t *Transport) handleFrame(from int, f *frame) {
+	switch f.Kind {
+	case frameMsg:
+		if f.Dst < 0 || f.Dst >= t.p {
+			return
+		}
+		if t.rank == 0 && t.owner[f.Dst] != 0 {
+			// Relay leg of the star: forward verbatim to the owner part.
+			t.forward(t.owner[f.Dst], f)
+			return
+		}
+		t.router.Inject(msg.Message{
+			Src: f.Src, Dst: f.Dst,
+			Tag:  msg.Tag{Class: msg.Class(f.Class), Call: f.Call, Kind: f.MsgKind},
+			Data: f.Data,
+		})
+	case frameKill:
+		t.applyKill(f.Proc)
+		if t.rank == 0 {
+			// Flood the notice to every other part; the star has no cycles.
+			t.mu.Lock()
+			prs := make([]*peer, 0, len(t.peers))
+			for rank, pr := range t.peers {
+				if rank != from {
+					prs = append(prs, pr)
+				}
+			}
+			t.mu.Unlock()
+			for _, pr := range prs {
+				pr.send(f)
+			}
+		}
+	case frameBye:
+		t.Close()
+	}
+}
+
+func (t *Transport) forward(rank int, f *frame) {
+	t.mu.Lock()
+	pr := t.peers[rank]
+	t.mu.Unlock()
+	if pr != nil {
+		pr.send(f)
+	}
+}
+
+// applyKill lands one kill on this part: the hosting part kills the
+// mailbox for real, everyone else records the death for Router.Down.
+func (t *Transport) applyKill(proc int) {
+	if proc < 0 || proc >= t.p {
+		return
+	}
+	if t.owner[proc] == t.rank {
+		t.router.KillProcessor(proc)
+	} else {
+		t.router.MarkRemoteDown(proc)
+	}
+}
+
+// Kill fail-stops processor proc machine-wide: it is applied locally and
+// flooded to every part, wherever proc is hosted. The caller can await
+// Router.Down(proc) turning true for confirmation on this part.
+func (t *Transport) Kill(proc int) error {
+	if proc < 0 || proc >= t.p {
+		return fmt.Errorf("msgnet: kill %d out of range (P=%d)", proc, t.p)
+	}
+	t.applyKill(proc)
+	f := &frame{Kind: frameKill, Proc: proc}
+	t.mu.Lock()
+	prs := make([]*peer, 0, len(t.peers))
+	for _, pr := range t.peers {
+		prs = append(prs, pr)
+	}
+	t.mu.Unlock()
+	for _, pr := range prs {
+		if err := pr.send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Send implements msg.Transport: route one message toward the part
+// hosting its destination. Workers send everything through part 0,
+// which relays worker-to-worker traffic. The payload is gob-encoded
+// before Send returns (see the package comment).
+func (t *Transport) Send(m msg.Message) error {
+	select {
+	case <-t.done:
+		return fmt.Errorf("msgnet: send %d -> %d: %w", m.Src, m.Dst, msg.ErrClosed)
+	default:
+	}
+	target := 0
+	if t.rank == 0 {
+		target = t.owner[m.Dst]
+	}
+	t.mu.Lock()
+	pr := t.peers[target]
+	t.mu.Unlock()
+	if pr == nil {
+		return fmt.Errorf("msgnet: no connection to part %d (dst processor %d)", target, m.Dst)
+	}
+	err := pr.send(&frame{
+		Kind: frameMsg,
+		Src:  m.Src, Dst: m.Dst,
+		Class: uint8(m.Tag.Class), Call: m.Tag.Call, MsgKind: m.Tag.Kind,
+		Data: m.Data,
+	})
+	if err != nil {
+		select {
+		case <-t.done:
+			return fmt.Errorf("msgnet: send %d -> %d: %w", m.Src, m.Dst, msg.ErrClosed)
+		default:
+		}
+		return err
+	}
+	return nil
+}
+
+// Shutdown performs an orderly machine-wide stop from part 0: every
+// worker receives a bye frame (releasing its Wait) before the
+// connections close. On workers it is identical to Close.
+func (t *Transport) Shutdown() {
+	if t.rank == 0 {
+		t.mu.Lock()
+		prs := make([]*peer, 0, len(t.peers))
+		for _, pr := range t.peers {
+			prs = append(prs, pr)
+		}
+		t.mu.Unlock()
+		for _, pr := range prs {
+			pr.send(&frame{Kind: frameBye})
+		}
+	}
+	t.Close()
+}
+
+// Close implements msg.Transport: tear down all connections. Idempotent.
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		t.mu.Lock()
+		for _, pr := range t.peers {
+			pr.conn.Close()
+		}
+		t.mu.Unlock()
+	})
+	return nil
+}
+
+// Done returns a channel closed when the transport has shut down (bye
+// frame, lost connection to part 0, or Close).
+func (t *Transport) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the transport has shut down — the worker part's
+// main loop.
+func (t *Transport) Wait() { <-t.done }

@@ -1,0 +1,224 @@
+package net
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// part is one side of a loopback cluster living inside the test process:
+// a router partitioned onto its processor slice plus its transport.
+type part struct {
+	r  *msg.Router
+	tr *Transport
+}
+
+// loopback boots an nparts-way cluster over real TCP on 127.0.0.1, all
+// parts in this one test process. parts[0] listens; the rest dial.
+func loopback(t *testing.T, p, nparts int) []part {
+	t.Helper()
+	t0, err := Listen("127.0.0.1:0", p, nparts)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	parts := make([]part, nparts)
+	parts[0] = part{r: msg.NewRouter(p), tr: t0}
+	parts[0].r.SetTransport(t0, HostedMap(p, nparts, 0))
+	t0.Attach(parts[0].r)
+	for rank := 1; rank < nparts; rank++ {
+		tw, err := Dial(t0.Addr(), p, nparts, rank)
+		if err != nil {
+			t.Fatalf("Dial rank %d: %v", rank, err)
+		}
+		parts[rank] = part{r: msg.NewRouter(p), tr: tw}
+		parts[rank].r.SetTransport(tw, HostedMap(p, nparts, rank))
+		tw.Attach(parts[rank].r)
+	}
+	if err := t0.WaitPeers(10 * time.Second); err != nil {
+		t.Fatalf("WaitPeers: %v", err)
+	}
+	t.Cleanup(func() {
+		t0.Shutdown()
+		for _, pt := range parts {
+			pt.r.Close()
+		}
+		for _, pt := range parts {
+			pt.tr.Wait()
+		}
+	})
+	return parts
+}
+
+func recvAt(t *testing.T, pt part, dst, src int, tag msg.Tag) msg.Message {
+	t.Helper()
+	m, err := pt.r.RecvFromTimeout(dst, src, tag, 10*time.Second)
+	if err != nil {
+		t.Fatalf("recv at %d from %d: %v", dst, src, err)
+	}
+	return m
+}
+
+// TestSendCapturesPayload pins the deep-copy-at-the-seam contract: the
+// payload is serialized before Send returns, so mutating the source
+// buffer afterwards (as pooled-buffer recycling does) must not be
+// visible to the receiver.
+func TestSendCapturesPayload(t *testing.T) {
+	parts := loopback(t, 4, 2)
+	tag := msg.Tag{Class: msg.ClassData, Kind: 7}
+
+	buf := []float64{1, 2, 3, 4}
+	if err := parts[0].r.Send(0, 2, tag, buf); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// The sender recycles the buffer the instant Send returns.
+	for i := range buf {
+		buf[i] = -999
+	}
+
+	m := recvAt(t, parts[1], 2, 0, tag)
+	got, ok := m.Data.([]float64)
+	if !ok {
+		t.Fatalf("payload type %T, want []float64", m.Data)
+	}
+	for i, v := range got {
+		if v != float64(i+1) {
+			t.Fatalf("got[%d] = %v, want %d: receiver saw post-mutation bytes", i, v, i+1)
+		}
+	}
+}
+
+// TestSendCapturesNestedPayload is the same pin for a [][]float64 (the
+// shape of halo slabs): inner rows must be captured too.
+func TestSendCapturesNestedPayload(t *testing.T) {
+	parts := loopback(t, 4, 2)
+	tag := msg.Tag{Class: msg.ClassData, Kind: 8}
+
+	rows := [][]float64{{1, 2}, {3, 4}}
+	if err := parts[0].r.Send(1, 3, tag, rows); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	rows[0][0], rows[1][1] = -1, -1
+
+	m := recvAt(t, parts[1], 3, 1, tag)
+	got := m.Data.([][]float64)
+	want := [][]float64{{1, 2}, {3, 4}}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("got[%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestFIFOAcrossWire verifies the ordering half of the transport
+// contract: delivery between a fixed (src, dst) pair is FIFO.
+func TestFIFOAcrossWire(t *testing.T) {
+	parts := loopback(t, 4, 2)
+	tag := msg.Tag{Class: msg.ClassData, Kind: 1}
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := parts[0].r.Send(0, 2, tag, i); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m := recvAt(t, parts[1], 2, 0, tag)
+		if m.Data.(int) != i {
+			t.Fatalf("message %d arrived carrying %v: reordered or duplicated", i, m.Data)
+		}
+	}
+}
+
+// TestWorkerToWorkerRelay exercises the relay leg of the star: a frame
+// between two worker parts travels through part 0 and back out.
+func TestWorkerToWorkerRelay(t *testing.T) {
+	parts := loopback(t, 3, 3) // proc i hosted by part i
+	tag := msg.Tag{Class: msg.ClassData, Kind: 2}
+
+	if err := parts[1].r.Send(1, 2, tag, "across the star"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m := recvAt(t, parts[2], 2, 1, tag)
+	if m.Data.(string) != "across the star" {
+		t.Fatalf("relayed payload = %v", m.Data)
+	}
+
+	// And the reply leg worker -> part 0.
+	if err := parts[2].r.Send(2, 0, tag, 42); err != nil {
+		t.Fatalf("reply Send: %v", err)
+	}
+	m = recvAt(t, parts[0], 0, 2, tag)
+	if m.Data.(int) != 42 {
+		t.Fatalf("reply payload = %v", m.Data)
+	}
+}
+
+// TestKillPropagates verifies a kill lands machine-wide: the hosting
+// part's mailbox dies for real, other parts observe Down and drop
+// sends to the dead processor instead of shipping frames to it.
+func TestKillPropagates(t *testing.T) {
+	parts := loopback(t, 4, 2)
+
+	if err := parts[0].tr.Kill(3); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	// Origin part: synchronous remote-down record.
+	if !parts[0].r.Down(3) {
+		t.Fatal("origin part does not report processor 3 down")
+	}
+	// Hosting part: the kill notice travels the wire; receives at the
+	// dead processor fail with ErrProcessorDown once it lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if parts[1].r.Down(3) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hosting part never observed the kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := parts[1].r.RecvTimeout(3, func(msg.Message) bool { return true }, time.Second)
+	if !errors.Is(err, msg.ErrProcessorDown) {
+		t.Fatalf("recv at killed processor: %v, want ErrProcessorDown", err)
+	}
+	// Sends to the dead processor from the origin part are dropped
+	// without error (dead peers silently eat traffic, as in-process).
+	if err := parts[0].r.Send(0, 3, msg.Tag{Class: msg.ClassData, Kind: 3}, 1); err != nil {
+		t.Fatalf("send to dead processor: %v, want silent drop", err)
+	}
+	// The living processor on the same part is unaffected.
+	tag := msg.Tag{Class: msg.ClassData, Kind: 4}
+	if err := parts[0].r.Send(0, 2, tag, "alive"); err != nil {
+		t.Fatalf("send to living processor: %v", err)
+	}
+	m := recvAt(t, parts[1], 2, 0, tag)
+	if m.Data.(string) != "alive" {
+		t.Fatalf("living processor payload = %v", m.Data)
+	}
+}
+
+// TestPartBounds pins the contiguous split: parts cover 0..p-1 exactly
+// once, in order, with sizes differing by at most one.
+func TestPartBounds(t *testing.T) {
+	for _, tc := range []struct{ p, nparts int }{{4, 2}, {5, 2}, {7, 3}, {3, 3}, {8, 4}} {
+		next := 0
+		for rank := 0; rank < tc.nparts; rank++ {
+			lo, hi := PartBounds(tc.p, tc.nparts, rank)
+			if lo != next {
+				t.Fatalf("p=%d nparts=%d rank=%d: lo=%d, want %d", tc.p, tc.nparts, rank, lo, next)
+			}
+			if sz := hi - lo; sz < tc.p/tc.nparts || sz > tc.p/tc.nparts+1 {
+				t.Fatalf("p=%d nparts=%d rank=%d: size %d not balanced", tc.p, tc.nparts, rank, sz)
+			}
+			next = hi
+		}
+		if next != tc.p {
+			t.Fatalf("p=%d nparts=%d: parts cover %d procs", tc.p, tc.nparts, next)
+		}
+	}
+}
