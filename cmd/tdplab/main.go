@@ -101,7 +101,7 @@ func main() {
 		return
 	}
 	if args[0] == "bench" {
-		out := "BENCH_pr9.json"
+		out := "BENCH_pr10.json"
 		if len(args) == 2 {
 			out = args[1]
 		} else if len(args) > 2 {
@@ -199,8 +199,10 @@ usage:
                                      over loopback TCP — and verify the fields are
                                      bit-identical
   tdplab bench [out.json]            measure the transport seam (E29: in-process switch
-                                     vs gob/TCP loopback on the block-transfer workload)
-                                     and write the numbers as JSON (default BENCH_pr9.json)`)
+                                     vs the PR-9 star wire) and the fast-wire layers
+                                     (E30: star vs mesh vs mesh+batch at 2 and 3 parts,
+                                     block transfer + redistribution) and write the
+                                     numbers as JSON (default BENCH_pr10.json)`)
 }
 
 // runNet executes the coupled climate example on a single-process
@@ -271,10 +273,15 @@ func runNet(w *os.File) error {
 	return nil
 }
 
-// runBench measures the transport seam (E29) and writes the numbers as
-// a JSON artifact for cross-commit comparison.
+// runBench measures the transport seam (E29, pinned to the PR-9 wire)
+// and the fast-wire layers (E30: star vs mesh vs mesh+batch) and writes
+// the numbers as a JSON artifact for cross-commit comparison.
 func runBench(w *os.File, out string) error {
-	res, err := experiments.MeasureE29()
+	res29, err := experiments.MeasureE29()
+	if err != nil {
+		return err
+	}
+	res30, err := experiments.MeasureE30()
 	if err != nil {
 		return err
 	}
@@ -282,7 +289,8 @@ func runBench(w *os.File, out string) error {
 		PR        int                   `json:"pr"`
 		Generator string                `json:"generator"`
 		E29       experiments.E29Result `json:"E29"`
-	}{PR: 9, Generator: "tdplab bench", E29: res}
+		E30       experiments.E30Result `json:"E30"`
+	}{PR: 10, Generator: "tdplab bench", E29: res29, E30: res30}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -291,8 +299,12 @@ func runBench(w *os.File, out string) error {
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "E29 (in-proc vs TCP loopback): read %d vs %d ns/op, write %d vs %d ns/op\n",
-		res.InProc.ReadNsPerOp, res.TCP.ReadNsPerOp, res.InProc.WriteNsPerOp, res.TCP.WriteNsPerOp)
+	fmt.Fprintf(w, "E29 (in-proc vs PR-9 star wire): read %d vs %d ns/op, write %d vs %d ns/op\n",
+		res29.InProc.ReadNsPerOp, res29.TCP.ReadNsPerOp, res29.InProc.WriteNsPerOp, res29.TCP.WriteNsPerOp)
+	for _, sh := range res30.Shapes {
+		fmt.Fprintf(w, "E30 %d parts: mesh+batch vs star read %.2fx, write %.2fx\n",
+			sh.NParts, sh.ReadSpeedup, sh.WriteSpeedup)
+	}
 	fmt.Fprintf(w, "wrote %s\n", out)
 	return nil
 }

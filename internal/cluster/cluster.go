@@ -1,5 +1,5 @@
 // Package cluster boots one logical P-processor machine across several
-// real OS processes ("parts") joined by the gob/TCP transport. Part 0
+// real OS processes ("parts") joined by the TCP transport. Part 0
 // (the driver) listens and runs the task-parallel program; worker parts
 // dial in, boot the same core.Machine partitioned onto their processor
 // slice, and park in their serve loops until the driver says bye.
@@ -11,6 +11,15 @@
 // register callback — run on every part before traffic starts — is
 // where programs are registered and call policies installed, keeping
 // the two sides symmetric by construction.
+//
+// The transport defaults to its production mode (mesh topology, frame
+// batching, binary codec). The Config knobs Star/NoBatch/Gob each turn
+// one optimization off — the driver passes them to its own transport
+// and forwards them to every spawned worker, so the whole machine
+// always runs one mode. Worker mesh listen addresses default to
+// loopback ephemeral ports; explicit per-worker addresses (real remote
+// hosts, or loopback aliases in tests) come from Config.WorkerAddrs,
+// the TDP_CLUSTER_ADDRS environment variable, or a SpawnWorkers option.
 package cluster
 
 import (
@@ -28,8 +37,15 @@ import (
 )
 
 // WorkerEnv is the environment variable carrying a worker's role:
-// "P=<procs>;NPARTS=<parts>;RANK=<rank>;ADDR=<host:port>".
+// "P=<procs>;NPARTS=<parts>;RANK=<rank>;ADDR=<host:port>" plus the
+// optional mode fields "STAR=1;NOBATCH=1;GOB=1;MADDR=<host:port>".
 const WorkerEnv = "TDP_CLUSTER_WORKER"
+
+// AddrsEnv optionally lists explicit worker mesh listen addresses,
+// comma-separated in worker-rank order (first entry = rank 1). Empty
+// entries keep the loopback-ephemeral default. Read by StartDriver when
+// Config.WorkerAddrs is unset.
+const AddrsEnv = "TDP_CLUSTER_ADDRS"
 
 // Config describes one part's view of the cluster.
 type Config struct {
@@ -37,6 +53,20 @@ type Config struct {
 	NParts int    // OS processes
 	Rank   int    // this part (0 = driver)
 	Addr   string // driver listen address; "" = 127.0.0.1:0 (driver only)
+
+	// Transport mode. The zero value is the production default (mesh +
+	// batching + binary codec); each knob disables one optimization,
+	// and Star+NoBatch+Gob together reproduce the PR-9 wire.
+	Star    bool // relay all worker↔worker traffic through part 0
+	NoBatch bool // flush every frame synchronously under the peer mutex
+	Gob     bool // gob-encode every payload (no binary fast paths)
+
+	// MeshAddr is this worker's mesh listen address (workers only;
+	// "" = 127.0.0.1:0). Set from MADDR by WorkerConfig.
+	MeshAddr string
+	// WorkerAddrs lists per-worker mesh listen addresses in rank order
+	// (entry 0 = rank 1), driver only; nil falls back to AddrsEnv.
+	WorkerAddrs []string
 }
 
 func (c Config) check() error {
@@ -47,6 +77,19 @@ func (c Config) check() error {
 		return fmt.Errorf("cluster: rank %d out of range (nparts=%d)", c.Rank, c.NParts)
 	}
 	return nil
+}
+
+// transportOptions maps the config's mode knobs to transport options.
+func (c Config) transportOptions() []msgnet.Option {
+	opts := []msgnet.Option{
+		msgnet.WithMesh(!c.Star),
+		msgnet.WithBatch(!c.NoBatch),
+		msgnet.WithForceGob(c.Gob),
+	}
+	if c.MeshAddr != "" {
+		opts = append(opts, msgnet.WithMeshAddr(c.MeshAddr))
+	}
+	return opts
 }
 
 // callBase gives each part a disjoint call-id space (see
@@ -74,7 +117,12 @@ func StartDriver(cfg Config, register func(*core.Machine) error) (*Node, error) 
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	tr, err := msgnet.Listen(addr, cfg.P, cfg.NParts)
+	if cfg.WorkerAddrs == nil {
+		if v := os.Getenv(AddrsEnv); v != "" {
+			cfg.WorkerAddrs = strings.Split(v, ",")
+		}
+	}
+	tr, err := msgnet.Listen(addr, cfg.P, cfg.NParts, cfg.transportOptions()...)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +145,8 @@ func StartDriver(cfg Config, register func(*core.Machine) error) (*Node, error) 
 // Addr returns the rendezvous address workers dial.
 func (n *Node) Addr() string { return n.Cfg.Addr }
 
-// WaitPeers blocks until every worker part is connected (driver only).
+// WaitPeers blocks until every worker part is connected — and, in mesh
+// mode, every worker-pair link established — (driver only).
 func (n *Node) WaitPeers(timeout time.Duration) error { return n.Tr.WaitPeers(timeout) }
 
 // Kill fail-stops processor proc machine-wide: applied locally and
@@ -129,21 +178,65 @@ func EnableSelfSpawn() { selfSpawn.Store(true) }
 // SelfSpawnEnabled reports whether EnableSelfSpawn has been called.
 func SelfSpawnEnabled() bool { return selfSpawn.Load() }
 
+// SpawnOption tunes SpawnWorkers.
+type SpawnOption func(*spawnOptions)
+
+type spawnOptions struct {
+	addrs []string
+}
+
+// WithWorkerAddrs sets explicit mesh listen addresses for the spawned
+// workers, in rank order (entry 0 = rank 1); empty entries keep the
+// default. Overrides Config.WorkerAddrs and TDP_CLUSTER_ADDRS.
+func WithWorkerAddrs(addrs []string) SpawnOption {
+	return func(o *spawnOptions) { o.addrs = addrs }
+}
+
+// workerEnvValue builds the WorkerEnv payload for one worker rank.
+func (n *Node) workerEnvValue(rank int, meshAddr string) string {
+	v := fmt.Sprintf("P=%d;NPARTS=%d;RANK=%d;ADDR=%s", n.Cfg.P, n.Cfg.NParts, rank, n.Cfg.Addr)
+	if n.Cfg.Star {
+		v += ";STAR=1"
+	}
+	if n.Cfg.NoBatch {
+		v += ";NOBATCH=1"
+	}
+	if n.Cfg.Gob {
+		v += ";GOB=1"
+	}
+	if meshAddr != "" {
+		v += ";MADDR=" + meshAddr
+	}
+	return v
+}
+
 // SpawnWorkers re-execs this binary once per worker rank, each with
-// WorkerEnv set to dial this driver. Workers inherit stderr for
-// diagnostics; stdout is discarded so driver output stays clean.
-func (n *Node) SpawnWorkers() error {
+// WorkerEnv set to dial this driver (carrying the transport mode and
+// any explicit mesh address). Workers inherit stderr for diagnostics;
+// stdout is discarded so driver output stays clean.
+func (n *Node) SpawnWorkers(opt ...SpawnOption) error {
 	if !SelfSpawnEnabled() {
 		return fmt.Errorf("cluster: SpawnWorkers without EnableSelfSpawn — this entry point does not handle the worker role")
+	}
+	var so spawnOptions
+	for _, f := range opt {
+		f(&so)
+	}
+	addrs := so.addrs
+	if addrs == nil {
+		addrs = n.Cfg.WorkerAddrs
 	}
 	exe, err := os.Executable()
 	if err != nil {
 		return err
 	}
 	for rank := 1; rank < n.Cfg.NParts; rank++ {
+		meshAddr := ""
+		if i := rank - 1; i < len(addrs) {
+			meshAddr = addrs[i]
+		}
 		cmd := exec.Command(exe)
-		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=P=%d;NPARTS=%d;RANK=%d;ADDR=%s",
-			WorkerEnv, n.Cfg.P, n.Cfg.NParts, rank, n.Cfg.Addr))
+		cmd.Env = append(os.Environ(), WorkerEnv+"="+n.workerEnvValue(rank, meshAddr))
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			return fmt.Errorf("cluster: spawn worker %d: %w", rank, err)
@@ -161,6 +254,13 @@ func WorkerConfig() (Config, bool) {
 	if v == "" {
 		return Config{}, false
 	}
+	cfg, _ := ParseWorkerEnv(v)
+	return cfg, true
+}
+
+// ParseWorkerEnv decodes one WorkerEnv payload. Exported for tests and
+// external launchers that assemble worker environments by hand.
+func ParseWorkerEnv(v string) (Config, error) {
 	var cfg Config
 	for _, kv := range strings.Split(v, ";") {
 		k, val, found := strings.Cut(kv, "=")
@@ -176,9 +276,17 @@ func WorkerConfig() (Config, bool) {
 			cfg.Rank, _ = strconv.Atoi(val)
 		case "ADDR":
 			cfg.Addr = val
+		case "STAR":
+			cfg.Star = val == "1"
+		case "NOBATCH":
+			cfg.NoBatch = val == "1"
+		case "GOB":
+			cfg.Gob = val == "1"
+		case "MADDR":
+			cfg.MeshAddr = val
 		}
 	}
-	return cfg, true
+	return cfg, cfg.check()
 }
 
 // RunWorker boots a worker part and blocks until the driver shuts the
@@ -192,7 +300,7 @@ func RunWorker(cfg Config, register func(*core.Machine) error) error {
 	if cfg.Rank == 0 {
 		return fmt.Errorf("cluster: RunWorker with rank 0 — use StartDriver")
 	}
-	tr, err := msgnet.Dial(cfg.Addr, cfg.P, cfg.NParts, cfg.Rank)
+	tr, err := msgnet.Dial(cfg.Addr, cfg.P, cfg.NParts, cfg.Rank, cfg.transportOptions()...)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"reflect"
 	"testing"
 	"time"
 
@@ -42,14 +43,19 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-func startCluster(t *testing.T, p, nparts int) *cluster.Node {
+func startCluster(t *testing.T, p, nparts int, opt ...cluster.SpawnOption) *cluster.Node {
 	t.Helper()
-	node, err := cluster.StartDriver(cluster.Config{P: p, NParts: nparts}, registerPart)
+	return startClusterCfg(t, cluster.Config{P: p, NParts: nparts}, opt...)
+}
+
+func startClusterCfg(t *testing.T, cfg cluster.Config, opt ...cluster.SpawnOption) *cluster.Node {
+	t.Helper()
+	node, err := cluster.StartDriver(cfg, registerPart)
 	if err != nil {
 		t.Fatalf("StartDriver: %v", err)
 	}
 	t.Cleanup(node.Close)
-	if err := node.SpawnWorkers(); err != nil {
+	if err := node.SpawnWorkers(opt...); err != nil {
 		t.Fatalf("SpawnWorkers: %v", err)
 	}
 	if err := node.WaitPeers(30 * time.Second); err != nil {
@@ -294,5 +300,100 @@ func TestKillRecoverAcrossWire(t *testing.T) {
 	}
 	if !sameBits(got, want) {
 		t.Fatalf("recovered contents differ: got %v, want %v", got, want)
+	}
+}
+
+// TestOracleThreeParts splits the machine across three OS processes —
+// the first cluster shape with genuine worker↔worker traffic (mesh
+// links, or the relay when disabled) — and requires the all-paths
+// oracle log bit-identical to in-process, in production mode and in
+// the PR-9 baseline mode.
+func TestOracleThreeParts(t *testing.T) {
+	const seed, iters = 1234, 60
+
+	inproc := core.New(6)
+	if err := registerPart(inproc); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	wantLog, err := oracleOps(inproc, seed, iters)
+	inproc.Close()
+	if err != nil {
+		t.Fatalf("in-process oracle: %v", err)
+	}
+
+	for _, mode := range []struct {
+		name string
+		cfg  cluster.Config
+	}{
+		{"mesh+batch", cluster.Config{P: 6, NParts: 3}},
+		{"star-sync-gob", cluster.Config{P: 6, NParts: 3, Star: true, NoBatch: true, Gob: true}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			node := startClusterCfg(t, mode.cfg)
+			gotLog, err := oracleOps(node.M, seed, iters)
+			if err != nil {
+				t.Fatalf("cluster oracle: %v", err)
+			}
+			if len(gotLog) != len(wantLog) || !sameBits(gotLog, wantLog) {
+				t.Fatal("three-part cluster oracle log differs from in-process log")
+			}
+		})
+	}
+}
+
+// TestWorkerAddrs pins the explicit-address plumbing end to end: the
+// spawned workers bind their mesh listeners on distinct loopback
+// aliases (the stand-in for real remote hosts) and the machine still
+// produces bit-identical results.
+func TestWorkerAddrs(t *testing.T) {
+	cfg := climate.Config{Rows: 8, Cols: 8, Steps: 4, Alpha: 0.15}
+	want := climate.RunSequential(cfg)
+
+	node := startCluster(t, 4, 3,
+		cluster.WithWorkerAddrs([]string{"127.0.0.2:0", "127.0.0.3:0"}))
+	got, err := climate.Run(node.M, cfg)
+	if err != nil {
+		t.Fatalf("cluster Run: %v", err)
+	}
+	if !sameBits(got.Ocean, want.Ocean) || !sameBits(got.Atmosphere, want.Atmosphere) {
+		t.Fatal("cluster run with explicit worker addresses differs from sequential reference")
+	}
+}
+
+// TestWorkerAddrsFromEnv is the same pin through the TDP_CLUSTER_ADDRS
+// environment variable — the path external launchers use.
+func TestWorkerAddrsFromEnv(t *testing.T) {
+	t.Setenv(cluster.AddrsEnv, "127.0.0.2:0,127.0.0.3:0")
+
+	cfg := climate.Config{Rows: 8, Cols: 8, Steps: 4, Alpha: 0.15}
+	want := climate.RunSequential(cfg)
+
+	node := startCluster(t, 4, 3)
+	if len(node.Cfg.WorkerAddrs) != 2 {
+		t.Fatalf("driver did not pick up %s: %v", cluster.AddrsEnv, node.Cfg.WorkerAddrs)
+	}
+	got, err := climate.Run(node.M, cfg)
+	if err != nil {
+		t.Fatalf("cluster Run: %v", err)
+	}
+	if !sameBits(got.Ocean, want.Ocean) || !sameBits(got.Atmosphere, want.Atmosphere) {
+		t.Fatal("cluster run with env-provided worker addresses differs from sequential reference")
+	}
+}
+
+// TestParseWorkerEnv pins the worker-env wire format: every mode knob
+// and the mesh address survive the round trip.
+func TestParseWorkerEnv(t *testing.T) {
+	cfg, err := cluster.ParseWorkerEnv("P=6;NPARTS=3;RANK=2;ADDR=127.0.0.1:9999;STAR=1;NOBATCH=1;GOB=1;MADDR=127.0.0.3:0")
+	if err != nil {
+		t.Fatalf("ParseWorkerEnv: %v", err)
+	}
+	want := cluster.Config{P: 6, NParts: 3, Rank: 2, Addr: "127.0.0.1:9999",
+		Star: true, NoBatch: true, Gob: true, MeshAddr: "127.0.0.3:0"}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("parsed config %+v, want %+v", cfg, want)
+	}
+	if _, err := cluster.ParseWorkerEnv("P=2;NPARTS=3;RANK=1;ADDR=x"); err == nil {
+		t.Fatal("ParseWorkerEnv accepted nparts > p")
 	}
 }

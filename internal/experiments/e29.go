@@ -126,7 +126,10 @@ func MeasureE29() (E29Result, error) {
 		return res, fmt.Errorf("E29 in-process leg: %w", err)
 	}
 
-	node, err := cluster.StartDriver(cluster.Config{P: e29P, NParts: 2}, nil)
+	// Pinned to the PR-9 wire (star topology, synchronous flushes, gob
+	// payloads) so this series stays comparable across commits; E30
+	// measures the same workload on the optimized transport modes.
+	node, err := cluster.StartDriver(cluster.Config{P: e29P, NParts: 2, Star: true, NoBatch: true, Gob: true}, nil)
 	if err != nil {
 		return res, fmt.Errorf("E29: start driver: %w", err)
 	}

@@ -1,0 +1,272 @@
+// E30: the fast wire measured. The E29 block-transfer workload — plus a
+// whole-array block→cyclic redistribution that generates owner↔owner
+// traffic — is driven on four transports: the in-process switch, the
+// PR-9 star wire (relay through part 0, synchronous flushes, gob
+// payloads), the mesh wire (direct worker↔worker links + binary codec,
+// no batching), and the full production wire (mesh + frame batching).
+// Every leg must produce bit-identical arrays; the numbers quantify
+// what each optimization layer buys at two and three parts.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// E30Leg is one transport mode's measured numbers on one cluster shape.
+type E30Leg struct {
+	Mode           string  `json:"mode"`
+	ReadNsPerOp    int64   `json:"read_ns_per_op"`
+	WriteNsPerOp   int64   `json:"write_ns_per_op"`
+	RedistNsPerOp  int64   `json:"redist_ns_per_op"`
+	ReadGoodputMB  float64 `json:"read_goodput_mb_per_s"`
+	WriteGoodputMB float64 `json:"write_goodput_mb_per_s"`
+}
+
+// E30Shape carries every leg for one (P, NParts) shape plus the
+// headline speedups of the production wire over the PR-9 star wire.
+type E30Shape struct {
+	P            int      `json:"procs"`
+	NParts       int      `json:"parts"`
+	Elements     int      `json:"elements"`
+	BytesPerOp   int      `json:"bytes_per_op"`
+	Iters        int      `json:"iters"`
+	RedistIters  int      `json:"redist_iters"`
+	Legs         []E30Leg `json:"legs"`
+	ReadSpeedup  float64  `json:"read_speedup_vs_star"`
+	WriteSpeedup float64  `json:"write_speedup_vs_star"`
+}
+
+// E30Result is the full experiment, JSON-ready for the bench artifact.
+type E30Result struct {
+	Workload string     `json:"workload"`
+	Shapes   []E30Shape `json:"shapes"`
+}
+
+const (
+	e30PerOwner    = 256
+	e30Iters       = 300
+	e30RedistIters = 100
+)
+
+// e30Mode maps a leg name to the cluster transport knobs (nil config
+// selection = in-process, no cluster).
+type e30Mode struct {
+	name    string
+	inproc  bool
+	star    bool
+	noBatch bool
+	gob     bool
+}
+
+var e30Modes = []e30Mode{
+	{name: "inproc", inproc: true},
+	{name: "star-gob", star: true, noBatch: true, gob: true}, // the PR-9 wire
+	{name: "mesh", noBatch: true},                            // direct links + binary codec
+	{name: "mesh+batch"},                                     // production default
+}
+
+// e30Measure drives the block-transfer + redistribution workload on one
+// machine and returns the measured leg plus final snapshots of both
+// arrays for cross-checking.
+func e30Measure(m *core.Machine, p int, mode string) (E30Leg, []float64, error) {
+	n := p * e30PerOwner
+	bytes := 8 * n
+	a, err := m.NewArray(core.ArraySpec{Dims: []int{n}})
+	if err != nil {
+		return E30Leg{}, nil, err
+	}
+	defer a.Free()
+	c, err := m.NewArray(core.ArraySpec{
+		Dims:    []int{n},
+		Distrib: []grid.Decomp{grid.CyclicDefault()},
+	})
+	if err != nil {
+		return E30Leg{}, nil, err
+	}
+	defer c.Free()
+	if err := a.Fill(func(idx []int) float64 { return float64(idx[0]) / 3 }); err != nil {
+		return E30Leg{}, nil, err
+	}
+	lo, hi := []int{0}, []int{n}
+	buf := make([]float64, n)
+	wvals := make([]float64, n)
+	for i := range wvals {
+		wvals[i] = float64(i) / 7
+	}
+
+	for i := 0; i < 20; i++ { // warm both directions: pools, sockets, codecs
+		if err := a.ReadBlockInto(lo, hi, buf); err != nil {
+			return E30Leg{}, nil, err
+		}
+		if err := a.WriteBlock(lo, hi, wvals); err != nil {
+			return E30Leg{}, nil, err
+		}
+		if err := c.RedistributeFrom(a, lo, hi); err != nil {
+			return E30Leg{}, nil, err
+		}
+	}
+
+	t0 := time.Now()
+	for i := 0; i < e30Iters; i++ {
+		if err := a.ReadBlockInto(lo, hi, buf); err != nil {
+			return E30Leg{}, nil, err
+		}
+	}
+	readDur := time.Since(t0)
+
+	t0 = time.Now()
+	for i := 0; i < e30Iters; i++ {
+		if err := a.WriteBlock(lo, hi, wvals); err != nil {
+			return E30Leg{}, nil, err
+		}
+	}
+	writeDur := time.Since(t0)
+
+	t0 = time.Now()
+	for i := 0; i < e30RedistIters; i++ {
+		if err := c.RedistributeFrom(a, lo, hi); err != nil {
+			return E30Leg{}, nil, err
+		}
+	}
+	redistDur := time.Since(t0)
+
+	snapA, err := a.Snapshot()
+	if err != nil {
+		return E30Leg{}, nil, err
+	}
+	snapC, err := c.Snapshot()
+	if err != nil {
+		return E30Leg{}, nil, err
+	}
+	leg := E30Leg{
+		Mode:           mode,
+		ReadNsPerOp:    readDur.Nanoseconds() / e30Iters,
+		WriteNsPerOp:   writeDur.Nanoseconds() / e30Iters,
+		RedistNsPerOp:  redistDur.Nanoseconds() / e30RedistIters,
+		ReadGoodputMB:  float64(bytes) * e30Iters / readDur.Seconds() / 1e6,
+		WriteGoodputMB: float64(bytes) * e30Iters / writeDur.Seconds() / 1e6,
+	}
+	return leg, append(snapA, snapC...), nil
+}
+
+// e30RunShape measures every mode on one (P, NParts) shape and
+// cross-checks all snapshots bit for bit.
+func e30RunShape(p, nparts int) (E30Shape, error) {
+	shape := E30Shape{
+		P:           p,
+		NParts:      nparts,
+		Elements:    p * e30PerOwner,
+		BytesPerOp:  8 * p * e30PerOwner,
+		Iters:       e30Iters,
+		RedistIters: e30RedistIters,
+	}
+	var ref []float64
+	for _, mode := range e30Modes {
+		var (
+			leg  E30Leg
+			snap []float64
+			err  error
+		)
+		if mode.inproc {
+			m := core.New(p)
+			leg, snap, err = e30Measure(m, p, mode.name)
+			m.Close()
+		} else {
+			var node *cluster.Node
+			node, err = cluster.StartDriver(cluster.Config{
+				P: p, NParts: nparts,
+				Star: mode.star, NoBatch: mode.noBatch, Gob: mode.gob,
+			}, nil)
+			if err != nil {
+				return shape, fmt.Errorf("E30 %s: start driver: %w", mode.name, err)
+			}
+			if err = node.SpawnWorkers(); err != nil {
+				node.Close()
+				return shape, fmt.Errorf("E30 %s: spawn workers: %w", mode.name, err)
+			}
+			if err = node.WaitPeers(30 * time.Second); err != nil {
+				node.Close()
+				return shape, fmt.Errorf("E30 %s: %w", mode.name, err)
+			}
+			leg, snap, err = e30Measure(node.M, p, mode.name)
+			node.Close()
+		}
+		if err != nil {
+			return shape, fmt.Errorf("E30 %s leg: %w", mode.name, err)
+		}
+		if ref == nil {
+			ref = snap
+		} else {
+			if len(snap) != len(ref) {
+				return shape, fmt.Errorf("E30 %s: snapshot length %d, want %d", mode.name, len(snap), len(ref))
+			}
+			for i := range snap {
+				if math.Float64bits(snap[i]) != math.Float64bits(ref[i]) {
+					return shape, fmt.Errorf("E30 %s: element %d differs: %v vs %v", mode.name, i, snap[i], ref[i])
+				}
+			}
+		}
+		shape.Legs = append(shape.Legs, leg)
+	}
+	star, batch := shape.Legs[1], shape.Legs[3]
+	shape.ReadSpeedup = batch.ReadGoodputMB / star.ReadGoodputMB
+	shape.WriteSpeedup = batch.WriteGoodputMB / star.WriteGoodputMB
+	return shape, nil
+}
+
+// MeasureE30 runs every transport mode at two and three parts. It
+// requires a worker-capable entry point (cluster.EnableSelfSpawn): the
+// cluster legs spawn further OS processes of this same binary.
+func MeasureE30() (E30Result, error) {
+	res := E30Result{
+		Workload: "whole-array ReadBlockInto/WriteBlock (1-D block) + whole-array block→cyclic RedistributeFrom",
+	}
+	if !cluster.SelfSpawnEnabled() {
+		return res, fmt.Errorf("E30: requires a worker-capable binary (run through tdplab, whose entry point handles the cluster worker role)")
+	}
+	for _, sh := range [][2]int{{4, 2}, {6, 3}} {
+		shape, err := e30RunShape(sh[0], sh[1])
+		if err != nil {
+			return res, err
+		}
+		res.Shapes = append(res.Shapes, shape)
+	}
+	return res, nil
+}
+
+// E30FastWire is the experiment wrapper: measure every mode, cross-check
+// bit-for-bit, report per-layer gains. Outside a worker-capable binary
+// it explains how to run it and succeeds vacuously, so
+// `go test ./internal/experiments` stays green.
+func E30FastWire(w io.Writer) error {
+	fmt.Fprintln(w, "E30 fast wire: in-process vs star(PR-9) vs mesh vs mesh+batch, block transfer + redistribution")
+	if !cluster.SelfSpawnEnabled() {
+		fmt.Fprintln(w, "  skipped: requires a worker-capable binary; run `tdplab E30` (its entry point handles the cluster worker role)")
+		return nil
+	}
+	res, err := MeasureE30()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  workload: %s\n", res.Workload)
+	for _, sh := range res.Shapes {
+		fmt.Fprintf(w, "  P=%d across %d parts; %d elements (%d bytes/op), %d read/write iters, %d redist iters\n",
+			sh.P, sh.NParts, sh.Elements, sh.BytesPerOp, sh.Iters, sh.RedistIters)
+		fmt.Fprintf(w, "    %-12s %12s %12s %12s %10s %10s\n",
+			"mode", "read ns/op", "write ns/op", "redist ns/op", "read MB/s", "write MB/s")
+		for _, l := range sh.Legs {
+			fmt.Fprintf(w, "    %-12s %12d %12d %12d %10.1f %10.1f\n",
+				l.Mode, l.ReadNsPerOp, l.WriteNsPerOp, l.RedistNsPerOp, l.ReadGoodputMB, l.WriteGoodputMB)
+		}
+		fmt.Fprintf(w, "    mesh+batch vs star-gob: read %.2fx, write %.2fx; arrays bit-identical across all modes\n",
+			sh.ReadSpeedup, sh.WriteSpeedup)
+	}
+	return nil
+}

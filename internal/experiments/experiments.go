@@ -71,6 +71,7 @@ func All() []Experiment {
 		{"E27", "robustness", "Goodput vs drop probability under the fault plane", E27GoodputUnderDrops},
 		{"E28", "robustness", "Replication write overhead and time-to-recover after a kill", E28ReplicationRecovery},
 		{"E29", "transport", "In-process switch vs gob/TCP loopback on the block-transfer workload", E29Transport},
+		{"E30", "transport", "Fast wire: star vs mesh vs mesh+batch on block transfer and redistribution", E30FastWire},
 	}
 }
 

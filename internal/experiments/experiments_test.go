@@ -43,8 +43,8 @@ func TestAllHaveDistinctIDs(t *testing.T) {
 			t.Fatalf("incomplete experiment %+v", e)
 		}
 	}
-	if len(seen) != 25 {
-		t.Fatalf("%d experiments, want 25", len(seen))
+	if len(seen) != 26 {
+		t.Fatalf("%d experiments, want 26", len(seen))
 	}
 }
 

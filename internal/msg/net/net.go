@@ -1,47 +1,73 @@
-// Package net implements msg.Transport over gob-encoded TCP: the wire
-// that turns the single-process machine into a set of cooperating OS
-// processes ("parts"), each hosting a contiguous slice of the P virtual
+// Package net implements msg.Transport over TCP: the wire that turns
+// the single-process machine into a set of cooperating OS processes
+// ("parts"), each hosting a contiguous slice of the P virtual
 // processors.
 //
-// Topology is a star: part 0 listens, every other part dials it, and
-// frames between two worker parts are relayed through part 0. One TCP
-// connection per worker keeps the port story trivial (one listening
-// socket for the whole machine, so spawned workers need only part 0's
-// address) and preserves the mailbox ordering contract: delivery
-// between a fixed (src, dst) pair stays FIFO because every frame of
-// that pair follows the same single path, and TCP neither drops nor
-// duplicates. Latency and loss are real, not modeled — the fault plane
-// and SetLatency stay in-process tools.
+// # Topology
 //
-// Payload encoding is gob with interface-typed data: every concrete
-// payload type that crosses the wire must be registered (gob.Register)
-// in both processes. Since every part runs the same binary, package
-// init-time registration (this package registers the builtin slice
-// payloads; arraymgr and dcall register their envelope structs) keeps
-// the two sides agreeing by construction. Send gob-encodes the payload
-// synchronously before returning, which is the deep-copy-at-the-seam
-// contract of msg.Transport: the caller may recycle a pooled buffer the
-// moment Send returns, and the receiver still sees the pre-mutation
-// bytes.
+// Bootstrap is a star: part 0 listens, every other part dials it, and
+// by default the star is then upgraded to a mesh. Each worker opens its
+// own mesh listening socket before dialing part 0 and advertises the
+// bound address in its hello; once every worker has said hello, part 0
+// publishes the directory (rank -> mesh address) to all workers, and
+// each worker dials every lower-ranked worker directly (higher dials
+// lower, so each pair establishes exactly one connection). A worker
+// reports mesh-ready to part 0 after all its outgoing dials have
+// resolved — succeeded or refused — and part 0's WaitPeers returns only
+// after every hello AND every mesh-ready, so all direct links exist
+// before traffic starts.
+//
+// Worker pairs whose direct link is missing (mesh disabled, dial
+// refused, or an unreachable advertised address) fall back to the PR-9
+// star relay through part 0. Routes are sticky: the first send to a
+// part latches direct-or-relay for that destination, so every frame of
+// a (src, dst) pair follows one path forever and delivery stays FIFO —
+// TCP neither drops nor duplicates, and a single path cannot reorder.
+//
+// # Framing and encoding
+//
+// Every frame is `uvarint body length | body`, body[0] the frame kind.
+// Message payloads are encoded by internal/msg/wire: a typed binary
+// fast path for the dominant shapes ([]float64 slabs, offset vectors,
+// registered protocol structs) with gob as the self-describing
+// fallback — so every concrete payload type that crosses the wire must
+// either have a wire.Codec or be gob.Register'd in both processes.
+// Since every part runs the same binary, package init-time
+// registration keeps the two sides agreeing by construction.
+//
+// Send encodes the payload into a pooled buffer synchronously before
+// returning, which is the deep-copy-at-the-seam contract of
+// msg.Transport: the caller may recycle a pooled buffer the moment
+// Send returns, and the receiver still sees the pre-mutation bytes.
+// That one encode is the only copy — ownership of the encoded frame
+// passes to the connection's writer goroutine (batch mode), which
+// coalesces all queued frames into one flush per wakeup, turning N
+// syscalls under load into ~1. With batching off, Send writes and
+// flushes under the peer mutex (one syscall per frame, PR-9 style).
+//
+// Latency and loss are real, not modeled — the fault plane and
+// SetLatency stay in-process tools.
 package net
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/msg"
+	"repro/internal/msg/wire"
 )
 
 func init() {
 	// The builtin payload shapes of the data-parallel plane (spmd sends,
-	// halo slabs, reduction vectors). Protocol-specific envelopes are
-	// registered by their own packages.
+	// halo slabs, reduction vectors), registered for the gob fallback.
+	// Protocol-specific envelopes are registered by their own packages.
 	gob.Register([]float64(nil))
 	gob.Register([][]float64(nil))
 	gob.Register([]int(nil))
@@ -52,70 +78,310 @@ func init() {
 	gob.Register(false)
 }
 
-// Frame kinds.
+// Frame kinds (body[0]).
 const (
-	frameHello = iota + 1 // worker -> part 0: here is my rank
-	frameMsg              // one routed message
-	frameKill             // kill notice/command for one processor, flooded
-	frameBye              // orderly shutdown: part 0 -> workers
+	frameHello       = 1 // worker -> part 0: rank + advertised mesh address
+	frameMsg         = 2 // one routed message
+	frameKill        = 3 // kill notice/command for one processor, flooded
+	frameBye         = 4 // orderly shutdown: part 0 -> workers
+	frameDir         = 5 // part 0 -> workers: the mesh directory
+	frameMeshHello   = 6 // dialing worker -> accepting worker: my rank
+	frameMeshWelcome = 7 // accepting worker -> dialing worker: ack + my rank
+	frameMeshReady   = 8 // worker -> part 0: all my mesh dials resolved
 )
 
-// frame is the unit of the wire protocol. Exported fields only: gob.
-type frame struct {
-	Kind int
-	Rank int // frameHello: sender's part rank
-	Proc int // frameKill: the killed processor
-	// frameMsg fields: the msg.Message, flattened.
-	Src, Dst int
-	Class    uint8
-	Call     uint64
-	MsgKind  int
-	Data     any
+const (
+	maxFrame     = 1 << 30   // corrupt-stream guard on decoded frame lengths
+	maxPooledBuf = 1 << 20   // buffers above this return to the GC, not the pool
+	batchBytes   = 256 << 10 // writer flushes mid-batch past this many bytes
+	meshDialWait = 10 * time.Second
+	byeDrainWait = 2 * time.Second
+)
+
+// bufPool recycles frame buffers across sends and receives.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getBuf() []byte { return (*bufPool.Get().(*[]byte))[:0] }
+
+func getBufN(n int) []byte {
+	b := getBuf()
+	if cap(b) < n {
+		putBuf(b)
+		return make([]byte, n)
+	}
+	return b[:n]
 }
 
-// peer is one live connection with a serialized gob encoder. Encoding
-// under the lock is what makes Transport.Send capture payloads before
-// returning.
+func putBuf(b []byte) {
+	if b == nil || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// Options tune one part's side of the wire. The zero value of each
+// knob is overridden by defaults(): production runs mesh + batching
+// with the binary codec.
+type Options struct {
+	Mesh        bool          // upgrade the star to direct worker links
+	Batch       bool          // per-peer writer goroutines that coalesce flushes
+	ForceGob    bool          // route every payload through the gob fallback
+	FlushWindow time.Duration // optional linger before flushing a non-full batch
+	MeshAddr    string        // workers: mesh listen address (host:port, port may be 0)
+}
+
+// Option mutates Options; pass to Listen/Dial.
+type Option func(*Options)
+
+func defaults() Options {
+	return Options{Mesh: true, Batch: true, MeshAddr: "127.0.0.1:0"}
+}
+
+func buildOptions(opt []Option) Options {
+	o := defaults()
+	for _, f := range opt {
+		f(&o)
+	}
+	return o
+}
+
+// WithMesh enables or disables the mesh upgrade (default on).
+func WithMesh(on bool) Option { return func(o *Options) { o.Mesh = on } }
+
+// WithBatch enables or disables writer-goroutine batching (default on).
+func WithBatch(on bool) Option { return func(o *Options) { o.Batch = on } }
+
+// WithForceGob forces every payload through the gob fallback instead of
+// the binary fast paths — the PR-9 encoding, kept for baselines.
+func WithForceGob(on bool) Option { return func(o *Options) { o.ForceGob = on } }
+
+// WithFlushWindow sets a linger: after writing a non-full batch the
+// writer waits up to d for more frames before paying the flush syscall.
+// Zero (the default) flushes as soon as the queue is empty.
+func WithFlushWindow(d time.Duration) Option { return func(o *Options) { o.FlushWindow = d } }
+
+// WithMeshAddr sets the worker's mesh listen address. The advertised
+// directory entry is the bound address, so the host part must be
+// reachable from the other workers. Default 127.0.0.1:0.
+func WithMeshAddr(addr string) Option { return func(o *Options) { o.MeshAddr = addr } }
+
+// outFrame is one unit of a peer's outbound queue: either an encoded
+// frame whose buffer the writer now owns, or a barrier (flush the
+// connection, then close the channel).
+type outFrame struct {
+	body    []byte
+	barrier chan struct{}
+}
+
+// peer is one live connection. In batch mode a dedicated writer
+// goroutine owns bw and drains q; otherwise writes happen under mu,
+// one flush per frame.
 type peer struct {
-	mu   sync.Mutex
+	rank int
 	conn net.Conn
+	br   *bufio.Reader
 	bw   *bufio.Writer
-	enc  *gob.Encoder
+	dead atomic.Bool
+
+	mu sync.Mutex // sync path (q == nil): serializes write+flush
+
+	q        chan outFrame // batch path; nil in sync mode
+	quit     chan struct{}
+	quitOnce sync.Once
 }
 
-func newPeer(conn net.Conn) *peer {
-	bw := bufio.NewWriter(conn)
-	return &peer{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+// newPeer builds one connection's state. batch decides the write path
+// up front — q must exist before the peer is published to other
+// goroutines, the writer itself starts later (startPeer), once the
+// handshake frames are on the wire.
+func newPeer(conn net.Conn, rank int, batch bool) *peer {
+	p := &peer{
+		rank: rank,
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		quit: make(chan struct{}),
+	}
+	if batch {
+		p.q = make(chan outFrame, 256)
+	}
+	return p
 }
 
-func (p *peer) send(f *frame) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.enc.Encode(f); err != nil {
+// writeFrame appends the length prefix and body to the buffered writer.
+// Callers own the flush.
+func (p *peer) writeFrame(body []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := p.bw.Write(hdr[:n]); err != nil {
 		return err
 	}
-	return p.bw.Flush()
+	_, err := p.bw.Write(body)
+	return err
 }
 
-// Transport is the gob/TCP implementation of msg.Transport for one part.
+// post hands one encoded frame to the connection; ownership of body
+// transfers (it is recycled or written by this side). In batch mode
+// the frame is enqueued for the writer; in sync mode it is written and
+// flushed before returning. A dead or closing peer eats frames
+// silently — fail-stop connections behave like dead processors.
+func (p *peer) post(body []byte) error {
+	if p.q == nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.dead.Load() {
+			putBuf(body)
+			return nil
+		}
+		err := p.writeFrame(body)
+		putBuf(body)
+		if err == nil {
+			err = p.bw.Flush()
+		}
+		if err != nil {
+			p.dead.Store(true)
+			return err
+		}
+		return nil
+	}
+	if p.dead.Load() {
+		putBuf(body)
+		return nil
+	}
+	select {
+	case p.q <- outFrame{body: body}:
+		return nil
+	case <-p.quit:
+		putBuf(body)
+		return nil
+	}
+}
+
+// barrier waits (bounded) until every frame enqueued before it has
+// been flushed to the socket. Sync mode flushes per frame, so it is a
+// no-op there.
+func (p *peer) barrier(timeout time.Duration) {
+	if p.q == nil {
+		return
+	}
+	ch := make(chan struct{})
+	select {
+	case p.q <- outFrame{barrier: ch}:
+		select {
+		case <-ch:
+		case <-time.After(timeout):
+		case <-p.quit:
+		}
+	case <-p.quit:
+	}
+}
+
+// writeLoop is the batch-mode writer: block for one frame, then keep
+// writing until the queue runs dry (optionally lingering flushWindow
+// for stragglers), then flush once. Under load this coalesces many
+// frames per syscall; idle, it degenerates to write+flush per frame.
+func (p *peer) writeLoop(flushWindow time.Duration) {
+	var timer *time.Timer
+	flush := func() {
+		if !p.dead.Load() {
+			if err := p.bw.Flush(); err != nil {
+				p.dead.Store(true)
+			}
+		}
+	}
+	for {
+		var of outFrame
+		select {
+		case of = <-p.q:
+		case <-p.quit:
+			flush()
+			return
+		}
+		batched := 0
+		for {
+			if of.barrier != nil {
+				flush()
+				batched = 0
+				close(of.barrier)
+			} else {
+				if !p.dead.Load() {
+					if err := p.writeFrame(of.body); err != nil {
+						p.dead.Store(true)
+					} else {
+						batched += len(of.body)
+					}
+				}
+				putBuf(of.body)
+				if batched >= batchBytes {
+					flush()
+					batched = 0
+				}
+			}
+			select {
+			case of = <-p.q:
+				continue
+			default:
+			}
+			if flushWindow > 0 && batched > 0 {
+				if timer == nil {
+					timer = time.NewTimer(flushWindow)
+				} else {
+					timer.Reset(flushWindow)
+				}
+				select {
+				case of = <-p.q:
+					if !timer.Stop() {
+						<-timer.C
+					}
+					continue
+				case <-timer.C:
+				case <-p.quit:
+					if !timer.Stop() {
+						<-timer.C
+					}
+					flush()
+					return
+				}
+			}
+			break
+		}
+		flush()
+	}
+}
+
+// shutdown stops the writer (if any) and closes the socket. Idempotent.
+func (p *peer) shutdown() {
+	p.quitOnce.Do(func() { close(p.quit) })
+	p.conn.Close()
+}
+
+// Transport is the TCP implementation of msg.Transport for one part.
 type Transport struct {
 	p, nparts, rank int
 	owner           []int // proc -> hosting part rank
+	opts            Options
 
 	router   *msg.Router
 	attached chan struct{}
 
-	ln net.Listener // part 0 only
+	ln     net.Listener // part 0 only
+	meshLn net.Listener // workers with mesh enabled
 
-	mu    sync.Mutex
-	peers map[int]*peer // part rank -> connection (workers: only rank 0)
+	mu       sync.Mutex
+	peers    map[int]*peer // part rank -> connection
+	dir      []string      // part 0: rank -> advertised mesh address
+	meshAcks int           // part 0: workers whose mesh dials resolved
+	dirSent  bool
+
+	routes []atomic.Pointer[peer] // sticky per-destination-part route
 
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
 	readyMu sync.Mutex
-	ready   chan struct{} // part 0: closed when all workers said hello
+	ready   chan struct{} // part 0: closed when the machine is fully wired
 }
 
 // PartBounds returns the processor interval [lo, hi) hosted by one part
@@ -151,12 +417,15 @@ func ownerMap(p, nparts int) []int {
 	return owner
 }
 
-func newTransport(p, nparts, rank int) *Transport {
+func newTransport(p, nparts, rank int, opts Options) *Transport {
 	return &Transport{
 		p: p, nparts: nparts, rank: rank,
 		owner:    ownerMap(p, nparts),
+		opts:     opts,
 		attached: make(chan struct{}),
 		peers:    make(map[int]*peer),
+		dir:      make([]string, nparts),
+		routes:   make([]atomic.Pointer[peer], nparts),
 		done:     make(chan struct{}),
 		ready:    make(chan struct{}),
 	}
@@ -166,11 +435,11 @@ func newTransport(p, nparts, rank int) *Transport {
 // workers dial. addr may use port 0; Addr reports the bound address to
 // hand to spawned workers. Call Attach once the router exists, then
 // WaitPeers before starting traffic.
-func Listen(addr string, p, nparts int) (*Transport, error) {
+func Listen(addr string, p, nparts int, opt ...Option) (*Transport, error) {
 	if nparts < 2 {
 		return nil, fmt.Errorf("msgnet: need at least 2 parts, got %d", nparts)
 	}
-	t := newTransport(p, nparts, 0)
+	t := newTransport(p, nparts, 0, buildOptions(opt))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -181,28 +450,95 @@ func Listen(addr string, p, nparts int) (*Transport, error) {
 	return t, nil
 }
 
-// Dial starts a worker part's side of the wire: one connection to part 0.
-func Dial(addr string, p, nparts, rank int) (*Transport, error) {
+// Dial starts a worker part's side of the wire: a mesh listening socket
+// (unless mesh is disabled) plus one connection to part 0.
+func Dial(addr string, p, nparts, rank int, opt ...Option) (*Transport, error) {
 	if rank <= 0 || rank >= nparts {
 		return nil, fmt.Errorf("msgnet: worker rank %d out of range (nparts=%d)", rank, nparts)
 	}
-	t := newTransport(p, nparts, rank)
+	t := newTransport(p, nparts, rank, buildOptions(opt))
+	advertise := ""
+	if t.opts.Mesh {
+		ln, err := net.Listen("tcp", t.opts.MeshAddr)
+		if err != nil {
+			return nil, fmt.Errorf("msgnet: mesh listen %s: %w", t.opts.MeshAddr, err)
+		}
+		t.meshLn = ln
+		advertise = ln.Addr().String()
+		t.wg.Add(1)
+		go t.meshAcceptLoop()
+	}
 	conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
 	if err != nil {
+		if t.meshLn != nil {
+			t.meshLn.Close()
+		}
 		return nil, err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	pr := newPeer(conn)
-	if err := pr.send(&frame{Kind: frameHello, Rank: rank}); err != nil {
+	pr := newPeer(conn, 0, t.opts.Batch)
+	hello := getBuf()
+	hello = append(hello, frameHello)
+	hello = wire.AppendUvarint(hello, uint64(rank))
+	hello = wire.AppendString(hello, advertise)
+	err = rawWriteFrame(conn, hello)
+	putBuf(hello)
+	if err != nil {
 		conn.Close()
+		if t.meshLn != nil {
+			t.meshLn.Close()
+		}
 		return nil, err
 	}
+	t.mu.Lock()
 	t.peers[0] = pr
+	t.mu.Unlock()
+	t.startPeer(pr)
 	t.wg.Add(1)
 	go t.readLoop(0, pr)
 	return t, nil
+}
+
+// rawWriteFrame writes one whole frame directly to the socket —
+// handshake frames only, before the peer's writer exists.
+func rawWriteFrame(conn net.Conn, body []byte) error {
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(body))
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	buf = append(buf, body...)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// readRawFrame reads one length-prefixed frame body into a pooled
+// buffer the caller owns.
+func readRawFrame(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("msgnet: oversized frame (%d bytes)", n)
+	}
+	body := getBufN(int(n))
+	if _, err := io.ReadFull(br, body); err != nil {
+		putBuf(body)
+		return nil, err
+	}
+	return body, nil
+}
+
+// startPeer launches the batch writer for a fully-handshaken peer.
+func (t *Transport) startPeer(pr *peer) {
+	if pr.q == nil {
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		pr.writeLoop(t.opts.FlushWindow)
+	}()
 }
 
 // Addr returns the listening address (part 0 only).
@@ -221,9 +557,11 @@ func (t *Transport) Attach(r *msg.Router) {
 	close(t.attached)
 }
 
-// WaitPeers blocks until every worker part has said hello (part 0), or
-// until the timeout. Workers return immediately: their single peer is
-// connected by construction.
+// WaitPeers blocks until the machine is fully wired (part 0): every
+// worker said hello and — when mesh is on — every worker reported its
+// mesh dials resolved, so every direct link that will ever exist
+// already does and sticky routes latch the fast path. Workers return
+// immediately: their connections are established by construction.
 func (t *Transport) WaitPeers(timeout time.Duration) error {
 	if t.rank != 0 {
 		return nil
@@ -234,7 +572,7 @@ func (t *Transport) WaitPeers(timeout time.Duration) error {
 	case <-t.done:
 		return fmt.Errorf("msgnet: transport closed before all parts connected")
 	case <-time.After(timeout):
-		return fmt.Errorf("msgnet: %d part(s) did not connect within %v", t.missingPeers(), timeout)
+		return fmt.Errorf("msgnet: %d part(s) not fully wired within %v", t.missingPeers(), timeout)
 	}
 }
 
@@ -242,6 +580,16 @@ func (t *Transport) missingPeers() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.nparts - 1 - len(t.peers)
+}
+
+func (t *Transport) closeReady() {
+	t.readyMu.Lock()
+	select {
+	case <-t.ready:
+	default:
+		close(t.ready)
+	}
+	t.readyMu.Unlock()
 }
 
 func (t *Transport) acceptLoop() {
@@ -259,78 +607,265 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
+// handshake is part 0's accept path: read the worker's hello, register
+// the peer, and — once everyone is here — either publish the mesh
+// directory or (mesh off) declare the machine wired.
 func (t *Transport) handshake(conn net.Conn) {
 	defer t.wg.Done()
-	dec := gob.NewDecoder(conn)
-	var hello frame
-	if err := dec.Decode(&hello); err != nil || hello.Kind != frameHello ||
-		hello.Rank <= 0 || hello.Rank >= t.nparts {
+	pr := newPeer(conn, -1, t.opts.Batch)
+	body, err := readRawFrame(pr.br)
+	if err != nil {
 		conn.Close()
 		return
 	}
-	pr := newPeer(conn)
+	rank, meshAddr, ok := parseHello(body)
+	putBuf(body)
+	if !ok || rank <= 0 || rank >= t.nparts {
+		conn.Close()
+		return
+	}
+	pr.rank = rank
 	t.mu.Lock()
-	if _, dup := t.peers[hello.Rank]; dup {
+	if _, dup := t.peers[rank]; dup {
 		t.mu.Unlock()
 		conn.Close()
 		return
 	}
-	t.peers[hello.Rank] = pr
-	complete := len(t.peers) == t.nparts-1
-	t.mu.Unlock()
-	if complete {
-		t.readyMu.Lock()
-		select {
-		case <-t.ready:
-		default:
-			close(t.ready)
-		}
-		t.readyMu.Unlock()
+	t.peers[rank] = pr
+	t.dir[rank] = meshAddr
+	allHello := len(t.peers) == t.nparts-1
+	sendDir := allHello && t.opts.Mesh && !t.dirSent
+	if sendDir {
+		t.dirSent = true
 	}
+	var prs []*peer
+	if sendDir {
+		prs = t.peerList()
+	}
+	t.mu.Unlock()
+	t.startPeer(pr)
 	t.wg.Add(1)
-	go t.readLoopDec(hello.Rank, pr, dec)
+	go t.readLoop(rank, pr)
+	if sendDir {
+		dirBody := t.dirFrame()
+		for _, wp := range prs {
+			b := getBuf()
+			b = append(b, dirBody...)
+			wp.post(b)
+		}
+		putBuf(dirBody)
+	} else if allHello && !t.opts.Mesh {
+		t.closeReady()
+	}
 }
 
-func (t *Transport) readLoop(rank int, pr *peer) {
-	t.readLoopDec(rank, pr, gob.NewDecoder(bufio.NewReader(pr.conn)))
+func parseHello(body []byte) (rank int, meshAddr string, ok bool) {
+	if len(body) == 0 || body[0] != frameHello {
+		return 0, "", false
+	}
+	r, rest, err := wire.ReadUvarint(body[1:])
+	if err != nil {
+		return 0, "", false
+	}
+	addr, _, err := wire.ReadString(rest)
+	if err != nil {
+		return 0, "", false
+	}
+	return int(r), addr, true
 }
 
-func (t *Transport) readLoopDec(rank int, pr *peer, dec *gob.Decoder) {
+// dirFrame encodes the mesh directory. Caller holds no locks; dir is
+// write-once-per-rank before dirSent flips, so reading it unlocked
+// after the flip is safe.
+func (t *Transport) dirFrame() []byte {
+	b := getBuf()
+	b = append(b, frameDir)
+	b = wire.AppendUvarint(b, uint64(t.nparts))
+	for _, addr := range t.dir {
+		b = wire.AppendString(b, addr)
+	}
+	return b
+}
+
+func (t *Transport) peerList() []*peer {
+	prs := make([]*peer, 0, len(t.peers))
+	for _, pr := range t.peers {
+		prs = append(prs, pr)
+	}
+	return prs
+}
+
+// meshAcceptLoop is a worker's side of incoming mesh dials (from
+// higher-ranked workers).
+func (t *Transport) meshAcceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.meshLn.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		t.wg.Add(1)
+		go t.meshHandshakeIn(conn)
+	}
+}
+
+func (t *Transport) meshHandshakeIn(conn net.Conn) {
+	defer t.wg.Done()
+	pr := newPeer(conn, -1, t.opts.Batch)
+	conn.SetReadDeadline(time.Now().Add(meshDialWait))
+	body, err := readRawFrame(pr.br)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return
+	}
+	rank, ok := parseRankFrame(body, frameMeshHello)
+	putBuf(body)
+	if !ok || rank <= 0 || rank >= t.nparts || rank == t.rank {
+		conn.Close()
+		return
+	}
+	pr.rank = rank
+	t.mu.Lock()
+	if _, dup := t.peers[rank]; dup {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	t.peers[rank] = pr
+	t.mu.Unlock()
+	welcome := getBuf()
+	welcome = append(welcome, frameMeshWelcome)
+	welcome = wire.AppendUvarint(welcome, uint64(t.rank))
+	err = rawWriteFrame(conn, welcome)
+	putBuf(welcome)
+	if err != nil {
+		pr.dead.Store(true)
+		conn.Close()
+		return
+	}
+	t.startPeer(pr)
+	t.wg.Add(1)
+	go t.readLoop(rank, pr)
+}
+
+// meshDialAll dials every lower-ranked worker in the directory, then
+// reports mesh-ready to part 0. A failed or refused dial is not an
+// error: that pair simply keeps the star relay.
+func (t *Transport) meshDialAll(dir []string) {
+	defer t.wg.Done()
+	for r := 1; r < t.rank; r++ {
+		if r < len(dir) && dir[r] != "" {
+			t.meshDial(r, dir[r])
+		}
+	}
+	t.mu.Lock()
+	pr := t.peers[0]
+	t.mu.Unlock()
+	if pr != nil {
+		b := getBuf()
+		b = append(b, frameMeshReady)
+		b = wire.AppendUvarint(b, uint64(t.rank))
+		pr.post(b)
+	}
+}
+
+func (t *Transport) meshDial(rank int, addr string) {
+	conn, err := net.DialTimeout("tcp", addr, meshDialWait)
+	if err != nil {
+		return // star fallback for this pair
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	pr := newPeer(conn, rank, t.opts.Batch)
+	hello := getBuf()
+	hello = append(hello, frameMeshHello)
+	hello = wire.AppendUvarint(hello, uint64(t.rank))
+	err = rawWriteFrame(conn, hello)
+	putBuf(hello)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(meshDialWait))
+	body, err := readRawFrame(pr.br)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return
+	}
+	from, ok := parseRankFrame(body, frameMeshWelcome)
+	putBuf(body)
+	if !ok || from != rank {
+		conn.Close()
+		return
+	}
+	t.mu.Lock()
+	if _, dup := t.peers[rank]; dup {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	t.peers[rank] = pr
+	t.mu.Unlock()
+	t.startPeer(pr)
+	t.wg.Add(1)
+	go t.readLoop(rank, pr)
+}
+
+func parseRankFrame(body []byte, kind byte) (rank int, ok bool) {
+	if len(body) == 0 || body[0] != kind {
+		return 0, false
+	}
+	r, _, err := wire.ReadUvarint(body[1:])
+	if err != nil {
+		return 0, false
+	}
+	return int(r), true
+}
+
+func (t *Transport) readLoop(from int, pr *peer) {
 	defer t.wg.Done()
 	<-t.attached
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
-			if t.rank != 0 && (errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)) {
+		body, err := readRawFrame(pr.br)
+		if err != nil {
+			pr.dead.Store(true)
+			if t.rank != 0 && from == 0 {
 				// Part 0 went away: the machine is over for this worker.
 				t.Close()
 			}
 			return
 		}
-		t.handleFrame(rank, &f)
+		t.handleFrame(from, body)
 	}
 }
 
-func (t *Transport) handleFrame(from int, f *frame) {
-	switch f.Kind {
+// handleFrame dispatches one received frame body. Ownership of body is
+// taken: it is recycled here unless forwarded verbatim.
+func (t *Transport) handleFrame(from int, body []byte) {
+	if len(body) == 0 {
+		putBuf(body)
+		return
+	}
+	switch body[0] {
 	case frameMsg:
-		if f.Dst < 0 || f.Dst >= t.p {
-			return
-		}
-		if t.rank == 0 && t.owner[f.Dst] != 0 {
-			// Relay leg of the star: forward verbatim to the owner part.
-			t.forward(t.owner[f.Dst], f)
-			return
-		}
-		t.router.Inject(msg.Message{
-			Src: f.Src, Dst: f.Dst,
-			Tag:  msg.Tag{Class: msg.Class(f.Class), Call: f.Call, Kind: f.MsgKind},
-			Data: f.Data,
-		})
+		t.handleMsg(body)
 	case frameKill:
-		t.applyKill(f.Proc)
+		proc, ok := parseRankFrame(body, frameKill)
+		putBuf(body)
+		if !ok {
+			return
+		}
+		t.applyKill(proc)
 		if t.rank == 0 {
-			// Flood the notice to every other part; the star has no cycles.
+			// Re-flood the notice to every other part; receivers do not
+			// re-forward, and duplicate kills are idempotent, so the
+			// mesh's cycles are harmless.
 			t.mu.Lock()
 			prs := make([]*peer, 0, len(t.peers))
 			for rank, pr := range t.peers {
@@ -340,21 +875,114 @@ func (t *Transport) handleFrame(from int, f *frame) {
 			}
 			t.mu.Unlock()
 			for _, pr := range prs {
-				pr.send(f)
+				b := getBuf()
+				b = append(b, frameKill)
+				b = wire.AppendUvarint(b, uint64(proc))
+				pr.post(b)
 			}
 		}
+	case frameDir:
+		addrs, ok := parseDir(body, t.nparts)
+		putBuf(body)
+		if !ok || t.rank == 0 {
+			return
+		}
+		t.wg.Add(1)
+		go t.meshDialAll(addrs)
+	case frameMeshReady:
+		putBuf(body)
+		if t.rank != 0 {
+			return
+		}
+		t.mu.Lock()
+		t.meshAcks++
+		wired := t.meshAcks >= t.nparts-1 && len(t.peers) == t.nparts-1
+		t.mu.Unlock()
+		if wired {
+			t.closeReady()
+		}
 	case frameBye:
+		putBuf(body)
 		t.Close()
+	default:
+		putBuf(body)
 	}
 }
 
-func (t *Transport) forward(rank int, f *frame) {
-	t.mu.Lock()
-	pr := t.peers[rank]
-	t.mu.Unlock()
-	if pr != nil {
-		pr.send(f)
+func parseDir(body []byte, nparts int) ([]string, bool) {
+	n, rest, err := wire.ReadUvarint(body[1:])
+	if err != nil || int(n) != nparts {
+		return nil, false
 	}
+	addrs := make([]string, nparts)
+	for i := range addrs {
+		addrs[i], rest, err = wire.ReadString(rest)
+		if err != nil {
+			return nil, false
+		}
+	}
+	return addrs, true
+}
+
+// handleMsg delivers or relays one message frame. The relay leg (part 0,
+// destination hosted elsewhere) forwards the raw bytes without decoding
+// the payload — the star costs part 0 two copies, never two codecs.
+func (t *Transport) handleMsg(body []byte) {
+	b := body[1:]
+	src64, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		putBuf(body)
+		return
+	}
+	dst64, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		putBuf(body)
+		return
+	}
+	src, dst := int(src64), int(dst64)
+	if dst < 0 || dst >= t.p {
+		putBuf(body)
+		return
+	}
+	if t.owner[dst] != t.rank {
+		if t.rank == 0 {
+			// Relay leg of the star fallback: forward verbatim.
+			t.mu.Lock()
+			pr := t.peers[t.owner[dst]]
+			t.mu.Unlock()
+			if pr != nil {
+				pr.post(body) // ownership transfers
+				return
+			}
+		}
+		putBuf(body)
+		return
+	}
+	if len(b) == 0 {
+		putBuf(body)
+		return
+	}
+	class := b[0]
+	call, b, err := wire.ReadUvarint(b[1:])
+	if err != nil {
+		putBuf(body)
+		return
+	}
+	kind, b, err := wire.ReadInt(b)
+	if err != nil {
+		putBuf(body)
+		return
+	}
+	data, _, err := wire.ReadAny(b)
+	putBuf(body)
+	if err != nil {
+		return
+	}
+	t.router.Inject(msg.Message{
+		Src: src, Dst: dst,
+		Tag:  msg.Tag{Class: msg.Class(class), Call: call, Kind: kind},
+		Data: data,
+	})
 }
 
 // applyKill lands one kill on this part: the hosting part kills the
@@ -370,56 +998,82 @@ func (t *Transport) applyKill(proc int) {
 	}
 }
 
-// Kill fail-stops processor proc machine-wide: it is applied locally and
-// flooded to every part, wherever proc is hosted. The caller can await
-// Router.Down(proc) turning true for confirmation on this part.
+// Kill fail-stops processor proc machine-wide: it is applied locally
+// and flooded on every connection this part has — mesh links reach
+// worker peers in one hop, and part 0 re-floods to anyone the origin
+// could not reach directly. Duplicates are idempotent by construction.
 func (t *Transport) Kill(proc int) error {
 	if proc < 0 || proc >= t.p {
 		return fmt.Errorf("msgnet: kill %d out of range (P=%d)", proc, t.p)
 	}
 	t.applyKill(proc)
-	f := &frame{Kind: frameKill, Proc: proc}
 	t.mu.Lock()
-	prs := make([]*peer, 0, len(t.peers))
-	for _, pr := range t.peers {
-		prs = append(prs, pr)
-	}
+	prs := t.peerList()
 	t.mu.Unlock()
 	for _, pr := range prs {
-		if err := pr.send(f); err != nil {
+		b := getBuf()
+		b = append(b, frameKill)
+		b = wire.AppendUvarint(b, uint64(proc))
+		if err := pr.post(b); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Send implements msg.Transport: route one message toward the part
-// hosting its destination. Workers send everything through part 0,
-// which relays worker-to-worker traffic. The payload is gob-encoded
-// before Send returns (see the package comment).
+// route picks the connection carrying traffic to a destination part:
+// the direct mesh link when one exists, otherwise the star relay
+// through part 0. The choice latches on first use so every frame of a
+// pair follows one path forever (FIFO).
+func (t *Transport) route(target int) *peer {
+	if pr := t.routes[target].Load(); pr != nil {
+		return pr
+	}
+	t.mu.Lock()
+	pr := t.peers[target]
+	if pr == nil && t.rank != 0 && target != 0 {
+		pr = t.peers[0]
+	}
+	t.mu.Unlock()
+	if pr == nil {
+		return nil
+	}
+	if !t.routes[target].CompareAndSwap(nil, pr) {
+		return t.routes[target].Load()
+	}
+	return pr
+}
+
+// Send implements msg.Transport: encode one message into a pooled
+// frame (the copy-at-the-seam — the payload is captured before Send
+// returns) and hand it to the route's connection.
 func (t *Transport) Send(m msg.Message) error {
 	select {
 	case <-t.done:
 		return fmt.Errorf("msgnet: send %d -> %d: %w", m.Src, m.Dst, msg.ErrClosed)
 	default:
 	}
-	target := 0
-	if t.rank == 0 {
-		target = t.owner[m.Dst]
+	if m.Dst < 0 || m.Dst >= t.p {
+		return fmt.Errorf("msgnet: send to processor %d out of range (P=%d)", m.Dst, t.p)
 	}
-	t.mu.Lock()
-	pr := t.peers[target]
-	t.mu.Unlock()
+	pr := t.route(t.owner[m.Dst])
 	if pr == nil {
-		return fmt.Errorf("msgnet: no connection to part %d (dst processor %d)", target, m.Dst)
+		return fmt.Errorf("msgnet: no connection toward part %d (dst processor %d)", t.owner[m.Dst], m.Dst)
 	}
-	err := pr.send(&frame{
-		Kind: frameMsg,
-		Src:  m.Src, Dst: m.Dst,
-		Class: uint8(m.Tag.Class), Call: m.Tag.Call, MsgKind: m.Tag.Kind,
-		Data: m.Data,
-	})
+	body := getBuf()
+	body = append(body, frameMsg)
+	body = wire.AppendUvarint(body, uint64(m.Src))
+	body = wire.AppendUvarint(body, uint64(m.Dst))
+	body = append(body, byte(m.Tag.Class))
+	body = wire.AppendUvarint(body, m.Tag.Call)
+	body = wire.AppendInt(body, m.Tag.Kind)
+	var err error
+	body, err = wire.AppendAny(body, m.Data, t.opts.ForceGob)
 	if err != nil {
+		putBuf(body)
+		return fmt.Errorf("msgnet: encode %d -> %d: %w", m.Src, m.Dst, err)
+	}
+	if err := pr.post(body); err != nil {
 		select {
 		case <-t.done:
 			return fmt.Errorf("msgnet: send %d -> %d: %w", m.Src, m.Dst, msg.ErrClosed)
@@ -431,35 +1085,42 @@ func (t *Transport) Send(m msg.Message) error {
 }
 
 // Shutdown performs an orderly machine-wide stop from part 0: every
-// worker receives a bye frame (releasing its Wait) before the
-// connections close. On workers it is identical to Close.
+// worker receives a bye frame (releasing its Wait), the writers drain,
+// and then the connections close. On workers it is identical to Close.
 func (t *Transport) Shutdown() {
 	if t.rank == 0 {
 		t.mu.Lock()
-		prs := make([]*peer, 0, len(t.peers))
-		for _, pr := range t.peers {
-			prs = append(prs, pr)
-		}
+		prs := t.peerList()
 		t.mu.Unlock()
 		for _, pr := range prs {
-			pr.send(&frame{Kind: frameBye})
+			b := getBuf()
+			b = append(b, frameBye)
+			pr.post(b)
+		}
+		for _, pr := range prs {
+			pr.barrier(byeDrainWait)
 		}
 	}
 	t.Close()
 }
 
-// Close implements msg.Transport: tear down all connections. Idempotent.
+// Close implements msg.Transport: tear down all listeners, writers and
+// connections. Idempotent.
 func (t *Transport) Close() error {
 	t.closeOnce.Do(func() {
 		close(t.done)
 		if t.ln != nil {
 			t.ln.Close()
 		}
-		t.mu.Lock()
-		for _, pr := range t.peers {
-			pr.conn.Close()
+		if t.meshLn != nil {
+			t.meshLn.Close()
 		}
+		t.mu.Lock()
+		prs := t.peerList()
 		t.mu.Unlock()
+		for _, pr := range prs {
+			pr.shutdown()
+		}
 	})
 	return nil
 }

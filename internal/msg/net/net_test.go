@@ -2,6 +2,8 @@ package net
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,10 +18,18 @@ type part struct {
 }
 
 // loopback boots an nparts-way cluster over real TCP on 127.0.0.1, all
-// parts in this one test process. parts[0] listens; the rest dial.
-func loopback(t *testing.T, p, nparts int) []part {
+// parts in this one test process, every part built with the same opts.
+// parts[0] listens; the rest dial.
+func loopback(t *testing.T, p, nparts int, opt ...Option) []part {
 	t.Helper()
-	t0, err := Listen("127.0.0.1:0", p, nparts)
+	return loopbackPer(t, p, nparts, func(int) []Option { return opt })
+}
+
+// loopbackPer is loopback with per-rank options (for asymmetric-mode
+// tests) and an optional hook between dials.
+func loopbackPer(t *testing.T, p, nparts int, optFor func(rank int) []Option, between ...func(rank int, parts []part)) []part {
+	t.Helper()
+	t0, err := Listen("127.0.0.1:0", p, nparts, optFor(0)...)
 	if err != nil {
 		t.Fatalf("Listen: %v", err)
 	}
@@ -28,13 +38,16 @@ func loopback(t *testing.T, p, nparts int) []part {
 	parts[0].r.SetTransport(t0, HostedMap(p, nparts, 0))
 	t0.Attach(parts[0].r)
 	for rank := 1; rank < nparts; rank++ {
-		tw, err := Dial(t0.Addr(), p, nparts, rank)
+		tw, err := Dial(t0.Addr(), p, nparts, rank, optFor(rank)...)
 		if err != nil {
 			t.Fatalf("Dial rank %d: %v", rank, err)
 		}
 		parts[rank] = part{r: msg.NewRouter(p), tr: tw}
 		parts[rank].r.SetTransport(tw, HostedMap(p, nparts, rank))
 		tw.Attach(parts[rank].r)
+		for _, f := range between {
+			f(rank, parts)
+		}
 	}
 	if err := t0.WaitPeers(10 * time.Second); err != nil {
 		t.Fatalf("WaitPeers: %v", err)
@@ -51,6 +64,20 @@ func loopback(t *testing.T, p, nparts int) []part {
 	return parts
 }
 
+// modes is the matrix every contract test runs under: the production
+// default (mesh + batching + binary codec), each knob alone, and the
+// PR-9 baseline reproduction (star, synchronous flush, gob payloads).
+var modes = []struct {
+	name string
+	opt  []Option
+}{
+	{"mesh+batch", nil},
+	{"mesh-nobatch", []Option{WithBatch(false)}},
+	{"star-batch", []Option{WithMesh(false)}},
+	{"star-sync-gob", []Option{WithMesh(false), WithBatch(false), WithForceGob(true)}},
+	{"mesh+batch+window", []Option{WithFlushWindow(200 * time.Microsecond)}},
+}
+
 func recvAt(t *testing.T, pt part, dst, src int, tag msg.Tag) msg.Message {
 	t.Helper()
 	m, err := pt.r.RecvFromTimeout(dst, src, tag, 10*time.Second)
@@ -60,145 +87,316 @@ func recvAt(t *testing.T, pt part, dst, src int, tag msg.Tag) msg.Message {
 	return m
 }
 
-// TestSendCapturesPayload pins the deep-copy-at-the-seam contract: the
-// payload is serialized before Send returns, so mutating the source
-// buffer afterwards (as pooled-buffer recycling does) must not be
-// visible to the receiver.
+// TestSendCapturesPayload pins the deep-copy-at-the-seam contract in
+// every mode: the payload is serialized before Send returns, so
+// mutating the source buffer afterwards (as pooled-buffer recycling
+// does) must not be visible to the receiver — even when the frame is
+// still sitting in a writer goroutine's queue.
 func TestSendCapturesPayload(t *testing.T) {
-	parts := loopback(t, 4, 2)
-	tag := msg.Tag{Class: msg.ClassData, Kind: 7}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			parts := loopback(t, 4, 2, mode.opt...)
+			tag := msg.Tag{Class: msg.ClassData, Kind: 7}
 
-	buf := []float64{1, 2, 3, 4}
-	if err := parts[0].r.Send(0, 2, tag, buf); err != nil {
-		t.Fatalf("Send: %v", err)
-	}
-	// The sender recycles the buffer the instant Send returns.
-	for i := range buf {
-		buf[i] = -999
-	}
+			buf := []float64{1, 2, 3, 4}
+			if err := parts[0].r.Send(0, 2, tag, buf); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			// The sender recycles the buffer the instant Send returns.
+			for i := range buf {
+				buf[i] = -999
+			}
 
-	m := recvAt(t, parts[1], 2, 0, tag)
-	got, ok := m.Data.([]float64)
-	if !ok {
-		t.Fatalf("payload type %T, want []float64", m.Data)
-	}
-	for i, v := range got {
-		if v != float64(i+1) {
-			t.Fatalf("got[%d] = %v, want %d: receiver saw post-mutation bytes", i, v, i+1)
-		}
+			m := recvAt(t, parts[1], 2, 0, tag)
+			got, ok := m.Data.([]float64)
+			if !ok {
+				t.Fatalf("payload type %T, want []float64", m.Data)
+			}
+			for i, v := range got {
+				if v != float64(i+1) {
+					t.Fatalf("got[%d] = %v, want %d: receiver saw post-mutation bytes", i, v, i+1)
+				}
+			}
+		})
 	}
 }
 
 // TestSendCapturesNestedPayload is the same pin for a [][]float64 (the
 // shape of halo slabs): inner rows must be captured too.
 func TestSendCapturesNestedPayload(t *testing.T) {
-	parts := loopback(t, 4, 2)
-	tag := msg.Tag{Class: msg.ClassData, Kind: 8}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			parts := loopback(t, 4, 2, mode.opt...)
+			tag := msg.Tag{Class: msg.ClassData, Kind: 8}
 
-	rows := [][]float64{{1, 2}, {3, 4}}
-	if err := parts[0].r.Send(1, 3, tag, rows); err != nil {
-		t.Fatalf("Send: %v", err)
-	}
-	rows[0][0], rows[1][1] = -1, -1
-
-	m := recvAt(t, parts[1], 3, 1, tag)
-	got := m.Data.([][]float64)
-	want := [][]float64{{1, 2}, {3, 4}}
-	for i := range want {
-		for j := range want[i] {
-			if got[i][j] != want[i][j] {
-				t.Fatalf("got[%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+			rows := [][]float64{{1, 2}, {3, 4}}
+			if err := parts[0].r.Send(1, 3, tag, rows); err != nil {
+				t.Fatalf("Send: %v", err)
 			}
-		}
+			rows[0][0], rows[1][1] = -1, -1
+
+			m := recvAt(t, parts[1], 3, 1, tag)
+			got := m.Data.([][]float64)
+			want := [][]float64{{1, 2}, {3, 4}}
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("got[%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		})
 	}
 }
 
 // TestFIFOAcrossWire verifies the ordering half of the transport
-// contract: delivery between a fixed (src, dst) pair is FIFO.
+// contract in every mode: delivery between a fixed (src, dst) pair is
+// FIFO, batching or not.
 func TestFIFOAcrossWire(t *testing.T) {
-	parts := loopback(t, 4, 2)
-	tag := msg.Tag{Class: msg.ClassData, Kind: 1}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			parts := loopback(t, 4, 2, mode.opt...)
+			tag := msg.Tag{Class: msg.ClassData, Kind: 1}
 
-	const n = 200
-	for i := 0; i < n; i++ {
-		if err := parts[0].r.Send(0, 2, tag, i); err != nil {
-			t.Fatalf("Send %d: %v", i, err)
-		}
-	}
-	for i := 0; i < n; i++ {
-		m := recvAt(t, parts[1], 2, 0, tag)
-		if m.Data.(int) != i {
-			t.Fatalf("message %d arrived carrying %v: reordered or duplicated", i, m.Data)
-		}
+			const n = 200
+			for i := 0; i < n; i++ {
+				if err := parts[0].r.Send(0, 2, tag, i); err != nil {
+					t.Fatalf("Send %d: %v", i, err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				m := recvAt(t, parts[1], 2, 0, tag)
+				if m.Data.(int) != i {
+					t.Fatalf("message %d arrived carrying %v: reordered or duplicated", i, m.Data)
+				}
+			}
+		})
 	}
 }
 
-// TestWorkerToWorkerRelay exercises the relay leg of the star: a frame
-// between two worker parts travels through part 0 and back out.
-func TestWorkerToWorkerRelay(t *testing.T) {
-	parts := loopback(t, 3, 3) // proc i hosted by part i
-	tag := msg.Tag{Class: msg.ClassData, Kind: 2}
+// TestWorkerToWorkerPaths exercises the worker↔worker leg in every
+// mode: one hop over the mesh when enabled, two hops through the
+// part-0 relay otherwise — the payload must arrive either way.
+func TestWorkerToWorkerPaths(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			parts := loopback(t, 3, 3, mode.opt...) // proc i hosted by part i
+			tag := msg.Tag{Class: msg.ClassData, Kind: 2}
 
-	if err := parts[1].r.Send(1, 2, tag, "across the star"); err != nil {
+			if err := parts[1].r.Send(1, 2, tag, "across the wire"); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			m := recvAt(t, parts[2], 2, 1, tag)
+			if m.Data.(string) != "across the wire" {
+				t.Fatalf("worker-to-worker payload = %v", m.Data)
+			}
+
+			// And the reply leg worker -> part 0.
+			if err := parts[2].r.Send(2, 0, tag, 42); err != nil {
+				t.Fatalf("reply Send: %v", err)
+			}
+			m = recvAt(t, parts[0], 0, 2, tag)
+			if m.Data.(int) != 42 {
+				t.Fatalf("reply payload = %v", m.Data)
+			}
+		})
+	}
+}
+
+// TestMeshDirectLink pins the topology claim itself: with mesh on, the
+// worker pair holds a direct connection (no relay through part 0); with
+// mesh off, it does not.
+func TestMeshDirectLink(t *testing.T) {
+	hasPeer := func(pt part, rank int) bool {
+		pt.tr.mu.Lock()
+		defer pt.tr.mu.Unlock()
+		_, ok := pt.tr.peers[rank]
+		return ok
+	}
+	t.Run("mesh", func(t *testing.T) {
+		parts := loopback(t, 3, 3)
+		if !hasPeer(parts[2], 1) || !hasPeer(parts[1], 2) {
+			t.Fatal("mesh enabled but workers 1 and 2 hold no direct link")
+		}
+	})
+	t.Run("star", func(t *testing.T) {
+		parts := loopback(t, 3, 3, WithMesh(false))
+		if hasPeer(parts[2], 1) || hasPeer(parts[1], 2) {
+			t.Fatal("mesh disabled but workers hold a direct link")
+		}
+	})
+}
+
+// TestMeshFIFOPerPair is the mesh contract pin the ISSUE names: three
+// parts, batching enabled, 200 messages on every ordered (src, dst)
+// pair concurrently — each pair must deliver in order with no loss and
+// no duplication, whether the pair rides a mesh link, the star spoke,
+// or the relay.
+func TestMeshFIFOPerPair(t *testing.T) {
+	parts := loopback(t, 3, 3)
+	const n = 200
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for src := 0; src < 3; src++ {
+		for dst := 0; dst < 3; dst++ {
+			if src == dst {
+				continue
+			}
+			src, dst := src, dst
+			tag := msg.Tag{Class: msg.ClassData, Kind: 10 + 3*src + dst}
+			wg.Add(2)
+			go func() { // sender
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if err := parts[src].r.Send(src, dst, tag, i); err != nil {
+						errs <- fmt.Errorf("send %d->%d #%d: %v", src, dst, i, err)
+						return
+					}
+				}
+			}()
+			go func() { // receiver
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					m, err := parts[dst].r.RecvFromTimeout(dst, src, tag, 10*time.Second)
+					if err != nil {
+						errs <- fmt.Errorf("recv %d->%d #%d: %v", src, dst, i, err)
+						return
+					}
+					if m.Data.(int) != i {
+						errs <- fmt.Errorf("pair %d->%d: message %d carried %v: reordered or duplicated", src, dst, i, m.Data)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestStarFallbackWhenMeshDialRefused kills one worker's mesh listener
+// before the directory goes out: the dial to it is refused, WaitPeers
+// must still succeed, and traffic between the two workers must flow —
+// over the star relay, pinned by the absence of a direct link.
+func TestStarFallbackWhenMeshDialRefused(t *testing.T) {
+	parts := loopbackPer(t, 3, 3,
+		func(int) []Option { return nil },
+		func(rank int, parts []part) {
+			if rank == 1 {
+				// Worker 1 advertised its mesh address in the hello; close
+				// the listener so worker 2's dial is refused.
+				parts[1].tr.meshLn.Close()
+			}
+		})
+
+	parts[2].tr.mu.Lock()
+	_, direct := parts[2].tr.peers[1]
+	parts[2].tr.mu.Unlock()
+	if direct {
+		t.Fatal("dial to a closed listener produced a direct link")
+	}
+
+	tag := msg.Tag{Class: msg.ClassData, Kind: 3}
+	if err := parts[2].r.Send(2, 1, tag, "via the relay"); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
-	m := recvAt(t, parts[2], 2, 1, tag)
-	if m.Data.(string) != "across the star" {
-		t.Fatalf("relayed payload = %v", m.Data)
+	m := recvAt(t, parts[1], 1, 2, tag)
+	if m.Data.(string) != "via the relay" {
+		t.Fatalf("fallback payload = %v", m.Data)
 	}
-
-	// And the reply leg worker -> part 0.
-	if err := parts[2].r.Send(2, 0, tag, 42); err != nil {
-		t.Fatalf("reply Send: %v", err)
+	// The reverse direction also falls back (worker 1 never dials 2;
+	// routes are independent per sender).
+	if err := parts[1].r.Send(1, 2, tag, "back again"); err != nil {
+		t.Fatalf("reverse Send: %v", err)
 	}
-	m = recvAt(t, parts[0], 0, 2, tag)
-	if m.Data.(int) != 42 {
-		t.Fatalf("reply payload = %v", m.Data)
+	m = recvAt(t, parts[2], 2, 1, tag)
+	if m.Data.(string) != "back again" {
+		t.Fatalf("reverse fallback payload = %v", m.Data)
 	}
 }
 
-// TestKillPropagates verifies a kill lands machine-wide: the hosting
-// part's mailbox dies for real, other parts observe Down and drop
-// sends to the dead processor instead of shipping frames to it.
+// TestKillPropagates verifies a kill lands machine-wide in every mode:
+// the hosting part's mailbox dies for real, other parts observe Down
+// and drop sends to the dead processor instead of shipping frames.
 func TestKillPropagates(t *testing.T) {
-	parts := loopback(t, 4, 2)
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			parts := loopback(t, 4, 2, mode.opt...)
 
-	if err := parts[0].tr.Kill(3); err != nil {
-		t.Fatalf("Kill: %v", err)
+			if err := parts[0].tr.Kill(3); err != nil {
+				t.Fatalf("Kill: %v", err)
+			}
+			// Origin part: synchronous remote-down record.
+			if !parts[0].r.Down(3) {
+				t.Fatal("origin part does not report processor 3 down")
+			}
+			// Hosting part: the kill notice travels the wire; receives at
+			// the dead processor fail with ErrProcessorDown once it lands.
+			waitDown(t, parts[1], 3)
+			_, err := parts[1].r.RecvTimeout(3, func(msg.Message) bool { return true }, time.Second)
+			if !errors.Is(err, msg.ErrProcessorDown) {
+				t.Fatalf("recv at killed processor: %v, want ErrProcessorDown", err)
+			}
+			// Sends to the dead processor from the origin part are dropped
+			// without error (dead peers silently eat traffic, as in-process).
+			if err := parts[0].r.Send(0, 3, msg.Tag{Class: msg.ClassData, Kind: 3}, 1); err != nil {
+				t.Fatalf("send to dead processor: %v, want silent drop", err)
+			}
+			// The living processor on the same part is unaffected.
+			tag := msg.Tag{Class: msg.ClassData, Kind: 4}
+			if err := parts[0].r.Send(0, 2, tag, "alive"); err != nil {
+				t.Fatalf("send to living processor: %v", err)
+			}
+			m := recvAt(t, parts[1], 2, 0, tag)
+			if m.Data.(string) != "alive" {
+				t.Fatalf("living processor payload = %v", m.Data)
+			}
+		})
 	}
-	// Origin part: synchronous remote-down record.
-	if !parts[0].r.Down(3) {
-		t.Fatal("origin part does not report processor 3 down")
-	}
-	// Hosting part: the kill notice travels the wire; receives at the
-	// dead processor fail with ErrProcessorDown once it lands.
+}
+
+func waitDown(t *testing.T, pt part, proc int) {
+	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if parts[1].r.Down(3) {
-			break
-		}
+	for !pt.r.Down(proc) {
 		if time.Now().After(deadline) {
-			t.Fatal("hosting part never observed the kill")
+			t.Fatalf("part never observed processor %d down", proc)
 		}
 		time.Sleep(time.Millisecond)
 	}
-	_, err := parts[1].r.RecvTimeout(3, func(msg.Message) bool { return true }, time.Second)
+}
+
+// TestKillFloodReachesAllMeshPeers pins machine-wide kill flooding on
+// the mesh: a worker-originated kill of a processor hosted on a third
+// part must land on every part — over the direct links and via part
+// 0's re-flood — and duplicate deliveries must be harmless.
+func TestKillFloodReachesAllMeshPeers(t *testing.T) {
+	parts := loopback(t, 3, 3) // proc i hosted by part i
+
+	// Worker 1 kills processor 2 (hosted on part 2): the notice travels
+	// the 1->2 mesh link and the 1->0 spoke, and part 0 re-floods it.
+	if err := parts[1].tr.Kill(2); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	for rank := 0; rank < 3; rank++ {
+		waitDown(t, parts[rank], 2)
+	}
+	_, err := parts[2].r.RecvTimeout(2, func(msg.Message) bool { return true }, time.Second)
 	if !errors.Is(err, msg.ErrProcessorDown) {
 		t.Fatalf("recv at killed processor: %v, want ErrProcessorDown", err)
 	}
-	// Sends to the dead processor from the origin part are dropped
-	// without error (dead peers silently eat traffic, as in-process).
-	if err := parts[0].r.Send(0, 3, msg.Tag{Class: msg.ClassData, Kind: 3}, 1); err != nil {
-		t.Fatalf("send to dead processor: %v, want silent drop", err)
+	// Traffic between the survivors still flows on every path.
+	tag := msg.Tag{Class: msg.ClassData, Kind: 5}
+	if err := parts[1].r.Send(1, 0, tag, "still here"); err != nil {
+		t.Fatalf("survivor Send: %v", err)
 	}
-	// The living processor on the same part is unaffected.
-	tag := msg.Tag{Class: msg.ClassData, Kind: 4}
-	if err := parts[0].r.Send(0, 2, tag, "alive"); err != nil {
-		t.Fatalf("send to living processor: %v", err)
-	}
-	m := recvAt(t, parts[1], 2, 0, tag)
-	if m.Data.(string) != "alive" {
-		t.Fatalf("living processor payload = %v", m.Data)
+	m := recvAt(t, parts[0], 0, 1, tag)
+	if m.Data.(string) != "still here" {
+		t.Fatalf("survivor payload = %v", m.Data)
 	}
 }
 
